@@ -1,0 +1,86 @@
+//! Plain-text experiment reports.
+//!
+//! The `exp_*` binaries in `prognosis-bench` assemble their output through
+//! [`Report`]: a titled list of key/value rows and free-form findings that
+//! prints in a stable, diff-friendly format (the same information the paper
+//! presents in §6 prose and the appendix captions).
+
+use std::fmt;
+
+/// A titled experiment report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    title: String,
+    rows: Vec<(String, String)>,
+    findings: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report { title: title.into(), rows: Vec::new(), findings: Vec::new() }
+    }
+
+    /// Adds a key/value row.
+    pub fn row(&mut self, key: impl Into<String>, value: impl fmt::Display) -> &mut Self {
+        self.rows.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Adds a free-form finding line.
+    pub fn finding(&mut self, text: impl Into<String>) -> &mut Self {
+        self.findings.push(text.into());
+        self
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the report has no rows and no findings.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty() && self.findings.is_empty()
+    }
+
+    /// Renders the report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("=== {} ===\n", self.title));
+        let width = self.rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (k, v) in &self.rows {
+            out.push_str(&format!("  {k:<width$} : {v}\n"));
+        }
+        for f in &self.findings {
+            out.push_str(&format!("  * {f}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_rows_and_findings() {
+        let mut r = Report::new("Issue 2: nondeterministic RESET");
+        assert!(r.is_empty());
+        r.row("implementation", "mvfst")
+            .row("reset ratio", format!("{:.2}", 0.82))
+            .finding("responses after close are nondeterministic");
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        let text = r.render();
+        assert!(text.starts_with("=== Issue 2"));
+        assert!(text.contains("reset ratio"));
+        assert!(text.contains("* responses after close"));
+        assert_eq!(text, r.to_string());
+    }
+}

@@ -1,0 +1,246 @@
+//! Access sequences, characterizing sets and covers.
+//!
+//! These are the ingredients of conformance-testing-based equivalence
+//! oracles (W-method, Wp-method) used by the learning module when no
+//! omniscient equivalence oracle exists (§4.1): a counterexample found by
+//! such an oracle is guaranteed valid, while its absence gives probabilistic
+//! rather than absolute guarantees.
+
+use crate::mealy::{MealyMachine, StateId};
+use crate::word::InputWord;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// Shortest access sequence for every reachable state (BFS order).
+///
+/// The initial state maps to the empty word.
+pub fn access_sequences(machine: &MealyMachine) -> BTreeMap<StateId, InputWord> {
+    let mut out = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    out.insert(machine.initial_state(), InputWord::empty());
+    queue.push_back(machine.initial_state());
+    while let Some(q) = queue.pop_front() {
+        let prefix = out[&q].clone();
+        for sym in machine.input_alphabet().iter() {
+            let succ = machine.successor(q, sym).expect("total machine");
+            if !out.contains_key(&succ) {
+                out.insert(succ, prefix.append(sym.clone()));
+                queue.push_back(succ);
+            }
+        }
+    }
+    out
+}
+
+/// The state cover: the set of access sequences (including ε).
+pub fn state_cover(machine: &MealyMachine) -> Vec<InputWord> {
+    let mut v: Vec<InputWord> = access_sequences(machine).into_values().collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+/// The transition cover: every access sequence extended by every input symbol,
+/// plus the state cover itself.
+pub fn transition_cover(machine: &MealyMachine) -> Vec<InputWord> {
+    let mut cover = state_cover(machine);
+    let access = access_sequences(machine);
+    for seq in access.values() {
+        for sym in machine.input_alphabet().iter() {
+            cover.push(seq.append(sym.clone()));
+        }
+    }
+    cover.sort();
+    cover.dedup();
+    cover
+}
+
+/// A characterizing set W: a set of input words such that any two distinct
+/// states of the (minimal) machine produce different outputs on at least one
+/// word in the set.
+///
+/// Computed by pairwise distinguishing-word search (BFS on the state-pair
+/// graph), which is quadratic in the number of states — plenty fast for the
+/// model sizes Prognosis learns (≤ a few dozen states).
+pub fn characterizing_set(machine: &MealyMachine) -> Vec<InputWord> {
+    let states: Vec<StateId> = machine.states().collect();
+    let mut w: Vec<InputWord> = Vec::new();
+    for (i, &a) in states.iter().enumerate() {
+        for &b in states.iter().skip(i + 1) {
+            if w.iter().any(|word| distinguishes(machine, a, b, word)) {
+                continue;
+            }
+            if let Some(word) = distinguishing_word(machine, a, b) {
+                w.push(word);
+            }
+        }
+    }
+    if w.is_empty() {
+        // A single-state machine (or one whose states are indistinguishable)
+        // still needs a non-empty W for the W-method to exercise outputs.
+        if let Some(sym) = machine.input_alphabet().iter().next() {
+            w.push(InputWord::from_symbols([sym.clone()]));
+        }
+    }
+    w.sort();
+    w.dedup();
+    w
+}
+
+/// Whether `word` produces different outputs from states `a` and `b`.
+pub fn distinguishes(machine: &MealyMachine, a: StateId, b: StateId, word: &InputWord) -> bool {
+    let (_, oa) = machine.run_from(a, word).expect("total machine");
+    let (_, ob) = machine.run_from(b, word).expect("total machine");
+    oa != ob
+}
+
+/// Shortest input word distinguishing states `a` and `b`, if any.
+pub fn distinguishing_word(
+    machine: &MealyMachine,
+    a: StateId,
+    b: StateId,
+) -> Option<InputWord> {
+    if a == b {
+        return None;
+    }
+    let mut visited: HashSet<(StateId, StateId)> = HashSet::new();
+    let mut queue: VecDeque<(StateId, StateId, InputWord)> = VecDeque::new();
+    visited.insert((a, b));
+    queue.push_back((a, b, InputWord::empty()));
+    while let Some((qa, qb, word)) = queue.pop_front() {
+        for sym in machine.input_alphabet().iter() {
+            let (na, oa) = machine.step(qa, sym).expect("total machine");
+            let (nb, ob) = machine.step(qb, sym).expect("total machine");
+            let next = word.append(sym.clone());
+            if oa != ob {
+                return Some(next);
+            }
+            if visited.insert((na, nb)) {
+                queue.push_back((na, nb, next));
+            }
+        }
+    }
+    None
+}
+
+/// All input words of length exactly `len` over the machine's alphabet.
+pub fn words_of_length(machine: &MealyMachine, len: usize) -> Vec<InputWord> {
+    let mut words = vec![InputWord::empty()];
+    for _ in 0..len {
+        let mut next = Vec::with_capacity(words.len() * machine.input_alphabet().len());
+        for w in &words {
+            for sym in machine.input_alphabet().iter() {
+                next.push(w.append(sym.clone()));
+            }
+        }
+        words = next;
+    }
+    words
+}
+
+/// The W-method test suite for conformance testing against `machine`,
+/// assuming the SUL has at most `machine.num_states() + extra_states` states:
+/// `transition_cover · Σ^{≤extra} · W`.
+pub fn w_method_suite(machine: &MealyMachine, extra_states: usize) -> Vec<InputWord> {
+    let cover = transition_cover(machine);
+    let w = characterizing_set(machine);
+    let mut middles: Vec<InputWord> = Vec::new();
+    for len in 0..=extra_states {
+        middles.extend(words_of_length(machine, len));
+    }
+    let mut suite = Vec::with_capacity(cover.len() * middles.len() * w.len());
+    for p in &cover {
+        for m in &middles {
+            for s in &w {
+                suite.push(p.concat(m).concat(s));
+            }
+        }
+    }
+    suite.sort();
+    suite.dedup();
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::known;
+
+    #[test]
+    fn access_sequences_reach_their_states() {
+        let m = known::counter(4);
+        let access = access_sequences(&m);
+        assert_eq!(access.len(), 4);
+        for (&state, word) in &access {
+            assert_eq!(m.state_after(word).unwrap(), state);
+        }
+        assert!(access[&m.initial_state()].is_empty());
+    }
+
+    #[test]
+    fn state_cover_and_transition_cover_sizes() {
+        let m = known::counter(3);
+        let sc = state_cover(&m);
+        let tc = transition_cover(&m);
+        assert_eq!(sc.len(), 3);
+        // Transition cover contains the state cover plus every one-symbol
+        // extension; duplicates are removed.
+        assert!(tc.len() >= sc.len());
+        for w in &sc {
+            assert!(tc.contains(w));
+        }
+    }
+
+    #[test]
+    fn characterizing_set_distinguishes_all_state_pairs() {
+        let m = known::counter(5);
+        let w = characterizing_set(&m);
+        assert!(!w.is_empty());
+        let states: Vec<_> = m.states().collect();
+        for (i, &a) in states.iter().enumerate() {
+            for &b in states.iter().skip(i + 1) {
+                assert!(
+                    w.iter().any(|word| distinguishes(&m, a, b, word)),
+                    "states {a} and {b} not distinguished"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinguishing_word_is_none_for_equivalent_states() {
+        let m = known::redundant_pair();
+        // states 1 and 2 are behaviourally identical in this machine.
+        assert_eq!(distinguishing_word(&m, 1, 2), None);
+        assert!(distinguishing_word(&m, 0, 1).is_some());
+        assert_eq!(distinguishing_word(&m, 0, 0), None);
+    }
+
+    #[test]
+    fn w_method_suite_detects_a_mutated_machine() {
+        use crate::mealy::MealyBuilder;
+        let m = known::counter(3);
+        // Build a mutant that differs on a deep transition: wrap goes to
+        // state 1 instead of state 0.
+        let mut b = MealyBuilder::new(m.input_alphabet().clone());
+        b.add_states(3);
+        for (from, input, output, to) in m.transitions() {
+            let target = if output.as_str() == "wrap" { 1 } else { to };
+            b.add_transition(from, input, output, target).unwrap();
+        }
+        let mutant = b.build().unwrap();
+        let suite = w_method_suite(&m, 0);
+        let caught = suite
+            .iter()
+            .any(|w| m.run(w).unwrap() != mutant.run(w).unwrap());
+        assert!(caught, "W-method suite must catch the transition mutation");
+    }
+
+    #[test]
+    fn words_of_length_counts() {
+        let m = known::toggle();
+        assert_eq!(words_of_length(&m, 0).len(), 1);
+        assert_eq!(words_of_length(&m, 3).len(), 1); // single-symbol alphabet
+        let m2 = known::counter(2);
+        assert_eq!(words_of_length(&m2, 3).len(), 8);
+    }
+}

@@ -1,0 +1,167 @@
+//! Graphviz (DOT) export of learned models.
+//!
+//! The paper's analysis module exposes "simple visualizations of the learned
+//! models that allow a user to visually compare two models" (§2, §5); the
+//! appendix figures are rendered from exactly this kind of export.  Edges
+//! with identical endpoints are merged into a single multi-label edge to keep
+//! the output readable for QUIC-sized machines.
+
+use crate::mealy::MealyMachine;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Options controlling DOT rendering.
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// Graph name used in the `digraph` header.
+    pub name: String,
+    /// Whether self-loop transitions that output `silent_output` are hidden;
+    /// the appendix figures omit most "ignored input" self-loops.
+    pub hide_silent_self_loops: bool,
+    /// The output symbol treated as silent (defaults to `{}`; the TCP case
+    /// uses `NIL`).
+    pub silent_output: String,
+    /// Whether state names (rather than ids) are used as node labels.
+    pub use_state_names: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "prognosis_model".to_string(),
+            hide_silent_self_loops: false,
+            silent_output: "{}".to_string(),
+            use_state_names: false,
+        }
+    }
+}
+
+/// Renders a Mealy machine as a Graphviz digraph.
+pub fn to_dot(machine: &MealyMachine, options: &DotOptions) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph {} {{", sanitize(&options.name)).unwrap();
+    writeln!(out, "    rankdir=TB;").unwrap();
+    writeln!(out, "    node [shape=circle, fontsize=10];").unwrap();
+    writeln!(out, "    __start [shape=point, style=invis];").unwrap();
+    for q in machine.states() {
+        let label = if options.use_state_names {
+            machine.state_name(q).to_string()
+        } else {
+            format!("s{q}")
+        };
+        writeln!(out, "    s{q} [label=\"{}\"];", escape(&label)).unwrap();
+    }
+    writeln!(out, "    __start -> s{};", machine.initial_state()).unwrap();
+
+    // Group edge labels by (source, target) pair.
+    let mut edges: BTreeMap<(usize, usize), Vec<String>> = BTreeMap::new();
+    for (from, input, output, to) in machine.transitions() {
+        if options.hide_silent_self_loops
+            && from == to
+            && output.as_str() == options.silent_output
+        {
+            continue;
+        }
+        edges
+            .entry((from, to))
+            .or_default()
+            .push(format!("{input} / {output}"));
+    }
+    for ((from, to), labels) in edges {
+        writeln!(
+            out,
+            "    s{from} -> s{to} [label=\"{}\"];",
+            escape(&labels.join("\\n"))
+        )
+        .unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+/// Renders with default options.
+pub fn to_dot_default(machine: &MealyMachine) -> String {
+    to_dot(machine, &DotOptions::default())
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "model".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(label: &str) -> String {
+    label.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::known;
+
+    #[test]
+    fn dot_contains_all_states_and_initial_marker() {
+        let m = known::tcp_handshake_fragment();
+        let dot = to_dot_default(&m);
+        assert!(dot.starts_with("digraph prognosis_model {"));
+        for q in m.states() {
+            assert!(dot.contains(&format!("s{q} [label=")));
+        }
+        assert!(dot.contains("__start -> s0;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn edges_are_grouped_per_state_pair() {
+        let m = known::counter(2);
+        let dot = to_dot_default(&m);
+        // counter(2) has transitions s0->s1 (inc) and s0->s0 (reset):
+        // exactly one edge line per (source,target) pair.
+        let s0_to_s1 = dot.matches("s0 -> s1 [label=").count();
+        assert_eq!(s0_to_s1, 1);
+    }
+
+    #[test]
+    fn silent_self_loops_can_be_hidden() {
+        let m = known::tcp_handshake_fragment();
+        let opts = DotOptions {
+            hide_silent_self_loops: true,
+            silent_output: "NIL".to_string(),
+            ..DotOptions::default()
+        };
+        let hidden = to_dot(&m, &opts);
+        let shown = to_dot_default(&m);
+        assert!(hidden.len() < shown.len());
+        // s2 only has NIL self loops, so it must have no outgoing edges.
+        assert!(!hidden.contains("s2 -> s2"));
+        assert!(shown.contains("s2 -> s2"));
+    }
+
+    #[test]
+    fn graph_name_is_sanitized() {
+        let m = known::toggle();
+        let opts = DotOptions { name: "google QUIC (draft-29)".to_string(), ..Default::default() };
+        let dot = to_dot(&m, &opts);
+        assert!(dot.starts_with("digraph google_QUIC__draft_29_ {"));
+        let empty_name = DotOptions { name: "".to_string(), ..Default::default() };
+        assert!(to_dot(&m, &empty_name).starts_with("digraph model {"));
+    }
+
+    #[test]
+    fn state_names_can_be_used_as_labels() {
+        use crate::alphabet::Alphabet;
+        use crate::mealy::MealyBuilder;
+        let mut b = MealyBuilder::new(Alphabet::from_symbols(["a"]));
+        let s0 = b.add_named_state("LISTEN");
+        b.add_transition(s0, "a", "x", s0).unwrap();
+        let m = b.build().unwrap();
+        let opts = DotOptions { use_state_names: true, ..Default::default() };
+        assert!(to_dot(&m, &opts).contains("label=\"LISTEN\""));
+    }
+}

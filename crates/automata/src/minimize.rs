@@ -1,0 +1,200 @@
+//! Partition-refinement minimization for Mealy machines.
+//!
+//! Learned models are already canonical (minimal) by construction, but the
+//! hand-written appendix models and the simulated implementations are not
+//! necessarily.  The analysis module minimizes before diffing so that model
+//! sizes are comparable across implementations, exactly as the paper compares
+//! the 12-state and 8-state QUIC models.
+
+use crate::alphabet::Symbol;
+use crate::mealy::{MealyBuilder, MealyMachine, StateId};
+use std::collections::BTreeMap;
+
+/// Computes the minimal Mealy machine equivalent to `machine`
+/// (Moore-style partition refinement restricted to reachable states).
+pub fn minimize(machine: &MealyMachine) -> MealyMachine {
+    let machine = machine.trim();
+    let n = machine.num_states();
+    let inputs = machine.input_alphabet().clone();
+
+    // Initial partition: states are grouped by their full output row
+    // (the outputs they produce for each input symbol).
+    let mut block_of: Vec<usize> = {
+        let mut signature_to_block: BTreeMap<Vec<Symbol>, usize> = BTreeMap::new();
+        let mut blocks = Vec::with_capacity(n);
+        for q in 0..n {
+            let sig: Vec<Symbol> = inputs
+                .iter()
+                .map(|s| machine.output(q, s).expect("total machine"))
+                .collect();
+            let next = signature_to_block.len();
+            let b = *signature_to_block.entry(sig).or_insert(next);
+            blocks.push(b);
+        }
+        blocks
+    };
+
+    // Refine until stable: two states stay in the same block only if, for
+    // every input, their successors are in the same block.
+    loop {
+        let mut signature_to_block: BTreeMap<(usize, Vec<usize>), usize> = BTreeMap::new();
+        let mut new_block_of = Vec::with_capacity(n);
+        for q in 0..n {
+            let succ_sig: Vec<usize> = inputs
+                .iter()
+                .map(|s| block_of[machine.successor(q, s).expect("total machine")])
+                .collect();
+            let key = (block_of[q], succ_sig);
+            let next = signature_to_block.len();
+            let b = *signature_to_block.entry(key).or_insert(next);
+            new_block_of.push(b);
+        }
+        let stable = new_block_of == block_of;
+        block_of = new_block_of;
+        if stable {
+            break;
+        }
+    }
+
+    // Build the quotient machine. Renumber blocks so the initial state's
+    // block becomes state 0 and the rest follow in first-visit order.
+    let num_blocks = block_of.iter().max().map(|m| m + 1).unwrap_or(0);
+    let mut renumber: Vec<Option<StateId>> = vec![None; num_blocks];
+    let mut order: Vec<usize> = Vec::new();
+    let initial_block = block_of[machine.initial_state()];
+    renumber[initial_block] = Some(0);
+    order.push(initial_block);
+    for q in 0..n {
+        let b = block_of[q];
+        if renumber[b].is_none() {
+            renumber[b] = Some(order.len());
+            order.push(b);
+        }
+    }
+
+    let mut builder = MealyBuilder::new(inputs.clone());
+    builder.add_states(order.len());
+    builder.set_initial(0);
+    // For each block pick a representative state and copy its transitions.
+    let mut representative: Vec<Option<StateId>> = vec![None; num_blocks];
+    for q in 0..n {
+        let b = block_of[q];
+        if representative[b].is_none() {
+            representative[b] = Some(q);
+        }
+    }
+    for &b in &order {
+        let rep = representative[b].expect("every ordered block has a representative");
+        let from = renumber[b].expect("ordered blocks are renumbered");
+        for s in inputs.iter() {
+            let (succ, out) = machine.step(rep, s).expect("total machine");
+            let to = renumber[block_of[succ]].expect("successor block renumbered");
+            builder
+                .add_transition(from, s.clone(), out, to)
+                .expect("states added above");
+        }
+    }
+    builder.build().expect("quotient machine is total")
+}
+
+/// Whether the machine is already minimal (up to unreachable states).
+pub fn is_minimal(machine: &MealyMachine) -> bool {
+    minimize(machine).num_states() == machine.trim().num_states()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::equivalence::machines_equivalent;
+    use crate::word::InputWord;
+
+    fn redundant_machine() -> MealyMachine {
+        // s1 and s2 are behaviourally identical; s3 unreachable.
+        let inputs = Alphabet::from_symbols(["a", "b"]);
+        let mut b = MealyBuilder::new(inputs);
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        let s3 = b.add_state();
+        b.add_transition(s0, "a", "x", s1).unwrap();
+        b.add_transition(s0, "b", "y", s2).unwrap();
+        b.add_transition(s1, "a", "z", s0).unwrap();
+        b.add_transition(s1, "b", "z", s1).unwrap();
+        b.add_transition(s2, "a", "z", s0).unwrap();
+        b.add_transition(s2, "b", "z", s2).unwrap();
+        b.add_transition(s3, "a", "q", s3).unwrap();
+        b.add_transition(s3, "b", "q", s3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn minimization_merges_equivalent_states() {
+        let m = redundant_machine();
+        let min = minimize(&m);
+        assert_eq!(min.num_states(), 2);
+        assert!(machines_equivalent(&m, &min));
+        assert!(is_minimal(&min));
+        assert!(!is_minimal(&m));
+    }
+
+    #[test]
+    fn minimization_preserves_outputs_on_sample_words() {
+        let m = redundant_machine();
+        let min = minimize(&m);
+        for word in [
+            InputWord::from_symbols(["a", "a", "b", "a"]),
+            InputWord::from_symbols(["b", "b", "a", "a", "b"]),
+            InputWord::from_symbols(["a"]),
+        ] {
+            assert_eq!(m.run(&word).unwrap(), min.run(&word).unwrap());
+        }
+    }
+
+    #[test]
+    fn minimizing_a_minimal_machine_is_identity_in_size() {
+        let m = crate::known::counter(3);
+        let min = minimize(&m);
+        assert_eq!(min.num_states(), m.num_states());
+        assert!(machines_equivalent(&m, &min));
+    }
+
+    #[test]
+    fn single_state_machine() {
+        let inputs = Alphabet::from_symbols(["a"]);
+        let mut b = MealyBuilder::new(inputs);
+        let s0 = b.add_state();
+        b.add_transition(s0, "a", "o", s0).unwrap();
+        let m = b.build().unwrap();
+        let min = minimize(&m);
+        assert_eq!(min.num_states(), 1);
+        assert!(is_minimal(&m));
+    }
+
+    #[test]
+    fn states_with_same_outputs_but_different_futures_stay_separate() {
+        // s1 and s2 output the same symbols immediately but lead to states
+        // with different outputs, so they must not be merged.
+        let inputs = Alphabet::from_symbols(["a"]);
+        let mut b = MealyBuilder::new(inputs);
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        let s3 = b.add_state();
+        let s4 = b.add_state();
+        b.add_transition(s0, "a", "start", s1).unwrap();
+        b.add_transition(s1, "a", "same", s3).unwrap();
+        b.add_transition(s2, "a", "same", s4).unwrap();
+        b.add_transition(s3, "a", "left", s3).unwrap();
+        b.add_transition(s4, "a", "right", s4).unwrap();
+        // Make s2 reachable.
+        let m = {
+            let mut b2 = b.clone();
+            b2.add_transition(s3, "a", "left", s2).unwrap();
+            b2.build().unwrap()
+        };
+        let min = minimize(&m);
+        // No two reachable states are equivalent here.
+        assert_eq!(min.num_states(), m.trim().num_states());
+    }
+}

@@ -1,0 +1,212 @@
+//! Criterion benchmarks for the performance-shaped experiments.
+//!
+//! One group per experiment id from DESIGN.md §3: learning effort for the
+//! TCP and QUIC SULs (E1/E3), register synthesis (E2/E8), equivalence
+//! checking of learned models (E5), the nondeterminism check (E6/E13) and
+//! the wire codec that every query passes through.  Sample counts are kept
+//! small because each iteration performs a complete learning run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use prognosis_automata::alphabet::Alphabet;
+use prognosis_automata::equivalence::machines_equivalent;
+use prognosis_automata::known;
+use prognosis_automata::word::InputWord;
+use prognosis_core::nondeterminism::{NondeterminismChecker, NondeterminismConfig};
+use prognosis_core::pipeline::{learn_model, LearnConfig};
+use prognosis_core::quic_adapter::{quic_data_alphabet, QuicSul};
+use prognosis_core::tcp_adapter::{tcp_alphabet, TcpSul};
+use prognosis_quic_sim::profile::ImplementationProfile;
+use prognosis_quic_wire::connection_id::ConnectionId;
+use prognosis_quic_wire::crypto::{EncryptionLevel, Keys};
+use prognosis_quic_wire::frame::Frame;
+use prognosis_quic_wire::packet::{Packet, PacketHeader};
+use prognosis_synth::synthesis::Synthesizer;
+use prognosis_synth::term::TermDomain;
+use prognosis_synth::trace::{ConcreteStep, ConcreteTrace};
+use prognosis_automata::word::{IoTrace, OutputWord};
+
+fn quick_config() -> LearnConfig {
+    LearnConfig { seed: 7, random_tests: 100, min_word_len: 2, max_word_len: 6 }
+}
+
+/// E1: learning the TCP SUL.
+fn bench_tcp_learning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tcp_learning");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("seven_symbol_alphabet", |b| {
+        b.iter(|| {
+            let mut sul = TcpSul::with_defaults();
+            let learned = learn_model(&mut sul, &tcp_alphabet(), quick_config());
+            assert!(learned.model.num_states() >= 4);
+        })
+    });
+    group.finish();
+}
+
+/// E3: learning the QUIC profiles on the data-path alphabet.
+fn bench_quic_learning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quic_learning");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    for profile in [ImplementationProfile::quiche(), ImplementationProfile::google()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name.clone()),
+            &profile,
+            |b, profile| {
+                b.iter(|| {
+                    let mut sul = QuicSul::new(profile.clone(), 3);
+                    let learned = learn_model(&mut sul, &quic_data_alphabet(), quick_config());
+                    assert!(learned.model.num_states() >= 3);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// E2/E8: register synthesis from concrete traces.
+fn bench_register_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("register_synthesis");
+    group.sample_size(20);
+    // A latch machine with traces of growing length.
+    let skeleton = {
+        use prognosis_automata::mealy::MealyBuilder;
+        let inputs = Alphabet::from_symbols(["put", "get"]);
+        let mut b = MealyBuilder::new(inputs);
+        let s0 = b.add_state();
+        b.add_transition(s0, "put", "ok", s0).unwrap();
+        b.add_transition(s0, "get", "val", s0).unwrap();
+        b.build().unwrap()
+    };
+    let make_trace = |len: usize| {
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        let mut steps = Vec::new();
+        let mut latched = 0i64;
+        for i in 0..len {
+            if i % 2 == 0 {
+                latched = (i as i64 + 3) * 7;
+                inputs.push("put");
+                outputs.push("ok");
+                steps.push(ConcreteStep::new(vec![latched], vec![]));
+            } else {
+                inputs.push("get");
+                outputs.push("val");
+                steps.push(ConcreteStep::new(vec![0], vec![latched]));
+            }
+        }
+        ConcreteTrace::new(
+            IoTrace::new(
+                InputWord::from_symbols(inputs),
+                OutputWord::from_symbols(outputs),
+            ),
+            steps,
+        )
+    };
+    for len in [4usize, 8, 16] {
+        let traces = vec![make_trace(len), make_trace(len + 2)];
+        let synthesizer = Synthesizer::new(
+            TermDomain::new(1, 1),
+            vec!["r0".to_string()],
+            vec!["v".to_string()],
+            vec![0],
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(len), &traces, |b, traces| {
+            b.iter(|| {
+                let outcome = synthesizer.synthesize(&skeleton, traces, &[]).unwrap();
+                assert!(outcome.report.solver_nodes > 0);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// E5: equivalence checking / diffing of learned-model-sized machines.
+fn bench_equivalence_checking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equivalence_checking");
+    for states in [8usize, 16, 32] {
+        let a = known::counter(states);
+        let b_machine = known::counter(states);
+        group.bench_with_input(BenchmarkId::from_parameter(states), &states, |b, _| {
+            b.iter(|| assert!(machines_equivalent(&a, &b_machine)))
+        });
+    }
+    group.finish();
+}
+
+/// E6/E13: the repeated-query nondeterminism check against the mvfst profile.
+fn bench_nondeterminism_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nondeterminism_check");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    let word = InputWord::from_symbols([
+        "INITIAL(?,?)[CRYPTO]",
+        "HANDSHAKE(?,?)[ACK,HANDSHAKE_DONE]",
+        "SHORT(?,?)[ACK,STREAM]",
+    ]);
+    for max_reps in [20usize, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(max_reps), &max_reps, |b, &max_reps| {
+            b.iter(|| {
+                let sul = QuicSul::new(ImplementationProfile::mvfst(), 42);
+                let config = NondeterminismConfig {
+                    min_repetitions: 3,
+                    max_repetitions: max_reps,
+                    confidence: 0.95,
+                };
+                let mut checker = NondeterminismChecker::new(sul, config);
+                let report = checker.check(&word);
+                assert!(report.executions >= 3);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Wire codec: every learner query round-trips through this path.
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    let keys = Keys::derive(ConnectionId::from_seed(1).key_material(), EncryptionLevel::OneRtt);
+    let packet = Packet::new(
+        PacketHeader::short(ConnectionId::from_seed(1), 17),
+        vec![
+            Frame::Ack { largest_acknowledged: 9, ack_delay: 0, first_ack_range: 0 },
+            Frame::Stream {
+                stream_id: 0,
+                offset: 1_000,
+                fin: false,
+                data: bytes::Bytes::from(vec![0x42; 800]),
+            },
+            Frame::MaxStreamData { stream_id: 1, maximum: 65_536 },
+        ],
+    );
+    group.bench_function("encode_short_packet", |b| {
+        b.iter(|| {
+            let wire = packet.encode(&keys);
+            assert!(wire.len() > 800);
+        })
+    });
+    let wire = packet.encode(&keys);
+    group.bench_function("decode_short_packet", |b| {
+        b.iter(|| {
+            let decoded = Packet::decode(&wire, &keys).unwrap();
+            assert_eq!(decoded.frames.len(), 3);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tcp_learning,
+    bench_quic_learning,
+    bench_register_synthesis,
+    bench_equivalence_checking,
+    bench_nondeterminism_check,
+    bench_wire_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! E14: alphabet-size ablation.
+fn main() {
+    println!("{}", prognosis_bench::exp_alphabet_scaling());
+}

@@ -1,0 +1,14 @@
+//! E9/E10: learn the appendix models and write their DOT renderings.
+use std::fs;
+
+fn main() {
+    let (report, dots) = prognosis_bench::exp_appendix_models();
+    println!("{report}");
+    fs::create_dir_all("artifacts").ok();
+    for (name, dot) in dots {
+        let path = format!("artifacts/{name}.dot");
+        if fs::write(&path, dot).is_ok() {
+            println!("wrote {path}");
+        }
+    }
+}

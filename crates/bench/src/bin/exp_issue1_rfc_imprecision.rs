@@ -1,0 +1,6 @@
+//! E5 / Issue 1: cross-implementation divergence.
+fn main() {
+    let (learn_report, google, quiche) = prognosis_bench::exp_quic_learning();
+    println!("{learn_report}");
+    println!("{}", prognosis_bench::exp_issue1(&google, &quiche));
+}

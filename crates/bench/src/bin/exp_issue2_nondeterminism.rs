@@ -1,0 +1,4 @@
+//! E6 / Issue 2: nondeterministic stateless resets after connection close.
+fn main() {
+    println!("{}", prognosis_bench::exp_issue2());
+}

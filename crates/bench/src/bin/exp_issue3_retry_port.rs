@@ -1,0 +1,4 @@
+//! E7 / Issue 3: the reference implementation answers a Retry from the wrong port.
+fn main() {
+    println!("{}", prognosis_bench::exp_issue3());
+}

@@ -1,0 +1,4 @@
+//! E8 / Issue 4: STREAM_DATA_BLOCKED carries the constant 0 in Google QUIC.
+fn main() {
+    println!("{}", prognosis_bench::exp_issue4());
+}

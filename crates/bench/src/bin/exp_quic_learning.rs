@@ -1,0 +1,5 @@
+//! E3: learn the Google-like and Quiche-like QUIC implementations.
+fn main() {
+    let (report, _, _) = prognosis_bench::exp_quic_learning();
+    println!("{report}");
+}

@@ -1,0 +1,5 @@
+//! E1: learn the TCP implementation and report model size and query effort.
+fn main() {
+    let (report, _) = prognosis_bench::exp_tcp_learning();
+    println!("{report}");
+}

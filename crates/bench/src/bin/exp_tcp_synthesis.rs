@@ -1,0 +1,4 @@
+//! E2: synthesize the TCP handshake register machine from the Oracle Table.
+fn main() {
+    println!("{}", prognosis_bench::exp_tcp_synthesis());
+}

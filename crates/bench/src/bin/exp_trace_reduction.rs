@@ -1,0 +1,6 @@
+//! E4: trace-space reduction of the learned QUIC models.
+fn main() {
+    let (learn_report, google, quiche) = prognosis_bench::exp_quic_learning();
+    println!("{learn_report}");
+    println!("{}", prognosis_bench::exp_trace_reduction(&google.model, &quiche.model));
+}

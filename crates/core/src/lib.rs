@@ -1,0 +1,38 @@
+//! # prognosis-core
+//!
+//! The Prognosis framework (§2–§3 of the paper): the part that turns a
+//! closed-box protocol implementation into something a model learner can
+//! query, and that orchestrates learning, synthesis and analysis.
+//!
+//! * [`sul`] — the [`sul::Sul`] abstraction: a system that can be stepped
+//!   with abstract input symbols and reset between queries, plus the bridge
+//!   that exposes any `Sul` as a learner membership oracle.
+//! * [`oracle_table`] — the Oracle Table of §3.2 (property 4): the cache of
+//!   abstract-trace / concrete-trace pairs that feeds the synthesis module.
+//! * [`nondeterminism`] — the repeated-query nondeterminism check of §5,
+//!   which both protects the learner from environmental noise and is itself
+//!   a bug-finding analysis (Issue 2).
+//! * [`tcp_adapter`] / [`quic_adapter`] — the protocol bindings: adapters
+//!   built on the instrumented reference implementations from
+//!   `prognosis-tcp` and `prognosis-quic-sim`, enforcing properties (1)–(5)
+//!   of §3.2.
+//! * [`pipeline`] — end-to-end orchestration: learn a Mealy model of a SUL,
+//!   optionally synthesize a register machine from the Oracle Table, and
+//!   hand both to the analysis crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod nondeterminism;
+pub mod oracle_table;
+pub mod pipeline;
+pub mod quic_adapter;
+pub mod sul;
+pub mod tcp_adapter;
+
+pub use nondeterminism::{NondeterminismChecker, NondeterminismReport};
+pub use oracle_table::OracleTable;
+pub use pipeline::{learn_model, LearnConfig, LearnedModel};
+pub use quic_adapter::{quic_alphabet, quic_data_alphabet, QuicSul};
+pub use sul::{Sul, SulMembershipOracle, SulStats};
+pub use tcp_adapter::{tcp_alphabet, TcpSul};

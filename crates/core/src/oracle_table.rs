@@ -1,0 +1,148 @@
+//! The Oracle Table (§3.2 property 4).
+//!
+//! Every learner query exchanged with the SUL is recorded twice: once at the
+//! abstract level (what the learner saw) and once at the concrete level (the
+//! numeric fields of the packets that actually crossed the wire).  The
+//! synthesis module of §4.3 later mines these pairs to recover register
+//! behaviour such as sequence-number arithmetic or the Issue-4 constant-0
+//! flow-control field.
+
+use prognosis_automata::word::{InputWord, IoTrace, OutputWord};
+use prognosis_synth::trace::{ConcreteStep, ConcreteTrace};
+use serde::{Deserialize, Serialize};
+
+/// One recorded query: the abstract trace plus per-step concrete fields.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleEntry {
+    /// The abstract I/O trace.
+    pub abstract_trace: IoTrace,
+    /// Concrete numeric fields per step.
+    pub steps: Vec<ConcreteStep>,
+}
+
+/// The Oracle Table: an append-only record of (abstract, concrete) trace pairs.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleTable {
+    entries: Vec<OracleEntry>,
+}
+
+impl OracleTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        OracleTable::default()
+    }
+
+    /// Records a completed query.
+    ///
+    /// # Panics
+    /// Panics when the abstract trace and concrete steps disagree in length.
+    pub fn record(&mut self, abstract_trace: IoTrace, steps: Vec<ConcreteStep>) {
+        assert_eq!(abstract_trace.len(), steps.len(), "one concrete step per abstract step");
+        self.entries.push(OracleEntry { abstract_trace, steps });
+    }
+
+    /// Convenience: records a query given parallel symbol and field vectors.
+    pub fn record_steps(
+        &mut self,
+        inputs: Vec<(String, Vec<i64>)>,
+        outputs: Vec<(String, Vec<i64>)>,
+    ) {
+        assert_eq!(inputs.len(), outputs.len());
+        let input_word: InputWord = inputs.iter().map(|(s, _)| s.as_str()).collect();
+        let output_word: OutputWord = outputs.iter().map(|(s, _)| s.as_str()).collect();
+        let steps = inputs
+            .into_iter()
+            .zip(outputs)
+            .map(|((_, i), (_, o))| ConcreteStep::new(i, o))
+            .collect();
+        self.record(IoTrace::new(input_word, output_word), steps);
+    }
+
+    /// Number of recorded queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the entries in recording order.
+    pub fn entries(&self) -> impl Iterator<Item = &OracleEntry> {
+        self.entries.iter()
+    }
+
+    /// Converts the table into synthesis input ([`ConcreteTrace`]s), keeping
+    /// only traces whose abstract outputs the given predicate accepts
+    /// (usually "traces consistent with the learned skeleton").
+    pub fn to_concrete_traces(&self, mut keep: impl FnMut(&IoTrace) -> bool) -> Vec<ConcreteTrace> {
+        self.entries
+            .iter()
+            .filter(|e| keep(&e.abstract_trace))
+            .map(|e| ConcreteTrace::new(e.abstract_trace.clone(), e.steps.clone()))
+            .collect()
+    }
+
+    /// All concrete traces, unfiltered.
+    pub fn all_concrete_traces(&self) -> Vec<ConcreteTrace> {
+        self.to_concrete_traces(|_| true)
+    }
+
+    /// Clears the table.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_convert() {
+        let mut table = OracleTable::new();
+        assert!(table.is_empty());
+        table.record_steps(
+            vec![("SYN(?,?,0)".to_string(), vec![100, 0]), ("ACK(?,?,0)".to_string(), vec![101, 10_001])],
+            vec![("ACK+SYN(?,?,0)".to_string(), vec![10_000, 101]), ("NIL".to_string(), vec![])],
+        );
+        assert_eq!(table.len(), 1);
+        let traces = table.all_concrete_traces();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].steps[0].output_fields, vec![10_000, 101]);
+        let filtered = table.to_concrete_traces(|t| t.input[0].as_str() == "FIN(?,?,0)");
+        assert!(filtered.is_empty());
+        table.clear();
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one concrete step per abstract step")]
+    fn rejects_mismatched_lengths() {
+        let mut table = OracleTable::new();
+        table.record(
+            IoTrace::new(
+                InputWord::from_symbols(["a"]),
+                OutputWord::from_symbols(["b"]),
+            ),
+            vec![],
+        );
+    }
+
+    #[test]
+    fn entries_iterate_in_order() {
+        let mut table = OracleTable::new();
+        for i in 0..3 {
+            table.record_steps(
+                vec![(format!("in{i}"), vec![i])],
+                vec![(format!("out{i}"), vec![i * 10])],
+            );
+        }
+        let firsts: Vec<String> = table
+            .entries()
+            .map(|e| e.abstract_trace.input[0].to_string())
+            .collect();
+        assert_eq!(firsts, vec!["in0", "in1", "in2"]);
+    }
+}

@@ -1,0 +1,233 @@
+//! The QUIC adapter: the protocol binding of §6.2.
+//!
+//! The adapter pairs a simulated QUIC server (any implementation profile)
+//! with the instrumented QUIC-Tracker-style reference client.  Abstract
+//! input symbols name a packet type plus the frames it must carry; the
+//! reference client fills in connection IDs, packet numbers, ACK ranges,
+//! stream offsets and flow-control limits that are valid in the current
+//! connection state (the "never roll your own protocol logic" idea of §3.2).
+//! Responses are abstracted back into the set notation of the appendix
+//! models, e.g. `{HANDSHAKE(?,?)[CRYPTO],INITIAL(?,?)[ACK,CRYPTO]}`, and the
+//! concrete numeric fields of every exchanged packet are recorded in the
+//! Oracle Table for synthesis.
+
+use crate::oracle_table::OracleTable;
+use crate::sul::{Sul, SulStats};
+use prognosis_automata::alphabet::{Alphabet, Symbol};
+use prognosis_quic_sim::client::{numeric_fields, ReferenceQuicClient};
+use prognosis_quic_sim::profile::ImplementationProfile;
+use prognosis_quic_sim::server::QuicServer;
+
+/// The abstract QUIC input alphabet of §6.2.2: seven symbols covering
+/// connection establishment, the handshake, data transmission and flow
+/// control (out of the >30,000 symbols a naïve alphabet would have).
+pub fn quic_alphabet() -> Alphabet {
+    Alphabet::from_symbols([
+        "INITIAL(?,?)[CRYPTO]",
+        "INITIAL(?,?)[ACK,HANDSHAKE_DONE]",
+        "HANDSHAKE(?,?)[ACK,CRYPTO]",
+        "HANDSHAKE(?,?)[ACK,HANDSHAKE_DONE]",
+        "SHORT(?,?)[ACK,MAX_DATA,MAX_STREAM_DATA]",
+        "SHORT(?,?)[ACK,STREAM]",
+        "SHORT(?,?)[ACK,HANDSHAKE_DONE]",
+    ])
+}
+
+/// A reduced alphabet focused on the data-transfer path, used by the
+/// extended-model synthesis experiment of Appendix B.1 (Issue 4): it keeps
+/// learning fast while still exercising the `STREAM_DATA_BLOCKED` behaviour.
+pub fn quic_data_alphabet() -> Alphabet {
+    Alphabet::from_symbols([
+        "INITIAL(?,?)[CRYPTO]",
+        "HANDSHAKE(?,?)[ACK,CRYPTO]",
+        "SHORT(?,?)[ACK,STREAM]",
+        "SHORT(?,?)[ACK,MAX_DATA,MAX_STREAM_DATA]",
+    ])
+}
+
+/// The QUIC system under learning: one implementation profile + the adapter.
+pub struct QuicSul {
+    server: QuicServer,
+    client: ReferenceQuicClient,
+    oracle: OracleTable,
+    stats: SulStats,
+    current_inputs: Vec<(String, Vec<i64>)>,
+    current_outputs: Vec<(String, Vec<i64>)>,
+}
+
+impl QuicSul {
+    /// Creates the SUL for the given implementation profile.
+    pub fn new(profile: ImplementationProfile, seed: u64) -> Self {
+        QuicSul {
+            server: QuicServer::new(profile, seed),
+            client: ReferenceQuicClient::new(seed ^ 0xADA9, 40_000),
+            oracle: OracleTable::new(),
+            stats: SulStats::default(),
+            current_inputs: Vec::new(),
+            current_outputs: Vec::new(),
+        }
+    }
+
+    /// Enables the Issue-3 reference-implementation defect (the post-Retry
+    /// Initial is sent from a fresh ephemeral port).
+    pub fn with_buggy_retry_client(mut self) -> Self {
+        self.client.rebind_on_retry = true;
+        self
+    }
+
+    /// The Oracle Table accumulated so far.
+    pub fn oracle_table(&self) -> &OracleTable {
+        &self.oracle
+    }
+
+    /// The server (for white-box assertions in tests and experiments).
+    pub fn server(&self) -> &QuicServer {
+        &self.server
+    }
+
+    fn flush_query(&mut self) {
+        if self.current_inputs.is_empty() {
+            return;
+        }
+        self.oracle.record_steps(
+            std::mem::take(&mut self.current_inputs),
+            std::mem::take(&mut self.current_outputs),
+        );
+    }
+}
+
+impl Sul for QuicSul {
+    fn step(&mut self, input: &Symbol) -> Symbol {
+        self.stats.symbols_sent += 1;
+        let (request_packet, wire) = match self.client.concretize(input.as_str()) {
+            Ok(r) => r,
+            Err(_) => {
+                self.current_inputs.push((input.to_string(), vec![]));
+                self.current_outputs.push(("{}".to_string(), vec![]));
+                return Symbol::new("{}");
+            }
+        };
+        self.stats.concrete_packets_sent += 1;
+        let input_fields = numeric_fields(&request_packet);
+        let responses = self.server.handle_datagram(&wire, self.client.source_port());
+        // Abstract every response packet; keep (name, fields) pairs sorted by
+        // name so the output symbol and the recorded fields stay aligned and
+        // deterministic.
+        let mut decoded: Vec<(String, Vec<i64>)> = responses
+            .iter()
+            .filter_map(|d| self.client.absorb(d))
+            .map(|p| {
+                self.stats.concrete_packets_received += 1;
+                (ReferenceQuicClient::abstract_packet(&p), numeric_fields(&p))
+            })
+            .collect();
+        decoded.sort();
+        let names: Vec<&str> = decoded.iter().map(|(n, _)| n.as_str()).collect();
+        let abstract_out = format!("{{{}}}", names.join(","));
+        let output_fields: Vec<i64> = decoded.iter().flat_map(|(_, f)| f.iter().copied()).collect();
+        self.current_inputs.push((input.to_string(), input_fields));
+        self.current_outputs.push((abstract_out.clone(), output_fields));
+        Symbol::new(abstract_out)
+    }
+
+    fn reset(&mut self) {
+        self.stats.resets += 1;
+        self.flush_query();
+        self.server.reset();
+        self.client.reset();
+    }
+
+    fn stats(&self) -> SulStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prognosis_automata::word::InputWord;
+    use prognosis_learner::oracle::MembershipOracle;
+
+    #[test]
+    fn alphabets_match_the_paper() {
+        assert_eq!(quic_alphabet().len(), 7);
+        assert_eq!(quic_data_alphabet().len(), 4);
+        assert!(quic_alphabet().contains(&Symbol::new("SHORT(?,?)[ACK,HANDSHAKE_DONE]")));
+    }
+
+    #[test]
+    fn google_handshake_through_the_adapter() {
+        let mut sul = QuicSul::new(ImplementationProfile::google(), 1);
+        sul.reset();
+        let out1 = sul.step(&Symbol::new("INITIAL(?,?)[CRYPTO]"));
+        assert!(out1.as_str().contains("INITIAL(?,?)[ACK,CRYPTO]"), "{out1}");
+        assert!(out1.as_str().contains("SHORT(?,?)[STREAM]"), "{out1}");
+        let out2 = sul.step(&Symbol::new("HANDSHAKE(?,?)[ACK,CRYPTO]"));
+        assert!(out2.as_str().contains("HANDSHAKE_DONE"), "{out2}");
+        let out3 = sul.step(&Symbol::new("SHORT(?,?)[ACK,STREAM]"));
+        assert!(out3.as_str().contains("STREAM"), "{out3}");
+    }
+
+    #[test]
+    fn packets_before_connection_establishment_yield_empty_outputs() {
+        let mut sul = QuicSul::new(ImplementationProfile::quiche(), 1);
+        sul.reset();
+        for symbol in [
+            "HANDSHAKE(?,?)[ACK,CRYPTO]",
+            "SHORT(?,?)[ACK,STREAM]",
+            "SHORT(?,?)[ACK,HANDSHAKE_DONE]",
+        ] {
+            assert_eq!(sul.step(&Symbol::new(symbol)).as_str(), "{}");
+        }
+    }
+
+    #[test]
+    fn queries_are_deterministic_across_resets() {
+        let mut sul = QuicSul::new(ImplementationProfile::google(), 9);
+        let word = InputWord::from_symbols([
+            "INITIAL(?,?)[CRYPTO]",
+            "HANDSHAKE(?,?)[ACK,CRYPTO]",
+            "SHORT(?,?)[ACK,STREAM]",
+            "SHORT(?,?)[ACK,MAX_DATA,MAX_STREAM_DATA]",
+        ]);
+        let mut oracle = crate::sul::SulMembershipOracle::new(&mut sul);
+        let a = oracle.query(&word);
+        let b = oracle.query(&word);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oracle_table_captures_the_stream_data_blocked_field() {
+        let mut sul = QuicSul::new(ImplementationProfile::google(), 1);
+        sul.reset();
+        sul.step(&Symbol::new("INITIAL(?,?)[CRYPTO]"));
+        sul.step(&Symbol::new("HANDSHAKE(?,?)[ACK,CRYPTO]"));
+        // Exhaust the 200-byte credit so the server reports itself blocked.
+        for _ in 0..4 {
+            sul.step(&Symbol::new("SHORT(?,?)[ACK,STREAM]"));
+        }
+        sul.reset();
+        let table = sul.oracle_table();
+        assert_eq!(table.len(), 1);
+        let entry = table.entries().next().unwrap();
+        let blocked_step = entry
+            .abstract_trace
+            .output
+            .iter()
+            .position(|o| o.as_str().contains("STREAM_DATA_BLOCKED"))
+            .expect("the google profile must block within four requests");
+        // The Issue-4 constant 0 is visible in the recorded concrete fields.
+        assert!(entry.steps[blocked_step].output_fields.contains(&0));
+    }
+
+    #[test]
+    fn violation_closes_and_stays_closed() {
+        let mut sul = QuicSul::new(ImplementationProfile::quiche(), 1);
+        sul.reset();
+        sul.step(&Symbol::new("INITIAL(?,?)[CRYPTO]"));
+        let close = sul.step(&Symbol::new("HANDSHAKE(?,?)[ACK,HANDSHAKE_DONE]"));
+        assert!(close.as_str().contains("CONNECTION_CLOSE"), "{close}");
+        let after = sul.step(&Symbol::new("SHORT(?,?)[ACK,STREAM]"));
+        assert!(after.as_str().contains("CONNECTION_CLOSE") || after.as_str() == "{}", "{after}");
+    }
+}

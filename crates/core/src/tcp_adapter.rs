@@ -1,0 +1,197 @@
+//! The TCP adapter: the protocol binding of §6.1.
+//!
+//! The adapter pairs the TCP implementation under learning
+//! ([`prognosis_tcp::TcpServer`]) with the instrumented reference client
+//! ([`prognosis_tcp::ReferenceTcpClient`]), enforcing the §3.2 properties:
+//! packets are only sent when the learner requests them (1), the concrete
+//! segment always matches the requested abstract symbol (2), both sides are
+//! reset between queries (3), every exchange is recorded in the Oracle Table
+//! together with its concrete sequence/acknowledgement numbers (4), and
+//! responses are abstracted back to the learner's alphabet (5).
+
+use crate::oracle_table::OracleTable;
+use crate::sul::{Sul, SulStats};
+use prognosis_automata::alphabet::{Alphabet, Symbol};
+use prognosis_tcp::client::ReferenceTcpClient;
+use prognosis_tcp::segment::TcpSegment;
+use prognosis_tcp::server::{TcpServer, TcpServerConfig};
+
+/// The abstract TCP alphabet used in §6.1 (the same alphabet as prior work):
+/// packet flags with the payload length, sequence/acknowledgement numbers
+/// left unspecified.
+pub fn tcp_alphabet() -> Alphabet {
+    Alphabet::from_symbols([
+        "SYN(?,?,0)",
+        "SYN+ACK(?,?,0)",
+        "ACK(?,?,0)",
+        "ACK+PSH(?,?,1)",
+        "FIN+ACK(?,?,0)",
+        "RST(?,?,0)",
+        "ACK+RST(?,?,0)",
+    ])
+}
+
+/// The TCP system under learning: implementation + adapter.
+pub struct TcpSul {
+    server: TcpServer,
+    client: ReferenceTcpClient,
+    oracle: OracleTable,
+    stats: SulStats,
+    /// The (abstract, concrete-fields) steps of the query in progress.
+    current_inputs: Vec<(String, Vec<i64>)>,
+    current_outputs: Vec<(String, Vec<i64>)>,
+}
+
+impl TcpSul {
+    /// Creates the SUL with the given server configuration.
+    pub fn new(config: TcpServerConfig) -> Self {
+        let server_port = config.port;
+        TcpSul {
+            server: TcpServer::new(config),
+            client: ReferenceTcpClient::new(40_965, server_port, 48_108),
+            oracle: OracleTable::new(),
+            stats: SulStats::default(),
+            current_inputs: Vec::new(),
+            current_outputs: Vec::new(),
+        }
+    }
+
+    /// Creates the SUL with the default (fixed-ISN) configuration used by
+    /// the learning experiments.
+    pub fn with_defaults() -> Self {
+        TcpSul::new(TcpServerConfig::default())
+    }
+
+    /// The Oracle Table accumulated so far.
+    pub fn oracle_table(&self) -> &OracleTable {
+        &self.oracle
+    }
+
+    /// The current state of the server (for white-box assertions in tests).
+    pub fn server(&self) -> &TcpServer {
+        &self.server
+    }
+
+    fn fields(segment: &TcpSegment) -> Vec<i64> {
+        vec![i64::from(segment.seq), i64::from(segment.ack)]
+    }
+
+    fn flush_query(&mut self) {
+        if self.current_inputs.is_empty() {
+            return;
+        }
+        self.oracle.record_steps(
+            std::mem::take(&mut self.current_inputs),
+            std::mem::take(&mut self.current_outputs),
+        );
+    }
+}
+
+impl Sul for TcpSul {
+    fn step(&mut self, input: &Symbol) -> Symbol {
+        self.stats.symbols_sent += 1;
+        let segment = match self.client.concretize(input.as_str()) {
+            Ok(s) => s,
+            Err(_) => {
+                // Unknown symbols are answered with silence so a bad alphabet
+                // cannot wedge the learner.
+                self.current_inputs.push((input.to_string(), vec![]));
+                self.current_outputs.push(("NIL".to_string(), vec![]));
+                return Symbol::new("NIL");
+            }
+        };
+        self.stats.concrete_packets_sent += 1;
+        let input_fields = Self::fields(&segment);
+        let response = self.server.handle_segment(&segment);
+        let (abstract_out, output_fields) = match &response {
+            Some(seg) => {
+                self.stats.concrete_packets_received += 1;
+                self.client.absorb(seg);
+                (seg.abstract_name(), Self::fields(seg))
+            }
+            None => ("NIL".to_string(), vec![]),
+        };
+        self.current_inputs.push((input.to_string(), input_fields));
+        self.current_outputs.push((abstract_out.clone(), output_fields));
+        Symbol::new(abstract_out)
+    }
+
+    fn reset(&mut self) {
+        self.stats.resets += 1;
+        self.flush_query();
+        self.server.reset();
+        self.client.reset();
+    }
+
+    fn stats(&self) -> SulStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prognosis_automata::word::InputWord;
+    use prognosis_learner::oracle::MembershipOracle;
+
+    #[test]
+    fn alphabet_has_the_seven_symbols_of_the_paper() {
+        let a = tcp_alphabet();
+        assert_eq!(a.len(), 7);
+        assert!(a.contains(&Symbol::new("ACK+PSH(?,?,1)")));
+    }
+
+    #[test]
+    fn handshake_query_produces_the_expected_abstract_trace() {
+        let mut sul = TcpSul::with_defaults();
+        sul.reset();
+        let out1 = sul.step(&Symbol::new("SYN(?,?,0)"));
+        let out2 = sul.step(&Symbol::new("ACK(?,?,0)"));
+        let out3 = sul.step(&Symbol::new("ACK+PSH(?,?,1)"));
+        assert_eq!(out1.as_str(), "ACK+SYN(?,?,0)");
+        assert_eq!(out2.as_str(), "NIL");
+        assert_eq!(out3.as_str(), "ACK(?,?,0)");
+        assert_eq!(sul.stats().symbols_sent, 3);
+    }
+
+    #[test]
+    fn queries_are_deterministic_across_resets() {
+        let mut sul = TcpSul::with_defaults();
+        let mut oracle = crate::sul::SulMembershipOracle::new(&mut sul);
+        let word = InputWord::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)", "FIN+ACK(?,?,0)", "ACK(?,?,0)"]);
+        let a = oracle.query(&word);
+        let b = oracle.query(&word);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oracle_table_records_concrete_sequence_numbers() {
+        let mut sul = TcpSul::with_defaults();
+        sul.reset();
+        sul.step(&Symbol::new("SYN(?,?,0)"));
+        sul.step(&Symbol::new("ACK(?,?,0)"));
+        sul.reset(); // flushes the query into the table
+        assert_eq!(sul.oracle_table().len(), 1);
+        let entry = sul.oracle_table().entries().next().unwrap();
+        // The SYN carries the client ISN; the SYN+ACK response acknowledges ISN+1.
+        assert_eq!(entry.steps[0].input_fields, vec![48_108, 0]);
+        assert_eq!(entry.steps[0].output_fields, vec![10_000, 48_109]);
+    }
+
+    #[test]
+    fn unknown_abstract_symbols_are_answered_with_nil() {
+        let mut sul = TcpSul::with_defaults();
+        sul.reset();
+        assert_eq!(sul.step(&Symbol::new("NOT_A_SYMBOL")).as_str(), "NIL");
+    }
+
+    #[test]
+    fn stray_segments_in_listen_get_rst() {
+        let mut sul = TcpSul::with_defaults();
+        sul.reset();
+        let out = sul.step(&Symbol::new("ACK(?,?,0)"));
+        assert_eq!(out.as_str(), "RST(?,?,0)");
+        let out = sul.step(&Symbol::new("FIN+ACK(?,?,0)"));
+        assert!(out.as_str().contains("RST"));
+    }
+}

@@ -1,0 +1,368 @@
+//! Discrimination-tree learner with Rivest–Schapire counterexample
+//! decomposition.
+//!
+//! This is the learner used by the Prognosis pipeline.  It belongs to the
+//! same algorithmic family as the TTT algorithm the paper uses through
+//! LearnLib: states are the leaves of a binary-branching *discrimination
+//! tree* whose inner nodes are distinguishing suffixes; new states are
+//! discovered by *sifting* access sequences through the tree, and each
+//! counterexample is decomposed (Rivest–Schapire) into a single new
+//! discriminator that splits exactly one leaf.  Compared with the full TTT
+//! algorithm we omit the discriminator-finalization pass — the learned
+//! models are identical; only the length of some discriminators (and hence a
+//! constant factor in query length) differs.
+//!
+//! Membership-query complexity is `O(|Σ̂|·n² + n·log m)` for an `n`-state
+//! machine and counterexamples of length `m`, which is what makes learning
+//! QUIC-sized models with tens of thousands of queries feasible (§6.2.2).
+
+use crate::oracle::{EquivalenceOracle, MembershipOracle};
+use crate::stats::LearningStats;
+use crate::{Learner, LearningResult};
+use prognosis_automata::alphabet::Alphabet;
+use prognosis_automata::mealy::{MealyBuilder, MealyMachine, StateId};
+use prognosis_automata::word::{InputWord, OutputWord};
+use std::collections::BTreeMap;
+
+/// A node of the discrimination tree.
+#[derive(Clone, Debug)]
+enum Node {
+    /// An inner node labelled with a distinguishing suffix; children are
+    /// indexed by the output word the SUL produces for that suffix.
+    Inner { discriminator: InputWord, children: BTreeMap<OutputWord, usize> },
+    /// A leaf corresponding to a hypothesis state, labelled with its access
+    /// sequence.
+    Leaf { access: InputWord },
+}
+
+/// The discrimination-tree learner.
+pub struct DTreeLearner {
+    alphabet: Alphabet,
+    nodes: Vec<Node>,
+    root: usize,
+    /// Leaf node index per discovered state, in discovery order.
+    leaves: Vec<usize>,
+    stats: LearningStats,
+}
+
+impl DTreeLearner {
+    /// Creates a learner over the given abstract input alphabet.
+    pub fn new(alphabet: Alphabet) -> Self {
+        assert!(!alphabet.is_empty(), "learning needs a non-empty input alphabet");
+        let root_leaf = Node::Leaf { access: InputWord::empty() };
+        DTreeLearner {
+            alphabet,
+            nodes: vec![root_leaf],
+            root: 0,
+            leaves: vec![0],
+            stats: LearningStats::new(),
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> LearningStats {
+        self.stats
+    }
+
+    /// Number of states discovered so far.
+    pub fn num_states(&self) -> usize {
+        self.leaves.len()
+    }
+
+    fn query(&mut self, membership: &mut dyn MembershipOracle, input: &InputWord) -> OutputWord {
+        self.stats.membership_queries += 1;
+        self.stats.input_symbols += input.len() as u64;
+        let out = membership.query(input);
+        assert_eq!(out.len(), input.len(), "oracle must answer symbol-per-symbol");
+        out
+    }
+
+    fn leaf_access(&self, leaf: usize) -> &InputWord {
+        match &self.nodes[leaf] {
+            Node::Leaf { access } => access,
+            Node::Inner { .. } => unreachable!("leaf index points at an inner node"),
+        }
+    }
+
+    fn state_of_leaf(&self, leaf: usize) -> StateId {
+        self.leaves
+            .iter()
+            .position(|&l| l == leaf)
+            .expect("every leaf is registered as a state")
+    }
+
+    /// Sifts a word through the tree, returning the leaf (state) it lands in.
+    /// If the word's responses do not match any existing child, a fresh leaf
+    /// (new hypothesis state) is created.
+    fn sift(&mut self, membership: &mut dyn MembershipOracle, word: &InputWord) -> usize {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { .. } => return node,
+                Node::Inner { discriminator, .. } => {
+                    let discriminator = discriminator.clone();
+                    let full = word.concat(&discriminator);
+                    let out = self.query(membership, &full);
+                    let label = out.suffix_from(word.len());
+                    let next = match &mut self.nodes[node] {
+                        Node::Inner { children, .. } => children.get(&label).copied(),
+                        Node::Leaf { .. } => unreachable!(),
+                    };
+                    match next {
+                        Some(child) => node = child,
+                        None => {
+                            let leaf = self.nodes.len();
+                            self.nodes.push(Node::Leaf { access: word.clone() });
+                            self.leaves.push(leaf);
+                            match &mut self.nodes[node] {
+                                Node::Inner { children, .. } => {
+                                    children.insert(label, leaf);
+                                }
+                                Node::Leaf { .. } => unreachable!(),
+                            }
+                            return leaf;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds the hypothesis by sifting every transition of every known
+    /// state.  Sifting may discover new states; iterate until stable.
+    fn build_hypothesis(&mut self, membership: &mut dyn MembershipOracle) -> MealyMachine {
+        self.stats.learning_rounds += 1;
+        // transitions[state][symbol index] = (target state, output symbol)
+        let mut transitions: Vec<Vec<(StateId, prognosis_automata::alphabet::Symbol)>> = Vec::new();
+        let mut state = 0;
+        while state < self.leaves.len() {
+            let access = self.leaf_access(self.leaves[state]).clone();
+            let mut row = Vec::with_capacity(self.alphabet.len());
+            for sym in self.alphabet.clone().iter() {
+                let ext = access.append(sym.clone());
+                let out_word = self.query(membership, &ext);
+                let output = out_word.last().expect("non-empty query").clone();
+                let leaf = self.sift(membership, &ext);
+                row.push((self.state_of_leaf(leaf), output));
+            }
+            transitions.push(row);
+            state += 1;
+        }
+        // New states may have been discovered while filling earlier rows;
+        // the `while` above already covers them because `self.leaves` grows.
+        let mut builder = MealyBuilder::new(self.alphabet.clone());
+        builder.add_states(self.leaves.len());
+        builder.set_initial(0);
+        for (q, row) in transitions.iter().enumerate() {
+            for (idx, sym) in self.alphabet.clone().iter().enumerate() {
+                let (target, output) = &row[idx];
+                builder
+                    .add_transition(q, sym.clone(), output.clone(), *target)
+                    .expect("states pre-added");
+            }
+        }
+        // States discovered after their row was required: fill their rows too.
+        // (Handled by the while-loop above; `transitions.len() == leaves.len()`.)
+        debug_assert_eq!(transitions.len(), self.leaves.len());
+        builder.build().expect("every state row was filled")
+    }
+
+    /// Rivest–Schapire decomposition of a counterexample: finds the single
+    /// transition whose target state is wrong and splits the corresponding
+    /// leaf with a new discriminator.
+    fn process_counterexample(
+        &mut self,
+        membership: &mut dyn MembershipOracle,
+        hypothesis: &MealyMachine,
+        ce_input: &InputWord,
+    ) {
+        self.stats.counterexamples += 1;
+        let len = ce_input.len();
+        // z(i) = SUL output on suffix w[i..] after being driven along the
+        // access sequence of the hypothesis state reached by w[..i].
+        let mut z: Vec<OutputWord> = Vec::with_capacity(len + 1);
+        let mut hyp_states: Vec<StateId> = Vec::with_capacity(len + 1);
+        let mut q = hypothesis.initial_state();
+        hyp_states.push(q);
+        for i in 0..len {
+            q = hypothesis.successor(q, &ce_input[i]).expect("CE over alphabet");
+            hyp_states.push(q);
+        }
+        for i in 0..=len {
+            let access = self.access_of_state(hyp_states[i]);
+            let suffix = ce_input.suffix_from(i);
+            if suffix.is_empty() {
+                z.push(OutputWord::empty());
+                continue;
+            }
+            let full = access.concat(&suffix);
+            let out = self.query(membership, &full);
+            z.push(out.suffix_from(access.len()));
+        }
+        // Find i with tail(z[i]) != z[i+1]; such an i exists for any genuine
+        // counterexample (see module docs).
+        let mut split_index = None;
+        for i in 0..len {
+            let tail = z[i].suffix_from(1);
+            if tail != z[i + 1] {
+                split_index = Some(i);
+                break;
+            }
+        }
+        let i = split_index.expect("genuine counterexample admits an RS split point");
+        let discriminator = ce_input.suffix_from(i + 1);
+        debug_assert!(!discriminator.is_empty());
+        let old_state = hyp_states[i + 1];
+        let old_leaf = self.leaves[old_state];
+        let old_access = self.access_of_state(old_state);
+        let new_access = self.access_of_state(hyp_states[i]).append(ce_input[i].clone());
+
+        // Labels for the two children of the new inner node.
+        let old_out = {
+            let q = old_access.concat(&discriminator);
+            let o = self.query(membership, &q);
+            o.suffix_from(old_access.len())
+        };
+        let new_out = {
+            let q = new_access.concat(&discriminator);
+            let o = self.query(membership, &q);
+            o.suffix_from(new_access.len())
+        };
+        assert_ne!(
+            old_out, new_out,
+            "RS decomposition must yield a discriminator separating the two access sequences"
+        );
+
+        // Replace the old leaf node in place with an inner node, and add two
+        // fresh leaves beneath it.  Replacing in place keeps all parent
+        // pointers valid without an explicit parent map.
+        let old_leaf_clone = self.nodes[old_leaf].clone();
+        let relocated_old = self.nodes.len();
+        self.nodes.push(old_leaf_clone);
+        let new_leaf = self.nodes.len();
+        self.nodes.push(Node::Leaf { access: new_access });
+        let mut children = BTreeMap::new();
+        children.insert(old_out, relocated_old);
+        children.insert(new_out, new_leaf);
+        self.nodes[old_leaf] = Node::Inner { discriminator, children };
+        // The old state now lives at `relocated_old`; the new state is appended.
+        self.leaves[old_state] = relocated_old;
+        self.leaves.push(new_leaf);
+    }
+
+    fn access_of_state(&self, state: StateId) -> InputWord {
+        self.leaf_access(self.leaves[state]).clone()
+    }
+}
+
+impl Learner for DTreeLearner {
+    fn learn(
+        &mut self,
+        membership: &mut dyn MembershipOracle,
+        equivalence: &mut dyn EquivalenceOracle,
+    ) -> LearningResult {
+        loop {
+            let hypothesis = self.build_hypothesis(membership);
+            self.stats.equivalence_queries += 1;
+            match equivalence.find_counterexample(&hypothesis, membership) {
+                None => {
+                    self.stats
+                        .record_model(hypothesis.num_states(), hypothesis.num_transitions());
+                    return LearningResult { model: hypothesis, stats: self.stats };
+                }
+                Some(ce) => {
+                    let hyp_out = hypothesis.run(&ce.input).ok();
+                    assert_ne!(
+                        hyp_out,
+                        Some(ce.output.clone()),
+                        "equivalence oracle returned a spurious counterexample"
+                    );
+                    self.process_counterexample(membership, &hypothesis, &ce.input);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eq_oracles::{RandomWordOracle, SimulatorOracle};
+    use crate::oracle::{CacheOracle, MachineOracle};
+    use prognosis_automata::equivalence::machines_equivalent;
+    use prognosis_automata::known;
+
+    fn learn_machine(target: MealyMachine) -> LearningResult {
+        let mut learner = DTreeLearner::new(target.input_alphabet().clone());
+        let mut membership = CacheOracle::new(MachineOracle::new(target.clone()));
+        let mut equivalence = SimulatorOracle::new(target);
+        learner.learn(&mut membership, &mut equivalence)
+    }
+
+    #[test]
+    fn learns_toggle_and_handshake() {
+        for target in [known::toggle(), known::tcp_handshake_fragment()] {
+            let result = learn_machine(target.clone());
+            assert!(machines_equivalent(&result.model, &target));
+        }
+    }
+
+    #[test]
+    fn learns_counters_exactly() {
+        for n in 1..=8 {
+            let target = known::counter(n);
+            let result = learn_machine(target.clone());
+            assert!(machines_equivalent(&result.model, &target), "counter({n})");
+            assert_eq!(result.model.num_states(), n, "counter({n}) must be learned minimally");
+        }
+    }
+
+    #[test]
+    fn learns_random_machines_with_random_word_oracle() {
+        for seed in 0..5u64 {
+            let target =
+                prognosis_automata::minimize::minimize(&known::random_machine(6, 3, 3, seed));
+            let mut learner = DTreeLearner::new(target.input_alphabet().clone());
+            let mut membership = CacheOracle::new(MachineOracle::new(target.clone()));
+            let mut equivalence = RandomWordOracle::new(seed, 4000, 1, 20);
+            let result = learner.learn(&mut membership, &mut equivalence);
+            // A random-word oracle is heuristic, but with 4000 tests on a
+            // 6-state machine it is overwhelmingly likely to be exact.
+            assert!(
+                machines_equivalent(&result.model, &target),
+                "random machine seed {seed} not learned"
+            );
+        }
+    }
+
+    #[test]
+    fn uses_fewer_queries_than_lstar_on_larger_machines() {
+        let target = known::counter(10);
+        let dtree = learn_machine(target.clone());
+        let mut lstar = crate::lstar::LStarLearner::new(target.input_alphabet().clone());
+        let mut membership = MachineOracle::new(target.clone());
+        let mut equivalence = SimulatorOracle::new(target);
+        let lstar_result = lstar.learn(&mut membership, &mut equivalence);
+        assert!(machines_equivalent(&dtree.model, &lstar_result.model));
+        assert!(
+            dtree.stats.membership_queries <= lstar_result.stats.membership_queries,
+            "discrimination tree ({}) should not ask more queries than L* ({})",
+            dtree.stats.membership_queries,
+            lstar_result.stats.membership_queries
+        );
+    }
+
+    #[test]
+    fn stats_reflect_final_model() {
+        let result = learn_machine(known::counter(5));
+        assert_eq!(result.stats.model_states, 5);
+        assert_eq!(result.stats.model_transitions, 10);
+        assert!(result.stats.counterexamples >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty input alphabet")]
+    fn rejects_empty_alphabet() {
+        let _ = DTreeLearner::new(Alphabet::new());
+    }
+}

@@ -1,0 +1,285 @@
+//! Equivalence oracles.
+//!
+//! In practice there is no omniscient equivalence oracle (§4.1): Prognosis
+//! uses heuristic oracles whose counterexamples are always genuine but whose
+//! "no counterexample" answer is only probabilistic.  Three oracles are
+//! provided:
+//!
+//! * [`SimulatorOracle`] — exact comparison against a known target machine
+//!   (tests and benchmarks only);
+//! * [`RandomWordOracle`] — random-word testing with configurable length
+//!   distribution, the workhorse for learning real SULs;
+//! * [`WMethodOracle`] — Chow's W-method conformance suite, which is exact
+//!   under an assumed bound on the number of extra states in the SUL.
+
+use crate::oracle::{EquivalenceOracle, MembershipOracle};
+use prognosis_automata::access::w_method_suite;
+use prognosis_automata::equivalence::find_counterexample;
+use prognosis_automata::mealy::MealyMachine;
+use prognosis_automata::word::{InputWord, IoTrace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Exact equivalence oracle against a known target machine.
+#[derive(Clone, Debug)]
+pub struct SimulatorOracle {
+    target: MealyMachine,
+    queries: u64,
+}
+
+impl SimulatorOracle {
+    /// Creates an oracle comparing hypotheses against `target`.
+    pub fn new(target: MealyMachine) -> Self {
+        SimulatorOracle { target, queries: 0 }
+    }
+}
+
+impl EquivalenceOracle for SimulatorOracle {
+    fn find_counterexample(
+        &mut self,
+        hypothesis: &MealyMachine,
+        _membership: &mut dyn MembershipOracle,
+    ) -> Option<IoTrace> {
+        self.queries += 1;
+        find_counterexample(hypothesis, &self.target).map(|ce| {
+            // Return the *target's* (i.e. the SUL's) trace.
+            ce.right
+        })
+    }
+
+    fn equivalence_queries(&self) -> u64 {
+        self.queries
+    }
+}
+
+/// Random-word equivalence testing.
+///
+/// Each equivalence query draws up to `max_tests` random input words with
+/// lengths uniform in `[min_len, max_len]`, sends them to the SUL through
+/// the membership oracle and compares against the hypothesis.  The paper's
+/// framework uses the same strategy ("random equivalence testing") both for
+/// Mealy learning and for validating synthesized register machines.
+#[derive(Clone, Debug)]
+pub struct RandomWordOracle {
+    rng: StdRng,
+    max_tests: usize,
+    min_len: usize,
+    max_len: usize,
+    queries: u64,
+    tests_executed: u64,
+}
+
+impl RandomWordOracle {
+    /// Creates an oracle with the given seed and word-length distribution.
+    pub fn new(seed: u64, max_tests: usize, min_len: usize, max_len: usize) -> Self {
+        assert!(min_len >= 1 && max_len >= min_len, "word lengths must satisfy 1 ≤ min ≤ max");
+        RandomWordOracle {
+            rng: StdRng::seed_from_u64(seed),
+            max_tests,
+            min_len,
+            max_len,
+            queries: 0,
+            tests_executed: 0,
+        }
+    }
+
+    /// Total random test words executed across all equivalence queries.
+    pub fn tests_executed(&self) -> u64 {
+        self.tests_executed
+    }
+
+    fn random_word(&mut self, hypothesis: &MealyMachine) -> InputWord {
+        let len = self.rng.gen_range(self.min_len..=self.max_len);
+        let alphabet = hypothesis.input_alphabet();
+        (0..len)
+            .map(|_| alphabet.get(self.rng.gen_range(0..alphabet.len())).unwrap().clone())
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect()
+    }
+}
+
+impl EquivalenceOracle for RandomWordOracle {
+    fn find_counterexample(
+        &mut self,
+        hypothesis: &MealyMachine,
+        membership: &mut dyn MembershipOracle,
+    ) -> Option<IoTrace> {
+        self.queries += 1;
+        for _ in 0..self.max_tests {
+            self.tests_executed += 1;
+            let word = self.random_word(hypothesis);
+            let sul_out = membership.query(&word);
+            let hyp_out = hypothesis.run(&word).expect("word drawn from hypothesis alphabet");
+            if sul_out != hyp_out {
+                return Some(IoTrace::new(word, sul_out));
+            }
+        }
+        None
+    }
+
+    fn equivalence_queries(&self) -> u64 {
+        self.queries
+    }
+}
+
+/// W-method conformance-testing oracle.
+///
+/// Exhaustively runs the suite `P · Σ^{≤k} · W` where `P` is the transition
+/// cover of the hypothesis, `W` its characterizing set and `k` the assumed
+/// bound on extra states in the SUL.  Exact (guaranteed to find a
+/// counterexample if one exists) whenever the SUL has at most
+/// `hypothesis.num_states() + extra_states` states.
+#[derive(Clone, Debug)]
+pub struct WMethodOracle {
+    extra_states: usize,
+    queries: u64,
+    tests_executed: u64,
+}
+
+impl WMethodOracle {
+    /// Creates a W-method oracle assuming at most `extra_states` additional
+    /// states in the SUL beyond the hypothesis.
+    pub fn new(extra_states: usize) -> Self {
+        WMethodOracle { extra_states, queries: 0, tests_executed: 0 }
+    }
+
+    /// Total suite words executed across all equivalence queries.
+    pub fn tests_executed(&self) -> u64 {
+        self.tests_executed
+    }
+}
+
+impl EquivalenceOracle for WMethodOracle {
+    fn find_counterexample(
+        &mut self,
+        hypothesis: &MealyMachine,
+        membership: &mut dyn MembershipOracle,
+    ) -> Option<IoTrace> {
+        self.queries += 1;
+        for word in w_method_suite(hypothesis, self.extra_states) {
+            if word.is_empty() {
+                continue;
+            }
+            self.tests_executed += 1;
+            let sul_out = membership.query(&word);
+            let hyp_out = hypothesis.run(&word).expect("suite word over hypothesis alphabet");
+            if sul_out != hyp_out {
+                return Some(IoTrace::new(word, sul_out));
+            }
+        }
+        None
+    }
+
+    fn equivalence_queries(&self) -> u64 {
+        self.queries
+    }
+}
+
+/// An oracle that chains two oracles: ask `first`, and only if it finds
+/// nothing, ask `second`.  Used to combine a cheap random pass with a more
+/// expensive conformance pass.
+pub struct ChainedOracle<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A, B> ChainedOracle<A, B> {
+    /// Chains two equivalence oracles.
+    pub fn new(first: A, second: B) -> Self {
+        ChainedOracle { first, second }
+    }
+}
+
+impl<A: EquivalenceOracle, B: EquivalenceOracle> EquivalenceOracle for ChainedOracle<A, B> {
+    fn find_counterexample(
+        &mut self,
+        hypothesis: &MealyMachine,
+        membership: &mut dyn MembershipOracle,
+    ) -> Option<IoTrace> {
+        self.first
+            .find_counterexample(hypothesis, membership)
+            .or_else(|| self.second.find_counterexample(hypothesis, membership))
+    }
+
+    fn equivalence_queries(&self) -> u64 {
+        self.first.equivalence_queries() + self.second.equivalence_queries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::MachineOracle;
+    use prognosis_automata::known;
+
+    #[test]
+    fn simulator_oracle_finds_genuine_counterexamples() {
+        let target = known::counter(3);
+        let wrong_hypothesis = known::counter(2);
+        let mut membership = MachineOracle::new(target.clone());
+        let mut oracle = SimulatorOracle::new(target.clone());
+        let ce = oracle
+            .find_counterexample(&wrong_hypothesis, &mut membership)
+            .expect("different counters must be distinguished");
+        assert_eq!(target.run(&ce.input).unwrap(), ce.output);
+        assert_ne!(wrong_hypothesis.run(&ce.input).unwrap(), ce.output);
+        assert!(oracle.find_counterexample(&target, &mut membership).is_none());
+        assert_eq!(oracle.equivalence_queries(), 2);
+    }
+
+    #[test]
+    fn random_word_oracle_finds_shallow_differences() {
+        let target = known::counter(4);
+        let wrong = known::counter(3);
+        let mut membership = MachineOracle::new(target.clone());
+        let mut oracle = RandomWordOracle::new(11, 500, 1, 12);
+        let ce = oracle.find_counterexample(&wrong, &mut membership);
+        assert!(ce.is_some(), "500 random words of length ≤12 must expose a 4-vs-3 counter");
+        let ce = ce.unwrap();
+        assert_eq!(target.run(&ce.input).unwrap(), ce.output);
+        assert!(oracle.tests_executed() >= 1);
+    }
+
+    #[test]
+    fn random_word_oracle_accepts_equivalent_hypotheses() {
+        let target = known::toggle();
+        let mut membership = MachineOracle::new(target.clone());
+        let mut oracle = RandomWordOracle::new(3, 100, 1, 6);
+        assert!(oracle.find_counterexample(&target, &mut membership).is_none());
+        assert_eq!(oracle.tests_executed(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "word lengths")]
+    fn random_word_oracle_rejects_bad_lengths() {
+        let _ = RandomWordOracle::new(0, 10, 5, 2);
+    }
+
+    #[test]
+    fn w_method_oracle_is_exact_within_extra_state_bound() {
+        let target = known::counter(4);
+        // Hypothesis has 3 states; the SUL has one extra state.
+        let wrong = known::counter(3);
+        let mut membership = MachineOracle::new(target.clone());
+        let mut oracle = WMethodOracle::new(1);
+        let ce = oracle.find_counterexample(&wrong, &mut membership);
+        assert!(ce.is_some(), "W-method with k=1 must catch a one-extra-state difference");
+        assert!(oracle.find_counterexample(&target, &mut membership).is_none());
+        assert!(oracle.tests_executed() > 0);
+    }
+
+    #[test]
+    fn chained_oracle_falls_through_to_second() {
+        let target = known::counter(5);
+        let wrong = known::counter(4);
+        let mut membership = MachineOracle::new(target.clone());
+        // First oracle too weak to find the difference (length-1 words only),
+        // second exact.
+        let weak = RandomWordOracle::new(1, 5, 1, 1);
+        let exact = SimulatorOracle::new(target.clone());
+        let mut chained = ChainedOracle::new(weak, exact);
+        assert!(chained.find_counterexample(&wrong, &mut membership).is_some());
+        assert!(chained.equivalence_queries() >= 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! Oracle traits and generic oracle combinators.
+//!
+//! A [`MembershipOracle`] answers the question *"If I send this input
+//! sequence, what will the implementation return?"* (§4.1).  In Prognosis
+//! the real oracle is the SUL adapter; in tests it is a known Mealy machine
+//! ([`MachineOracle`]).  [`CacheOracle`] memoizes answers and exploits
+//! prefix-closedness so repeated and prefix queries never hit the SUL twice
+//! — the same role the Oracle Table's cache plays in the paper.
+
+use crate::stats::LearningStats;
+use prognosis_automata::mealy::MealyMachine;
+use prognosis_automata::word::{InputWord, IoTrace, OutputWord};
+use std::collections::HashMap;
+
+/// Answers membership queries.
+pub trait MembershipOracle {
+    /// The output word the SUL produces for `input` (same length as `input`).
+    fn query(&mut self, input: &InputWord) -> OutputWord;
+
+    /// Number of membership queries issued so far (for statistics).
+    fn queries_answered(&self) -> u64 {
+        0
+    }
+}
+
+/// Answers equivalence queries with a counterexample trace, or `None` when
+/// no difference between the hypothesis and the SUL could be found.
+pub trait EquivalenceOracle {
+    /// Searches for an input word on which `hypothesis` and the SUL differ.
+    /// The returned trace carries the *SUL's* outputs.
+    fn find_counterexample(
+        &mut self,
+        hypothesis: &MealyMachine,
+        membership: &mut dyn MembershipOracle,
+    ) -> Option<IoTrace>;
+
+    /// Number of equivalence queries issued so far.
+    fn equivalence_queries(&self) -> u64 {
+        0
+    }
+}
+
+/// A membership oracle backed by a known Mealy machine.  Used in unit tests
+/// and benchmarks where the "implementation" is itself a model.
+#[derive(Clone, Debug)]
+pub struct MachineOracle {
+    machine: MealyMachine,
+    queries: u64,
+    symbols: u64,
+}
+
+impl MachineOracle {
+    /// Wraps a machine as a membership oracle.
+    pub fn new(machine: MealyMachine) -> Self {
+        MachineOracle { machine, queries: 0, symbols: 0 }
+    }
+
+    /// The wrapped machine.
+    pub fn machine(&self) -> &MealyMachine {
+        &self.machine
+    }
+
+    /// Total input symbols sent across all queries.
+    pub fn symbols_sent(&self) -> u64 {
+        self.symbols
+    }
+}
+
+impl MembershipOracle for MachineOracle {
+    fn query(&mut self, input: &InputWord) -> OutputWord {
+        self.queries += 1;
+        self.symbols += input.len() as u64;
+        self.machine.run(input).expect("query over the machine's alphabet")
+    }
+
+    fn queries_answered(&self) -> u64 {
+        self.queries
+    }
+}
+
+/// A caching membership oracle.
+///
+/// Besides memoizing full queries, the cache answers any query that is a
+/// *prefix* of an already-answered query without consulting the inner
+/// oracle, mirroring the paper's observation that learning asks many
+/// redundant prefix queries against an expensive network SUL.
+pub struct CacheOracle<O> {
+    inner: O,
+    cache: HashMap<InputWord, OutputWord>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<O: MembershipOracle> CacheOracle<O> {
+    /// Wraps `inner` with a cache.
+    pub fn new(inner: O) -> Self {
+        CacheOracle { inner, cache: HashMap::new(), hits: 0, misses: 0 }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (queries forwarded to the inner oracle) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct input words cached.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// The inner oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Consumes the cache, returning the inner oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    /// All cached (input, output) pairs — the raw material for the Oracle
+    /// Table used by the synthesis module.
+    pub fn entries(&self) -> impl Iterator<Item = (&InputWord, &OutputWord)> {
+        self.cache.iter()
+    }
+}
+
+impl<O: MembershipOracle> MembershipOracle for CacheOracle<O> {
+    fn query(&mut self, input: &InputWord) -> OutputWord {
+        if let Some(out) = self.cache.get(input) {
+            self.hits += 1;
+            return out.clone();
+        }
+        // A previously-answered longer query answers any of its prefixes.
+        // (Linear scan is acceptable: protocol alphabets are small and this
+        // path only triggers on a primary-cache miss.)
+        let prefix_answer = self
+            .cache
+            .iter()
+            .find(|(k, _)| {
+                k.len() > input.len() && k.as_slice()[..input.len()] == *input.as_slice()
+            })
+            .map(|(_, v)| v.prefix(input.len()));
+        if let Some(out) = prefix_answer {
+            self.hits += 1;
+            self.cache.insert(input.clone(), out.clone());
+            return out;
+        }
+        self.misses += 1;
+        let out = self.inner.query(input);
+        assert_eq!(
+            out.len(),
+            input.len(),
+            "membership oracle must return one output symbol per input symbol"
+        );
+        self.cache.insert(input.clone(), out.clone());
+        out
+    }
+
+    fn queries_answered(&self) -> u64 {
+        self.inner.queries_answered()
+    }
+}
+
+/// Snapshot query accounting from an oracle pair into a [`LearningStats`].
+pub fn snapshot_stats(
+    membership: &dyn MembershipOracle,
+    equivalence: &dyn EquivalenceOracle,
+    rounds: u64,
+) -> LearningStats {
+    LearningStats {
+        membership_queries: membership.queries_answered(),
+        equivalence_queries: equivalence.equivalence_queries(),
+        learning_rounds: rounds,
+        ..LearningStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prognosis_automata::known;
+
+    #[test]
+    fn machine_oracle_answers_and_counts() {
+        let mut o = MachineOracle::new(known::toggle());
+        let out = o.query(&InputWord::from_symbols(["press", "press"]));
+        assert_eq!(out, OutputWord::from_symbols(["on", "off"]));
+        assert_eq!(o.queries_answered(), 1);
+        assert_eq!(o.symbols_sent(), 2);
+        assert_eq!(o.machine().num_states(), 2);
+    }
+
+    #[test]
+    fn cache_avoids_duplicate_queries() {
+        let mut o = CacheOracle::new(MachineOracle::new(known::counter(3)));
+        let w = InputWord::from_symbols(["inc", "inc"]);
+        let a = o.query(&w);
+        let b = o.query(&w);
+        assert_eq!(a, b);
+        assert_eq!(o.misses(), 1);
+        assert_eq!(o.hits(), 1);
+        assert_eq!(o.queries_answered(), 1);
+        assert_eq!(o.len(), 1);
+        assert!(!o.is_empty());
+    }
+
+    #[test]
+    fn cache_answers_prefix_queries_from_longer_entries() {
+        let mut o = CacheOracle::new(MachineOracle::new(known::counter(4)));
+        let long = InputWord::from_symbols(["inc", "inc", "inc", "reset"]);
+        let short = InputWord::from_symbols(["inc", "inc"]);
+        let long_out = o.query(&long);
+        let short_out = o.query(&short);
+        assert_eq!(short_out, long_out.prefix(2));
+        assert_eq!(o.misses(), 1, "prefix query must be served from cache");
+        assert_eq!(o.hits(), 1);
+    }
+
+    #[test]
+    fn cache_entries_expose_oracle_table_material() {
+        let mut o = CacheOracle::new(MachineOracle::new(known::toggle()));
+        o.query(&InputWord::from_symbols(["press"]));
+        o.query(&InputWord::from_symbols(["press", "press"]));
+        assert_eq!(o.entries().count(), 2);
+        let inner = o.into_inner();
+        assert_eq!(inner.queries_answered(), 2);
+    }
+}

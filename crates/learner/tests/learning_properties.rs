@@ -1,0 +1,91 @@
+//! Property-based tests: both learners recover arbitrary (minimized) random
+//! Mealy machines exactly, and the discrimination-tree learner never asks
+//! more membership queries than the SUL has observable behaviours would
+//! require (sanity bound).
+
+use prognosis_automata::equivalence::machines_equivalent;
+use prognosis_automata::known::random_machine;
+use prognosis_automata::minimize::minimize;
+use prognosis_learner::eq_oracles::SimulatorOracle;
+use prognosis_learner::oracle::{CacheOracle, MachineOracle};
+use prognosis_learner::{DTreeLearner, LStarLearner, Learner};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dtree_learner_recovers_random_machines(
+        states in 1usize..10,
+        inputs in 1usize..4,
+        outputs in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let target = minimize(&random_machine(states, inputs, outputs, seed));
+        let mut learner = DTreeLearner::new(target.input_alphabet().clone());
+        let mut membership = CacheOracle::new(MachineOracle::new(target.clone()));
+        let mut equivalence = SimulatorOracle::new(target.clone());
+        let result = learner.learn(&mut membership, &mut equivalence);
+        prop_assert!(machines_equivalent(&result.model, &target));
+        prop_assert_eq!(result.model.num_states(), target.num_states(),
+            "learned model must be minimal");
+    }
+
+    #[test]
+    fn lstar_learner_recovers_random_machines(
+        states in 1usize..8,
+        inputs in 1usize..4,
+        outputs in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let target = minimize(&random_machine(states, inputs, outputs, seed));
+        let mut learner = LStarLearner::new(target.input_alphabet().clone());
+        let mut membership = CacheOracle::new(MachineOracle::new(target.clone()));
+        let mut equivalence = SimulatorOracle::new(target.clone());
+        let result = learner.learn(&mut membership, &mut equivalence);
+        prop_assert!(machines_equivalent(&result.model, &target));
+        prop_assert_eq!(result.model.num_states(), target.num_states());
+    }
+
+    #[test]
+    fn both_learners_agree_on_the_model(
+        states in 1usize..7,
+        inputs in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let target = minimize(&random_machine(states, inputs, 3, seed));
+        let learn = |use_dtree: bool| {
+            let mut membership = CacheOracle::new(MachineOracle::new(target.clone()));
+            let mut equivalence = SimulatorOracle::new(target.clone());
+            if use_dtree {
+                DTreeLearner::new(target.input_alphabet().clone())
+                    .learn(&mut membership, &mut equivalence)
+            } else {
+                LStarLearner::new(target.input_alphabet().clone())
+                    .learn(&mut membership, &mut equivalence)
+            }
+        };
+        let a = learn(true);
+        let b = learn(false);
+        prop_assert!(machines_equivalent(&a.model, &b.model));
+        prop_assert_eq!(a.model.num_states(), b.model.num_states());
+    }
+
+    #[test]
+    fn learned_stats_are_consistent(
+        states in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let target = minimize(&random_machine(states, 3, 3, seed));
+        let mut learner = DTreeLearner::new(target.input_alphabet().clone());
+        let mut membership = CacheOracle::new(MachineOracle::new(target.clone()));
+        let mut equivalence = SimulatorOracle::new(target.clone());
+        let result = learner.learn(&mut membership, &mut equivalence);
+        prop_assert_eq!(result.stats.model_states as usize, result.model.num_states());
+        prop_assert_eq!(result.stats.model_transitions as usize, result.model.num_transitions());
+        prop_assert!(result.stats.membership_queries > 0);
+        prop_assert!(result.stats.equivalence_queries >= 1);
+        prop_assert!(result.stats.learning_rounds >= 1);
+        prop_assert!(result.stats.input_symbols >= result.stats.membership_queries);
+    }
+}

@@ -1,0 +1,121 @@
+//! Packet capture.
+//!
+//! The simulator records every datagram it accepts for transmission,
+//! together with its fate (delivered, lost, duplicated), in a
+//! [`TraceCapture`].  This is the in-simulator analogue of running `tcpdump`
+//! next to the reference implementation and is handy both for debugging
+//! adapters and for the experiment reports.
+
+use crate::endpoint::EndpointId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The fate of a captured datagram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fate {
+    /// Delivered exactly once.
+    Delivered,
+    /// Dropped by the link.
+    Lost,
+    /// Delivered twice due to duplication.
+    Duplicated,
+}
+
+/// One captured datagram.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaptureRecord {
+    /// Virtual send time.
+    pub sent_at: SimTime,
+    /// Sending endpoint.
+    pub from: EndpointId,
+    /// Receiving endpoint (resolved from the destination port).
+    pub to: Option<EndpointId>,
+    /// Source port.
+    pub source_port: u16,
+    /// Destination port.
+    pub destination_port: u16,
+    /// Payload length in bytes.
+    pub length: usize,
+    /// What happened to the datagram.
+    pub fate: Fate,
+}
+
+/// An append-only capture of all traffic through a network.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCapture {
+    records: Vec<CaptureRecord>,
+}
+
+impl TraceCapture {
+    /// An empty capture.
+    pub fn new() -> Self {
+        TraceCapture::default()
+    }
+
+    /// Appends a record.
+    pub fn record(&mut self, record: CaptureRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in send order.
+    pub fn records(&self) -> &[CaptureRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the capture is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total payload bytes accepted for transmission.
+    pub fn total_bytes(&self) -> usize {
+        self.records.iter().map(|r| r.length).sum()
+    }
+
+    /// Number of datagrams lost in transit.
+    pub fn lost(&self) -> usize {
+        self.records.iter().filter(|r| r.fate == Fate::Lost).count()
+    }
+
+    /// Clears the capture (e.g. between learner queries).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(fate: Fate, length: usize) -> CaptureRecord {
+        CaptureRecord {
+            sent_at: SimTime::ZERO,
+            from: EndpointId(0),
+            to: Some(EndpointId(1)),
+            source_port: 1,
+            destination_port: 2,
+            length,
+            fate,
+        }
+    }
+
+    #[test]
+    fn capture_accumulates_and_summarises() {
+        let mut c = TraceCapture::new();
+        assert!(c.is_empty());
+        c.record(record(Fate::Delivered, 100));
+        c.record(record(Fate::Lost, 50));
+        c.record(record(Fate::Duplicated, 25));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.total_bytes(), 175);
+        assert_eq!(c.lost(), 1);
+        assert_eq!(c.records()[1].fate, Fate::Lost);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Link impairment configuration.
+//!
+//! A [`LinkConfig`] describes the path between two endpoints: base latency,
+//! jitter, independent loss and duplication probabilities and a reordering
+//! probability (implemented as an extra random delay).  The default link is
+//! ideal — zero latency, no impairments — which is what the learning
+//! experiments use; the nondeterminism-check experiments (E13) sweep the
+//! loss and jitter knobs.
+
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Impairment parameters for one direction of a link.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Base one-way latency.
+    pub latency: SimDuration,
+    /// Maximum additional random latency (uniform in `[0, jitter]`).
+    pub jitter: SimDuration,
+    /// Probability in `[0, 1]` that a datagram is dropped.
+    pub loss_rate: f64,
+    /// Probability in `[0, 1]` that a datagram is delivered twice.
+    pub duplicate_rate: f64,
+    /// Probability in `[0, 1]` that a datagram is delayed by an extra
+    /// `reorder_delay`, letting later datagrams overtake it.
+    pub reorder_rate: f64,
+    /// The extra delay applied to reordered datagrams.
+    pub reorder_delay: SimDuration,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            loss_rate: 0.0,
+            duplicate_rate: 0.0,
+            reorder_rate: 0.0,
+            reorder_delay: SimDuration::from_millis(5),
+        }
+    }
+}
+
+impl LinkConfig {
+    /// An ideal link: instantaneous, lossless, in-order.
+    pub fn ideal() -> Self {
+        LinkConfig::default()
+    }
+
+    /// A link with fixed one-way latency and no other impairments.
+    pub fn with_latency(latency: SimDuration) -> Self {
+        LinkConfig { latency, ..LinkConfig::default() }
+    }
+
+    /// Sets the loss probability.
+    ///
+    /// # Panics
+    /// Panics when the probability is outside `[0, 1]`.
+    pub fn loss(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be a probability");
+        self.loss_rate = rate;
+        self
+    }
+
+    /// Sets the duplication probability.
+    pub fn duplicate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "duplicate rate must be a probability");
+        self.duplicate_rate = rate;
+        self
+    }
+
+    /// Sets the reordering probability.
+    pub fn reorder(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "reorder rate must be a probability");
+        self.reorder_rate = rate;
+        self
+    }
+
+    /// Sets the jitter bound.
+    pub fn jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Decides the fate of one datagram crossing this link: `None` when the
+    /// datagram is lost, otherwise the list of delivery delays (one entry,
+    /// or two when duplicated).
+    pub(crate) fn schedule(&self, rng: &mut StdRng) -> Option<Vec<SimDuration>> {
+        if self.loss_rate > 0.0 && rng.gen_bool(self.loss_rate) {
+            return None;
+        }
+        let mut delay = self.latency;
+        if self.jitter.as_micros() > 0 {
+            delay = delay + SimDuration::from_micros(rng.gen_range(0..=self.jitter.as_micros()));
+        }
+        if self.reorder_rate > 0.0 && rng.gen_bool(self.reorder_rate) {
+            delay = delay + self.reorder_delay;
+        }
+        let mut deliveries = vec![delay];
+        if self.duplicate_rate > 0.0 && rng.gen_bool(self.duplicate_rate) {
+            deliveries.push(delay + SimDuration::from_micros(1));
+        }
+        Some(deliveries)
+    }
+
+    /// Whether the link introduces any nondeterminism-relevant impairment.
+    pub fn is_impaired(&self) -> bool {
+        self.loss_rate > 0.0
+            || self.duplicate_rate > 0.0
+            || self.reorder_rate > 0.0
+            || self.jitter.as_micros() > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_link_delivers_exactly_once_with_zero_delay() {
+        let link = LinkConfig::ideal();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let d = link.schedule(&mut rng).expect("ideal link never loses");
+            assert_eq!(d, vec![SimDuration::ZERO]);
+        }
+        assert!(!link.is_impaired());
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_at_the_configured_rate() {
+        let link = LinkConfig::ideal().loss(0.3);
+        let mut rng = StdRng::seed_from_u64(42);
+        let lost = (0..10_000).filter(|_| link.schedule(&mut rng).is_none()).count();
+        assert!((2_500..3_500).contains(&lost), "lost {lost} of 10000 at 30% loss");
+        assert!(link.is_impaired());
+    }
+
+    #[test]
+    fn duplication_yields_two_deliveries() {
+        let link = LinkConfig::ideal().duplicate(1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = link.schedule(&mut rng).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(d[1] > d[0]);
+    }
+
+    #[test]
+    fn latency_jitter_and_reorder_add_delay() {
+        let link = LinkConfig::with_latency(SimDuration::from_millis(10))
+            .jitter(SimDuration::from_millis(2))
+            .reorder(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = link.schedule(&mut rng).unwrap();
+        let delay = d[0].as_micros();
+        assert!(delay >= 15_000, "10ms latency + 5ms reorder delay, got {delay}µs");
+        assert!(delay <= 17_000);
+        assert!(link.is_impaired());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_invalid_probability() {
+        let _ = LinkConfig::ideal().loss(1.5);
+    }
+
+    #[test]
+    fn scheduling_is_deterministic_per_seed() {
+        let link = LinkConfig::ideal().loss(0.5).duplicate(0.5).jitter(SimDuration::from_micros(100));
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| link.schedule(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

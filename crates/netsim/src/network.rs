@@ -1,0 +1,439 @@
+//! The network: endpoints, links, an event queue and a virtual clock.
+//!
+//! A [`Network`] owns every endpoint and schedules datagram deliveries on a
+//! priority queue ordered by virtual delivery time (ties broken by send
+//! sequence number so FIFO order is preserved on ideal links).  Callers
+//! drive it explicitly — `send`, then `advance`/`deliver_all` — which keeps
+//! the adapter’s query/response loop fully deterministic.
+
+use crate::capture::{CaptureRecord, Fate, TraceCapture};
+use crate::endpoint::{Datagram, Endpoint, EndpointId};
+use crate::link::LinkConfig;
+use crate::time::{SimDuration, SimTime};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Errors raised by network operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetworkError {
+    /// The referenced endpoint does not exist.
+    UnknownEndpoint(EndpointId),
+    /// The port is already bound by another endpoint.
+    PortInUse(u16),
+    /// No endpoint is bound to the destination port.
+    NoRoute(u16),
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::UnknownEndpoint(id) => write!(f, "unknown endpoint {id}"),
+            NetworkError::PortInUse(p) => write!(f, "port {p} already bound"),
+            NetworkError::NoRoute(p) => write!(f, "no endpoint bound to port {p}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ScheduledDelivery {
+    deliver_at: SimTime,
+    sequence: u64,
+    to: EndpointId,
+    datagram: Datagram,
+}
+
+impl Ord for ScheduledDelivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.sequence).cmp(&(other.deliver_at, other.sequence))
+    }
+}
+
+impl PartialOrd for ScheduledDelivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulated network.
+pub struct Network {
+    endpoints: Vec<Endpoint>,
+    ports: HashMap<u16, EndpointId>,
+    default_link: LinkConfig,
+    links: HashMap<(EndpointId, EndpointId), LinkConfig>,
+    queue: BinaryHeap<Reverse<ScheduledDelivery>>,
+    now: SimTime,
+    sequence: u64,
+    rng: StdRng,
+    capture: TraceCapture,
+}
+
+impl Network {
+    /// Creates a network with an ideal default link and the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Network::with_default_link(seed, LinkConfig::ideal())
+    }
+
+    /// Creates a network whose default link has the given impairments.
+    pub fn with_default_link(seed: u64, default_link: LinkConfig) -> Self {
+        Network {
+            endpoints: Vec::new(),
+            ports: HashMap::new(),
+            default_link,
+            links: HashMap::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            sequence: 0,
+            rng: StdRng::seed_from_u64(seed),
+            capture: TraceCapture::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The traffic capture.
+    pub fn capture(&self) -> &TraceCapture {
+        &self.capture
+    }
+
+    /// Clears the traffic capture.
+    pub fn clear_capture(&mut self) {
+        self.capture.clear();
+    }
+
+    /// Binds a new endpoint to `port`.
+    pub fn bind(&mut self, port: u16) -> Result<EndpointId, NetworkError> {
+        if self.ports.contains_key(&port) {
+            return Err(NetworkError::PortInUse(port));
+        }
+        let id = EndpointId(self.endpoints.len());
+        self.endpoints.push(Endpoint::new(id, port));
+        self.ports.insert(port, id);
+        id.index(); // silence "unused" style concerns in older compilers
+        Ok(id)
+    }
+
+    /// Binds a new endpoint to an arbitrary currently-free port, returning
+    /// the endpoint and the chosen port.  Mirrors binding a UDP socket to
+    /// port 0 — the operation at the heart of the Issue-3 retry bug.
+    pub fn bind_ephemeral(&mut self) -> (EndpointId, u16) {
+        let mut port = 49_152u16;
+        while self.ports.contains_key(&port) {
+            port = port.wrapping_add(1);
+        }
+        let id = self.bind(port).expect("port was checked to be free");
+        (id, port)
+    }
+
+    /// Releases an endpoint's port binding and drops its pending datagrams.
+    /// The endpoint id remains valid but can no longer receive traffic.
+    pub fn unbind(&mut self, endpoint: EndpointId) -> Result<(), NetworkError> {
+        let ep = self
+            .endpoints
+            .get_mut(endpoint.index())
+            .ok_or(NetworkError::UnknownEndpoint(endpoint))?;
+        ep.clear();
+        let port = ep.port();
+        self.ports.remove(&port);
+        Ok(())
+    }
+
+    /// Sets the link configuration for datagrams flowing `from → to`.
+    pub fn set_link(&mut self, from: EndpointId, to: EndpointId, config: LinkConfig) {
+        self.links.insert((from, to), config);
+    }
+
+    /// The endpoint bound to `port`, if any.
+    pub fn endpoint_on_port(&self, port: u16) -> Option<EndpointId> {
+        self.ports.get(&port).copied()
+    }
+
+    /// Immutable access to an endpoint.
+    pub fn endpoint(&self, id: EndpointId) -> Result<&Endpoint, NetworkError> {
+        self.endpoints.get(id.index()).ok_or(NetworkError::UnknownEndpoint(id))
+    }
+
+    /// Mutable access to an endpoint (to receive datagrams).
+    pub fn endpoint_mut(&mut self, id: EndpointId) -> Result<&mut Endpoint, NetworkError> {
+        self.endpoints.get_mut(id.index()).ok_or(NetworkError::UnknownEndpoint(id))
+    }
+
+    /// Sends a datagram from `from` to whichever endpoint is bound to
+    /// `destination_port`.  The source port is the sender's bound port.
+    pub fn send(
+        &mut self,
+        from: EndpointId,
+        destination_port: u16,
+        payload: Bytes,
+    ) -> Result<(), NetworkError> {
+        let source_port = self.endpoint(from)?.port();
+        self.send_from_port(from, source_port, destination_port, payload)
+    }
+
+    /// Sends a datagram with an explicit (possibly spoofed or rebound)
+    /// source port.  QUIC-Tracker's retry bug is "the token is returned from
+    /// a different source port", which this API models directly.
+    pub fn send_from_port(
+        &mut self,
+        from: EndpointId,
+        source_port: u16,
+        destination_port: u16,
+        payload: Bytes,
+    ) -> Result<(), NetworkError> {
+        // Validate the sender exists even when spoofing the port.
+        let _ = self.endpoint(from)?;
+        let to = self.ports.get(&destination_port).copied();
+        let link = to
+            .and_then(|t| self.links.get(&(from, t)).copied())
+            .unwrap_or(self.default_link);
+        let Some(to) = to else {
+            self.capture.record(CaptureRecord {
+                sent_at: self.now,
+                from,
+                to: None,
+                source_port,
+                destination_port,
+                length: payload.len(),
+                fate: Fate::Lost,
+            });
+            return Err(NetworkError::NoRoute(destination_port));
+        };
+        match link.schedule(&mut self.rng) {
+            None => {
+                self.capture.record(CaptureRecord {
+                    sent_at: self.now,
+                    from,
+                    to: Some(to),
+                    source_port,
+                    destination_port,
+                    length: payload.len(),
+                    fate: Fate::Lost,
+                });
+            }
+            Some(delays) => {
+                let fate = if delays.len() > 1 { Fate::Duplicated } else { Fate::Delivered };
+                self.capture.record(CaptureRecord {
+                    sent_at: self.now,
+                    from,
+                    to: Some(to),
+                    source_port,
+                    destination_port,
+                    length: payload.len(),
+                    fate,
+                });
+                for delay in delays {
+                    self.sequence += 1;
+                    self.queue.push(Reverse(ScheduledDelivery {
+                        deliver_at: self.now + delay,
+                        sequence: self.sequence,
+                        to,
+                        datagram: Datagram {
+                            source_port,
+                            destination_port,
+                            delivered_at: self.now + delay,
+                            payload: payload.clone(),
+                        },
+                    }));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances virtual time by `delta`, delivering everything scheduled in
+    /// the interval.  Returns the number of datagrams delivered.
+    pub fn advance(&mut self, delta: SimDuration) -> usize {
+        let target = self.now + delta;
+        let mut delivered = 0;
+        while let Some(Reverse(next)) = self.queue.peek() {
+            if next.deliver_at > target {
+                break;
+            }
+            let Reverse(event) = self.queue.pop().expect("peeked above");
+            self.now = event.deliver_at;
+            if let Some(ep) = self.endpoints.get_mut(event.to.index()) {
+                // Deliver only if the destination port is still bound to
+                // this endpoint (unbinding drops in-flight traffic).
+                if self.ports.get(&event.datagram.destination_port) == Some(&event.to) {
+                    ep.inbound.push_back(event.datagram);
+                    delivered += 1;
+                }
+            }
+        }
+        self.now = target;
+        delivered
+    }
+
+    /// Delivers every queued datagram regardless of its scheduled time,
+    /// advancing the clock to the last delivery.  Convenient for the
+    /// request/response style the adapter uses.
+    pub fn deliver_all(&mut self) -> usize {
+        let mut delivered = 0;
+        while let Some(Reverse(event)) = self.queue.pop() {
+            self.now = self.now.max(event.deliver_at);
+            if let Some(ep) = self.endpoints.get_mut(event.to.index()) {
+                if self.ports.get(&event.datagram.destination_port) == Some(&event.to) {
+                    ep.inbound.push_back(event.datagram);
+                    delivered += 1;
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Number of datagrams currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_send_receive_round_trip() {
+        let mut net = Network::new(1);
+        let a = net.bind(1000).unwrap();
+        let b = net.bind(2000).unwrap();
+        net.send(a, 2000, Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(net.in_flight(), 1);
+        assert_eq!(net.deliver_all(), 1);
+        let dg = net.endpoint_mut(b).unwrap().receive().unwrap();
+        assert_eq!(&dg.payload[..], b"hello");
+        assert_eq!(dg.source_port, 1000);
+        assert_eq!(dg.destination_port, 2000);
+        assert_eq!(net.capture().len(), 1);
+        assert_eq!(net.capture().lost(), 0);
+    }
+
+    #[test]
+    fn port_conflicts_and_unknown_routes_are_errors() {
+        let mut net = Network::new(1);
+        let a = net.bind(1000).unwrap();
+        assert_eq!(net.bind(1000).unwrap_err(), NetworkError::PortInUse(1000));
+        assert_eq!(
+            net.send(a, 9999, Bytes::new()).unwrap_err(),
+            NetworkError::NoRoute(9999)
+        );
+        assert_eq!(
+            net.endpoint(EndpointId(42)).unwrap_err(),
+            NetworkError::UnknownEndpoint(EndpointId(42))
+        );
+        assert_eq!(net.capture().lost(), 1, "unroutable datagrams are captured as lost");
+    }
+
+    #[test]
+    fn latency_delays_delivery_until_time_advances() {
+        let mut net = Network::with_default_link(
+            3,
+            LinkConfig::with_latency(SimDuration::from_millis(10)),
+        );
+        let a = net.bind(1).unwrap();
+        let b = net.bind(2).unwrap();
+        net.send(a, 2, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(net.advance(SimDuration::from_millis(5)), 0);
+        assert_eq!(net.endpoint(b).unwrap().pending(), 0);
+        assert_eq!(net.advance(SimDuration::from_millis(6)), 1);
+        assert_eq!(net.endpoint(b).unwrap().pending(), 1);
+        assert_eq!(net.now().as_millis(), 11);
+    }
+
+    #[test]
+    fn lossy_link_drops_some_datagrams() {
+        let mut net = Network::with_default_link(7, LinkConfig::ideal().loss(0.5));
+        let a = net.bind(1).unwrap();
+        let b = net.bind(2).unwrap();
+        for _ in 0..200 {
+            net.send(a, 2, Bytes::from_static(b"p")).unwrap();
+        }
+        let delivered = net.deliver_all();
+        assert!(delivered > 50 && delivered < 150, "delivered {delivered} of 200 at 50% loss");
+        assert_eq!(net.capture().lost(), 200 - delivered);
+        assert_eq!(net.endpoint(b).unwrap().pending(), delivered);
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let mut net = Network::with_default_link(7, LinkConfig::ideal().duplicate(1.0));
+        let a = net.bind(1).unwrap();
+        let b = net.bind(2).unwrap();
+        net.send(a, 2, Bytes::from_static(b"p")).unwrap();
+        assert_eq!(net.deliver_all(), 2);
+        assert_eq!(net.endpoint(b).unwrap().pending(), 2);
+    }
+
+    #[test]
+    fn spoofed_source_port_is_visible_to_the_receiver() {
+        // The Issue-3 scenario: the reference client re-binds to a new
+        // ephemeral port and the server sees a different source port.
+        let mut net = Network::new(1);
+        let client = net.bind(5000).unwrap();
+        let server = net.bind(443).unwrap();
+        net.send_from_port(client, 61_000, 443, Bytes::from_static(b"retry-token")).unwrap();
+        net.deliver_all();
+        let dg = net.endpoint_mut(server).unwrap().receive().unwrap();
+        assert_eq!(dg.source_port, 61_000);
+    }
+
+    #[test]
+    fn ephemeral_binding_picks_free_ports() {
+        let mut net = Network::new(1);
+        let (_, p1) = net.bind_ephemeral();
+        let (_, p2) = net.bind_ephemeral();
+        assert_ne!(p1, p2);
+        assert!(net.endpoint_on_port(p1).is_some());
+    }
+
+    #[test]
+    fn unbind_stops_delivery() {
+        let mut net = Network::with_default_link(
+            1,
+            LinkConfig::with_latency(SimDuration::from_millis(1)),
+        );
+        let a = net.bind(1).unwrap();
+        let b = net.bind(2).unwrap();
+        net.send(a, 2, Bytes::from_static(b"x")).unwrap();
+        net.unbind(b).unwrap();
+        assert_eq!(net.deliver_all(), 0);
+        assert_eq!(net.endpoint(b).unwrap().pending(), 0);
+        assert!(net.unbind(EndpointId(9)).is_err());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_on_ideal_links() {
+        let mut net = Network::new(1);
+        let a = net.bind(1).unwrap();
+        let b = net.bind(2).unwrap();
+        for i in 0..10u8 {
+            net.send(a, 2, Bytes::from(vec![i])).unwrap();
+        }
+        net.deliver_all();
+        let payloads: Vec<u8> = net
+            .endpoint_mut(b)
+            .unwrap()
+            .receive_all()
+            .into_iter()
+            .map(|d| d.payload[0])
+            .collect();
+        assert_eq!(payloads, (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn capture_can_be_cleared_between_queries() {
+        let mut net = Network::new(1);
+        let a = net.bind(1).unwrap();
+        let _b = net.bind(2).unwrap();
+        net.send(a, 2, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(net.capture().len(), 1);
+        net.clear_capture();
+        assert!(net.capture().is_empty());
+    }
+}

@@ -1,0 +1,503 @@
+//! The simulated QUIC server engine.
+//!
+//! One engine, parameterized by an [`ImplementationProfile`], plays the role
+//! of every server implementation the paper analyzed.  The engine is a real
+//! packet processor: it decodes datagrams with the keys it currently has,
+//! ignores what it cannot decrypt or is not yet prepared to process (the
+//! `{}` rows of the appendix models), walks the handshake, serves stream
+//! data under the flow-control limits granted by the client, closes the
+//! connection on protocol violations (a client-sent `HANDSHAKE_DONE`), and
+//! applies the profile's defects where the paper found them.
+
+use crate::profile::{HandshakeStyle, ImplementationProfile};
+use bytes::Bytes;
+use prognosis_quic_wire::connection_id::ConnectionId;
+use prognosis_quic_wire::crypto::{EncryptionLevel, Keys};
+use prognosis_quic_wire::frame::{Frame, FrameType};
+use prognosis_quic_wire::packet::{Packet, PacketHeader, PacketType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Connection phase of the server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerPhase {
+    /// No connection yet: only Initial packets are processed.
+    Idle,
+    /// ClientHello received, server flights sent, waiting for the client's
+    /// Handshake CRYPTO (Finished).
+    HandshakeStarted,
+    /// Handshake complete; 1-RTT packets are processed.
+    Established,
+    /// Connection closed after a protocol violation or reset.
+    Closed,
+}
+
+/// The simulated QUIC server.
+pub struct QuicServer {
+    profile: ImplementationProfile,
+    rng: StdRng,
+    phase: ServerPhase,
+    /// Server-chosen connection ID.
+    scid: ConnectionId,
+    /// The client's source connection ID (destination of our responses).
+    client_cid: ConnectionId,
+    /// Key material shared with the client (derived from the client's
+    /// initial destination connection ID, as real Initial secrets are).
+    key_material: Option<u64>,
+    /// Next packet number to send, per encryption level.
+    tx_pn: [u64; 3],
+    /// Largest packet number received, per encryption level.
+    largest_rx: [Option<u64>; 3],
+    /// Whether 1-RTT keys were ever available (gates post-close decryption).
+    one_rtt_available: bool,
+    /// Flow-control limit the client granted us on our response stream.
+    peer_max_stream_data: u64,
+    /// How much response-stream data we have sent so far.
+    sent_stream_offset: u64,
+    /// Response data we wanted to send but could not because of the limit.
+    blocked_bytes: u64,
+    /// Retry state.
+    retry_sent: bool,
+    expected_token: Option<Bytes>,
+    validated_port: Option<u16>,
+    /// Largest Initial packet number seen before a Retry, for the Issue-1
+    /// packet-number-space-reset check.
+    pre_retry_initial_pn: Option<u64>,
+    /// Number of datagrams processed since the last reset (statistics).
+    datagrams_processed: u64,
+}
+
+const STREAM_RESPONSE_ID: u64 = 1;
+
+/// Seed for the server's connection ID (fixed so experiments are reproducible).
+const SERVER_CID_SEED: u64 = 0x5EED_5EED_5EED_5EED;
+
+impl QuicServer {
+    /// Creates a server with the given profile and RNG seed (the seed only
+    /// matters for profiles with probabilistic behaviour, i.e. mvfst).
+    pub fn new(profile: ImplementationProfile, seed: u64) -> Self {
+        let peer_limit = profile.initial_peer_max_stream_data;
+        QuicServer {
+            profile,
+            rng: StdRng::seed_from_u64(seed),
+            phase: ServerPhase::Idle,
+            scid: ConnectionId::from_seed(SERVER_CID_SEED),
+            client_cid: ConnectionId::empty(),
+            key_material: None,
+            tx_pn: [0; 3],
+            largest_rx: [None; 3],
+            one_rtt_available: false,
+            peer_max_stream_data: peer_limit,
+            sent_stream_offset: 0,
+            blocked_bytes: 0,
+            retry_sent: false,
+            expected_token: None,
+            validated_port: None,
+            pre_retry_initial_pn: None,
+            datagrams_processed: 0,
+        }
+    }
+
+    /// The server's implementation profile.
+    pub fn profile(&self) -> &ImplementationProfile {
+        &self.profile
+    }
+
+    /// Current connection phase.
+    pub fn phase(&self) -> ServerPhase {
+        self.phase
+    }
+
+    /// Datagrams processed since the last reset.
+    pub fn datagrams_processed(&self) -> u64 {
+        self.datagrams_processed
+    }
+
+    /// Drops all connection state, returning the server to `Idle`
+    /// (property (3) of §3.2: the SUL must be resettable between queries).
+    pub fn reset(&mut self) {
+        let seed_keep = self.rng.gen::<u64>();
+        *self = QuicServer::new(self.profile.clone(), seed_keep);
+    }
+
+    fn level_for(packet_type: PacketType) -> Option<EncryptionLevel> {
+        match packet_type {
+            PacketType::Initial | PacketType::ZeroRtt => Some(EncryptionLevel::Initial),
+            PacketType::Handshake => Some(EncryptionLevel::Handshake),
+            PacketType::Short => Some(EncryptionLevel::OneRtt),
+            _ => None,
+        }
+    }
+
+    fn space(level: EncryptionLevel) -> usize {
+        match level {
+            EncryptionLevel::Initial => 0,
+            EncryptionLevel::Handshake => 1,
+            EncryptionLevel::OneRtt => 2,
+        }
+    }
+
+    fn keys(&self, level: EncryptionLevel) -> Option<Keys> {
+        self.key_material.map(|m| Keys::derive(m, level))
+    }
+
+    fn build(&mut self, packet_type: PacketType, frames: Vec<Frame>) -> Bytes {
+        let level = Self::level_for(packet_type).unwrap_or(EncryptionLevel::Initial);
+        let space = Self::space(level);
+        let pn = self.tx_pn[space];
+        self.tx_pn[space] += 1;
+        let header = match packet_type {
+            PacketType::Short => PacketHeader::short(self.client_cid.clone(), pn),
+            _ => PacketHeader::long(packet_type, self.client_cid.clone(), self.scid.clone(), pn),
+        };
+        let keys = self
+            .keys(level)
+            .unwrap_or_else(|| Keys::derive(0, level));
+        Packet::new(header, frames).encode(&keys)
+    }
+
+    fn ack_frame(&self, level: EncryptionLevel) -> Frame {
+        let largest = self.largest_rx[Self::space(level)].unwrap_or(0);
+        Frame::Ack { largest_acknowledged: largest, ack_delay: 0, first_ack_range: 0 }
+    }
+
+    fn stateless_reset(&mut self) -> Bytes {
+        let header = PacketHeader {
+            packet_type: PacketType::StatelessReset,
+            version: 0,
+            destination_cid: self.client_cid.clone(),
+            source_cid: ConnectionId::empty(),
+            token: Bytes::new(),
+            packet_number: 0,
+        };
+        Packet::new(header, vec![]).encode(&Keys::derive(0, EncryptionLevel::OneRtt))
+    }
+
+    /// Handles a datagram arriving from `source_port`, returning the
+    /// datagrams the server sends in response (possibly none).
+    pub fn handle_datagram(&mut self, datagram: &Bytes, source_port: u16) -> Vec<Bytes> {
+        self.datagrams_processed += 1;
+        let Ok((header, _)) = Packet::decode_header(datagram) else {
+            return Vec::new();
+        };
+        let Some(level) = Self::level_for(header.packet_type) else {
+            // Clients do not legitimately send Retry / VN / stateless resets.
+            return Vec::new();
+        };
+
+        // Once closed, the connection no longer tries to decrypt anything:
+        // whatever arrives is handled by the post-close policy (a stateless
+        // reset is precisely the mechanism for packets that can no longer be
+        // associated with a connection).
+        if self.phase == ServerPhase::Closed {
+            return self.after_close_response();
+        }
+
+        // Key / phase gating: which packets can we even look at?
+        let can_process = match level {
+            EncryptionLevel::Initial => true,
+            EncryptionLevel::Handshake => !matches!(self.phase, ServerPhase::Idle),
+            EncryptionLevel::OneRtt => self.one_rtt_available,
+        };
+        if !can_process {
+            return Vec::new();
+        }
+
+        // Derive key material from the client's chosen destination CID on
+        // first contact, exactly as Initial secrets are derived.
+        if self.key_material.is_none() {
+            if header.packet_type != PacketType::Initial {
+                return Vec::new();
+            }
+            self.key_material = Some(header.destination_cid.key_material());
+        }
+        let keys = self.keys(level).expect("key material set above");
+        let Ok(packet) = Packet::decode(datagram, &keys) else {
+            return Vec::new();
+        };
+        let space = Self::space(level);
+        self.largest_rx[space] =
+            Some(self.largest_rx[space].map_or(packet.header.packet_number, |l| l.max(packet.header.packet_number)));
+
+        // A client must never send HANDSHAKE_DONE (§6.2.4): protocol violation.
+        if packet.frames.iter().any(|f| f.frame_type() == FrameType::HandshakeDone) {
+            return self.close_on_violation(packet.header.packet_type);
+        }
+
+        match (self.phase, packet.header.packet_type) {
+            (ServerPhase::Idle, PacketType::Initial) => self.on_client_initial(&packet, source_port),
+            (ServerPhase::HandshakeStarted, PacketType::Handshake) => self.on_client_handshake(&packet),
+            (ServerPhase::HandshakeStarted, PacketType::Initial) => {
+                // Duplicate / reordered Initial: acknowledge, nothing more.
+                Vec::new()
+            }
+            (ServerPhase::Established, PacketType::Short) => self.on_one_rtt(&packet),
+            (ServerPhase::Established, _) => Vec::new(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_client_initial(&mut self, packet: &Packet, source_port: u16) -> Vec<Bytes> {
+        let has_crypto = packet.frames.iter().any(|f| f.frame_type() == FrameType::Crypto);
+        if !has_crypto {
+            return Vec::new();
+        }
+        self.client_cid = packet.header.source_cid.clone();
+
+        if self.profile.supports_retry {
+            if !self.retry_sent {
+                // First flight: validate the address with a Retry.
+                self.retry_sent = true;
+                self.pre_retry_initial_pn = Some(packet.header.packet_number);
+                let token = Bytes::from(format!("token-{}-{}", source_port, self.scid));
+                self.expected_token = Some(token.clone());
+                self.validated_port = Some(source_port);
+                // Key material resets with the new connection attempt.
+                self.key_material = None;
+                let header = PacketHeader::long(
+                    PacketType::Retry,
+                    self.client_cid.clone(),
+                    self.scid.clone(),
+                    0,
+                )
+                .with_token(token);
+                let retry =
+                    Packet::new(header, vec![]).encode(&Keys::derive(0, EncryptionLevel::Initial));
+                return vec![retry];
+            }
+            // Post-Retry Initial: the token must match and must arrive from
+            // the validated address/port (Issue 3: the tracker client fails
+            // this by re-binding to a fresh port).
+            let token_ok = self.expected_token.as_deref() == Some(&packet.header.token[..]);
+            let port_ok = self.validated_port == Some(source_port);
+            if !token_ok || !port_ok {
+                return Vec::new();
+            }
+            // Issue 1: implementations disagree on what to do when the
+            // client resets its packet-number space after Retry.
+            if self.profile.abort_on_pn_reset_after_retry {
+                if let Some(pre) = self.pre_retry_initial_pn {
+                    if packet.header.packet_number <= pre && pre > 0 {
+                        return self.close_on_violation(PacketType::Initial);
+                    }
+                }
+            }
+        }
+
+        self.phase = ServerPhase::HandshakeStarted;
+        let mut out = Vec::new();
+        out.push(self.build(
+            PacketType::Initial,
+            vec![
+                self.ack_frame(EncryptionLevel::Initial),
+                Frame::Crypto { offset: 0, data: Bytes::from_static(b"server-hello") },
+            ],
+        ));
+        out.push(self.build(
+            PacketType::Handshake,
+            vec![Frame::Crypto { offset: 0, data: Bytes::from_static(b"encrypted-extensions") }],
+        ));
+        out.push(self.build(
+            PacketType::Handshake,
+            vec![Frame::Crypto { offset: 20, data: Bytes::from_static(b"certificate-finished") }],
+        ));
+        if self.profile.handshake_style == HandshakeStyle::Google {
+            // Google's first flight already carries early application data.
+            self.one_rtt_available = true;
+            out.push(self.build(
+                PacketType::Short,
+                vec![Frame::Stream {
+                    stream_id: STREAM_RESPONSE_ID,
+                    offset: 0,
+                    fin: false,
+                    data: Bytes::from_static(b"early-data"),
+                }],
+            ));
+        }
+        out
+    }
+
+    fn on_client_handshake(&mut self, packet: &Packet) -> Vec<Bytes> {
+        let has_crypto = packet.frames.iter().any(|f| f.frame_type() == FrameType::Crypto);
+        if !has_crypto {
+            return Vec::new();
+        }
+        self.phase = ServerPhase::Established;
+        self.one_rtt_available = true;
+        match self.profile.handshake_style {
+            HandshakeStyle::Google => vec![
+                self.build(
+                    PacketType::Short,
+                    vec![Frame::Crypto { offset: 0, data: Bytes::from_static(b"session-ticket") }],
+                ),
+                self.build(PacketType::Short, vec![Frame::HandshakeDone]),
+            ],
+            HandshakeStyle::Quiche => vec![
+                self.build(PacketType::Handshake, vec![self.ack_frame(EncryptionLevel::Handshake)]),
+                self.build(
+                    PacketType::Short,
+                    vec![
+                        Frame::Crypto { offset: 0, data: Bytes::from_static(b"session-ticket") },
+                        Frame::HandshakeDone,
+                        Frame::Stream {
+                            stream_id: STREAM_RESPONSE_ID,
+                            offset: 0,
+                            fin: false,
+                            data: Bytes::from_static(b"welcome"),
+                        },
+                    ],
+                ),
+            ],
+        }
+    }
+
+    fn on_one_rtt(&mut self, packet: &Packet) -> Vec<Bytes> {
+        let mut has_stream = false;
+        let mut has_flow_update = false;
+        let mut only_ack = true;
+        for frame in &packet.frames {
+            match frame {
+                Frame::Stream { .. } => {
+                    has_stream = true;
+                    only_ack = false;
+                }
+                Frame::MaxData { maximum } => {
+                    // Connection-level credit is tracked implicitly through
+                    // the stream-level limit in this simulator.
+                    let _ = maximum;
+                    has_flow_update = true;
+                    only_ack = false;
+                }
+                Frame::MaxStreamData { maximum, .. } => {
+                    self.peer_max_stream_data = self.peer_max_stream_data.max(*maximum);
+                    has_flow_update = true;
+                    only_ack = false;
+                }
+                Frame::Ack { .. } | Frame::Padding => {}
+                _ => only_ack = false,
+            }
+        }
+        if only_ack {
+            return Vec::new();
+        }
+
+        let mut frames = vec![self.ack_frame(EncryptionLevel::OneRtt)];
+        if has_stream {
+            // The client sent request data; we owe it `response_chunk` bytes
+            // of response on our stream, subject to its flow-control limit.
+            self.blocked_bytes += self.profile.response_chunk;
+        }
+        if has_stream || has_flow_update {
+            let budget = self.peer_max_stream_data.saturating_sub(self.sent_stream_offset);
+            let to_send = self.blocked_bytes.min(budget);
+            if to_send > 0 {
+                frames.push(Frame::Stream {
+                    stream_id: STREAM_RESPONSE_ID,
+                    offset: self.sent_stream_offset,
+                    fin: false,
+                    data: Bytes::from(vec![b'r'; to_send as usize]),
+                });
+                self.sent_stream_offset += to_send;
+                self.blocked_bytes -= to_send;
+            }
+            if self.blocked_bytes > 0 {
+                // We are blocked: advertise it.  The Google profile ships the
+                // Issue-4 defect here — the field is a leftover placeholder 0.
+                let advertised = if self.profile.stream_data_blocked_constant_zero {
+                    0
+                } else {
+                    self.peer_max_stream_data
+                };
+                frames.push(Frame::StreamDataBlocked {
+                    stream_id: STREAM_RESPONSE_ID,
+                    maximum_stream_data: advertised,
+                });
+            }
+        }
+        if frames.len() == 1 && !has_stream && !has_flow_update {
+            return Vec::new();
+        }
+        vec![self.build(PacketType::Short, frames)]
+    }
+
+    fn close_on_violation(&mut self, trigger: PacketType) -> Vec<Bytes> {
+        let close = Frame::ConnectionClose {
+            error_code: 0x0A, // PROTOCOL_VIOLATION
+            frame_type: 0x1E, // HANDSHAKE_DONE
+            reason: "client sent HANDSHAKE_DONE".to_string(),
+            application: false,
+        };
+        let mut out = Vec::new();
+        match (self.phase, trigger) {
+            (ServerPhase::Idle, _) | (ServerPhase::HandshakeStarted, PacketType::Initial) => {
+                out.push(self.build(
+                    PacketType::Initial,
+                    vec![self.ack_frame(EncryptionLevel::Initial), close.clone()],
+                ));
+                if self.phase != ServerPhase::Idle {
+                    out.push(self.build(PacketType::Handshake, vec![close.clone()]));
+                }
+            }
+            (ServerPhase::HandshakeStarted, _) => {
+                out.push(self.build(
+                    PacketType::Handshake,
+                    vec![self.ack_frame(EncryptionLevel::Handshake), close.clone()],
+                ));
+                if self.profile.handshake_style == HandshakeStyle::Google && self.one_rtt_available {
+                    out.push(self.build(
+                        PacketType::Short,
+                        vec![
+                            close.clone(),
+                            Frame::Stream {
+                                stream_id: STREAM_RESPONSE_ID,
+                                offset: self.sent_stream_offset,
+                                fin: true,
+                                data: Bytes::new(),
+                            },
+                        ],
+                    ));
+                }
+            }
+            (ServerPhase::Established, _) => {
+                out.push(self.build(
+                    PacketType::Short,
+                    vec![self.ack_frame(EncryptionLevel::OneRtt), close.clone()],
+                ));
+            }
+            (ServerPhase::Closed, _) => {}
+        }
+        self.phase = ServerPhase::Closed;
+        out
+    }
+
+    /// What the server does with packets that arrive after the connection
+    /// was closed.  Correct implementations answer deterministically; the
+    /// mvfst profile answers with a stateless reset only ≈82% of the time
+    /// (Issue 2) and stays silent otherwise, with no back-off.
+    fn after_close_response(&mut self) -> Vec<Bytes> {
+        let p = self.profile.reset_probability_after_close;
+        if p >= 1.0 {
+            // Deterministic: retransmit the connection close.
+            let close = Frame::ConnectionClose {
+                error_code: 0x0A,
+                frame_type: 0x1E,
+                reason: "closed".to_string(),
+                application: false,
+            };
+            let packet_type = if self.one_rtt_available { PacketType::Short } else { PacketType::Initial };
+            return vec![self.build(packet_type, vec![close])];
+        }
+        if self.rng.gen_bool(p) {
+            vec![self.stateless_reset()]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The server is exercised end-to-end (through real packet exchanges) in
+    // `client.rs` and in the crate-level tests in `tests/conversations.rs`,
+    // where a reference client is available to drive it.
+}

@@ -1,0 +1,201 @@
+//! Simulated packet protection.
+//!
+//! Real QUIC derives per-level secrets from the TLS 1.3 handshake and
+//! protects payloads with an AEAD plus header protection.  The Prognosis
+//! learner treats all of that as opaque: what matters to the observable
+//! state machine is only *which encryption levels each endpoint has keys
+//! for*, because that determines which packets it can process (an endpoint
+//! ignores packets it cannot open, which is exactly the `{}` rows in the
+//! appendix models).
+//!
+//! [`Keys`] therefore implements a deterministic keyed keystream: `seal`
+//! XORs the payload with a keystream derived from (secret, level, packet
+//! number) and appends a 4-byte integrity tag; `open` recomputes and checks
+//! the tag, failing exactly when the wrong secret or level is used — the
+//! same external behaviour as a real AEAD, with none of the cryptography.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// QUIC encryption levels / packet-number spaces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EncryptionLevel {
+    /// Initial keys, derived from the client's destination connection ID.
+    Initial,
+    /// Handshake keys, available once the TLS handshake is underway.
+    Handshake,
+    /// 1-RTT (application) keys, available once the handshake completes.
+    OneRtt,
+}
+
+impl EncryptionLevel {
+    /// All levels, in handshake order.
+    pub const ALL: [EncryptionLevel; 3] =
+        [EncryptionLevel::Initial, EncryptionLevel::Handshake, EncryptionLevel::OneRtt];
+
+    fn domain_separator(self) -> u64 {
+        match self {
+            EncryptionLevel::Initial => 0x1111_1111_1111_1111,
+            EncryptionLevel::Handshake => 0x2222_2222_2222_2222,
+            EncryptionLevel::OneRtt => 0x3333_3333_3333_3333,
+        }
+    }
+}
+
+impl fmt::Display for EncryptionLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncryptionLevel::Initial => write!(f, "Initial"),
+            EncryptionLevel::Handshake => write!(f, "Handshake"),
+            EncryptionLevel::OneRtt => write!(f, "1-RTT"),
+        }
+    }
+}
+
+/// Errors raised when opening protected payloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CryptoError {
+    /// The integrity tag did not verify (wrong keys, wrong level or corrupted
+    /// payload).
+    TagMismatch,
+    /// The payload is shorter than the integrity tag.
+    Truncated,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::TagMismatch => write!(f, "integrity tag mismatch"),
+            CryptoError::Truncated => write!(f, "protected payload shorter than the tag"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+/// Length of the simulated integrity tag.
+pub const TAG_LEN: usize = 4;
+
+/// Packet-protection keys for one encryption level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Keys {
+    secret: u64,
+    level: EncryptionLevel,
+}
+
+impl Keys {
+    /// Derives keys for `level` from connection key material (in real QUIC,
+    /// the Initial secret comes from the client's destination connection ID
+    /// and later secrets from the TLS key schedule).
+    pub fn derive(key_material: u64, level: EncryptionLevel) -> Self {
+        let secret = splitmix(key_material ^ level.domain_separator());
+        Keys { secret, level }
+    }
+
+    /// The encryption level these keys belong to.
+    pub fn level(&self) -> EncryptionLevel {
+        self.level
+    }
+
+    fn keystream_byte(&self, packet_number: u64, index: usize) -> u8 {
+        let word = splitmix(self.secret ^ packet_number.wrapping_mul(0x9E37_79B9) ^ (index as u64 / 8));
+        (word >> ((index % 8) * 8)) as u8
+    }
+
+    fn tag(&self, packet_number: u64, plaintext: &[u8]) -> [u8; TAG_LEN] {
+        let mut acc = self.secret ^ packet_number;
+        for (i, &b) in plaintext.iter().enumerate() {
+            acc = splitmix(acc ^ u64::from(b) ^ (i as u64));
+        }
+        (acc as u32).to_be_bytes()
+    }
+
+    /// Protects a payload: XOR keystream plus appended integrity tag.
+    pub fn seal(&self, packet_number: u64, plaintext: &[u8]) -> Vec<u8> {
+        let mut out: Vec<u8> = plaintext
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| b ^ self.keystream_byte(packet_number, i))
+            .collect();
+        out.extend_from_slice(&self.tag(packet_number, plaintext));
+        out
+    }
+
+    /// Removes protection, verifying the integrity tag.
+    pub fn open(&self, packet_number: u64, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        if ciphertext.len() < TAG_LEN {
+            return Err(CryptoError::Truncated);
+        }
+        let (body, tag) = ciphertext.split_at(ciphertext.len() - TAG_LEN);
+        let plaintext: Vec<u8> = body
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| b ^ self.keystream_byte(packet_number, i))
+            .collect();
+        if self.tag(packet_number, &plaintext) != tag {
+            return Err(CryptoError::TagMismatch);
+        }
+        Ok(plaintext)
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_open_round_trip_per_level() {
+        for level in EncryptionLevel::ALL {
+            let keys = Keys::derive(42, level);
+            assert_eq!(keys.level(), level);
+            let plaintext = b"prognosis closed-box analysis";
+            let sealed = keys.seal(7, plaintext);
+            assert_eq!(sealed.len(), plaintext.len() + TAG_LEN);
+            assert_ne!(&sealed[..plaintext.len()], plaintext, "payload must be transformed");
+            assert_eq!(keys.open(7, &sealed).unwrap(), plaintext);
+        }
+    }
+
+    #[test]
+    fn wrong_level_or_secret_fails_to_open() {
+        let initial = Keys::derive(42, EncryptionLevel::Initial);
+        let handshake = Keys::derive(42, EncryptionLevel::Handshake);
+        let other_conn = Keys::derive(43, EncryptionLevel::Initial);
+        let sealed = initial.seal(0, b"client hello");
+        assert_eq!(handshake.open(0, &sealed).unwrap_err(), CryptoError::TagMismatch);
+        assert_eq!(other_conn.open(0, &sealed).unwrap_err(), CryptoError::TagMismatch);
+        assert_eq!(initial.open(1, &sealed).unwrap_err(), CryptoError::TagMismatch);
+        assert_eq!(initial.open(0, &sealed).unwrap(), b"client hello");
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let keys = Keys::derive(1, EncryptionLevel::OneRtt);
+        let mut sealed = keys.seal(3, b"data");
+        sealed[0] ^= 0xFF;
+        assert_eq!(keys.open(3, &sealed).unwrap_err(), CryptoError::TagMismatch);
+        assert_eq!(keys.open(3, &[1, 2]).unwrap_err(), CryptoError::Truncated);
+    }
+
+    #[test]
+    fn empty_payloads_are_supported() {
+        let keys = Keys::derive(5, EncryptionLevel::Handshake);
+        let sealed = keys.seal(9, b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(keys.open(9, &sealed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(EncryptionLevel::Initial.to_string(), "Initial");
+        assert_eq!(EncryptionLevel::OneRtt.to_string(), "1-RTT");
+        assert!(CryptoError::TagMismatch.to_string().contains("tag"));
+    }
+}

@@ -1,0 +1,133 @@
+//! QUIC variable-length integers (draft-29 §16 / RFC 9000 §16).
+//!
+//! The two most significant bits of the first byte select the encoding
+//! length (1, 2, 4 or 8 bytes); the remaining bits carry the value in
+//! network byte order.  The largest representable value is 2⁶²−1.
+
+use bytes::{Buf, BufMut};
+use std::fmt;
+
+/// Maximum value representable as a QUIC varint (2⁶² − 1).
+pub const MAX_VARINT: u64 = (1 << 62) - 1;
+
+/// Errors raised by varint decoding/encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarIntError {
+    /// The value does not fit in 62 bits.
+    TooLarge(u64),
+    /// The buffer ended in the middle of a varint.
+    Truncated,
+}
+
+impl fmt::Display for VarIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarIntError::TooLarge(v) => write!(f, "{v} exceeds the 62-bit varint range"),
+            VarIntError::Truncated => write!(f, "buffer truncated inside a varint"),
+        }
+    }
+}
+
+impl std::error::Error for VarIntError {}
+
+/// Number of bytes needed to encode `value`.
+pub fn varint_len(value: u64) -> Result<usize, VarIntError> {
+    match value {
+        v if v < 1 << 6 => Ok(1),
+        v if v < 1 << 14 => Ok(2),
+        v if v < 1 << 30 => Ok(4),
+        v if v <= MAX_VARINT => Ok(8),
+        v => Err(VarIntError::TooLarge(v)),
+    }
+}
+
+/// Appends `value` to `buf` in varint encoding.
+pub fn write_varint(buf: &mut impl BufMut, value: u64) -> Result<(), VarIntError> {
+    match varint_len(value)? {
+        1 => buf.put_u8(value as u8),
+        2 => buf.put_u16((value as u16) | 0x4000),
+        4 => buf.put_u32((value as u32) | 0x8000_0000),
+        _ => buf.put_u64(value | 0xC000_0000_0000_0000),
+    }
+    Ok(())
+}
+
+/// Reads a varint from the front of `buf`, advancing it.
+pub fn read_varint(buf: &mut impl Buf) -> Result<u64, VarIntError> {
+    if buf.remaining() < 1 {
+        return Err(VarIntError::Truncated);
+    }
+    let first = buf.chunk()[0];
+    let len = 1usize << (first >> 6);
+    if buf.remaining() < len {
+        return Err(VarIntError::Truncated);
+    }
+    let value = match len {
+        1 => u64::from(buf.get_u8() & 0x3F),
+        2 => u64::from(buf.get_u16() & 0x3FFF),
+        4 => u64::from(buf.get_u32() & 0x3FFF_FFFF),
+        _ => buf.get_u64() & 0x3FFF_FFFF_FFFF_FFFF,
+    };
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::{Bytes, BytesMut};
+
+    fn round_trip(value: u64) -> (usize, u64) {
+        let mut buf = BytesMut::new();
+        write_varint(&mut buf, value).unwrap();
+        let len = buf.len();
+        let mut bytes = buf.freeze();
+        (len, read_varint(&mut bytes).unwrap())
+    }
+
+    #[test]
+    fn rfc_9000_appendix_a_examples() {
+        // The canonical examples from RFC 9000 Appendix A.1.
+        let mut b = Bytes::from_static(&[0xc2, 0x19, 0x7c, 0x5e, 0xff, 0x14, 0xe8, 0x8c]);
+        assert_eq!(read_varint(&mut b).unwrap(), 151_288_809_941_952_652);
+        let mut b = Bytes::from_static(&[0x9d, 0x7f, 0x3e, 0x7d]);
+        assert_eq!(read_varint(&mut b).unwrap(), 494_878_333);
+        let mut b = Bytes::from_static(&[0x7b, 0xbd]);
+        assert_eq!(read_varint(&mut b).unwrap(), 15_293);
+        let mut b = Bytes::from_static(&[0x25]);
+        assert_eq!(read_varint(&mut b).unwrap(), 37);
+    }
+
+    #[test]
+    fn encoding_lengths_follow_thresholds() {
+        assert_eq!(round_trip(0), (1, 0));
+        assert_eq!(round_trip(63), (1, 63));
+        assert_eq!(round_trip(64), (2, 64));
+        assert_eq!(round_trip(16_383), (2, 16_383));
+        assert_eq!(round_trip(16_384), (4, 16_384));
+        assert_eq!(round_trip((1 << 30) - 1), (4, (1 << 30) - 1));
+        assert_eq!(round_trip(1 << 30), (8, 1 << 30));
+        assert_eq!(round_trip(MAX_VARINT), (8, MAX_VARINT));
+    }
+
+    #[test]
+    fn errors() {
+        let mut buf = BytesMut::new();
+        assert_eq!(write_varint(&mut buf, MAX_VARINT + 1), Err(VarIntError::TooLarge(MAX_VARINT + 1)));
+        assert_eq!(varint_len(u64::MAX).unwrap_err(), VarIntError::TooLarge(u64::MAX));
+        let mut empty = Bytes::new();
+        assert_eq!(read_varint(&mut empty), Err(VarIntError::Truncated));
+        let mut short = Bytes::from_static(&[0xc0, 0x01]);
+        assert_eq!(read_varint(&mut short), Err(VarIntError::Truncated));
+        assert!(VarIntError::Truncated.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn exhaustive_round_trip_near_boundaries() {
+        for base in [0u64, 63, 64, 16_383, 16_384, (1 << 30) - 1, 1 << 30, MAX_VARINT - 1] {
+            for delta in 0..2 {
+                let v = base.saturating_add(delta).min(MAX_VARINT);
+                assert_eq!(round_trip(v).1, v);
+            }
+        }
+    }
+}

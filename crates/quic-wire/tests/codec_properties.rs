@@ -1,0 +1,120 @@
+//! Property-based tests for the QUIC wire codec: varints, frames and packets
+//! survive encode/decode round trips for arbitrary field values, and packet
+//! protection fails cleanly under corruption.
+
+use bytes::{Bytes, BytesMut};
+use prognosis_quic_wire::connection_id::ConnectionId;
+use prognosis_quic_wire::crypto::{EncryptionLevel, Keys};
+use prognosis_quic_wire::frame::Frame;
+use prognosis_quic_wire::packet::{Packet, PacketHeader, PacketType};
+use prognosis_quic_wire::varint::{read_varint, write_varint, MAX_VARINT};
+use proptest::prelude::*;
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    let v = 0u64..(1 << 30);
+    prop_oneof![
+        Just(Frame::Ping),
+        (v.clone(), v.clone(), v.clone()).prop_map(|(a, b, c)| Frame::Ack {
+            largest_acknowledged: a,
+            ack_delay: b,
+            first_ack_range: c
+        }),
+        (v.clone(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(offset, data)| Frame::Crypto {
+            offset,
+            data: Bytes::from(data)
+        }),
+        (v.clone(), v.clone(), any::<bool>(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(
+            |(stream_id, offset, fin, data)| Frame::Stream { stream_id, offset, fin, data: Bytes::from(data) }
+        ),
+        v.clone().prop_map(|maximum| Frame::MaxData { maximum }),
+        (v.clone(), v.clone()).prop_map(|(stream_id, maximum)| Frame::MaxStreamData { stream_id, maximum }),
+        (v.clone(), v.clone()).prop_map(|(stream_id, maximum_stream_data)| Frame::StreamDataBlocked {
+            stream_id,
+            maximum_stream_data
+        }),
+        (v.clone(), ".{0,32}", any::<bool>()).prop_map(|(error_code, reason, application)| {
+            Frame::ConnectionClose { error_code, frame_type: 0, reason, application }
+        }),
+        Just(Frame::HandshakeDone),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn varints_round_trip(value in 0u64..=MAX_VARINT) {
+        let mut buf = BytesMut::new();
+        write_varint(&mut buf, value).unwrap();
+        prop_assert!(buf.len() <= 8);
+        let mut bytes = buf.freeze();
+        prop_assert_eq!(read_varint(&mut bytes).unwrap(), value);
+        prop_assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn frame_sequences_round_trip(frames in prop::collection::vec(arb_frame(), 0..8)) {
+        let encoded = Frame::encode_all(&frames);
+        let decoded = Frame::decode_all(encoded).unwrap();
+        prop_assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn packets_round_trip_with_matching_keys(
+        frames in prop::collection::vec(arb_frame(), 1..6),
+        pn in 0u64..u32::MAX as u64,
+        cid_seed in any::<u64>(),
+        short in any::<bool>(),
+    ) {
+        let dcid = ConnectionId::from_seed(cid_seed);
+        let (header, level) = if short {
+            (PacketHeader::short(dcid.clone(), pn), EncryptionLevel::OneRtt)
+        } else {
+            (
+                PacketHeader::long(PacketType::Handshake, dcid.clone(), ConnectionId::from_seed(cid_seed ^ 1), pn),
+                EncryptionLevel::Handshake,
+            )
+        };
+        let keys = Keys::derive(dcid.key_material(), level);
+        let packet = Packet::new(header, frames);
+        let wire = packet.encode(&keys);
+        let decoded = Packet::decode(&wire, &keys).unwrap();
+        prop_assert_eq!(decoded, packet);
+    }
+
+    #[test]
+    fn corrupted_packets_never_decode_to_a_different_packet(
+        frames in prop::collection::vec(arb_frame(), 1..4),
+        pn in 0u64..1_000_000,
+        flip_at in any::<prop::sample::Index>(),
+    ) {
+        let dcid = ConnectionId::from_seed(7);
+        let keys = Keys::derive(dcid.key_material(), EncryptionLevel::OneRtt);
+        let packet = Packet::new(PacketHeader::short(dcid, pn), frames);
+        let wire = packet.encode(&keys);
+        let mut corrupted = wire.to_vec();
+        let idx = flip_at.index(corrupted.len());
+        corrupted[idx] ^= 0xFF;
+        match Packet::decode(&Bytes::from(corrupted), &keys) {
+            // Either the corruption is detected...
+            Err(_) => {}
+            // ...or it only hit header bytes that do not affect the frames
+            // (e.g. the packet number is part of the keystream, so any
+            // successful decode must reproduce the original frames).
+            Ok(decoded) => prop_assert_eq!(decoded.frames, packet.frames),
+        }
+    }
+
+    #[test]
+    fn abstract_names_are_stable_under_reencoding(
+        frames in prop::collection::vec(arb_frame(), 1..6),
+        pn in 0u64..10_000,
+    ) {
+        let dcid = ConnectionId::from_seed(3);
+        let keys = Keys::derive(dcid.key_material(), EncryptionLevel::OneRtt);
+        let packet = Packet::new(PacketHeader::short(dcid, pn), frames);
+        let decoded = Packet::decode(&packet.encode(&keys), &keys).unwrap();
+        prop_assert_eq!(decoded.abstract_name(), packet.abstract_name());
+        prop_assert!(packet.abstract_name().starts_with("SHORT(?,?)["));
+    }
+}

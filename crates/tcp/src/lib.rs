@@ -1,0 +1,31 @@
+//! # prognosis-tcp
+//!
+//! A userspace TCP implementation standing in for the Ubuntu 20.04 kernel
+//! stack the paper learns in §6.1.  It provides:
+//!
+//! * [`segment`] — TCP segments (flags, sequence/acknowledgement numbers,
+//!   payload) with a byte-level codec, replacing Scapy as the packet
+//!   crafting layer;
+//! * [`server`] — an RFC-793-style server state machine (the system under
+//!   learning): passive open, three-way handshake, data transfer with
+//!   acknowledgements, passive close, and the RST policy whose abstract
+//!   behaviour matches the 6-state model in Appendix A.1;
+//! * [`client`] — the reference client the Adapter instruments: it owns the
+//!   protocol logic needed to turn abstract symbols such as `ACK+PSH(?,?,1)`
+//!   into concrete segments with valid sequence/acknowledgement numbers and
+//!   to track state across a multi-packet query (§3.2).
+//!
+//! The server is deterministic given its [`server::IsnPolicy`]; learning
+//! experiments use a fixed ISN so that nondeterminism can only come from
+//! the network or from injected defects, never from the stack itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod segment;
+pub mod server;
+
+pub use client::ReferenceTcpClient;
+pub use segment::{TcpFlags, TcpSegment};
+pub use server::{IsnPolicy, TcpServer, TcpServerConfig, TcpState};

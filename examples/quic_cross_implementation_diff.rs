@@ -1,0 +1,41 @@
+//! Learn models of two QUIC implementations and diff them — the analysis
+//! behind Issue 1 (§6.2.3), where different implementations turned out to
+//! disagree on the same abstract traces.
+//!
+//! ```sh
+//! cargo run --example quic_cross_implementation_diff
+//! ```
+
+use prognosis::analysis::comparison::{behavioural_diff, compare_models};
+use prognosis::analysis::report::Report;
+use prognosis::core::pipeline::{learn_model, LearnConfig};
+use prognosis::core::quic_adapter::{quic_alphabet, QuicSul};
+use prognosis::quic_sim::profile::ImplementationProfile;
+
+fn main() {
+    let config = LearnConfig { random_tests: 2_000, max_word_len: 12, ..LearnConfig::default() };
+
+    let mut google_sul = QuicSul::new(ImplementationProfile::google(), 3);
+    let google = learn_model(&mut google_sul, &quic_alphabet(), config);
+    let mut quiche_sul = QuicSul::new(ImplementationProfile::quiche(), 3);
+    let quiche = learn_model(&mut quiche_sul, &quic_alphabet(), config);
+
+    let cmp = compare_models(&google.model, &quiche.model);
+    let mut report = Report::new("Cross-implementation comparison (google vs quiche profiles)");
+    report
+        .row("google states (minimized)", cmp.left_states)
+        .row("quiche states (minimized)", cmp.right_states)
+        .row("equivalent", cmp.equivalent);
+    if let Some(ce) = &cmp.counterexample {
+        report.finding(format!("shortest distinguishing input: {}", ce.input));
+    }
+    println!("{report}");
+
+    println!("First distinguishing traces (shortest first):");
+    for diff in behavioural_diff(&google.model, &quiche.model, 5) {
+        println!("  input : {}", diff.input);
+        println!("  google: {:?}", diff.left_output);
+        println!("  quiche: {:?}", diff.right_output);
+        println!();
+    }
+}

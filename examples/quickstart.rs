@@ -1,0 +1,46 @@
+//! Quickstart: learn a model of a QUIC implementation in a few lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! The example learns the Quiche-like simulated implementation over the
+//! paper's seven-symbol abstract alphabet, prints the learned Mealy machine
+//! statistics and a DOT rendering you can paste into Graphviz.
+
+use prognosis::analysis::report::Report;
+use prognosis::automata::dot::{to_dot, DotOptions};
+use prognosis::core::pipeline::{learn_model, LearnConfig};
+use prognosis::core::quic_adapter::{quic_alphabet, QuicSul};
+use prognosis::quic_sim::profile::ImplementationProfile;
+
+fn main() {
+    // 1. Pick the implementation to analyze (the SUL) and wrap it in the
+    //    adapter built on the reference implementation.
+    let mut sul = QuicSul::new(ImplementationProfile::quiche(), 1);
+
+    // 2. Learn a Mealy model over the abstract alphabet.
+    let config = LearnConfig { random_tests: 1_500, max_word_len: 10, ..LearnConfig::default() };
+    let learned = learn_model(&mut sul, &quic_alphabet(), config);
+
+    // 3. Inspect the result.
+    let mut report = Report::new("Quickstart — learned model of the quiche-like implementation");
+    report
+        .row("states", learned.model.num_states())
+        .row("transitions", learned.model.num_transitions())
+        .row("membership queries", learned.stats.membership_queries)
+        .row("distinct SUL queries", learned.distinct_queries)
+        .row("counterexamples processed", learned.stats.counterexamples);
+    println!("{report}");
+
+    let dot = to_dot(
+        &learned.model,
+        &DotOptions {
+            name: "quiche".to_string(),
+            hide_silent_self_loops: true,
+            silent_output: "{}".to_string(),
+            ..DotOptions::default()
+        },
+    );
+    println!("--- Graphviz (paste into `dot -Tpdf`) ---\n{dot}");
+}
