@@ -90,7 +90,11 @@ pub fn behavioural_diff(
     let mut visited: HashSet<(usize, usize)> = HashSet::new();
     let mut queue: VecDeque<(usize, usize, InputWord)> = VecDeque::new();
     visited.insert((left.initial_state(), right.initial_state()));
-    queue.push_back((left.initial_state(), right.initial_state(), InputWord::empty()));
+    queue.push_back((
+        left.initial_state(),
+        right.initial_state(),
+        InputWord::empty(),
+    ));
     while let Some((ql, qr, word)) = queue.pop_front() {
         if diffs.len() >= max_diffs {
             break;
@@ -161,11 +165,20 @@ mod tests {
         assert!(!diffs.is_empty());
         assert!(diffs.len() <= 10);
         for d in &diffs {
-            assert_eq!(a.run(&d.input).unwrap().iter().map(|s| s.to_string()).collect::<Vec<_>>(), d.left_output);
+            assert_eq!(
+                a.run(&d.input)
+                    .unwrap()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>(),
+                d.left_output
+            );
             assert_ne!(d.left_output, d.right_output);
         }
         // Shortest differences come first.
-        assert!(diffs.windows(2).all(|w| w[0].input.len() <= w[1].input.len()));
+        assert!(diffs
+            .windows(2)
+            .all(|w| w[0].input.len() <= w[1].input.len()));
     }
 
     #[test]

@@ -40,12 +40,17 @@ pub enum SafetyProperty {
 impl SafetyProperty {
     /// Convenience constructor for [`SafetyProperty::NeverOutput`].
     pub fn never_output(forbidden: impl Into<String>) -> Self {
-        SafetyProperty::NeverOutput { forbidden: forbidden.into() }
+        SafetyProperty::NeverOutput {
+            forbidden: forbidden.into(),
+        }
     }
 
     /// Convenience constructor for [`SafetyProperty::NeverAfter`].
     pub fn never_after(trigger: impl Into<String>, forbidden: impl Into<String>) -> Self {
-        SafetyProperty::NeverAfter { trigger: trigger.into(), forbidden: forbidden.into() }
+        SafetyProperty::NeverAfter {
+            trigger: trigger.into(),
+            forbidden: forbidden.into(),
+        }
     }
 }
 
@@ -92,7 +97,11 @@ pub fn check_property(machine: &MealyMachine, property: &SafetyProperty) -> Prop
     match property {
         SafetyProperty::NeverOutput { forbidden } => {
             let witness = shortest_word_to_output(machine, machine.initial_state(), forbidden);
-            PropertyCheck { property: property.clone(), holds: witness.is_none(), witness }
+            PropertyCheck {
+                property: property.clone(),
+                holds: witness.is_none(),
+                witness,
+            }
         }
         SafetyProperty::NeverAfter { trigger, forbidden } => {
             // For every reachable transition producing the trigger, look for
@@ -109,7 +118,7 @@ pub fn check_property(machine: &MealyMachine, property: &SafetyProperty) -> Prop
                     if out.as_str().contains(trigger) {
                         if let Some(tail) = shortest_word_to_output(machine, next, forbidden) {
                             let witness = next_word.concat(&tail);
-                            if best.as_ref().map_or(true, |b| witness.len() < b.len()) {
+                            if best.as_ref().is_none_or(|b| witness.len() < b.len()) {
                                 best = Some(witness);
                             }
                         }
@@ -119,14 +128,24 @@ pub fn check_property(machine: &MealyMachine, property: &SafetyProperty) -> Prop
                     }
                 }
             }
-            PropertyCheck { property: property.clone(), holds: best.is_none(), witness: best }
+            PropertyCheck {
+                property: property.clone(),
+                holds: best.is_none(),
+                witness: best,
+            }
         }
     }
 }
 
 /// Checks a list of properties, returning one result per property.
-pub fn check_properties(machine: &MealyMachine, properties: &[SafetyProperty]) -> Vec<PropertyCheck> {
-    properties.iter().map(|p| check_property(machine, p)).collect()
+pub fn check_properties(
+    machine: &MealyMachine,
+    properties: &[SafetyProperty],
+) -> Vec<PropertyCheck> {
+    properties
+        .iter()
+        .map(|p| check_property(machine, p))
+        .collect()
 }
 
 #[cfg(test)]
@@ -143,14 +162,19 @@ mod tests {
         let idle = b.add_state();
         let established = b.add_state();
         let closed = b.add_state();
-        b.add_transition(idle, "open", "ACCEPT", established).unwrap();
+        b.add_transition(idle, "open", "ACCEPT", established)
+            .unwrap();
         b.add_transition(idle, "data", "{}", idle).unwrap();
         b.add_transition(idle, "close", "{}", idle).unwrap();
-        b.add_transition(established, "data", "STREAM", established).unwrap();
-        b.add_transition(established, "open", "{}", established).unwrap();
-        b.add_transition(established, "close", "CONNECTION_CLOSE", closed).unwrap();
+        b.add_transition(established, "data", "STREAM", established)
+            .unwrap();
+        b.add_transition(established, "open", "{}", established)
+            .unwrap();
+        b.add_transition(established, "close", "CONNECTION_CLOSE", closed)
+            .unwrap();
         let after_close_output = if buggy { "STREAM" } else { "{}" };
-        b.add_transition(closed, "data", after_close_output, closed).unwrap();
+        b.add_transition(closed, "data", after_close_output, closed)
+            .unwrap();
         b.add_transition(closed, "open", "{}", closed).unwrap();
         b.add_transition(closed, "close", "{}", closed).unwrap();
         b.build().unwrap()
@@ -167,7 +191,11 @@ mod tests {
         let witness = violated.witness.unwrap();
         // Shortest witness: open, data.
         assert_eq!(witness.len(), 2);
-        assert!(m.run(&witness).unwrap().iter().any(|o| o.as_str().contains("STREAM")));
+        assert!(m
+            .run(&witness)
+            .unwrap()
+            .iter()
+            .any(|o| o.as_str().contains("STREAM")));
     }
 
     #[test]
@@ -182,7 +210,9 @@ mod tests {
         // open, close, data — trigger then forbidden.
         assert_eq!(witness.len(), 3);
         let outputs = buggy.run(&witness).unwrap();
-        assert!(outputs.iter().any(|o| o.as_str().contains("CONNECTION_CLOSE")));
+        assert!(outputs
+            .iter()
+            .any(|o| o.as_str().contains("CONNECTION_CLOSE")));
         assert!(outputs.last().unwrap().as_str().contains("STREAM"));
     }
 
@@ -205,11 +235,16 @@ mod tests {
     fn constructors() {
         assert_eq!(
             SafetyProperty::never_output("X"),
-            SafetyProperty::NeverOutput { forbidden: "X".to_string() }
+            SafetyProperty::NeverOutput {
+                forbidden: "X".to_string()
+            }
         );
         assert_eq!(
             SafetyProperty::never_after("A", "B"),
-            SafetyProperty::NeverAfter { trigger: "A".to_string(), forbidden: "B".to_string() }
+            SafetyProperty::NeverAfter {
+                trigger: "A".to_string(),
+                forbidden: "B".to_string()
+            }
         );
     }
 }

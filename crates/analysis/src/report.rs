@@ -18,7 +18,11 @@ pub struct Report {
 impl Report {
     /// Creates an empty report with a title.
     pub fn new(title: impl Into<String>) -> Self {
-        Report { title: title.into(), rows: Vec::new(), findings: Vec::new() }
+        Report {
+            title: title.into(),
+            rows: Vec::new(),
+            findings: Vec::new(),
+        }
     }
 
     /// Adds a key/value row.

@@ -22,8 +22,8 @@ pub fn access_sequences(machine: &MealyMachine) -> BTreeMap<StateId, InputWord> 
         let prefix = out[&q].clone();
         for sym in machine.input_alphabet().iter() {
             let succ = machine.successor(q, sym).expect("total machine");
-            if !out.contains_key(&succ) {
-                out.insert(succ, prefix.append(sym.clone()));
+            if let std::collections::btree_map::Entry::Vacant(e) = out.entry(succ) {
+                e.insert(prefix.append(sym.clone()));
                 queue.push_back(succ);
             }
         }
@@ -94,11 +94,7 @@ pub fn distinguishes(machine: &MealyMachine, a: StateId, b: StateId, word: &Inpu
 }
 
 /// Shortest input word distinguishing states `a` and `b`, if any.
-pub fn distinguishing_word(
-    machine: &MealyMachine,
-    a: StateId,
-    b: StateId,
-) -> Option<InputWord> {
+pub fn distinguishing_word(machine: &MealyMachine, a: StateId, b: StateId) -> Option<InputWord> {
     if a == b {
         return None;
     }

@@ -95,7 +95,9 @@ pub struct Alphabet {
 impl Alphabet {
     /// Creates an empty alphabet.
     pub fn new() -> Self {
-        Alphabet { symbols: Vec::new() }
+        Alphabet {
+            symbols: Vec::new(),
+        }
     }
 
     /// Creates an alphabet from an iterator of symbols, removing duplicates

@@ -278,13 +278,19 @@ mod tests {
     fn builder_errors() {
         let alphabet = Alphabet::from_symbols(["a"]);
         let mut b = DfaBuilder::new(alphabet.clone());
-        assert!(matches!(b.add_transition(0, "a", 0), Err(DfaError::UnknownState(0))));
+        assert!(matches!(
+            b.add_transition(0, "a", 0),
+            Err(DfaError::UnknownState(0))
+        ));
         let s0 = b.add_state(true);
         assert!(matches!(
             b.add_transition(s0, "zzz", s0),
             Err(DfaError::UnknownSymbol(_))
         ));
-        assert!(matches!(b.add_transition(s0, "a", 4), Err(DfaError::UnknownState(4))));
+        assert!(matches!(
+            b.add_transition(s0, "a", 4),
+            Err(DfaError::UnknownState(4))
+        ));
         let empty = DfaBuilder::new(alphabet);
         assert!(matches!(empty.build(), Err(DfaError::Empty)));
     }

@@ -56,9 +56,7 @@ pub fn to_dot(machine: &MealyMachine, options: &DotOptions) -> String {
     // Group edge labels by (source, target) pair.
     let mut edges: BTreeMap<(usize, usize), Vec<String>> = BTreeMap::new();
     for (from, input, output, to) in machine.transitions() {
-        if options.hide_silent_self_loops
-            && from == to
-            && output.as_str() == options.silent_output
+        if options.hide_silent_self_loops && from == to && output.as_str() == options.silent_output
         {
             continue;
         }
@@ -87,7 +85,13 @@ pub fn to_dot_default(machine: &MealyMachine) -> String {
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() {
         "model".to_string()
@@ -146,10 +150,16 @@ mod tests {
     #[test]
     fn graph_name_is_sanitized() {
         let m = known::toggle();
-        let opts = DotOptions { name: "google QUIC (draft-29)".to_string(), ..Default::default() };
+        let opts = DotOptions {
+            name: "google QUIC (draft-29)".to_string(),
+            ..Default::default()
+        };
         let dot = to_dot(&m, &opts);
         assert!(dot.starts_with("digraph google_QUIC__draft_29_ {"));
-        let empty_name = DotOptions { name: "".to_string(), ..Default::default() };
+        let empty_name = DotOptions {
+            name: "".to_string(),
+            ..Default::default()
+        };
         assert!(to_dot(&m, &empty_name).starts_with("digraph model {"));
     }
 
@@ -161,7 +171,10 @@ mod tests {
         let s0 = b.add_named_state("LISTEN");
         b.add_transition(s0, "a", "x", s0).unwrap();
         let m = b.build().unwrap();
-        let opts = DotOptions { use_state_names: true, ..Default::default() };
+        let opts = DotOptions {
+            use_state_names: true,
+            ..Default::default()
+        };
         assert!(to_dot(&m, &opts).contains("label=\"LISTEN\""));
     }
 }

@@ -68,7 +68,10 @@ pub fn compare(left: &MealyMachine, right: &MealyMachine) -> EquivalenceResult {
         .map(|s| s.to_string())
         .collect();
     if !only_left.is_empty() || !only_right.is_empty() {
-        return EquivalenceResult::AlphabetMismatch { only_left, only_right };
+        return EquivalenceResult::AlphabetMismatch {
+            only_left,
+            only_right,
+        };
     }
 
     // BFS over the product machine.  `parent` reconstructs a shortest
@@ -151,7 +154,10 @@ mod tests {
         b.add_transition(s0, "hold", "off", s0).unwrap();
         let m2 = b.build().unwrap();
         match compare(&m1, &m2) {
-            EquivalenceResult::AlphabetMismatch { only_left, only_right } => {
+            EquivalenceResult::AlphabetMismatch {
+                only_left,
+                only_right,
+            } => {
                 assert!(only_left.is_empty());
                 assert_eq!(only_right, vec!["hold".to_string()]);
             }

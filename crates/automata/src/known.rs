@@ -13,8 +13,10 @@ pub fn tcp_handshake_fragment() -> MealyMachine {
     let s0 = b.add_state();
     let s1 = b.add_state();
     let s2 = b.add_state();
-    b.add_transition(s0, "SYN(?,?,0)", "ACK+SYN(?,?,0)", s1).unwrap();
-    b.add_transition(s0, "ACK(?,?,0)", "RST(?,?,0)", s0).unwrap();
+    b.add_transition(s0, "SYN(?,?,0)", "ACK+SYN(?,?,0)", s1)
+        .unwrap();
+    b.add_transition(s0, "ACK(?,?,0)", "RST(?,?,0)", s0)
+        .unwrap();
     b.add_transition(s1, "ACK(?,?,0)", "NIL", s2).unwrap();
     b.add_transition(s1, "SYN(?,?,0)", "NIL", s1).unwrap();
     b.complete_with_self_loops(s2, "NIL");

@@ -241,10 +241,7 @@ impl MealyMachine {
             for (state, trace) in &frontier {
                 for sym in self.input_alphabet.iter() {
                     let (succ, o) = self.step(*state, sym).expect("total machine");
-                    let t = IoTrace::new(
-                        trace.input.append(sym.clone()),
-                        trace.output.append(o),
-                    );
+                    let t = IoTrace::new(trace.input.append(sym.clone()), trace.output.append(o));
                     out.push(t.clone());
                     next_frontier.push((succ, t));
                 }
@@ -442,8 +439,10 @@ mod tests {
         let s0 = b.add_state();
         let s1 = b.add_state();
         let s2 = b.add_state();
-        b.add_transition(s0, "SYN(?,?,0)", "ACK+SYN(?,?,0)", s1).unwrap();
-        b.add_transition(s0, "ACK(?,?,0)", "RST(?,?,0)", s0).unwrap();
+        b.add_transition(s0, "SYN(?,?,0)", "ACK+SYN(?,?,0)", s1)
+            .unwrap();
+        b.add_transition(s0, "ACK(?,?,0)", "RST(?,?,0)", s0)
+            .unwrap();
         b.add_transition(s1, "ACK(?,?,0)", "NIL", s2).unwrap();
         b.add_transition(s1, "SYN(?,?,0)", "NIL", s1).unwrap();
         b.complete_with_self_loops(s2, "NIL");

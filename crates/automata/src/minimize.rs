@@ -64,8 +64,7 @@ pub fn minimize(machine: &MealyMachine) -> MealyMachine {
     let initial_block = block_of[machine.initial_state()];
     renumber[initial_block] = Some(0);
     order.push(initial_block);
-    for q in 0..n {
-        let b = block_of[q];
+    for &b in block_of.iter().take(n) {
         if renumber[b].is_none() {
             renumber[b] = Some(order.len());
             order.push(b);
@@ -77,8 +76,7 @@ pub fn minimize(machine: &MealyMachine) -> MealyMachine {
     builder.set_initial(0);
     // For each block pick a representative state and copy its transitions.
     let mut representative: Vec<Option<StateId>> = vec![None; num_blocks];
-    for q in 0..n {
-        let b = block_of[q];
+    for (q, &b) in block_of.iter().enumerate().take(n) {
         if representative[b].is_none() {
             representative[b] = Some(q);
         }

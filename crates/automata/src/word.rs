@@ -135,6 +135,19 @@ macro_rules! word_impl {
                 write!(f, "{}", parts.join(" · "))
             }
         }
+
+        impl serde::MapKey for $name {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+
+            fn from_key(key: &str) -> Option<Self> {
+                if key == "ε" {
+                    return Some($name::empty());
+                }
+                Some(key.split(" · ").map(Symbol::new).collect())
+            }
+        }
     };
 }
 
@@ -170,7 +183,10 @@ impl IoTrace {
 
     /// The empty trace.
     pub fn empty() -> Self {
-        IoTrace { input: InputWord::empty(), output: OutputWord::empty() }
+        IoTrace {
+            input: InputWord::empty(),
+            output: OutputWord::empty(),
+        }
     }
 
     /// Length of the trace (number of I/O steps).
@@ -190,7 +206,10 @@ impl IoTrace {
 
     /// Prefix of the first `n` steps.
     pub fn prefix(&self, n: usize) -> Self {
-        IoTrace { input: self.input.prefix(n), output: self.output.prefix(n) }
+        IoTrace {
+            input: self.input.prefix(n),
+            output: self.output.prefix(n),
+        }
     }
 }
 
@@ -199,8 +218,7 @@ impl fmt::Display for IoTrace {
         if self.is_empty() {
             return write!(f, "ε/ε");
         }
-        let parts: Vec<String> =
-            self.steps().map(|(i, o)| format!("{i}/{o}")).collect();
+        let parts: Vec<String> = self.steps().map(|(i, o)| format!("{i}/{o}")).collect();
         write!(f, "{}", parts.join(" · "))
     }
 }
@@ -253,8 +271,10 @@ mod tests {
             OutputWord::from_symbols(["SYN+ACK", "NIL"]),
         );
         assert_eq!(t.len(), 2);
-        let steps: Vec<(String, String)> =
-            t.steps().map(|(i, o)| (i.to_string(), o.to_string())).collect();
+        let steps: Vec<(String, String)> = t
+            .steps()
+            .map(|(i, o)| (i.to_string(), o.to_string()))
+            .collect();
         assert_eq!(steps[0], ("SYN".into(), "SYN+ACK".into()));
         assert_eq!(format!("{t}"), "SYN/SYN+ACK · ACK/NIL");
         assert_eq!(t.prefix(1).len(), 1);

@@ -7,15 +7,17 @@
 //! small because each iteration performs a complete learning run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use prognosis_automata::alphabet::Alphabet;
 use prognosis_automata::equivalence::machines_equivalent;
 use prognosis_automata::known;
 use prognosis_automata::word::InputWord;
+use prognosis_automata::word::{IoTrace, OutputWord};
+use prognosis_core::latency::LatencySulFactory;
 use prognosis_core::nondeterminism::{NondeterminismChecker, NondeterminismConfig};
-use prognosis_core::pipeline::{learn_model, LearnConfig};
+use prognosis_core::pipeline::{learn_model, learn_model_parallel, LearnConfig};
 use prognosis_core::quic_adapter::{quic_data_alphabet, QuicSul};
-use prognosis_core::tcp_adapter::{tcp_alphabet, TcpSul};
+use prognosis_core::sul::SulFactory;
+use prognosis_core::tcp_adapter::{tcp_alphabet, TcpSul, TcpSulFactory};
 use prognosis_quic_sim::profile::ImplementationProfile;
 use prognosis_quic_wire::connection_id::ConnectionId;
 use prognosis_quic_wire::crypto::{EncryptionLevel, Keys};
@@ -24,10 +26,16 @@ use prognosis_quic_wire::packet::{Packet, PacketHeader};
 use prognosis_synth::synthesis::Synthesizer;
 use prognosis_synth::term::TermDomain;
 use prognosis_synth::trace::{ConcreteStep, ConcreteTrace};
-use prognosis_automata::word::{IoTrace, OutputWord};
+use std::time::Duration;
 
 fn quick_config() -> LearnConfig {
-    LearnConfig { seed: 7, random_tests: 100, min_word_len: 2, max_word_len: 6 }
+    LearnConfig {
+        seed: 7,
+        random_tests: 100,
+        min_word_len: 2,
+        max_word_len: 6,
+        ..LearnConfig::default()
+    }
 }
 
 /// E1: learning the TCP SUL.
@@ -52,7 +60,10 @@ fn bench_quic_learning(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_millis(500));
-    for profile in [ImplementationProfile::quiche(), ImplementationProfile::google()] {
+    for profile in [
+        ImplementationProfile::quiche(),
+        ImplementationProfile::google(),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(profile.name.clone()),
             &profile,
@@ -61,6 +72,54 @@ fn bench_quic_learning(c: &mut Criterion) {
                     let mut sul = QuicSul::new(profile.clone(), 3);
                     let learned = learn_model(&mut sul, &quic_data_alphabet(), quick_config());
                     assert!(learned.model.num_states() >= 3);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// E15: sequential vs batched-parallel learning on a latency-modelled TCP
+/// SUL (50µs per symbol, 100µs per reset — the §4.1 deployment regime the
+/// parallel engine exists for).
+fn bench_parallel_learning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_learning");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+    group.warm_up_time(Duration::from_millis(200));
+    let factory = || {
+        LatencySulFactory::new(
+            TcpSulFactory::default(),
+            Duration::from_micros(50),
+            Duration::from_micros(100),
+        )
+    };
+    let config = LearnConfig {
+        seed: 7,
+        random_tests: 200,
+        min_word_len: 2,
+        max_word_len: 8,
+        eq_batch_size: 256,
+        ..LearnConfig::default()
+    };
+    group.bench_function("tcp_sequential", |b| {
+        b.iter(|| {
+            let learned = learn_model(&mut factory().create(), &tcp_alphabet(), config);
+            assert!(learned.model.num_states() >= 4);
+        })
+    });
+    for workers in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("tcp_parallel", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let outcome = learn_model_parallel(
+                        &factory(),
+                        &tcp_alphabet(),
+                        config.with_workers(workers),
+                    );
+                    assert!(outcome.learned.model.num_states() >= 4);
                 })
             },
         );
@@ -150,19 +209,23 @@ fn bench_nondeterminism_check(c: &mut Criterion) {
         "SHORT(?,?)[ACK,STREAM]",
     ]);
     for max_reps in [20usize, 50] {
-        group.bench_with_input(BenchmarkId::from_parameter(max_reps), &max_reps, |b, &max_reps| {
-            b.iter(|| {
-                let sul = QuicSul::new(ImplementationProfile::mvfst(), 42);
-                let config = NondeterminismConfig {
-                    min_repetitions: 3,
-                    max_repetitions: max_reps,
-                    confidence: 0.95,
-                };
-                let mut checker = NondeterminismChecker::new(sul, config);
-                let report = checker.check(&word);
-                assert!(report.executions >= 3);
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_reps),
+            &max_reps,
+            |b, &max_reps| {
+                b.iter(|| {
+                    let sul = QuicSul::new(ImplementationProfile::mvfst(), 42);
+                    let config = NondeterminismConfig {
+                        min_repetitions: 3,
+                        max_repetitions: max_reps,
+                        confidence: 0.95,
+                    };
+                    let mut checker = NondeterminismChecker::new(sul, config);
+                    let report = checker.check(&word);
+                    assert!(report.executions >= 3);
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -170,18 +233,28 @@ fn bench_nondeterminism_check(c: &mut Criterion) {
 /// Wire codec: every learner query round-trips through this path.
 fn bench_wire_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("wire_codec");
-    let keys = Keys::derive(ConnectionId::from_seed(1).key_material(), EncryptionLevel::OneRtt);
+    let keys = Keys::derive(
+        ConnectionId::from_seed(1).key_material(),
+        EncryptionLevel::OneRtt,
+    );
     let packet = Packet::new(
         PacketHeader::short(ConnectionId::from_seed(1), 17),
         vec![
-            Frame::Ack { largest_acknowledged: 9, ack_delay: 0, first_ack_range: 0 },
+            Frame::Ack {
+                largest_acknowledged: 9,
+                ack_delay: 0,
+                first_ack_range: 0,
+            },
             Frame::Stream {
                 stream_id: 0,
                 offset: 1_000,
                 fin: false,
                 data: bytes::Bytes::from(vec![0x42; 800]),
             },
-            Frame::MaxStreamData { stream_id: 1, maximum: 65_536 },
+            Frame::MaxStreamData {
+                stream_id: 1,
+                maximum: 65_536,
+            },
         ],
     );
     group.bench_function("encode_short_packet", |b| {
@@ -204,6 +277,7 @@ criterion_group!(
     benches,
     bench_tcp_learning,
     bench_quic_learning,
+    bench_parallel_learning,
     bench_register_synthesis,
     bench_equivalence_checking,
     bench_nondeterminism_check,

@@ -1,0 +1,14 @@
+//! E15: sequential vs batched-parallel learning throughput.
+//!
+//! Prints the comparison report and writes `BENCH_learning.json` (in the
+//! current directory) so later PRs have a perf trajectory.
+fn main() {
+    let workers = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let (report, json) = prognosis_bench::exp_parallel_learning(workers);
+    println!("{report}");
+    std::fs::write("BENCH_learning.json", &json).expect("write BENCH_learning.json");
+    println!("wrote BENCH_learning.json");
+}

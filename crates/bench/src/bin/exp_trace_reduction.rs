@@ -2,5 +2,8 @@
 fn main() {
     let (learn_report, google, quiche) = prognosis_bench::exp_quic_learning();
     println!("{learn_report}");
-    println!("{}", prognosis_bench::exp_trace_reduction(&google.model, &quiche.model));
+    println!(
+        "{}",
+        prognosis_bench::exp_trace_reduction(&google.model, &quiche.model)
+    );
 }

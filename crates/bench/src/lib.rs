@@ -17,21 +17,28 @@ use prognosis_automata::alphabet::{Alphabet, Symbol};
 use prognosis_automata::dot::{to_dot, DotOptions};
 use prognosis_automata::mealy::MealyMachine;
 use prognosis_automata::word::InputWord;
+use prognosis_core::latency::LatencySulFactory;
 use prognosis_core::nondeterminism::{NondeterminismChecker, NondeterminismConfig};
-use prognosis_core::pipeline::{learn_model, LearnConfig, LearnedModel};
-use prognosis_core::quic_adapter::{quic_alphabet, quic_data_alphabet, QuicSul};
-use prognosis_core::sul::Sul;
-use prognosis_core::tcp_adapter::{tcp_alphabet, TcpSul};
+use prognosis_core::pipeline::{learn_model, learn_model_parallel, LearnConfig, LearnedModel};
+use prognosis_core::quic_adapter::{quic_alphabet, quic_data_alphabet, QuicSul, QuicSulFactory};
+use prognosis_core::sul::{Sul, SulFactory};
+use prognosis_core::tcp_adapter::{tcp_alphabet, TcpSul, TcpSulFactory};
 use prognosis_quic_sim::profile::ImplementationProfile;
+use prognosis_synth::synthesis::Synthesizer;
 use prognosis_synth::term::TermDomain;
 use prognosis_synth::trace::{ConcreteStep, ConcreteTrace};
-use prognosis_synth::synthesis::Synthesizer;
 
 /// Default learning configuration used by the experiments: enough random
 /// equivalence testing to be reliable on the simulated SULs while keeping
 /// every experiment under a few seconds.
 pub fn default_learn_config() -> LearnConfig {
-    LearnConfig { seed: 7, random_tests: 3_000, min_word_len: 2, max_word_len: 12 }
+    LearnConfig {
+        seed: 7,
+        random_tests: 3_000,
+        min_word_len: 2,
+        max_word_len: 12,
+        ..LearnConfig::default()
+    }
 }
 
 /// E1 / §6.1: learn the TCP implementation over the seven-symbol alphabet
@@ -42,12 +49,24 @@ pub fn exp_tcp_learning() -> (Report, LearnedModel) {
     let learned = learn_model(&mut sul, &tcp_alphabet(), default_learn_config());
     let mut report = Report::new("E1 — TCP model learning (paper §6.1, Fig. 3b, Appendix A.1)");
     report
-        .row("paper: states / transitions / membership queries", "6 / 42 / 4,726")
+        .row(
+            "paper: states / transitions / membership queries",
+            "6 / 42 / 4,726",
+        )
         .row("measured: states", learned.model.num_states())
         .row("measured: transitions", learned.model.num_transitions())
-        .row("measured: membership queries", learned.stats.membership_queries)
-        .row("measured: distinct SUL queries (after cache)", learned.distinct_queries)
-        .row("measured: equivalence queries", learned.stats.equivalence_queries)
+        .row(
+            "measured: membership queries",
+            learned.stats.membership_queries,
+        )
+        .row(
+            "measured: distinct SUL queries (after cache)",
+            learned.distinct_queries,
+        )
+        .row(
+            "measured: equivalence queries",
+            learned.stats.equivalence_queries,
+        )
         .row("measured: counterexamples", learned.stats.counterexamples);
     (report, learned)
 }
@@ -86,7 +105,10 @@ pub fn exp_tcp_synthesis() -> Report {
         Ok(outcome) => {
             report
                 .row("solver nodes explored", outcome.report.solver_nodes)
-                .row("unexercised transitions", outcome.report.unexercised().len())
+                .row(
+                    "unexercised transitions",
+                    outcome.report.unexercised().len(),
+                )
                 .finding("synthesized machine (paper notation):");
             for line in outcome.machine.render().lines().take(12) {
                 report.finding(format!("    {line}"));
@@ -114,8 +136,14 @@ pub fn exp_quic_learning() -> (Report, LearnedModel, LearnedModel) {
     let (quiche, _) = learn_quic_profile(ImplementationProfile::quiche(), 3);
     let mut report = Report::new("E3 — QUIC model learning (paper §6.2.2, Appendix A.2/A.3)");
     report
-        .row("paper: google  states/transitions/queries", "12 / 84 / 24,301")
-        .row("paper: quiche  states/transitions/queries", "8 / 56 / 12,301")
+        .row(
+            "paper: google  states/transitions/queries",
+            "12 / 84 / 24,301",
+        )
+        .row(
+            "paper: quiche  states/transitions/queries",
+            "8 / 56 / 12,301",
+        )
         .row(
             "measured: google states/transitions/queries",
             format!(
@@ -137,7 +165,9 @@ pub fn exp_quic_learning() -> (Report, LearnedModel, LearnedModel) {
     if google.model.num_states() > quiche.model.num_states() {
         report.finding("shape holds: the google-profile model is strictly larger than the quiche-profile model");
     } else {
-        report.finding("WARNING: expected the google-profile model to be larger than the quiche-profile model");
+        report.finding(
+            "WARNING: expected the google-profile model to be larger than the quiche-profile model",
+        );
     }
     (report, google, quiche)
 }
@@ -149,7 +179,10 @@ pub fn exp_trace_reduction(google: &MealyMachine, quiche: &MealyMachine) -> Repo
     let silent = Symbol::new("{}");
     let alphabet = quic_alphabet();
     let mut report = Report::new("E4 — trace-space reduction (paper §6.2.2)");
-    report.row("alphabet traces of length ≤ 10", alphabet.words_up_to_length(10));
+    report.row(
+        "alphabet traces of length ≤ 10",
+        alphabet.words_up_to_length(10),
+    );
     report.row("paper: model traces (google / quiche)", "1,210 / 715");
     for (name, model) in [("google", google), ("quiche", quiche)] {
         let reduction = trace_reduction(&alphabet, model, &silent, 10);
@@ -160,7 +193,10 @@ pub fn exp_trace_reduction(google: &MealyMachine, quiche: &MealyMachine) -> Repo
         );
         report.row(
             format!("measured: {name} reduction factor"),
-            format!("{:.1}x", reduction.alphabet_traces as f64 / informative.max(1) as f64),
+            format!(
+                "{:.1}x",
+                reduction.alphabet_traces as f64 / informative.max(1) as f64
+            ),
         );
     }
     report
@@ -200,10 +236,18 @@ pub fn exp_issue2() -> Report {
         "HANDSHAKE(?,?)[ACK,HANDSHAKE_DONE]",
         "SHORT(?,?)[ACK,STREAM]",
     ]);
-    let config = NondeterminismConfig { min_repetitions: 5, max_repetitions: 200, confidence: 0.95 };
-    let mut report = Report::new("E6 / Issue 2 — nondeterministic RESET after close (paper §6.2.4)");
+    let config = NondeterminismConfig {
+        min_repetitions: 5,
+        max_repetitions: 200,
+        confidence: 0.95,
+    };
+    let mut report =
+        Report::new("E6 / Issue 2 — nondeterministic RESET after close (paper §6.2.4)");
     report.row("paper: RESET ratio for mvfst", "≈ 0.82");
-    for profile in [ImplementationProfile::mvfst(), ImplementationProfile::quiche()] {
+    for profile in [
+        ImplementationProfile::mvfst(),
+        ImplementationProfile::quiche(),
+    ] {
         let name = profile.name.clone();
         let sul = QuicSul::new(profile, 42);
         let mut checker = NondeterminismChecker::new(sul, config);
@@ -214,7 +258,10 @@ pub fn exp_issue2() -> Report {
             .unwrap_or_default();
         report
             .row(format!("{name}: deterministic"), result.deterministic)
-            .row(format!("{name}: distinct responses"), result.distinct_outputs())
+            .row(
+                format!("{name}: distinct responses"),
+                result.distinct_outputs(),
+            )
             .row(format!("{name}: executions"), result.executions)
             .row(format!("{name}: majority frequency"), format!("{freq:.2}"));
         if !result.deterministic {
@@ -244,8 +291,14 @@ pub fn exp_issue3() -> Report {
     let buggy_check = check_property(&buggy_model.model, &handshake_done);
     let fixed_check = check_property(&fixed_model.model, &handshake_done);
     report
-        .row("buggy reference client: handshake can complete", !buggy_check.holds)
-        .row("fixed reference client: handshake can complete", !fixed_check.holds)
+        .row(
+            "buggy reference client: handshake can complete",
+            !buggy_check.holds,
+        )
+        .row(
+            "fixed reference client: handshake can complete",
+            !fixed_check.holds,
+        )
         .row("buggy model states", buggy_model.model.num_states())
         .row("fixed model states", fixed_model.model.num_states());
     if buggy_check.holds && !fixed_check.holds {
@@ -255,7 +308,9 @@ pub fn exp_issue3() -> Report {
         );
     }
     if let Some(witness) = fixed_check.witness {
-        report.finding(format!("fixed client completes the handshake via: {witness}"));
+        report.finding(format!(
+            "fixed client completes the handshake via: {witness}"
+        ));
     }
     report
 }
@@ -265,7 +320,8 @@ pub fn exp_issue3() -> Report {
 /// field is the constant 0, never updated, while the correct implementations
 /// advertise the real limit.
 pub fn exp_issue4() -> Report {
-    let mut report = Report::new("E8 / Issue 4 — STREAM_DATA_BLOCKED constant 0 (paper §6.2.6, Appendix B.1)");
+    let mut report =
+        Report::new("E8 / Issue 4 — STREAM_DATA_BLOCKED constant 0 (paper §6.2.6, Appendix B.1)");
     for profile in [ImplementationProfile::google(), {
         // A correct implementation with the same small window, for contrast.
         let mut p = ImplementationProfile::quiche();
@@ -319,7 +375,10 @@ pub fn exp_issue4() -> Report {
             })
             .collect();
         report
-            .row(format!("{name}: STREAM_DATA_BLOCKED observations"), observed.len())
+            .row(
+                format!("{name}: STREAM_DATA_BLOCKED observations"),
+                observed.len(),
+            )
             .row(
                 format!("{name}: observed Maximum Stream Data values"),
                 format!("{:?}", {
@@ -347,7 +406,9 @@ pub fn exp_issue4() -> Report {
                         "{name}: the Maximum Stream Data field is always 0 — the Issue-4 defect"
                     ));
                 } else if !observed.is_empty() {
-                    report.finding(format!("{name}: the field tracks the real flow-control limit"));
+                    report.finding(format!(
+                        "{name}: the field tracks the real flow-control limit"
+                    ));
                 }
             }
             Err(e) => {
@@ -371,10 +432,16 @@ pub fn exp_appendix_models() -> (Report, Vec<(String, String)>) {
     // TCP (Appendix A.1).
     let (_, tcp) = exp_tcp_learning();
     report.row("tcp model states", tcp.model.num_states());
-    dots.push(("tcp".to_string(), to_dot(&tcp.model, &DotOptions {
-        silent_output: "NIL".to_string(),
-        ..opts("tcp")
-    })));
+    dots.push((
+        "tcp".to_string(),
+        to_dot(
+            &tcp.model,
+            &DotOptions {
+                silent_output: "NIL".to_string(),
+                ..opts("tcp")
+            },
+        ),
+    ));
     // QUIC (Appendix A.2 / A.3).
     for (name, profile) in [
         ("google_quic", ImplementationProfile::google()),
@@ -384,7 +451,9 @@ pub fn exp_appendix_models() -> (Report, Vec<(String, String)>) {
         report.row(format!("{name} model states"), learned.model.num_states());
         dots.push((name.to_string(), to_dot(&learned.model, &opts(name))));
     }
-    report.finding("DOT files written next to the binary's working directory (see exp_appendix_models)");
+    report.finding(
+        "DOT files written next to the binary's working directory (see exp_appendix_models)",
+    );
     (report, dots)
 }
 
@@ -410,4 +479,255 @@ pub fn exp_alphabet_scaling() -> Report {
     }
     report.finding("query effort grows with the alphabet; the 7-symbol alphabet keeps learning tractable (§6.2.2)");
     report
+}
+
+/// One timed learning run for the throughput comparison of
+/// [`exp_parallel_learning`].
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputSample {
+    /// Wall-clock seconds for the complete learning run.
+    pub seconds: f64,
+    /// Membership queries the learner issued.
+    pub membership_queries: u64,
+    /// Abstract input symbols the SUL instances actually executed.
+    pub symbols_sent: u64,
+    /// Symbols executed per wall-clock second — the throughput number the
+    /// perf trajectory tracks across PRs.
+    pub symbols_per_sec: f64,
+    /// States of the learned model (sanity: must match across modes).
+    pub model_states: usize,
+}
+
+fn throughput(seconds: f64, queries: u64, symbols: u64, states: usize) -> ThroughputSample {
+    ThroughputSample {
+        seconds,
+        membership_queries: queries,
+        symbols_sent: symbols,
+        symbols_per_sec: symbols as f64 / seconds.max(1e-9),
+        model_states: states,
+    }
+}
+
+fn time_sequential<S: Sul>(
+    sul: &mut S,
+    alphabet: &Alphabet,
+    config: LearnConfig,
+) -> (ThroughputSample, MealyMachine) {
+    let start = std::time::Instant::now();
+    let learned = learn_model(sul, alphabet, config);
+    let seconds = start.elapsed().as_secs_f64();
+    let symbols = sul.stats().symbols_sent;
+    let sample = throughput(
+        seconds,
+        learned.stats.membership_queries,
+        symbols,
+        learned.model.num_states(),
+    );
+    (sample, learned.model)
+}
+
+fn time_parallel<F>(
+    factory: &F,
+    alphabet: &Alphabet,
+    config: LearnConfig,
+) -> (ThroughputSample, MealyMachine)
+where
+    F: SulFactory,
+    F::Sul: Send + 'static,
+{
+    let start = std::time::Instant::now();
+    let outcome = learn_model_parallel(factory, alphabet, config);
+    let seconds = start.elapsed().as_secs_f64();
+    let sample = throughput(
+        seconds,
+        outcome.learned.stats.membership_queries,
+        outcome.sul_stats.symbols_sent,
+        outcome.learned.model.num_states(),
+    );
+    (sample, outcome.learned.model)
+}
+
+fn sample_json(sample: &ThroughputSample) -> serde_json::Value {
+    serde_json::Value::Map(vec![
+        (
+            "seconds".to_string(),
+            serde_json::Value::F64(sample.seconds),
+        ),
+        (
+            "membership_queries".to_string(),
+            serde_json::Value::U64(sample.membership_queries),
+        ),
+        (
+            "symbols_sent".to_string(),
+            serde_json::Value::U64(sample.symbols_sent),
+        ),
+        (
+            "symbols_per_sec".to_string(),
+            serde_json::Value::F64(sample.symbols_per_sec),
+        ),
+        (
+            "model_states".to_string(),
+            serde_json::Value::U64(sample.model_states as u64),
+        ),
+    ])
+}
+
+/// E15 — membership-query throughput of the batched-parallel engine.
+///
+/// Learns the TCP SUL and the google-profile QUIC SUL twice each — once
+/// sequentially, once with `workers` parallel SUL instances — verifies the
+/// learned models are equivalent (parallelism must never change answers),
+/// and reports symbols/second both ways.  The headline `tcp` / `quic_google`
+/// scenarios run the SULs behind a [`LatencySulFactory`] modelling the
+/// per-packet round-trip latency a real closed-box deployment pays (§4.1 is
+/// wall-clock-bound by exactly that); the `*_cpu_bound` scenarios run the
+/// raw in-process simulators and track pure CPU throughput.  The JSON
+/// document is written to `BENCH_learning.json` by the
+/// `exp_parallel_learning` binary so later PRs have a perf trajectory.
+pub fn exp_parallel_learning(workers: usize) -> (Report, String) {
+    use prognosis_automata::equivalence::machines_equivalent;
+    use std::time::Duration;
+    // Simulated per-packet round trip: 50µs per symbol, 100µs per reset —
+    // a fast-LAN deployment; real WAN targets are orders of magnitude worse.
+    let step_rtt = Duration::from_micros(50);
+    let reset_rtt = Duration::from_micros(100);
+    // Equivalence-testing-heavy configuration: random testing dominates the
+    // query volume, which is exactly the batchable part of learning.
+    let latency_config = LearnConfig {
+        seed: 7,
+        random_tests: 600,
+        min_word_len: 2,
+        max_word_len: 10,
+        eq_batch_size: 512,
+        ..LearnConfig::default()
+    };
+    let cpu_config = LearnConfig {
+        seed: 7,
+        random_tests: 4_000,
+        min_word_len: 2,
+        max_word_len: 12,
+        eq_batch_size: 512,
+        ..LearnConfig::default()
+    };
+    let mut report = Report::new(format!(
+        "E15 — sequential vs {workers}-worker parallel learning throughput"
+    ));
+    let mut json_scenarios: Vec<(String, serde_json::Value)> = Vec::new();
+
+    type Runner = Box<dyn Fn(LearnConfig) -> (ThroughputSample, MealyMachine)>;
+    let tcp_latency = move || LatencySulFactory::new(TcpSulFactory::default(), step_rtt, reset_rtt);
+    let quic_latency = move || {
+        LatencySulFactory::new(
+            QuicSulFactory::new(ImplementationProfile::google(), 3),
+            step_rtt,
+            reset_rtt,
+        )
+    };
+    let scenarios: Vec<(&str, LearnConfig, Runner, Runner)> = vec![
+        (
+            "tcp",
+            latency_config,
+            Box::new(move |c| time_sequential(&mut tcp_latency().create(), &tcp_alphabet(), c)),
+            Box::new(move |c| time_parallel(&tcp_latency(), &tcp_alphabet(), c)),
+        ),
+        (
+            "quic_google",
+            latency_config,
+            Box::new(move |c| {
+                time_sequential(&mut quic_latency().create(), &quic_data_alphabet(), c)
+            }),
+            Box::new(move |c| time_parallel(&quic_latency(), &quic_data_alphabet(), c)),
+        ),
+        (
+            "tcp_cpu_bound",
+            cpu_config,
+            Box::new(|c| time_sequential(&mut TcpSul::with_defaults(), &tcp_alphabet(), c)),
+            Box::new(|c| time_parallel(&TcpSulFactory::default(), &tcp_alphabet(), c)),
+        ),
+        (
+            "quic_google_cpu_bound",
+            cpu_config,
+            Box::new(|c| {
+                time_sequential(
+                    &mut QuicSul::new(ImplementationProfile::google(), 3),
+                    &quic_data_alphabet(),
+                    c,
+                )
+            }),
+            Box::new(|c| {
+                time_parallel(
+                    &QuicSulFactory::new(ImplementationProfile::google(), 3),
+                    &quic_data_alphabet(),
+                    c,
+                )
+            }),
+        ),
+    ];
+
+    for (name, config, sequential, parallel) in scenarios {
+        let (seq, seq_model) = sequential(config);
+        let (par, par_model) = parallel(config.with_workers(workers));
+        assert!(
+            machines_equivalent(&seq_model, &par_model),
+            "{name}: parallel learning must produce the sequential model"
+        );
+        let speedup = seq.seconds / par.seconds.max(1e-9);
+        report
+            .row(
+                format!("{name}: sequential"),
+                format!(
+                    "{:.3}s, {} queries, {} symbols, {:.0} symbols/s",
+                    seq.seconds, seq.membership_queries, seq.symbols_sent, seq.symbols_per_sec
+                ),
+            )
+            .row(
+                format!("{name}: {workers} workers"),
+                format!(
+                    "{:.3}s, {} queries, {} symbols, {:.0} symbols/s",
+                    par.seconds, par.membership_queries, par.symbols_sent, par.symbols_per_sec
+                ),
+            )
+            .row(format!("{name}: speedup"), format!("{speedup:.2}x"))
+            .row(format!("{name}: models equivalent"), true);
+        json_scenarios.push((
+            name.to_string(),
+            serde_json::Value::Map(vec![
+                ("sequential".to_string(), sample_json(&seq)),
+                (format!("parallel_{workers}"), sample_json(&par)),
+                ("speedup".to_string(), serde_json::Value::F64(speedup)),
+            ]),
+        ));
+    }
+    report.finding(format!(
+        "tcp / quic_google model a {}µs-per-symbol, {}µs-per-reset SUL round trip (the \
+         deployment regime of §4.1); the *_cpu_bound rows run the raw in-process simulators",
+        step_rtt.as_micros(),
+        reset_rtt.as_micros()
+    ));
+
+    let document = serde_json::Value::Map(vec![
+        (
+            "experiment".to_string(),
+            serde_json::Value::Str("parallel_learning".to_string()),
+        ),
+        (
+            "workers".to_string(),
+            serde_json::Value::U64(workers as u64),
+        ),
+        (
+            "scenarios".to_string(),
+            serde_json::Value::Map(json_scenarios),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&ValueDoc(document)).expect("render BENCH json");
+    (report, json)
+}
+
+/// Wrapper making a pre-built JSON value serializable through the shim.
+struct ValueDoc(serde_json::Value);
+
+impl serde::Serialize for ValueDoc {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.0.clone())
+    }
 }

@@ -1,0 +1,135 @@
+//! A SUL wrapper that models network round-trip latency.
+//!
+//! Prognosis-style closed-box learning talks to the implementation over a
+//! real network: every abstract symbol costs at least one packet round
+//! trip, and §4.1's wall-clock numbers are dominated by that latency, not
+//! by CPU.  The in-process simulated SULs in this workspace answer in
+//! microseconds, which hides exactly the cost the batched-parallel engine
+//! exists to amortize.  [`LatencySul`] restores the deployment-shaped cost
+//! model by sleeping a configurable duration per step and per reset, so
+//! benchmarks compare sequential and parallel learning under realistic
+//! conditions: independent SUL instances wait on "the wire" concurrently,
+//! which is precisely how parallel trace collection scales in practice.
+
+use crate::sul::{Sul, SulFactory, SulStats};
+use prognosis_automata::alphabet::Symbol;
+use std::time::Duration;
+
+/// Wraps a SUL, adding fixed latency to every step and reset.
+pub struct LatencySul<S> {
+    inner: S,
+    step_latency: Duration,
+    reset_latency: Duration,
+}
+
+impl<S: Sul> LatencySul<S> {
+    /// Wraps `inner`, sleeping `step_latency` per symbol and
+    /// `reset_latency` per reset.
+    pub fn new(inner: S, step_latency: Duration, reset_latency: Duration) -> Self {
+        LatencySul {
+            inner,
+            step_latency,
+            reset_latency,
+        }
+    }
+
+    /// The wrapped SUL.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the inner SUL.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Sul> Sul for LatencySul<S> {
+    fn step(&mut self, input: &Symbol) -> Symbol {
+        if !self.step_latency.is_zero() {
+            std::thread::sleep(self.step_latency);
+        }
+        self.inner.step(input)
+    }
+
+    fn reset(&mut self) {
+        if !self.reset_latency.is_zero() {
+            std::thread::sleep(self.reset_latency);
+        }
+        self.inner.reset()
+    }
+
+    fn stats(&self) -> SulStats {
+        self.inner.stats()
+    }
+}
+
+/// Mints latency-wrapped SUL instances from an inner factory.
+#[derive(Clone, Debug)]
+pub struct LatencySulFactory<F> {
+    inner: F,
+    step_latency: Duration,
+    reset_latency: Duration,
+}
+
+impl<F: SulFactory> LatencySulFactory<F> {
+    /// Wraps every SUL minted by `inner` with the given latencies.
+    pub fn new(inner: F, step_latency: Duration, reset_latency: Duration) -> Self {
+        LatencySulFactory {
+            inner,
+            step_latency,
+            reset_latency,
+        }
+    }
+}
+
+impl<F: SulFactory> SulFactory for LatencySulFactory<F> {
+    type Sul = LatencySul<F::Sul>;
+
+    fn create(&self) -> Self::Sul {
+        LatencySul::new(self.inner.create(), self.step_latency, self.reset_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sul::replay_query;
+    use crate::tcp_adapter::{TcpSul, TcpSulFactory};
+    use prognosis_automata::word::InputWord;
+
+    #[test]
+    fn latency_wrapper_is_behaviourally_transparent() {
+        let factory = LatencySulFactory::new(
+            TcpSulFactory::default(),
+            Duration::from_micros(50),
+            Duration::from_micros(50),
+        );
+        let mut wrapped = factory.create();
+        let mut plain = TcpSul::with_defaults();
+        let word = InputWord::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)", "ACK+PSH(?,?,1)"]);
+        assert_eq!(
+            replay_query(&mut wrapped, &word),
+            replay_query(&mut plain, &word)
+        );
+        assert_eq!(wrapped.stats().symbols_sent, 3);
+        assert_eq!(wrapped.inner().stats().symbols_sent, 3);
+        assert_eq!(wrapped.into_inner().stats().resets, 1);
+    }
+
+    #[test]
+    fn latency_is_actually_paid() {
+        let mut sul = LatencySul::new(
+            TcpSul::with_defaults(),
+            Duration::from_millis(2),
+            Duration::from_millis(2),
+        );
+        let word = InputWord::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)"]);
+        let start = std::time::Instant::now();
+        replay_query(&mut sul, &word);
+        assert!(
+            start.elapsed() >= Duration::from_millis(6),
+            "reset + 2 steps ≥ 6ms"
+        );
+    }
+}

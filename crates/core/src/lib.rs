@@ -16,23 +16,34 @@
 //!   built on the instrumented reference implementations from
 //!   `prognosis-tcp` and `prognosis-quic-sim`, enforcing properties (1)–(5)
 //!   of §3.2.
-//! * [`pipeline`] — end-to-end orchestration: learn a Mealy model of a SUL,
-//!   optionally synthesize a register machine from the Oracle Table, and
-//!   hand both to the analysis crate.
+//! * [`parallel`] — the batched, parallel membership-query engine: a
+//!   [`sul::SulFactory`] mints independent SUL instances and
+//!   [`parallel::ParallelSulOracle`] shards query batches across worker
+//!   threads, deterministically.
+//! * [`pipeline`] — end-to-end orchestration: learn a Mealy model of a SUL
+//!   (sequentially or with parallel workers), optionally synthesize a
+//!   register machine from the Oracle Table, and hand both to the analysis
+//!   crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod latency;
 pub mod nondeterminism;
 pub mod oracle_table;
+pub mod parallel;
 pub mod pipeline;
 pub mod quic_adapter;
 pub mod sul;
 pub mod tcp_adapter;
 
+pub use latency::{LatencySul, LatencySulFactory};
 pub use nondeterminism::{NondeterminismChecker, NondeterminismReport};
 pub use oracle_table::OracleTable;
-pub use pipeline::{learn_model, LearnConfig, LearnedModel};
-pub use quic_adapter::{quic_alphabet, quic_data_alphabet, QuicSul};
-pub use sul::{Sul, SulMembershipOracle, SulStats};
-pub use tcp_adapter::{tcp_alphabet, TcpSul};
+pub use parallel::ParallelSulOracle;
+pub use pipeline::{
+    learn_model, learn_model_parallel, LearnConfig, LearnedModel, ParallelLearnOutcome,
+};
+pub use quic_adapter::{quic_alphabet, quic_data_alphabet, QuicSul, QuicSulFactory};
+pub use sul::{replay_query, Sul, SulFactory, SulMembershipOracle, SulStats};
+pub use tcp_adapter::{tcp_alphabet, TcpSul, TcpSulFactory};

@@ -32,7 +32,11 @@ pub struct NondeterminismConfig {
 
 impl Default for NondeterminismConfig {
     fn default() -> Self {
-        NondeterminismConfig { min_repetitions: 3, max_repetitions: 50, confidence: 0.95 }
+        NondeterminismConfig {
+            min_repetitions: 3,
+            max_repetitions: 50,
+            confidence: 0.95,
+        }
     }
 }
 
@@ -180,7 +184,7 @@ mod tests {
         fn step(&mut self, input: &Symbol) -> Symbol {
             if input.as_str() == "flaky" {
                 self.counter += 1;
-                if self.counter % self.period == 0 {
+                if self.counter.is_multiple_of(self.period) {
                     Symbol::new("silence")
                 } else {
                     Symbol::new("reset")
@@ -195,7 +199,10 @@ mod tests {
 
     #[test]
     fn deterministic_queries_are_accepted_quickly() {
-        let mut checker = NondeterminismChecker::with_defaults(FlakySul { counter: 0, period: 5 });
+        let mut checker = NondeterminismChecker::with_defaults(FlakySul {
+            counter: 0,
+            period: 5,
+        });
         let report = checker.check(&InputWord::from_symbols(["stable", "stable"]));
         assert!(report.deterministic);
         assert_eq!(report.executions, 3);
@@ -207,32 +214,69 @@ mod tests {
     fn genuinely_nondeterministic_queries_are_flagged_with_frequencies() {
         // Roughly 1 in 5 answers differ: the 95% confidence threshold cannot
         // be met, so the query is flagged and the ~80/20 split is reported.
-        let config = NondeterminismConfig { min_repetitions: 5, max_repetitions: 100, confidence: 0.95 };
-        let mut checker = NondeterminismChecker::new(FlakySul { counter: 0, period: 5 }, config);
+        let config = NondeterminismConfig {
+            min_repetitions: 5,
+            max_repetitions: 100,
+            confidence: 0.95,
+        };
+        let mut checker = NondeterminismChecker::new(
+            FlakySul {
+                counter: 0,
+                period: 5,
+            },
+            config,
+        );
         let report = checker.check(&InputWord::from_symbols(["flaky"]));
         assert!(!report.deterministic);
         assert_eq!(report.executions, 100);
         assert_eq!(report.distinct_outputs(), 2);
         let (majority, freq) = report.majority().unwrap();
         assert_eq!(majority, &OutputWord::from_symbols(["reset"]));
-        assert!((0.75..=0.85).contains(&freq), "observed frequency {freq} should be ≈0.8");
+        assert!(
+            (0.75..=0.85).contains(&freq),
+            "observed frequency {freq} should be ≈0.8"
+        );
     }
 
     #[test]
     fn occasional_noise_below_threshold_is_tolerated() {
         // 1 in 25 answers differ; with a 90% confidence threshold the
         // majority answer is accepted as deterministic.
-        let config = NondeterminismConfig { min_repetitions: 3, max_repetitions: 60, confidence: 0.90 };
-        let mut checker = NondeterminismChecker::new(FlakySul { counter: 0, period: 25 }, config);
+        let config = NondeterminismConfig {
+            min_repetitions: 3,
+            max_repetitions: 60,
+            confidence: 0.90,
+        };
+        let mut checker = NondeterminismChecker::new(
+            FlakySul {
+                counter: 0,
+                period: 25,
+            },
+            config,
+        );
         let report = checker.check(&InputWord::from_symbols(["flaky"]));
         assert!(report.deterministic);
     }
 
     #[test]
     fn sweep_reports_only_the_problematic_symbols() {
-        let config = NondeterminismConfig { min_repetitions: 5, max_repetitions: 40, confidence: 0.99 };
-        let mut checker = NondeterminismChecker::new(FlakySul { counter: 0, period: 3 }, config);
-        let alphabet = vec![Symbol::new("stable"), Symbol::new("flaky"), Symbol::new("other")];
+        let config = NondeterminismConfig {
+            min_repetitions: 5,
+            max_repetitions: 40,
+            confidence: 0.99,
+        };
+        let mut checker = NondeterminismChecker::new(
+            FlakySul {
+                counter: 0,
+                period: 3,
+            },
+            config,
+        );
+        let alphabet = vec![
+            Symbol::new("stable"),
+            Symbol::new("flaky"),
+            Symbol::new("other"),
+        ];
         let flagged = checker.sweep(&alphabet, &InputWord::empty());
         assert_eq!(flagged.len(), 1);
         assert_eq!(flagged[0].input, InputWord::from_symbols(["flaky"]));
@@ -244,8 +288,15 @@ mod tests {
     #[should_panic]
     fn invalid_configuration_is_rejected() {
         let _ = NondeterminismChecker::new(
-            FlakySul { counter: 0, period: 2 },
-            NondeterminismConfig { min_repetitions: 10, max_repetitions: 2, confidence: 0.5 },
+            FlakySul {
+                counter: 0,
+                period: 2,
+            },
+            NondeterminismConfig {
+                min_repetitions: 10,
+                max_repetitions: 2,
+                confidence: 0.5,
+            },
         );
     }
 }

@@ -37,8 +37,15 @@ impl OracleTable {
     /// # Panics
     /// Panics when the abstract trace and concrete steps disagree in length.
     pub fn record(&mut self, abstract_trace: IoTrace, steps: Vec<ConcreteStep>) {
-        assert_eq!(abstract_trace.len(), steps.len(), "one concrete step per abstract step");
-        self.entries.push(OracleEntry { abstract_trace, steps });
+        assert_eq!(
+            abstract_trace.len(),
+            steps.len(),
+            "one concrete step per abstract step"
+        );
+        self.entries.push(OracleEntry {
+            abstract_trace,
+            steps,
+        });
     }
 
     /// Convenience: records a query given parallel symbol and field vectors.
@@ -93,6 +100,13 @@ impl OracleTable {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Appends all of `other`'s entries, preserving their order — used to
+    /// combine the tables accumulated by parallel SUL workers into one
+    /// synthesis input.
+    pub fn merge_from(&mut self, other: OracleTable) {
+        self.entries.extend(other.entries);
+    }
 }
 
 #[cfg(test)]
@@ -104,8 +118,14 @@ mod tests {
         let mut table = OracleTable::new();
         assert!(table.is_empty());
         table.record_steps(
-            vec![("SYN(?,?,0)".to_string(), vec![100, 0]), ("ACK(?,?,0)".to_string(), vec![101, 10_001])],
-            vec![("ACK+SYN(?,?,0)".to_string(), vec![10_000, 101]), ("NIL".to_string(), vec![])],
+            vec![
+                ("SYN(?,?,0)".to_string(), vec![100, 0]),
+                ("ACK(?,?,0)".to_string(), vec![101, 10_001]),
+            ],
+            vec![
+                ("ACK+SYN(?,?,0)".to_string(), vec![10_000, 101]),
+                ("NIL".to_string(), vec![]),
+            ],
         );
         assert_eq!(table.len(), 1);
         let traces = table.all_concrete_traces();

@@ -1,0 +1,285 @@
+//! Parallel membership-query execution across independent SUL instances.
+//!
+//! Learning wall-clock time is dominated by membership queries replayed
+//! symbol-by-symbol against the SUL (§4.1).  Queries within a batch are
+//! independent — each starts from a reset — so they can run concurrently on
+//! *separate* SUL instances.  [`ParallelSulOracle`] owns `N` worker
+//! threads, each holding one SUL minted by a [`SulFactory`]; a batch is
+//! sharded over the workers by a fixed `index % N` assignment and the
+//! answers are merged back in query order.  Because every SUL instance is
+//! deterministic per query (§3.2 property 3), the merged answers — and
+//! therefore the learned model — are bit-identical to a sequential run,
+//! regardless of the worker count.
+
+use crate::sul::{replay_query, Sul, SulFactory, SulStats};
+use prognosis_automata::word::{InputWord, OutputWord};
+use prognosis_learner::oracle::MembershipOracle;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// One batch shard sent to a worker: `(original index, query)` pairs.
+type Job = Vec<(usize, InputWord)>;
+
+/// A worker's answer: the answered shard plus a stats snapshot of its SUL.
+type Reply = (Vec<(usize, OutputWord)>, SulStats);
+
+struct Worker<S> {
+    job_tx: Sender<Job>,
+    reply_rx: Receiver<Reply>,
+    handle: JoinHandle<S>,
+    /// Stats snapshot from the worker's most recent reply.
+    last_stats: SulStats,
+}
+
+/// A membership oracle that shards query batches across worker threads,
+/// each owning an independent SUL instance.
+pub struct ParallelSulOracle<S> {
+    workers: Vec<Worker<S>>,
+    queries: u64,
+    batches: u64,
+}
+
+impl<S: Sul + Send + 'static> ParallelSulOracle<S> {
+    /// Spawns `workers` threads, each with a fresh SUL from `factory`.
+    ///
+    /// # Panics
+    /// Panics when `workers` is zero.
+    pub fn spawn<F>(factory: &F, workers: usize) -> Self
+    where
+        F: SulFactory<Sul = S>,
+    {
+        assert!(workers >= 1, "a parallel oracle needs at least one worker");
+        let workers = (0..workers)
+            .map(|_| {
+                let mut sul = factory.create();
+                let (job_tx, job_rx) = channel::<Job>();
+                let (reply_tx, reply_rx) = channel::<Reply>();
+                let handle = std::thread::spawn(move || {
+                    while let Ok(job) = job_rx.recv() {
+                        let answers: Vec<(usize, OutputWord)> = job
+                            .iter()
+                            .map(|(index, input)| (*index, replay_query(&mut sul, input)))
+                            .collect();
+                        if reply_tx.send((answers, sul.stats())).is_err() {
+                            break;
+                        }
+                    }
+                    // A final reset flushes the last query into adapter-side
+                    // state (e.g. the Oracle Table) before the SUL is
+                    // handed back.
+                    sul.reset();
+                    sul
+                });
+                Worker {
+                    job_tx,
+                    reply_rx,
+                    handle,
+                    last_stats: SulStats::default(),
+                }
+            })
+            .collect();
+        ParallelSulOracle {
+            workers,
+            queries: 0,
+            batches: 0,
+        }
+    }
+
+    /// Number of worker threads (and SUL instances).
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of batches dispatched so far.
+    pub fn batches_dispatched(&self) -> u64 {
+        self.batches
+    }
+
+    /// Aggregated interaction counters across all worker SULs.
+    pub fn stats(&self) -> SulStats {
+        self.workers
+            .iter()
+            .fold(SulStats::default(), |acc, w| SulStats {
+                symbols_sent: acc.symbols_sent + w.last_stats.symbols_sent,
+                resets: acc.resets + w.last_stats.resets,
+                concrete_packets_sent: acc.concrete_packets_sent
+                    + w.last_stats.concrete_packets_sent,
+                concrete_packets_received: acc.concrete_packets_received
+                    + w.last_stats.concrete_packets_received,
+            })
+    }
+
+    /// Shuts the workers down and returns their SULs (e.g. to merge Oracle
+    /// Tables for the synthesis stage).  Worker `i`'s SUL is at index `i`;
+    /// each has been reset so any pending query is flushed into its
+    /// adapter-side state.
+    pub fn into_suls(self) -> Vec<S> {
+        self.workers
+            .into_iter()
+            .map(|worker| {
+                drop(worker.job_tx);
+                drop(worker.reply_rx);
+                worker.handle.join().expect("SUL worker thread panicked")
+            })
+            .collect()
+    }
+
+    fn dispatch(&mut self, inputs: &[InputWord]) -> Vec<OutputWord> {
+        self.batches += 1;
+        self.queries += inputs.len() as u64;
+        let n = self.workers.len();
+        // Fixed shard→worker assignment: query i goes to worker i % n.  The
+        // assignment is part of the oracle's deterministic contract — every
+        // worker sees the same query stream on every run with this config.
+        let mut shards: Vec<Job> = vec![Vec::new(); n];
+        for (index, input) in inputs.iter().enumerate() {
+            shards[index % n].push((index, input.clone()));
+        }
+        let active: Vec<bool> = shards.iter().map(|shard| !shard.is_empty()).collect();
+        for (worker, shard) in self.workers.iter().zip(shards) {
+            if !shard.is_empty() {
+                worker.job_tx.send(shard).expect("SUL worker hung up");
+            }
+        }
+        let mut results: Vec<Option<OutputWord>> = vec![None; inputs.len()];
+        for (worker, is_active) in self.workers.iter_mut().zip(active) {
+            if !is_active {
+                continue;
+            }
+            let (answers, stats) = worker.reply_rx.recv().expect("SUL worker hung up");
+            worker.last_stats = stats;
+            for (index, output) in answers {
+                results[index] = Some(output);
+            }
+        }
+        results
+            .into_iter()
+            .map(|out| out.expect("every query index answered by its worker"))
+            .collect()
+    }
+}
+
+impl<S: Sul + Send + 'static> MembershipOracle for ParallelSulOracle<S> {
+    fn query(&mut self, input: &InputWord) -> OutputWord {
+        self.dispatch(std::slice::from_ref(input))
+            .pop()
+            .expect("single-query dispatch yields one answer")
+    }
+
+    fn query_batch(&mut self, inputs: &[InputWord]) -> Vec<OutputWord> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        self.dispatch(inputs)
+    }
+
+    fn queries_answered(&self) -> u64 {
+        self.queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sul::SulMembershipOracle;
+    use prognosis_automata::alphabet::Symbol;
+    use prognosis_automata::known;
+    use prognosis_automata::mealy::{MealyMachine, StateId};
+
+    /// A factory-friendly SUL backed by a Mealy machine.
+    #[derive(Clone)]
+    struct MachineSul {
+        machine: MealyMachine,
+        state: StateId,
+        stats: SulStats,
+    }
+
+    impl Sul for MachineSul {
+        fn step(&mut self, input: &Symbol) -> Symbol {
+            self.stats.symbols_sent += 1;
+            let (next, out) = self
+                .machine
+                .step(self.state, input)
+                .expect("symbol in alphabet");
+            self.state = next;
+            out
+        }
+
+        fn reset(&mut self) {
+            self.stats.resets += 1;
+            self.state = self.machine.initial_state();
+        }
+
+        fn stats(&self) -> SulStats {
+            self.stats
+        }
+    }
+
+    struct MachineSulFactory(MealyMachine);
+
+    impl SulFactory for MachineSulFactory {
+        type Sul = MachineSul;
+
+        fn create(&self) -> MachineSul {
+            MachineSul {
+                machine: self.0.clone(),
+                state: self.0.initial_state(),
+                stats: SulStats::default(),
+            }
+        }
+    }
+
+    fn words(machine: &MealyMachine, count: usize) -> Vec<InputWord> {
+        let alphabet = machine.input_alphabet().clone();
+        (0..count)
+            .map(|i| {
+                (0..=(i % 5))
+                    .map(|j| alphabet.get((i + j) % alphabet.len()).unwrap().clone())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_answers_match_sequential_for_any_worker_count() {
+        let machine = known::counter(5);
+        let factory = MachineSulFactory(machine.clone());
+        let batch = words(&machine, 23);
+        let mut sequential = SulMembershipOracle::new(factory.create());
+        let expected = sequential.query_batch(&batch);
+        for workers in [1, 2, 4, 7] {
+            let mut parallel = ParallelSulOracle::spawn(&factory, workers);
+            assert_eq!(parallel.num_workers(), workers);
+            let got = parallel.query_batch(&batch);
+            assert_eq!(
+                got, expected,
+                "worker count {workers} changed batch answers"
+            );
+            assert_eq!(parallel.queries_answered(), batch.len() as u64);
+        }
+    }
+
+    #[test]
+    fn single_queries_and_stats_flow_through() {
+        let machine = known::toggle();
+        let factory = MachineSulFactory(machine.clone());
+        let mut parallel = ParallelSulOracle::spawn(&factory, 2);
+        let word = InputWord::from_symbols(["press", "press", "press"]);
+        let out = parallel.query(&word);
+        assert_eq!(out, machine.run(&word).unwrap());
+        assert_eq!(parallel.stats().symbols_sent, 3);
+        assert_eq!(parallel.stats().resets, 1);
+        assert_eq!(parallel.batches_dispatched(), 1);
+        let suls = parallel.into_suls();
+        assert_eq!(suls.len(), 2);
+        assert_eq!(suls.iter().map(|s| s.stats().symbols_sent).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn empty_batches_are_answered_without_dispatch() {
+        let factory = MachineSulFactory(known::toggle());
+        let mut parallel = ParallelSulOracle::spawn(&factory, 3);
+        assert!(parallel.query_batch(&[]).is_empty());
+        assert_eq!(parallel.batches_dispatched(), 0);
+    }
+}

@@ -2,17 +2,22 @@
 //!
 //! The pipeline wires the pieces together the way the paper's experiments
 //! do: the SUL (implementation + adapter) is exposed as a membership oracle
-//! behind a cache, a discrimination-tree learner builds the hypothesis, and
-//! a random-word equivalence oracle plays the role of the heuristic
-//! equivalence oracle of §4.1.  The result carries the learned model, the
-//! query statistics the paper reports (membership queries, model size), and
-//! leaves the adapter's Oracle Table in place for the synthesis stage.
+//! behind a prefix-trie cache, a discrimination-tree learner builds the
+//! hypothesis, and a random-word equivalence oracle plays the role of the
+//! heuristic equivalence oracle of §4.1.  Queries flow through the stack in
+//! batches; with [`LearnConfig::workers`] > 1 the batches fan out across
+//! independent SUL instances ([`crate::parallel::ParallelSulOracle`])
+//! minted by a [`SulFactory`].  Results are deterministic and identical to
+//! the sequential path for any worker count: the equivalence oracle's word
+//! stream depends only on the seed, and each SUL instance answers each word
+//! the same way (§3.2 property 3).
 
-use crate::sul::{Sul, SulMembershipOracle};
+use crate::parallel::ParallelSulOracle;
+use crate::sul::{Sul, SulFactory, SulMembershipOracle, SulStats};
 use prognosis_automata::alphabet::Alphabet;
 use prognosis_automata::mealy::MealyMachine;
-use prognosis_learner::eq_oracles::RandomWordOracle;
-use prognosis_learner::oracle::CacheOracle;
+use prognosis_learner::eq_oracles::{RandomWordOracle, DEFAULT_EQ_BATCH_SIZE};
+use prognosis_learner::oracle::{CacheOracle, MembershipOracle};
 use prognosis_learner::stats::LearningStats;
 use prognosis_learner::{DTreeLearner, Learner};
 use serde::{Deserialize, Serialize};
@@ -28,11 +33,32 @@ pub struct LearnConfig {
     pub min_word_len: usize,
     /// Maximum random test-word length.
     pub max_word_len: usize,
+    /// Number of parallel SUL workers ([`learn_model_parallel`] only; the
+    /// borrowed-SUL path of [`learn_model`] is inherently single-instance).
+    pub workers: usize,
+    /// Number of equivalence-test words dispatched per membership batch.
+    pub eq_batch_size: usize,
 }
 
 impl Default for LearnConfig {
     fn default() -> Self {
-        LearnConfig { seed: 7, random_tests: 2_000, min_word_len: 2, max_word_len: 10 }
+        LearnConfig {
+            seed: 7,
+            random_tests: 2_000,
+            min_word_len: 2,
+            max_word_len: 10,
+            workers: 1,
+            eq_batch_size: DEFAULT_EQ_BATCH_SIZE,
+        }
+    }
+}
+
+impl LearnConfig {
+    /// Returns the configuration with the given worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "learning needs at least one worker");
+        self.workers = workers;
+        self
     }
 }
 
@@ -47,38 +73,96 @@ pub struct LearnedModel {
     pub distinct_queries: usize,
 }
 
-/// Learns a Mealy model of `sul` over `alphabet`.
-///
-/// The SUL is borrowed mutably so the caller keeps access to its Oracle
-/// Table (and any implementation-specific state) afterwards.
-pub fn learn_model<S: Sul>(sul: &mut S, alphabet: &Alphabet, config: LearnConfig) -> LearnedModel {
-    let mut learner = DTreeLearner::new(alphabet.clone());
-    let mut membership = CacheOracle::new(SulMembershipOracle::new(sul));
-    let mut equivalence = RandomWordOracle::new(
+/// The result of a parallel learning run, including the worker SULs (whose
+/// Oracle Tables feed the synthesis stage).
+pub struct ParallelLearnOutcome<S> {
+    /// The learned model and query statistics.
+    pub learned: LearnedModel,
+    /// The worker SULs, reset so their adapter-side state (Oracle Tables)
+    /// is fully flushed.  Worker `i` is at index `i`.
+    pub suls: Vec<S>,
+    /// Aggregated SUL interaction counters across all workers.
+    pub sul_stats: SulStats,
+}
+
+fn equivalence_oracle(config: &LearnConfig) -> RandomWordOracle {
+    RandomWordOracle::new(
         config.seed,
         config.random_tests,
         config.min_word_len,
         config.max_word_len,
-    );
+    )
+    .with_batch_size(config.eq_batch_size)
+}
+
+fn run_learner<M: MembershipOracle>(
+    alphabet: &Alphabet,
+    config: &LearnConfig,
+    mut membership: CacheOracle<M>,
+) -> (LearnedModel, M) {
+    let mut learner = DTreeLearner::new(alphabet.clone());
+    let mut equivalence = equivalence_oracle(config);
     let result = learner.learn(&mut membership, &mut equivalence);
-    LearnedModel {
+    let learned = LearnedModel {
         model: result.model,
         stats: result.stats,
         distinct_queries: membership.len(),
+    };
+    (learned, membership.into_inner())
+}
+
+/// Learns a Mealy model of `sul` over `alphabet`, sequentially.
+///
+/// The SUL is borrowed mutably so the caller keeps access to its Oracle
+/// Table (and any implementation-specific state) afterwards.
+pub fn learn_model<S: Sul>(sul: &mut S, alphabet: &Alphabet, config: LearnConfig) -> LearnedModel {
+    let membership = CacheOracle::new(SulMembershipOracle::new(sul));
+    run_learner(alphabet, &config, membership).0
+}
+
+/// Learns a Mealy model over `alphabet` with `config.workers` parallel SUL
+/// instances minted by `factory`.
+///
+/// With a fixed seed the learned model is identical to [`learn_model`]'s on
+/// a SUL from the same factory, for any worker count — parallelism changes
+/// only the wall-clock time, never the answers.
+pub fn learn_model_parallel<F>(
+    factory: &F,
+    alphabet: &Alphabet,
+    config: LearnConfig,
+) -> ParallelLearnOutcome<F::Sul>
+where
+    F: SulFactory,
+    F::Sul: Send + 'static,
+{
+    let parallel = ParallelSulOracle::spawn(factory, config.workers.max(1));
+    let membership = CacheOracle::new(parallel);
+    let (learned, parallel) = run_learner(alphabet, &config, membership);
+    let sul_stats = parallel.stats();
+    let suls = parallel.into_suls();
+    ParallelLearnOutcome {
+        learned,
+        suls,
+        sul_stats,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::quic_adapter::{quic_data_alphabet, QuicSul};
-    use crate::tcp_adapter::{tcp_alphabet, TcpSul};
+    use crate::quic_adapter::{quic_data_alphabet, QuicSul, QuicSulFactory};
+    use crate::tcp_adapter::{tcp_alphabet, TcpSul, TcpSulFactory};
+    use prognosis_automata::equivalence::machines_equivalent;
     use prognosis_quic_sim::profile::ImplementationProfile;
 
     #[test]
     fn learns_a_tcp_model_with_a_handful_of_states() {
         let mut sul = TcpSul::with_defaults();
-        let config = LearnConfig { random_tests: 300, max_word_len: 8, ..LearnConfig::default() };
+        let config = LearnConfig {
+            random_tests: 300,
+            max_word_len: 8,
+            ..LearnConfig::default()
+        };
         let learned = learn_model(&mut sul, &tcp_alphabet(), config);
         // The paper's TCP model has 6 states and 42 transitions; our
         // userspace stack is in the same range (and total over 7 symbols).
@@ -101,14 +185,108 @@ mod tests {
     #[test]
     fn learns_a_quic_model_on_the_reduced_alphabet() {
         let mut sul = QuicSul::new(ImplementationProfile::google(), 3);
-        let config = LearnConfig { random_tests: 200, max_word_len: 8, ..LearnConfig::default() };
+        let config = LearnConfig {
+            random_tests: 200,
+            max_word_len: 8,
+            ..LearnConfig::default()
+        };
         let learned = learn_model(&mut sul, &quic_data_alphabet(), config);
-        assert!(learned.model.num_states() >= 3, "google data-path model has several states");
+        assert!(
+            learned.model.num_states() >= 3,
+            "google data-path model has several states"
+        );
         // The initial state ignores everything except INITIAL[CRYPTO].
         let initial_outputs: Vec<String> = quic_data_alphabet()
             .iter()
-            .map(|s| learned.model.output(learned.model.initial_state(), s).unwrap().to_string())
+            .map(|s| {
+                learned
+                    .model
+                    .output(learned.model.initial_state(), s)
+                    .unwrap()
+                    .to_string()
+            })
             .collect();
-        assert!(initial_outputs.iter().filter(|o| o.as_str() == "{}").count() >= 2);
+        assert!(
+            initial_outputs
+                .iter()
+                .filter(|o| o.as_str() == "{}")
+                .count()
+                >= 2
+        );
+    }
+
+    #[test]
+    fn parallel_tcp_learning_matches_sequential() {
+        let config = LearnConfig {
+            random_tests: 300,
+            max_word_len: 8,
+            ..LearnConfig::default()
+        };
+        let mut sul = TcpSul::with_defaults();
+        let sequential = learn_model(&mut sul, &tcp_alphabet(), config);
+        let outcome = learn_model_parallel(
+            &TcpSulFactory::default(),
+            &tcp_alphabet(),
+            config.with_workers(4),
+        );
+        assert!(
+            machines_equivalent(&sequential.model, &outcome.learned.model),
+            "4-worker parallel learning must produce a model equivalent to sequential"
+        );
+        assert_eq!(
+            sequential.model.num_states(),
+            outcome.learned.model.num_states()
+        );
+        assert_eq!(
+            sequential.stats.membership_queries, outcome.learned.stats.membership_queries,
+            "the learner must see the identical query stream in both modes"
+        );
+        assert_eq!(outcome.suls.len(), 4);
+        assert!(outcome.sul_stats.symbols_sent > 0);
+        // The workers' Oracle Tables merge into one synthesis input.
+        let mut merged = crate::oracle_table::OracleTable::new();
+        for sul in outcome.suls {
+            merged.merge_from(sul.oracle_table().clone());
+        }
+        assert!(!merged.is_empty());
+    }
+
+    #[test]
+    fn parallel_quic_learning_matches_sequential() {
+        let config = LearnConfig {
+            random_tests: 200,
+            max_word_len: 8,
+            ..LearnConfig::default()
+        };
+        let mut sul = QuicSul::new(ImplementationProfile::google(), 3);
+        let sequential = learn_model(&mut sul, &quic_data_alphabet(), config);
+        let outcome = learn_model_parallel(
+            &QuicSulFactory::new(ImplementationProfile::google(), 3),
+            &quic_data_alphabet(),
+            config.with_workers(4),
+        );
+        assert!(
+            machines_equivalent(&sequential.model, &outcome.learned.model),
+            "4-worker parallel QUIC learning must match sequential"
+        );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_model() {
+        let config = LearnConfig {
+            random_tests: 200,
+            max_word_len: 6,
+            ..LearnConfig::default()
+        };
+        let factory = TcpSulFactory::default();
+        let baseline = learn_model_parallel(&factory, &tcp_alphabet(), config.with_workers(1));
+        for workers in [2, 3] {
+            let outcome =
+                learn_model_parallel(&factory, &tcp_alphabet(), config.with_workers(workers));
+            assert!(
+                machines_equivalent(&baseline.learned.model, &outcome.learned.model),
+                "worker count {workers} changed the learned model"
+            );
+        }
     }
 }

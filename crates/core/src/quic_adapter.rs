@@ -12,7 +12,7 @@
 //! Oracle Table for synthesis.
 
 use crate::oracle_table::OracleTable;
-use crate::sul::{Sul, SulStats};
+use crate::sul::{Sul, SulFactory, SulStats};
 use prognosis_automata::alphabet::{Alphabet, Symbol};
 use prognosis_quic_sim::client::{numeric_fields, ReferenceQuicClient};
 use prognosis_quic_sim::profile::ImplementationProfile;
@@ -43,6 +43,45 @@ pub fn quic_data_alphabet() -> Alphabet {
         "SHORT(?,?)[ACK,STREAM]",
         "SHORT(?,?)[ACK,MAX_DATA,MAX_STREAM_DATA]",
     ])
+}
+
+/// Mints independent [`QuicSul`] instances (same profile, same seed), so
+/// membership-query batches can fan out across parallel workers.
+#[derive(Clone, Debug)]
+pub struct QuicSulFactory {
+    profile: ImplementationProfile,
+    seed: u64,
+    buggy_retry_client: bool,
+}
+
+impl QuicSulFactory {
+    /// A factory for the given implementation profile and seed.
+    pub fn new(profile: ImplementationProfile, seed: u64) -> Self {
+        QuicSulFactory {
+            profile,
+            seed,
+            buggy_retry_client: false,
+        }
+    }
+
+    /// Enables the Issue-3 reference-client defect on every minted SUL.
+    pub fn with_buggy_retry_client(mut self) -> Self {
+        self.buggy_retry_client = true;
+        self
+    }
+}
+
+impl SulFactory for QuicSulFactory {
+    type Sul = QuicSul;
+
+    fn create(&self) -> QuicSul {
+        let sul = QuicSul::new(self.profile.clone(), self.seed);
+        if self.buggy_retry_client {
+            sul.with_buggy_retry_client()
+        } else {
+            sul
+        }
+    }
 }
 
 /// The QUIC system under learning: one implementation profile + the adapter.
@@ -109,7 +148,9 @@ impl Sul for QuicSul {
         };
         self.stats.concrete_packets_sent += 1;
         let input_fields = numeric_fields(&request_packet);
-        let responses = self.server.handle_datagram(&wire, self.client.source_port());
+        let responses = self
+            .server
+            .handle_datagram(&wire, self.client.source_port());
         // Abstract every response packet; keep (name, fields) pairs sorted by
         // name so the output symbol and the recorded fields stay aligned and
         // deterministic.
@@ -124,9 +165,13 @@ impl Sul for QuicSul {
         decoded.sort();
         let names: Vec<&str> = decoded.iter().map(|(n, _)| n.as_str()).collect();
         let abstract_out = format!("{{{}}}", names.join(","));
-        let output_fields: Vec<i64> = decoded.iter().flat_map(|(_, f)| f.iter().copied()).collect();
+        let output_fields: Vec<i64> = decoded
+            .iter()
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
         self.current_inputs.push((input.to_string(), input_fields));
-        self.current_outputs.push((abstract_out.clone(), output_fields));
+        self.current_outputs
+            .push((abstract_out.clone(), output_fields));
         Symbol::new(abstract_out)
     }
 
@@ -228,6 +273,9 @@ mod tests {
         let close = sul.step(&Symbol::new("HANDSHAKE(?,?)[ACK,HANDSHAKE_DONE]"));
         assert!(close.as_str().contains("CONNECTION_CLOSE"), "{close}");
         let after = sul.step(&Symbol::new("SHORT(?,?)[ACK,STREAM]"));
-        assert!(after.as_str().contains("CONNECTION_CLOSE") || after.as_str() == "{}", "{after}");
+        assert!(
+            after.as_str().contains("CONNECTION_CLOSE") || after.as_str() == "{}",
+            "{after}"
+        );
     }
 }

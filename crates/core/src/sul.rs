@@ -43,6 +43,40 @@ impl<T: Sul + ?Sized> Sul for &mut T {
     }
 }
 
+/// Mints independent SUL instances.
+///
+/// Every instance must behave identically on identical queries (the §3.2
+/// determinism property), so a factory is what lets the framework fan
+/// membership-query batches out across several SUL copies — each worker of
+/// a [`crate::parallel::ParallelSulOracle`] owns one instance, the same
+/// engineering split real QUIC trace-collection tooling uses to scale.
+pub trait SulFactory {
+    /// The SUL type this factory creates.
+    type Sul: Sul;
+
+    /// Creates a fresh, independent SUL instance in its initial state.
+    fn create(&self) -> Self::Sul;
+}
+
+impl<F: SulFactory + ?Sized> SulFactory for &F {
+    type Sul = F::Sul;
+
+    fn create(&self) -> Self::Sul {
+        (**self).create()
+    }
+}
+
+/// Replays one membership query against a SUL: reset, then step through the
+/// word, collecting one output symbol per input symbol.
+pub fn replay_query<S: Sul + ?Sized>(sul: &mut S, input: &InputWord) -> OutputWord {
+    sul.reset();
+    let mut out = OutputWord::empty();
+    for symbol in input.iter() {
+        out.push(sul.step(symbol));
+    }
+    out
+}
+
 /// Interaction counters for a SUL.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SulStats {
@@ -89,12 +123,7 @@ impl<S: Sul> SulMembershipOracle<S> {
 impl<S: Sul> MembershipOracle for SulMembershipOracle<S> {
     fn query(&mut self, input: &InputWord) -> OutputWord {
         self.queries += 1;
-        self.sul.reset();
-        let mut out = OutputWord::empty();
-        for symbol in input.iter() {
-            out.push(self.sul.step(symbol));
-        }
-        out
+        replay_query(&mut self.sul, input)
     }
 
     fn queries_answered(&self) -> u64 {
@@ -118,14 +147,21 @@ mod tests {
     impl MachineSul {
         fn new(machine: MealyMachine) -> Self {
             let state = machine.initial_state();
-            MachineSul { machine, state, stats: SulStats::default() }
+            MachineSul {
+                machine,
+                state,
+                stats: SulStats::default(),
+            }
         }
     }
 
     impl Sul for MachineSul {
         fn step(&mut self, input: &Symbol) -> Symbol {
             self.stats.symbols_sent += 1;
-            let (next, out) = self.machine.step(self.state, input).expect("symbol in alphabet");
+            let (next, out) = self
+                .machine
+                .step(self.state, input)
+                .expect("symbol in alphabet");
             self.state = next;
             out
         }
@@ -164,6 +200,9 @@ mod tests {
         let mut membership = SulMembershipOracle::new(MachineSul::new(target.clone()));
         let mut equivalence = RandomWordOracle::new(5, 2000, 1, 12);
         let result = learner.learn(&mut membership, &mut equivalence);
-        assert!(prognosis_automata::equivalence::machines_equivalent(&result.model, &target));
+        assert!(prognosis_automata::equivalence::machines_equivalent(
+            &result.model,
+            &target
+        ));
     }
 }

@@ -10,7 +10,7 @@
 //! responses are abstracted back to the learner's alphabet (5).
 
 use crate::oracle_table::OracleTable;
-use crate::sul::{Sul, SulStats};
+use crate::sul::{Sul, SulFactory, SulStats};
 use prognosis_automata::alphabet::{Alphabet, Symbol};
 use prognosis_tcp::client::ReferenceTcpClient;
 use prognosis_tcp::segment::TcpSegment;
@@ -29,6 +29,28 @@ pub fn tcp_alphabet() -> Alphabet {
         "RST(?,?,0)",
         "ACK+RST(?,?,0)",
     ])
+}
+
+/// Mints independent [`TcpSul`] instances from one server configuration,
+/// so membership-query batches can fan out across parallel workers.
+#[derive(Clone, Debug, Default)]
+pub struct TcpSulFactory {
+    config: TcpServerConfig,
+}
+
+impl TcpSulFactory {
+    /// A factory using the given server configuration.
+    pub fn new(config: TcpServerConfig) -> Self {
+        TcpSulFactory { config }
+    }
+}
+
+impl SulFactory for TcpSulFactory {
+    type Sul = TcpSul;
+
+    fn create(&self) -> TcpSul {
+        TcpSul::new(self.config.clone())
+    }
 }
 
 /// The TCP system under learning: implementation + adapter.
@@ -112,7 +134,8 @@ impl Sul for TcpSul {
             None => ("NIL".to_string(), vec![]),
         };
         self.current_inputs.push((input.to_string(), input_fields));
-        self.current_outputs.push((abstract_out.clone(), output_fields));
+        self.current_outputs
+            .push((abstract_out.clone(), output_fields));
         Symbol::new(abstract_out)
     }
 
@@ -158,7 +181,8 @@ mod tests {
     fn queries_are_deterministic_across_resets() {
         let mut sul = TcpSul::with_defaults();
         let mut oracle = crate::sul::SulMembershipOracle::new(&mut sul);
-        let word = InputWord::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)", "FIN+ACK(?,?,0)", "ACK(?,?,0)"]);
+        let word =
+            InputWord::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)", "FIN+ACK(?,?,0)", "ACK(?,?,0)"]);
         let a = oracle.query(&word);
         let b = oracle.query(&word);
         assert_eq!(a, b);

@@ -29,7 +29,10 @@ use std::collections::BTreeMap;
 enum Node {
     /// An inner node labelled with a distinguishing suffix; children are
     /// indexed by the output word the SUL produces for that suffix.
-    Inner { discriminator: InputWord, children: BTreeMap<OutputWord, usize> },
+    Inner {
+        discriminator: InputWord,
+        children: BTreeMap<OutputWord, usize>,
+    },
     /// A leaf corresponding to a hypothesis state, labelled with its access
     /// sequence.
     Leaf { access: InputWord },
@@ -48,8 +51,13 @@ pub struct DTreeLearner {
 impl DTreeLearner {
     /// Creates a learner over the given abstract input alphabet.
     pub fn new(alphabet: Alphabet) -> Self {
-        assert!(!alphabet.is_empty(), "learning needs a non-empty input alphabet");
-        let root_leaf = Node::Leaf { access: InputWord::empty() };
+        assert!(
+            !alphabet.is_empty(),
+            "learning needs a non-empty input alphabet"
+        );
+        let root_leaf = Node::Leaf {
+            access: InputWord::empty(),
+        };
         DTreeLearner {
             alphabet,
             nodes: vec![root_leaf],
@@ -73,8 +81,35 @@ impl DTreeLearner {
         self.stats.membership_queries += 1;
         self.stats.input_symbols += input.len() as u64;
         let out = membership.query(input);
-        assert_eq!(out.len(), input.len(), "oracle must answer symbol-per-symbol");
+        assert_eq!(
+            out.len(),
+            input.len(),
+            "oracle must answer symbol-per-symbol"
+        );
         out
+    }
+
+    fn query_batch(
+        &mut self,
+        membership: &mut dyn MembershipOracle,
+        inputs: &[InputWord],
+    ) -> Vec<OutputWord> {
+        self.stats.membership_queries += inputs.len() as u64;
+        self.stats.input_symbols += inputs.iter().map(|i| i.len() as u64).sum::<u64>();
+        let outs = membership.query_batch(inputs);
+        assert_eq!(
+            outs.len(),
+            inputs.len(),
+            "oracle must answer the whole batch"
+        );
+        for (input, out) in inputs.iter().zip(&outs) {
+            assert_eq!(
+                out.len(),
+                input.len(),
+                "oracle must answer symbol-per-symbol"
+            );
+        }
+        outs
     }
 
     fn leaf_access(&self, leaf: usize) -> &InputWord {
@@ -112,7 +147,9 @@ impl DTreeLearner {
                         Some(child) => node = child,
                         None => {
                             let leaf = self.nodes.len();
-                            self.nodes.push(Node::Leaf { access: word.clone() });
+                            self.nodes.push(Node::Leaf {
+                                access: word.clone(),
+                            });
                             self.leaves.push(leaf);
                             match &mut self.nodes[node] {
                                 Node::Inner { children, .. } => {
@@ -137,12 +174,19 @@ impl DTreeLearner {
         let mut state = 0;
         while state < self.leaves.len() {
             let access = self.leaf_access(self.leaves[state]).clone();
+            // One batch per state row: the |Σ̂| one-symbol extensions are
+            // independent, so they can fan out across parallel SUL workers.
+            let extensions: Vec<InputWord> = self
+                .alphabet
+                .clone()
+                .iter()
+                .map(|sym| access.append(sym.clone()))
+                .collect();
+            let out_words = self.query_batch(membership, &extensions);
             let mut row = Vec::with_capacity(self.alphabet.len());
-            for sym in self.alphabet.clone().iter() {
-                let ext = access.append(sym.clone());
-                let out_word = self.query(membership, &ext);
+            for (ext, out_word) in extensions.iter().zip(out_words) {
                 let output = out_word.last().expect("non-empty query").clone();
-                let leaf = self.sift(membership, &ext);
+                let leaf = self.sift(membership, ext);
                 row.push((self.state_of_leaf(leaf), output));
             }
             transitions.push(row);
@@ -185,11 +229,13 @@ impl DTreeLearner {
         let mut q = hypothesis.initial_state();
         hyp_states.push(q);
         for i in 0..len {
-            q = hypothesis.successor(q, &ce_input[i]).expect("CE over alphabet");
+            q = hypothesis
+                .successor(q, &ce_input[i])
+                .expect("CE over alphabet");
             hyp_states.push(q);
         }
-        for i in 0..=len {
-            let access = self.access_of_state(hyp_states[i]);
+        for (i, &hyp_state) in hyp_states.iter().enumerate() {
+            let access = self.access_of_state(hyp_state);
             let suffix = ce_input.suffix_from(i);
             if suffix.is_empty() {
                 z.push(OutputWord::empty());
@@ -201,21 +247,18 @@ impl DTreeLearner {
         }
         // Find i with tail(z[i]) != z[i+1]; such an i exists for any genuine
         // counterexample (see module docs).
-        let mut split_index = None;
-        for i in 0..len {
-            let tail = z[i].suffix_from(1);
-            if tail != z[i + 1] {
-                split_index = Some(i);
-                break;
-            }
-        }
+        let split_index = z
+            .windows(2)
+            .position(|pair| pair[0].suffix_from(1) != pair[1]);
         let i = split_index.expect("genuine counterexample admits an RS split point");
         let discriminator = ce_input.suffix_from(i + 1);
         debug_assert!(!discriminator.is_empty());
         let old_state = hyp_states[i + 1];
         let old_leaf = self.leaves[old_state];
         let old_access = self.access_of_state(old_state);
-        let new_access = self.access_of_state(hyp_states[i]).append(ce_input[i].clone());
+        let new_access = self
+            .access_of_state(hyp_states[i])
+            .append(ce_input[i].clone());
 
         // Labels for the two children of the new inner node.
         let old_out = {
@@ -244,7 +287,10 @@ impl DTreeLearner {
         let mut children = BTreeMap::new();
         children.insert(old_out, relocated_old);
         children.insert(new_out, new_leaf);
-        self.nodes[old_leaf] = Node::Inner { discriminator, children };
+        self.nodes[old_leaf] = Node::Inner {
+            discriminator,
+            children,
+        };
         // The old state now lives at `relocated_old`; the new state is appended.
         self.leaves[old_state] = relocated_old;
         self.leaves.push(new_leaf);
@@ -268,7 +314,10 @@ impl Learner for DTreeLearner {
                 None => {
                     self.stats
                         .record_model(hypothesis.num_states(), hypothesis.num_transitions());
-                    return LearningResult { model: hypothesis, stats: self.stats };
+                    return LearningResult {
+                        model: hypothesis,
+                        stats: self.stats,
+                    };
                 }
                 Some(ce) => {
                     let hyp_out = hypothesis.run(&ce.input).ok();
@@ -313,7 +362,11 @@ mod tests {
             let target = known::counter(n);
             let result = learn_machine(target.clone());
             assert!(machines_equivalent(&result.model, &target), "counter({n})");
-            assert_eq!(result.model.num_states(), n, "counter({n}) must be learned minimally");
+            assert_eq!(
+                result.model.num_states(),
+                n,
+                "counter({n}) must be learned minimally"
+            );
         }
     }
 

@@ -52,19 +52,54 @@ impl EquivalenceOracle for SimulatorOracle {
     }
 }
 
+/// Default number of test words dispatched per membership batch by the
+/// suite-based equivalence oracles.
+pub const DEFAULT_EQ_BATCH_SIZE: usize = 64;
+
+/// Runs a pre-generated test suite against the SUL in batches, returning
+/// the first (in suite order) counterexample trace.  Deterministic: the
+/// result depends only on the suite order, never on how the membership
+/// oracle schedules a batch internally.
+fn run_suite_batched(
+    suite: &[InputWord],
+    batch_size: usize,
+    hypothesis: &MealyMachine,
+    membership: &mut dyn MembershipOracle,
+    tests_executed: &mut u64,
+) -> Option<IoTrace> {
+    for chunk in suite.chunks(batch_size.max(1)) {
+        *tests_executed += chunk.len() as u64;
+        let sul_outs = membership.query_batch(chunk);
+        for (word, sul_out) in chunk.iter().zip(sul_outs) {
+            let hyp_out = hypothesis
+                .run(word)
+                .expect("suite word over hypothesis alphabet");
+            if sul_out != hyp_out {
+                return Some(IoTrace::new(word.clone(), sul_out));
+            }
+        }
+    }
+    None
+}
+
 /// Random-word equivalence testing.
 ///
 /// Each equivalence query draws up to `max_tests` random input words with
-/// lengths uniform in `[min_len, max_len]`, sends them to the SUL through
-/// the membership oracle and compares against the hypothesis.  The paper's
-/// framework uses the same strategy ("random equivalence testing") both for
-/// Mealy learning and for validating synthesized register machines.
+/// lengths uniform in `[min_len, max_len]`, generates the whole suite up
+/// front, and dispatches it to the SUL in membership-query *batches* so a
+/// parallel oracle can fan the words out across SUL instances.  The first
+/// mismatching word in generation order is returned, so results are
+/// identical to the sequential word-at-a-time strategy of the seed.  The
+/// paper's framework uses the same strategy ("random equivalence testing")
+/// both for Mealy learning and for validating synthesized register
+/// machines.
 #[derive(Clone, Debug)]
 pub struct RandomWordOracle {
     rng: StdRng,
     max_tests: usize,
     min_len: usize,
     max_len: usize,
+    batch_size: usize,
     queries: u64,
     tests_executed: u64,
 }
@@ -72,15 +107,26 @@ pub struct RandomWordOracle {
 impl RandomWordOracle {
     /// Creates an oracle with the given seed and word-length distribution.
     pub fn new(seed: u64, max_tests: usize, min_len: usize, max_len: usize) -> Self {
-        assert!(min_len >= 1 && max_len >= min_len, "word lengths must satisfy 1 ≤ min ≤ max");
+        assert!(
+            min_len >= 1 && max_len >= min_len,
+            "word lengths must satisfy 1 ≤ min ≤ max"
+        );
         RandomWordOracle {
             rng: StdRng::seed_from_u64(seed),
             max_tests,
             min_len,
             max_len,
+            batch_size: DEFAULT_EQ_BATCH_SIZE,
             queries: 0,
             tests_executed: 0,
         }
+    }
+
+    /// Sets how many test words are dispatched per membership batch.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size >= 1, "batch size must be at least 1");
+        self.batch_size = batch_size;
+        self
     }
 
     /// Total random test words executed across all equivalence queries.
@@ -92,7 +138,12 @@ impl RandomWordOracle {
         let len = self.rng.gen_range(self.min_len..=self.max_len);
         let alphabet = hypothesis.input_alphabet();
         (0..len)
-            .map(|_| alphabet.get(self.rng.gen_range(0..alphabet.len())).unwrap().clone())
+            .map(|_| {
+                alphabet
+                    .get(self.rng.gen_range(0..alphabet.len()))
+                    .unwrap()
+                    .clone()
+            })
             .collect::<Vec<_>>()
             .into_iter()
             .collect()
@@ -106,16 +157,16 @@ impl EquivalenceOracle for RandomWordOracle {
         membership: &mut dyn MembershipOracle,
     ) -> Option<IoTrace> {
         self.queries += 1;
-        for _ in 0..self.max_tests {
-            self.tests_executed += 1;
-            let word = self.random_word(hypothesis);
-            let sul_out = membership.query(&word);
-            let hyp_out = hypothesis.run(&word).expect("word drawn from hypothesis alphabet");
-            if sul_out != hyp_out {
-                return Some(IoTrace::new(word, sul_out));
-            }
-        }
-        None
+        let suite: Vec<InputWord> = (0..self.max_tests)
+            .map(|_| self.random_word(hypothesis))
+            .collect();
+        run_suite_batched(
+            &suite,
+            self.batch_size,
+            hypothesis,
+            membership,
+            &mut self.tests_executed,
+        )
     }
 
     fn equivalence_queries(&self) -> u64 {
@@ -127,12 +178,15 @@ impl EquivalenceOracle for RandomWordOracle {
 ///
 /// Exhaustively runs the suite `P · Σ^{≤k} · W` where `P` is the transition
 /// cover of the hypothesis, `W` its characterizing set and `k` the assumed
-/// bound on extra states in the SUL.  Exact (guaranteed to find a
-/// counterexample if one exists) whenever the SUL has at most
-/// `hypothesis.num_states() + extra_states` states.
+/// bound on extra states in the SUL.  The whole suite is generated up front
+/// and dispatched in membership batches (first mismatch in suite order
+/// wins).  Exact (guaranteed to find a counterexample if one exists)
+/// whenever the SUL has at most `hypothesis.num_states() + extra_states`
+/// states.
 #[derive(Clone, Debug)]
 pub struct WMethodOracle {
     extra_states: usize,
+    batch_size: usize,
     queries: u64,
     tests_executed: u64,
 }
@@ -141,7 +195,19 @@ impl WMethodOracle {
     /// Creates a W-method oracle assuming at most `extra_states` additional
     /// states in the SUL beyond the hypothesis.
     pub fn new(extra_states: usize) -> Self {
-        WMethodOracle { extra_states, queries: 0, tests_executed: 0 }
+        WMethodOracle {
+            extra_states,
+            batch_size: DEFAULT_EQ_BATCH_SIZE,
+            queries: 0,
+            tests_executed: 0,
+        }
+    }
+
+    /// Sets how many suite words are dispatched per membership batch.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size >= 1, "batch size must be at least 1");
+        self.batch_size = batch_size;
+        self
     }
 
     /// Total suite words executed across all equivalence queries.
@@ -157,18 +223,17 @@ impl EquivalenceOracle for WMethodOracle {
         membership: &mut dyn MembershipOracle,
     ) -> Option<IoTrace> {
         self.queries += 1;
-        for word in w_method_suite(hypothesis, self.extra_states) {
-            if word.is_empty() {
-                continue;
-            }
-            self.tests_executed += 1;
-            let sul_out = membership.query(&word);
-            let hyp_out = hypothesis.run(&word).expect("suite word over hypothesis alphabet");
-            if sul_out != hyp_out {
-                return Some(IoTrace::new(word, sul_out));
-            }
-        }
-        None
+        let suite: Vec<InputWord> = w_method_suite(hypothesis, self.extra_states)
+            .into_iter()
+            .filter(|word| !word.is_empty())
+            .collect();
+        run_suite_batched(
+            &suite,
+            self.batch_size,
+            hypothesis,
+            membership,
+            &mut self.tests_executed,
+        )
     }
 
     fn equivalence_queries(&self) -> u64 {
@@ -224,7 +289,9 @@ mod tests {
             .expect("different counters must be distinguished");
         assert_eq!(target.run(&ce.input).unwrap(), ce.output);
         assert_ne!(wrong_hypothesis.run(&ce.input).unwrap(), ce.output);
-        assert!(oracle.find_counterexample(&target, &mut membership).is_none());
+        assert!(oracle
+            .find_counterexample(&target, &mut membership)
+            .is_none());
         assert_eq!(oracle.equivalence_queries(), 2);
     }
 
@@ -235,7 +302,10 @@ mod tests {
         let mut membership = MachineOracle::new(target.clone());
         let mut oracle = RandomWordOracle::new(11, 500, 1, 12);
         let ce = oracle.find_counterexample(&wrong, &mut membership);
-        assert!(ce.is_some(), "500 random words of length ≤12 must expose a 4-vs-3 counter");
+        assert!(
+            ce.is_some(),
+            "500 random words of length ≤12 must expose a 4-vs-3 counter"
+        );
         let ce = ce.unwrap();
         assert_eq!(target.run(&ce.input).unwrap(), ce.output);
         assert!(oracle.tests_executed() >= 1);
@@ -246,7 +316,9 @@ mod tests {
         let target = known::toggle();
         let mut membership = MachineOracle::new(target.clone());
         let mut oracle = RandomWordOracle::new(3, 100, 1, 6);
-        assert!(oracle.find_counterexample(&target, &mut membership).is_none());
+        assert!(oracle
+            .find_counterexample(&target, &mut membership)
+            .is_none());
         assert_eq!(oracle.tests_executed(), 100);
     }
 
@@ -264,8 +336,13 @@ mod tests {
         let mut membership = MachineOracle::new(target.clone());
         let mut oracle = WMethodOracle::new(1);
         let ce = oracle.find_counterexample(&wrong, &mut membership);
-        assert!(ce.is_some(), "W-method with k=1 must catch a one-extra-state difference");
-        assert!(oracle.find_counterexample(&target, &mut membership).is_none());
+        assert!(
+            ce.is_some(),
+            "W-method with k=1 must catch a one-extra-state difference"
+        );
+        assert!(oracle
+            .find_counterexample(&target, &mut membership)
+            .is_none());
         assert!(oracle.tests_executed() > 0);
     }
 
@@ -279,7 +356,9 @@ mod tests {
         let weak = RandomWordOracle::new(1, 5, 1, 1);
         let exact = SimulatorOracle::new(target.clone());
         let mut chained = ChainedOracle::new(weak, exact);
-        assert!(chained.find_counterexample(&wrong, &mut membership).is_some());
+        assert!(chained
+            .find_counterexample(&wrong, &mut membership)
+            .is_some());
         assert!(chained.equivalence_queries() >= 2);
     }
 }

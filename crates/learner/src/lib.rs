@@ -33,12 +33,14 @@ pub mod eq_oracles;
 pub mod lstar;
 pub mod oracle;
 pub mod stats;
+pub mod trie;
 
 pub use dtree::DTreeLearner;
 pub use eq_oracles::{RandomWordOracle, SimulatorOracle, WMethodOracle};
 pub use lstar::LStarLearner;
 pub use oracle::{CacheOracle, EquivalenceOracle, MachineOracle, MembershipOracle};
 pub use stats::LearningStats;
+pub use trie::PrefixTrie;
 
 use prognosis_automata::mealy::MealyMachine;
 

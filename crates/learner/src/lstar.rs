@@ -36,7 +36,10 @@ pub struct LStarLearner {
 impl LStarLearner {
     /// Creates a learner over the given abstract input alphabet.
     pub fn new(alphabet: Alphabet) -> Self {
-        assert!(!alphabet.is_empty(), "learning needs a non-empty input alphabet");
+        assert!(
+            !alphabet.is_empty(),
+            "learning needs a non-empty input alphabet"
+        );
         let suffixes = alphabet
             .iter()
             .map(|s| InputWord::from_symbols([s.clone()]))
@@ -70,13 +73,42 @@ impl LStarLearner {
         self.stats.membership_queries += 1;
         self.stats.input_symbols += query.len() as u64;
         let cell = out.suffix_from(prefix.len());
-        self.cells.insert((prefix.clone(), suffix_idx), cell.clone());
+        self.cells
+            .insert((prefix.clone(), suffix_idx), cell.clone());
         cell
     }
 
-    fn row(&mut self, membership: &mut dyn MembershipOracle, prefix: &InputWord) -> Vec<OutputWord> {
+    /// Fills (and returns) a whole table row, batching every uncached cell
+    /// of the row into a single membership batch so a parallel oracle can
+    /// answer the independent queries concurrently.
+    fn row(
+        &mut self,
+        membership: &mut dyn MembershipOracle,
+        prefix: &InputWord,
+    ) -> Vec<OutputWord> {
+        let missing: Vec<usize> = (0..self.suffixes.len())
+            .filter(|i| !self.cells.contains_key(&(prefix.clone(), *i)))
+            .collect();
+        if !missing.is_empty() {
+            let queries: Vec<InputWord> = missing
+                .iter()
+                .map(|&i| prefix.concat(&self.suffixes[i]))
+                .collect();
+            let outs = membership.query_batch(&queries);
+            assert_eq!(
+                outs.len(),
+                queries.len(),
+                "oracle must answer the whole batch"
+            );
+            self.stats.membership_queries += queries.len() as u64;
+            self.stats.input_symbols += queries.iter().map(|q| q.len() as u64).sum::<u64>();
+            for (&i, out) in missing.iter().zip(outs) {
+                self.cells
+                    .insert((prefix.clone(), i), out.suffix_from(prefix.len()));
+            }
+        }
         (0..self.suffixes.len())
-            .map(|i| self.cell(membership, prefix, i))
+            .map(|i| self.cells[&(prefix.clone(), i)].clone())
             .collect()
     }
 
@@ -152,7 +184,9 @@ impl LStarLearner {
                     .expect("states pre-added");
             }
         }
-        builder.build().expect("closed table yields a total machine")
+        builder
+            .build()
+            .expect("closed table yields a total machine")
     }
 
     fn process_counterexample(&mut self, ce_input: &InputWord) {
@@ -181,7 +215,10 @@ impl Learner for LStarLearner {
                 None => {
                     self.stats
                         .record_model(hypothesis.num_states(), hypothesis.num_transitions());
-                    return LearningResult { model: hypothesis, stats: self.stats };
+                    return LearningResult {
+                        model: hypothesis,
+                        stats: self.stats,
+                    };
                 }
                 Some(ce) => {
                     assert_ne!(

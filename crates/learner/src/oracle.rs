@@ -3,19 +3,38 @@
 //! A [`MembershipOracle`] answers the question *"If I send this input
 //! sequence, what will the implementation return?"* (§4.1).  In Prognosis
 //! the real oracle is the SUL adapter; in tests it is a known Mealy machine
-//! ([`MachineOracle`]).  [`CacheOracle`] memoizes answers and exploits
-//! prefix-closedness so repeated and prefix queries never hit the SUL twice
-//! — the same role the Oracle Table's cache plays in the paper.
+//! ([`MachineOracle`]).  Queries flow through the stack in *batches*
+//! ([`MembershipOracle::query_batch`]) so that oracle implementations
+//! backed by several independent SUL instances can answer them in parallel.
+//! [`CacheOracle`] memoizes answers in a prefix trie
+//! ([`crate::trie::PrefixTrie`]) that exploits prefix-closedness: a cached
+//! word answers all of its prefixes, and within a batch any word that is a
+//! prefix of another is answered by forwarding only the longer word — the
+//! same role the Oracle Table's cache plays in the paper, without the
+//! seed's linear scans.
 
 use crate::stats::LearningStats;
+use crate::trie::PrefixTrie;
 use prognosis_automata::mealy::MealyMachine;
 use prognosis_automata::word::{InputWord, IoTrace, OutputWord};
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 
 /// Answers membership queries.
 pub trait MembershipOracle {
     /// The output word the SUL produces for `input` (same length as `input`).
     fn query(&mut self, input: &InputWord) -> OutputWord;
+
+    /// Answers a batch of membership queries, one output word per input
+    /// word, in order.
+    ///
+    /// The default implementation is a sequential loop; oracles that own
+    /// several SUL instances (e.g. `prognosis-core`'s `ParallelSulOracle`)
+    /// override it to fan the batch out across workers.  Implementations
+    /// must answer each word exactly as a sequence of [`Self::query`] calls
+    /// would, so batching never changes learning results.
+    fn query_batch(&mut self, inputs: &[InputWord]) -> Vec<OutputWord> {
+        inputs.iter().map(|input| self.query(input)).collect()
+    }
 
     /// Number of membership queries issued so far (for statistics).
     fn queries_answered(&self) -> u64 {
@@ -52,7 +71,11 @@ pub struct MachineOracle {
 impl MachineOracle {
     /// Wraps a machine as a membership oracle.
     pub fn new(machine: MealyMachine) -> Self {
-        MachineOracle { machine, queries: 0, symbols: 0 }
+        MachineOracle {
+            machine,
+            queries: 0,
+            symbols: 0,
+        }
     }
 
     /// The wrapped machine.
@@ -70,7 +93,9 @@ impl MembershipOracle for MachineOracle {
     fn query(&mut self, input: &InputWord) -> OutputWord {
         self.queries += 1;
         self.symbols += input.len() as u64;
-        self.machine.run(input).expect("query over the machine's alphabet")
+        self.machine
+            .run(input)
+            .expect("query over the machine's alphabet")
     }
 
     fn queries_answered(&self) -> u64 {
@@ -78,26 +103,38 @@ impl MembershipOracle for MachineOracle {
     }
 }
 
-/// A caching membership oracle.
+/// A caching membership oracle backed by a prefix trie.
 ///
 /// Besides memoizing full queries, the cache answers any query that is a
 /// *prefix* of an already-answered query without consulting the inner
 /// oracle, mirroring the paper's observation that learning asks many
-/// redundant prefix queries against an expensive network SUL.
+/// redundant prefix queries against an expensive network SUL.  Batches are
+/// deduplicated and prefix-subsumed before being forwarded, so the inner
+/// oracle only ever sees the maximal fresh words of a batch.
 pub struct CacheOracle<O> {
     inner: O,
-    cache: HashMap<InputWord, OutputWord>,
+    trie: PrefixTrie,
     hits: u64,
     misses: u64,
+    /// Input symbols beyond the longest cached prefix, summed over all
+    /// forwarded queries — the genuinely *fresh* work the SUL performed.
+    fresh_symbols: u64,
 }
 
 impl<O: MembershipOracle> CacheOracle<O> {
     /// Wraps `inner` with a cache.
     pub fn new(inner: O) -> Self {
-        CacheOracle { inner, cache: HashMap::new(), hits: 0, misses: 0 }
+        CacheOracle {
+            inner,
+            trie: PrefixTrie::new(),
+            hits: 0,
+            misses: 0,
+            fresh_symbols: 0,
+        }
     }
 
-    /// Cache hits so far.
+    /// Cache hits so far (queries answered without touching the inner
+    /// oracle, including prefix and within-batch subsumption hits).
     pub fn hits(&self) -> u64 {
         self.hits
     }
@@ -107,14 +144,20 @@ impl<O: MembershipOracle> CacheOracle<O> {
         self.misses
     }
 
-    /// Number of distinct input words cached.
+    /// Input symbols that were not already covered by a cached prefix when
+    /// their query was forwarded.
+    pub fn fresh_symbols(&self) -> u64 {
+        self.fresh_symbols
+    }
+
+    /// Number of distinct input words queried through this oracle.
     pub fn len(&self) -> usize {
-        self.cache.len()
+        self.trie.terminal_words()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.cache.is_empty()
+        self.len() == 0
     }
 
     /// The inner oracle.
@@ -127,43 +170,104 @@ impl<O: MembershipOracle> CacheOracle<O> {
         self.inner
     }
 
-    /// All cached (input, output) pairs — the raw material for the Oracle
-    /// Table used by the synthesis module.
-    pub fn entries(&self) -> impl Iterator<Item = (&InputWord, &OutputWord)> {
-        self.cache.iter()
+    /// All distinct (input, output) query pairs — the raw material for the
+    /// Oracle Table used by the synthesis module.
+    pub fn entries(&self) -> impl Iterator<Item = (InputWord, OutputWord)> {
+        self.trie.entries().into_iter()
+    }
+
+    fn record_answer(&mut self, input: &InputWord, output: &OutputWord) {
+        assert_eq!(
+            output.len(),
+            input.len(),
+            "membership oracle must return one output symbol per input symbol"
+        );
+        self.trie.insert(input, output);
+        self.trie.mark_terminal(input);
     }
 }
 
 impl<O: MembershipOracle> MembershipOracle for CacheOracle<O> {
     fn query(&mut self, input: &InputWord) -> OutputWord {
-        if let Some(out) = self.cache.get(input) {
+        if let Some(out) = self.trie.lookup(input) {
             self.hits += 1;
-            return out.clone();
-        }
-        // A previously-answered longer query answers any of its prefixes.
-        // (Linear scan is acceptable: protocol alphabets are small and this
-        // path only triggers on a primary-cache miss.)
-        let prefix_answer = self
-            .cache
-            .iter()
-            .find(|(k, _)| {
-                k.len() > input.len() && k.as_slice()[..input.len()] == *input.as_slice()
-            })
-            .map(|(_, v)| v.prefix(input.len()));
-        if let Some(out) = prefix_answer {
-            self.hits += 1;
-            self.cache.insert(input.clone(), out.clone());
+            self.trie.mark_terminal(input);
             return out;
         }
         self.misses += 1;
+        self.fresh_symbols += (input.len() - self.trie.known_prefix_len(input)) as u64;
         let out = self.inner.query(input);
-        assert_eq!(
-            out.len(),
-            input.len(),
-            "membership oracle must return one output symbol per input symbol"
-        );
-        self.cache.insert(input.clone(), out.clone());
+        self.record_answer(input, &out);
         out
+    }
+
+    fn query_batch(&mut self, inputs: &[InputWord]) -> Vec<OutputWord> {
+        // First pass: answer what the trie already knows, collect the rest.
+        let mut results: Vec<Option<OutputWord>> = Vec::with_capacity(inputs.len());
+        let mut missing: BTreeSet<InputWord> = BTreeSet::new();
+        let mut missing_occurrences: u64 = 0;
+        for input in inputs {
+            match self.trie.lookup(input) {
+                Some(out) => {
+                    self.hits += 1;
+                    self.trie.mark_terminal(input);
+                    results.push(Some(out));
+                }
+                None => {
+                    missing_occurrences += 1;
+                    missing.insert(input.clone());
+                    results.push(None);
+                }
+            }
+        }
+        // Prefix subsumption: in a sorted set, every proper prefix is
+        // immediately followed by one of its extensions, so one forward
+        // look suffices to drop it — the longer word answers it for free.
+        let sorted: Vec<InputWord> = missing.into_iter().collect();
+        let forward: Vec<InputWord> = sorted
+            .iter()
+            .enumerate()
+            .filter(|(i, word)| match sorted.get(i + 1) {
+                Some(next) => {
+                    !(next.len() > word.len() && &next.as_slice()[..word.len()] == word.as_slice())
+                }
+                None => true,
+            })
+            .map(|(_, word)| word.clone())
+            .collect();
+        // Every missing occurrence that did not itself reach the inner
+        // oracle (duplicates and prefix-subsumed words) is a hit: it was
+        // answered on the back of a forwarded word.
+        self.misses += forward.len() as u64;
+        self.hits += missing_occurrences - forward.len() as u64;
+        for word in &forward {
+            self.fresh_symbols += (word.len() - self.trie.known_prefix_len(word)) as u64;
+        }
+        let answers = self.inner.query_batch(&forward);
+        assert_eq!(
+            answers.len(),
+            forward.len(),
+            "inner oracle must answer the whole batch"
+        );
+        for (word, out) in forward.iter().zip(&answers) {
+            self.record_answer(word, out);
+        }
+        // Second pass: everything is cached now.
+        inputs
+            .iter()
+            .zip(results)
+            .map(|(input, cached)| match cached {
+                Some(out) => out,
+                None => {
+                    let out = self
+                        .trie
+                        .lookup(input)
+                        .expect("batch member cached after forwarding its superword");
+                    self.trie.mark_terminal(input);
+                    out
+                }
+            })
+            .collect()
     }
 
     fn queries_answered(&self) -> u64 {
@@ -234,5 +338,63 @@ mod tests {
         assert_eq!(o.entries().count(), 2);
         let inner = o.into_inner();
         assert_eq!(inner.queries_answered(), 2);
+    }
+
+    #[test]
+    fn batches_are_deduplicated_and_prefix_subsumed() {
+        let mut o = CacheOracle::new(MachineOracle::new(known::counter(4)));
+        let batch = vec![
+            InputWord::from_symbols(["inc"]),
+            InputWord::from_symbols(["inc", "inc", "inc"]),
+            InputWord::from_symbols(["inc", "inc"]),
+            InputWord::from_symbols(["inc", "inc", "inc"]),
+            InputWord::from_symbols(["reset"]),
+        ];
+        let outs = o.query_batch(&batch);
+        assert_eq!(outs.len(), batch.len());
+        // Accounting reconciles: every batch member is either a forwarded
+        // miss or a hit (duplicates and subsumed prefixes count as hits).
+        assert_eq!(o.hits() + o.misses(), batch.len() as u64);
+        assert_eq!(o.misses(), 2);
+        for (input, out) in batch.iter().zip(&outs) {
+            assert_eq!(out.len(), input.len());
+            assert_eq!(
+                out,
+                &o.query(input),
+                "batch answers match single-query answers"
+            );
+        }
+        // Only the two maximal words reached the machine.
+        assert_eq!(o.queries_answered(), 2);
+        assert_eq!(o.misses(), 2);
+        // Duplicates within the batch collapse; all five batch members plus
+        // the five repeat queries were answered.
+        assert_eq!(o.len(), 4, "four distinct words were queried");
+    }
+
+    #[test]
+    fn batch_answers_agree_with_sequential_baseline() {
+        let machine = known::counter(5);
+        let mut batched = CacheOracle::new(MachineOracle::new(machine.clone()));
+        let mut sequential = MachineOracle::new(machine);
+        let words: Vec<InputWord> = vec![
+            InputWord::from_symbols(["inc", "inc"]),
+            InputWord::from_symbols(["inc", "reset", "inc"]),
+            InputWord::from_symbols(["reset"]),
+            InputWord::from_symbols(["inc", "inc"]),
+        ];
+        let batch_outs = batched.query_batch(&words);
+        let seq_outs: Vec<OutputWord> = words.iter().map(|w| sequential.query(w)).collect();
+        assert_eq!(batch_outs, seq_outs);
+    }
+
+    #[test]
+    fn fresh_symbols_count_only_uncached_suffixes() {
+        let mut o = CacheOracle::new(MachineOracle::new(known::counter(4)));
+        o.query(&InputWord::from_symbols(["inc", "inc"]));
+        assert_eq!(o.fresh_symbols(), 2);
+        // Two cached symbols, one fresh.
+        o.query(&InputWord::from_symbols(["inc", "inc", "inc"]));
+        assert_eq!(o.fresh_symbols(), 3);
     }
 }

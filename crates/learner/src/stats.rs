@@ -97,7 +97,11 @@ mod tests {
 
     #[test]
     fn addition_accumulates_counters() {
-        let a = LearningStats { membership_queries: 10, input_symbols: 30, ..Default::default() };
+        let a = LearningStats {
+            membership_queries: 10,
+            input_symbols: 30,
+            ..Default::default()
+        };
         let b = LearningStats {
             membership_queries: 5,
             input_symbols: 20,
@@ -112,14 +116,22 @@ mod tests {
 
     #[test]
     fn average_query_length() {
-        let s = LearningStats { membership_queries: 4, input_symbols: 10, ..Default::default() };
+        let s = LearningStats {
+            membership_queries: 4,
+            input_symbols: 10,
+            ..Default::default()
+        };
         assert!((s.avg_query_length() - 2.5).abs() < 1e-9);
         assert_eq!(LearningStats::default().avg_query_length(), 0.0);
     }
 
     #[test]
     fn serde_round_trip() {
-        let s = LearningStats { membership_queries: 7, model_states: 3, ..Default::default() };
+        let s = LearningStats {
+            membership_queries: 7,
+            model_states: 3,
+            ..Default::default()
+        };
         let json = serde_json::to_string(&s).unwrap();
         let back: LearningStats = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);

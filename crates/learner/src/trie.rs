@@ -1,0 +1,240 @@
+//! A prefix trie over input symbols, storing the output symbol observed at
+//! every step.
+//!
+//! Membership queries against a reset-based SUL are *prefix-closed*: the
+//! answer to an input word also answers every prefix of it (the SUL emits
+//! one output symbol per input symbol, starting from the reset state).  The
+//! trie exploits this directly — a cached word answers all of its prefixes
+//! in `O(len)` without scanning the cache, and a cached prefix of a new
+//! query tells the caller how many symbols are genuinely *fresh*, which is
+//! the number the paper's query accounting cares about.  This replaces the
+//! seed's flat `HashMap` cache, whose prefix lookups were linear scans over
+//! every cached word.
+
+use prognosis_automata::alphabet::Symbol;
+use prognosis_automata::word::{InputWord, OutputWord};
+use std::collections::HashMap;
+
+/// One trie node: the outputs observed after some input prefix.
+#[derive(Clone, Debug, Default)]
+struct TrieNode {
+    /// Child node per next input symbol.
+    children: HashMap<Symbol, usize>,
+    /// Output symbol the SUL produced on the edge *into* this node
+    /// (`None` only for the root).
+    output: Option<Symbol>,
+    /// Whether a query ended exactly here (used by [`PrefixTrie::entries`]
+    /// and the distinct-query count).
+    terminal: bool,
+}
+
+/// A prefix-closed cache of membership-query answers.
+#[derive(Clone, Debug)]
+pub struct PrefixTrie {
+    nodes: Vec<TrieNode>,
+    terminal_words: usize,
+}
+
+impl Default for PrefixTrie {
+    fn default() -> Self {
+        PrefixTrie::new()
+    }
+}
+
+impl PrefixTrie {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            nodes: vec![TrieNode::default()],
+            terminal_words: 0,
+        }
+    }
+
+    /// Number of distinct words recorded as full queries.
+    pub fn terminal_words(&self) -> usize {
+        self.terminal_words
+    }
+
+    /// Number of trie nodes (≈ distinct symbols stored + root).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Length of the longest prefix of `input` whose outputs are all known.
+    pub fn known_prefix_len(&self, input: &InputWord) -> usize {
+        let mut node = 0;
+        for (depth, symbol) in input.iter().enumerate() {
+            match self.nodes[node].children.get(symbol) {
+                Some(&child) => node = child,
+                None => return depth,
+            }
+        }
+        input.len()
+    }
+
+    /// Looks up the full answer for `input`, if every step is cached.
+    pub fn lookup(&self, input: &InputWord) -> Option<OutputWord> {
+        let mut node = 0;
+        let mut out = OutputWord::empty();
+        for symbol in input.iter() {
+            node = *self.nodes[node].children.get(symbol)?;
+            out.push(
+                self.nodes[node]
+                    .output
+                    .clone()
+                    .expect("non-root nodes carry an output"),
+            );
+        }
+        Some(out)
+    }
+
+    /// Marks `input` as having been asked as a full query.  Returns `true`
+    /// when this is the first time (the word is new to the distinct count).
+    ///
+    /// # Panics
+    /// Panics when `input` is not fully present in the trie.
+    pub fn mark_terminal(&mut self, input: &InputWord) -> bool {
+        let mut node = 0;
+        for symbol in input.iter() {
+            node = *self.nodes[node]
+                .children
+                .get(symbol)
+                .expect("mark_terminal requires a fully cached word");
+        }
+        if self.nodes[node].terminal {
+            false
+        } else {
+            self.nodes[node].terminal = true;
+            self.terminal_words += 1;
+            true
+        }
+    }
+
+    /// Inserts a full (input, output) answer, extending the cached paths.
+    ///
+    /// # Panics
+    /// Panics when `output` is shorter than `input`, or when a step
+    /// contradicts an already-cached output (the SUL must be deterministic;
+    /// nondeterminism is detected by `prognosis-core`'s checker, not here).
+    pub fn insert(&mut self, input: &InputWord, output: &OutputWord) {
+        assert_eq!(
+            input.len(),
+            output.len(),
+            "one output symbol per input symbol"
+        );
+        let mut node = 0;
+        for (symbol, out) in input.iter().zip(output.iter()) {
+            match self.nodes[node].children.get(symbol) {
+                Some(&child) => {
+                    node = child;
+                    assert_eq!(
+                        self.nodes[node].output.as_ref(),
+                        Some(out),
+                        "prefix trie: SUL answered a cached prefix differently (nondeterministic SUL?)"
+                    );
+                }
+                None => {
+                    let child = self.nodes.len();
+                    self.nodes.push(TrieNode {
+                        children: HashMap::new(),
+                        output: Some(out.clone()),
+                        terminal: false,
+                    });
+                    self.nodes[node].children.insert(symbol.clone(), child);
+                    node = child;
+                }
+            }
+        }
+    }
+
+    /// All words recorded as full queries, with their answers, in
+    /// depth-first order.
+    pub fn entries(&self) -> Vec<(InputWord, OutputWord)> {
+        let mut result = Vec::new();
+        let mut input = Vec::new();
+        let mut output = Vec::new();
+        self.collect(0, &mut input, &mut output, &mut result);
+        result
+    }
+
+    fn collect(
+        &self,
+        node: usize,
+        input: &mut Vec<Symbol>,
+        output: &mut Vec<Symbol>,
+        result: &mut Vec<(InputWord, OutputWord)>,
+    ) {
+        if self.nodes[node].terminal {
+            result.push((
+                input.iter().cloned().collect(),
+                output.iter().cloned().collect(),
+            ));
+        }
+        // Deterministic iteration order for reproducible entry listings.
+        let mut children: Vec<(&Symbol, &usize)> = self.nodes[node].children.iter().collect();
+        children.sort_by(|a, b| a.0.cmp(b.0));
+        for (symbol, &child) in children {
+            input.push(symbol.clone());
+            output.push(self.nodes[child].output.clone().expect("non-root output"));
+            self.collect(child, input, output, result);
+            input.pop();
+            output.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(symbols: &[&str]) -> InputWord {
+        InputWord::from_symbols(symbols.iter().copied())
+    }
+
+    fn o(symbols: &[&str]) -> OutputWord {
+        OutputWord::from_symbols(symbols.iter().copied())
+    }
+
+    #[test]
+    fn cached_word_answers_all_prefixes() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(&w(&["a", "b", "c"]), &o(&["1", "2", "3"]));
+        assert_eq!(trie.lookup(&w(&["a", "b", "c"])), Some(o(&["1", "2", "3"])));
+        assert_eq!(trie.lookup(&w(&["a", "b"])), Some(o(&["1", "2"])));
+        assert_eq!(trie.lookup(&w(&["a"])), Some(o(&["1"])));
+        assert_eq!(trie.lookup(&InputWord::empty()), Some(OutputWord::empty()));
+        assert_eq!(trie.lookup(&w(&["b"])), None);
+        assert_eq!(trie.lookup(&w(&["a", "b", "c", "d"])), None);
+    }
+
+    #[test]
+    fn known_prefix_len_reports_partial_coverage() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(&w(&["a", "b"]), &o(&["1", "2"]));
+        assert_eq!(trie.known_prefix_len(&w(&["a", "b", "c"])), 2);
+        assert_eq!(trie.known_prefix_len(&w(&["a", "x"])), 1);
+        assert_eq!(trie.known_prefix_len(&w(&["x"])), 0);
+    }
+
+    #[test]
+    fn terminal_marks_count_distinct_queries() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(&w(&["a", "b"]), &o(&["1", "2"]));
+        assert!(trie.mark_terminal(&w(&["a", "b"])));
+        assert!(!trie.mark_terminal(&w(&["a", "b"])));
+        assert!(trie.mark_terminal(&w(&["a"])));
+        assert_eq!(trie.terminal_words(), 2);
+        let entries = trie.entries();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.contains(&(w(&["a"]), o(&["1"]))));
+        assert!(entries.contains(&(w(&["a", "b"]), o(&["1", "2"]))));
+    }
+
+    #[test]
+    #[should_panic(expected = "nondeterministic")]
+    fn contradictory_outputs_are_rejected() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(&w(&["a"]), &o(&["1"]));
+        trie.insert(&w(&["a"]), &o(&["2"]));
+    }
+}

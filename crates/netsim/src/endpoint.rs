@@ -64,7 +64,11 @@ pub struct Endpoint {
 
 impl Endpoint {
     pub(crate) fn new(id: EndpointId, port: u16) -> Self {
-        Endpoint { id, port, inbound: VecDeque::new() }
+        Endpoint {
+            id,
+            port,
+            inbound: VecDeque::new(),
+        }
     }
 
     /// The endpoint's identifier.

@@ -51,7 +51,10 @@ impl LinkConfig {
 
     /// A link with fixed one-way latency and no other impairments.
     pub fn with_latency(latency: SimDuration) -> Self {
-        LinkConfig { latency, ..LinkConfig::default() }
+        LinkConfig {
+            latency,
+            ..LinkConfig::default()
+        }
     }
 
     /// Sets the loss probability.
@@ -59,21 +62,30 @@ impl LinkConfig {
     /// # Panics
     /// Panics when the probability is outside `[0, 1]`.
     pub fn loss(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "loss rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "loss rate must be a probability"
+        );
         self.loss_rate = rate;
         self
     }
 
     /// Sets the duplication probability.
     pub fn duplicate(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "duplicate rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "duplicate rate must be a probability"
+        );
         self.duplicate_rate = rate;
         self
     }
 
     /// Sets the reordering probability.
     pub fn reorder(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "reorder rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "reorder rate must be a probability"
+        );
         self.reorder_rate = rate;
         self
     }
@@ -134,8 +146,13 @@ mod tests {
     fn lossy_link_drops_roughly_at_the_configured_rate() {
         let link = LinkConfig::ideal().loss(0.3);
         let mut rng = StdRng::seed_from_u64(42);
-        let lost = (0..10_000).filter(|_| link.schedule(&mut rng).is_none()).count();
-        assert!((2_500..3_500).contains(&lost), "lost {lost} of 10000 at 30% loss");
+        let lost = (0..10_000)
+            .filter(|_| link.schedule(&mut rng).is_none())
+            .count();
+        assert!(
+            (2_500..3_500).contains(&lost),
+            "lost {lost} of 10000 at 30% loss"
+        );
         assert!(link.is_impaired());
     }
 
@@ -156,7 +173,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let d = link.schedule(&mut rng).unwrap();
         let delay = d[0].as_micros();
-        assert!(delay >= 15_000, "10ms latency + 5ms reorder delay, got {delay}µs");
+        assert!(
+            delay >= 15_000,
+            "10ms latency + 5ms reorder delay, got {delay}µs"
+        );
         assert!(delay <= 17_000);
         assert!(link.is_impaired());
     }
@@ -169,7 +189,10 @@ mod tests {
 
     #[test]
     fn scheduling_is_deterministic_per_seed() {
-        let link = LinkConfig::ideal().loss(0.5).duplicate(0.5).jitter(SimDuration::from_micros(100));
+        let link = LinkConfig::ideal()
+            .loss(0.5)
+            .duplicate(0.5)
+            .jitter(SimDuration::from_micros(100));
         let run = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             (0..50).map(|_| link.schedule(&mut rng)).collect::<Vec<_>>()

@@ -157,12 +157,16 @@ impl Network {
 
     /// Immutable access to an endpoint.
     pub fn endpoint(&self, id: EndpointId) -> Result<&Endpoint, NetworkError> {
-        self.endpoints.get(id.index()).ok_or(NetworkError::UnknownEndpoint(id))
+        self.endpoints
+            .get(id.index())
+            .ok_or(NetworkError::UnknownEndpoint(id))
     }
 
     /// Mutable access to an endpoint (to receive datagrams).
     pub fn endpoint_mut(&mut self, id: EndpointId) -> Result<&mut Endpoint, NetworkError> {
-        self.endpoints.get_mut(id.index()).ok_or(NetworkError::UnknownEndpoint(id))
+        self.endpoints
+            .get_mut(id.index())
+            .ok_or(NetworkError::UnknownEndpoint(id))
     }
 
     /// Sends a datagram from `from` to whichever endpoint is bound to
@@ -218,7 +222,11 @@ impl Network {
                 });
             }
             Some(delays) => {
-                let fate = if delays.len() > 1 { Fate::Duplicated } else { Fate::Delivered };
+                let fate = if delays.len() > 1 {
+                    Fate::Duplicated
+                } else {
+                    Fate::Delivered
+                };
                 self.capture.record(CaptureRecord {
                     sent_at: self.now,
                     from,
@@ -327,15 +335,17 @@ mod tests {
             net.endpoint(EndpointId(42)).unwrap_err(),
             NetworkError::UnknownEndpoint(EndpointId(42))
         );
-        assert_eq!(net.capture().lost(), 1, "unroutable datagrams are captured as lost");
+        assert_eq!(
+            net.capture().lost(),
+            1,
+            "unroutable datagrams are captured as lost"
+        );
     }
 
     #[test]
     fn latency_delays_delivery_until_time_advances() {
-        let mut net = Network::with_default_link(
-            3,
-            LinkConfig::with_latency(SimDuration::from_millis(10)),
-        );
+        let mut net =
+            Network::with_default_link(3, LinkConfig::with_latency(SimDuration::from_millis(10)));
         let a = net.bind(1).unwrap();
         let b = net.bind(2).unwrap();
         net.send(a, 2, Bytes::from_static(b"x")).unwrap();
@@ -355,7 +365,10 @@ mod tests {
             net.send(a, 2, Bytes::from_static(b"p")).unwrap();
         }
         let delivered = net.deliver_all();
-        assert!(delivered > 50 && delivered < 150, "delivered {delivered} of 200 at 50% loss");
+        assert!(
+            delivered > 50 && delivered < 150,
+            "delivered {delivered} of 200 at 50% loss"
+        );
         assert_eq!(net.capture().lost(), 200 - delivered);
         assert_eq!(net.endpoint(b).unwrap().pending(), delivered);
     }
@@ -377,7 +390,8 @@ mod tests {
         let mut net = Network::new(1);
         let client = net.bind(5000).unwrap();
         let server = net.bind(443).unwrap();
-        net.send_from_port(client, 61_000, 443, Bytes::from_static(b"retry-token")).unwrap();
+        net.send_from_port(client, 61_000, 443, Bytes::from_static(b"retry-token"))
+            .unwrap();
         net.deliver_all();
         let dg = net.endpoint_mut(server).unwrap().receive().unwrap();
         assert_eq!(dg.source_port, 61_000);
@@ -394,10 +408,8 @@ mod tests {
 
     #[test]
     fn unbind_stops_delivery() {
-        let mut net = Network::with_default_link(
-            1,
-            LinkConfig::with_latency(SimDuration::from_millis(1)),
-        );
+        let mut net =
+            Network::with_default_link(1, LinkConfig::with_latency(SimDuration::from_millis(1)));
         let a = net.bind(1).unwrap();
         let b = net.bind(2).unwrap();
         net.send(a, 2, Bytes::from_static(b"x")).unwrap();

@@ -11,11 +11,15 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// An instant in virtual time (microseconds since simulation start).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of virtual time (microseconds).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -155,6 +159,11 @@ mod tests {
     fn saturating_behaviour_at_extremes() {
         let big = SimTime::from_micros(u64::MAX);
         assert_eq!((big + SimDuration::from_micros(10)).as_micros(), u64::MAX);
-        assert_eq!(SimDuration::from_micros(u64::MAX).saturating_mul(2).as_micros(), u64::MAX);
+        assert_eq!(
+            SimDuration::from_micros(u64::MAX)
+                .saturating_mul(2)
+                .as_micros(),
+            u64::MAX
+        );
     }
 }

@@ -32,7 +32,9 @@ impl std::fmt::Display for QuicConcretizeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QuicConcretizeError::BadSymbol(s) => write!(f, "unparseable abstract QUIC symbol: {s}"),
-            QuicConcretizeError::UnsupportedFrame(s) => write!(f, "unsupported frame in symbol: {s}"),
+            QuicConcretizeError::UnsupportedFrame(s) => {
+                write!(f, "unsupported frame in symbol: {s}")
+            }
         }
     }
 }
@@ -81,7 +83,7 @@ impl ReferenceQuicClient {
         ReferenceQuicClient {
             seed,
             connection_counter: 0,
-            scid: ConnectionId::from_seed(seed ^ 0xC11E_17),
+            scid: ConnectionId::from_seed(seed ^ 0x00C1_1E17),
             key_material: initial_dcid.key_material(),
             initial_dcid,
             tx_pn: [0; 3],
@@ -111,9 +113,11 @@ impl ReferenceQuicClient {
     /// offsets, original port (property (3) of §3.2).
     pub fn reset(&mut self) {
         self.connection_counter += 1;
-        let seed = self.seed.wrapping_add(self.connection_counter.wrapping_mul(0x9E37));
+        let seed = self
+            .seed
+            .wrapping_add(self.connection_counter.wrapping_mul(0x9E37));
         self.initial_dcid = ConnectionId::from_seed(seed);
-        self.scid = ConnectionId::from_seed(seed ^ 0xC11E_17);
+        self.scid = ConnectionId::from_seed(seed ^ 0x00C1_1E17);
         self.key_material = self.initial_dcid.key_material();
         self.tx_pn = [0; 3];
         self.largest_rx = [None; 3];
@@ -138,7 +142,9 @@ impl ReferenceQuicClient {
 
     /// Parses an abstract symbol `TYPE(?,?)[F1,F2,...]` into its packet type
     /// and frame-type list.
-    pub fn parse_abstract(symbol: &str) -> Result<(PacketType, Vec<FrameType>), QuicConcretizeError> {
+    pub fn parse_abstract(
+        symbol: &str,
+    ) -> Result<(PacketType, Vec<FrameType>), QuicConcretizeError> {
         let (type_part, rest) = symbol
             .split_once('(')
             .ok_or_else(|| QuicConcretizeError::BadSymbol(symbol.to_string()))?;
@@ -151,7 +157,11 @@ impl ReferenceQuicClient {
             .and_then(|(_, f)| f.strip_suffix(']'))
             .ok_or_else(|| QuicConcretizeError::BadSymbol(symbol.to_string()))?;
         let mut frames = Vec::new();
-        for name in frames_part.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        for name in frames_part
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+        {
             let ft = FrameType::from_name(name)
                 .ok_or_else(|| QuicConcretizeError::UnsupportedFrame(name.to_string()))?;
             frames.push(ft);
@@ -159,7 +169,11 @@ impl ReferenceQuicClient {
         Ok((packet_type, frames))
     }
 
-    fn build_frame(&mut self, frame_type: FrameType, packet_type: PacketType) -> Result<Frame, QuicConcretizeError> {
+    fn build_frame(
+        &mut self,
+        frame_type: FrameType,
+        packet_type: PacketType,
+    ) -> Result<Frame, QuicConcretizeError> {
         let frame = match frame_type {
             FrameType::Crypto => {
                 let data = match packet_type {
@@ -191,10 +205,15 @@ impl ReferenceQuicClient {
                 self.stream_offset += CLIENT_STREAM_CHUNK as u64;
                 f
             }
-            FrameType::MaxData => Frame::MaxData { maximum: self.granted_stream_data * 4 },
+            FrameType::MaxData => Frame::MaxData {
+                maximum: self.granted_stream_data * 4,
+            },
             FrameType::MaxStreamData => {
                 self.granted_stream_data += 100;
-                Frame::MaxStreamData { stream_id: SERVER_STREAM_ID, maximum: self.granted_stream_data }
+                Frame::MaxStreamData {
+                    stream_id: SERVER_STREAM_ID,
+                    maximum: self.granted_stream_data,
+                }
             }
             FrameType::Ping => Frame::Ping,
             FrameType::Padding => Frame::Padding,
@@ -204,7 +223,11 @@ impl ReferenceQuicClient {
                 reason: "client close".to_string(),
                 application: true,
             },
-            other => return Err(QuicConcretizeError::UnsupportedFrame(other.name().to_string())),
+            other => {
+                return Err(QuicConcretizeError::UnsupportedFrame(
+                    other.name().to_string(),
+                ))
+            }
         };
         Ok(frame)
     }
@@ -274,9 +297,15 @@ impl ReferenceQuicClient {
         let packet = Packet::decode(datagram, &self.keys(level)).ok()?;
         let space = Self::space(level);
         self.largest_rx[space] = Some(
-            self.largest_rx[space].map_or(packet.header.packet_number, |l| l.max(packet.header.packet_number)),
+            self.largest_rx[space].map_or(packet.header.packet_number, |l| {
+                l.max(packet.header.packet_number)
+            }),
         );
-        if packet.frames.iter().any(|f| f.frame_type() == FrameType::HandshakeDone) {
+        if packet
+            .frames
+            .iter()
+            .any(|f| f.frame_type() == FrameType::HandshakeDone)
+        {
             self.handshake_complete = true;
         }
         Some(packet)
@@ -298,12 +327,16 @@ pub fn numeric_fields(packet: &Packet) -> Vec<i64> {
     for frame in &packet.frames {
         match frame {
             Frame::Stream { offset, .. } => fields.push(*offset as i64),
-            Frame::StreamDataBlocked { maximum_stream_data, .. } => {
-                fields.push(*maximum_stream_data as i64)
-            }
+            Frame::StreamDataBlocked {
+                maximum_stream_data,
+                ..
+            } => fields.push(*maximum_stream_data as i64),
             Frame::MaxData { maximum } => fields.push(*maximum as i64),
             Frame::MaxStreamData { maximum, .. } => fields.push(*maximum as i64),
-            Frame::Ack { largest_acknowledged, .. } => fields.push(*largest_acknowledged as i64),
+            Frame::Ack {
+                largest_acknowledged,
+                ..
+            } => fields.push(*largest_acknowledged as i64),
             Frame::Crypto { offset, .. } => fields.push(*offset as i64),
             _ => {}
         }
@@ -319,7 +352,11 @@ mod tests {
 
     /// Drives a full query (list of abstract inputs) against a server,
     /// returning the abstract outputs per step.
-    fn run_query(server: &mut QuicServer, client: &mut ReferenceQuicClient, inputs: &[&str]) -> Vec<String> {
+    fn run_query(
+        server: &mut QuicServer,
+        client: &mut ReferenceQuicClient,
+        inputs: &[&str],
+    ) -> Vec<String> {
         let mut outputs = Vec::new();
         for symbol in inputs {
             let (_, wire) = client.concretize(symbol).unwrap();
@@ -341,7 +378,8 @@ mod tests {
         assert_eq!(t, PacketType::Initial);
         assert_eq!(f, vec![FrameType::Crypto]);
         let (t, f) =
-            ReferenceQuicClient::parse_abstract("SHORT(?,?)[ACK,MAX_DATA,MAX_STREAM_DATA]").unwrap();
+            ReferenceQuicClient::parse_abstract("SHORT(?,?)[ACK,MAX_DATA,MAX_STREAM_DATA]")
+                .unwrap();
         assert_eq!(t, PacketType::Short);
         assert_eq!(f.len(), 3);
         assert!(ReferenceQuicClient::parse_abstract("garbage").is_err());
@@ -361,13 +399,29 @@ mod tests {
                 "SHORT(?,?)[ACK,STREAM]",
             ],
         );
-        assert!(out[0].contains("INITIAL(?,?)[ACK,CRYPTO]"), "first flight: {}", out[0]);
+        assert!(
+            out[0].contains("INITIAL(?,?)[ACK,CRYPTO]"),
+            "first flight: {}",
+            out[0]
+        );
         assert!(out[0].contains("HANDSHAKE(?,?)[CRYPTO]"));
-        assert!(out[0].contains("SHORT(?,?)[STREAM]"), "google sends early data: {}", out[0]);
-        assert!(out[1].contains("SHORT(?,?)[HANDSHAKE_DONE]"), "handshake done: {}", out[1]);
+        assert!(
+            out[0].contains("SHORT(?,?)[STREAM]"),
+            "google sends early data: {}",
+            out[0]
+        );
+        assert!(
+            out[1].contains("SHORT(?,?)[HANDSHAKE_DONE]"),
+            "handshake done: {}",
+            out[1]
+        );
         assert_eq!(server.phase(), ServerPhase::Established);
         assert!(client.handshake_complete());
-        assert!(out[2].contains("STREAM"), "server responds with stream data: {}", out[2]);
+        assert!(
+            out[2].contains("STREAM"),
+            "server responds with stream data: {}",
+            out[2]
+        );
     }
 
     #[test]
@@ -379,14 +433,21 @@ mod tests {
             &mut client,
             &["INITIAL(?,?)[CRYPTO]", "HANDSHAKE(?,?)[ACK,CRYPTO]"],
         );
-        assert!(!out[0].contains("SHORT"), "quiche sends no early 1-RTT data: {}", out[0]);
+        assert!(
+            !out[0].contains("SHORT"),
+            "quiche sends no early 1-RTT data: {}",
+            out[0]
+        );
         assert!(out[1].contains("HANDSHAKE_DONE"), "{}", out[1]);
         assert_eq!(server.phase(), ServerPhase::Established);
     }
 
     #[test]
     fn client_handshake_done_is_a_protocol_violation() {
-        for profile in [ImplementationProfile::google(), ImplementationProfile::quiche()] {
+        for profile in [
+            ImplementationProfile::google(),
+            ImplementationProfile::quiche(),
+        ] {
             let mut server = QuicServer::new(profile, 1);
             let mut client = ReferenceQuicClient::new(9, 40_002);
             let out = run_query(
@@ -394,7 +455,11 @@ mod tests {
                 &mut client,
                 &["INITIAL(?,?)[CRYPTO]", "HANDSHAKE(?,?)[ACK,HANDSHAKE_DONE]"],
             );
-            assert!(out[1].contains("CONNECTION_CLOSE"), "violation must close: {}", out[1]);
+            assert!(
+                out[1].contains("CONNECTION_CLOSE"),
+                "violation must close: {}",
+                out[1]
+            );
             assert_eq!(server.phase(), ServerPhase::Closed);
         }
     }
@@ -432,15 +497,25 @@ mod tests {
             for d in server.handle_datagram(&wire, client.source_port()) {
                 if let Some(p) = client.absorb(&d) {
                     for f in &p.frames {
-                        if let Frame::StreamDataBlocked { maximum_stream_data, .. } = f {
+                        if let Frame::StreamDataBlocked {
+                            maximum_stream_data,
+                            ..
+                        } = f
+                        {
                             saw_blocked_zero = true;
-                            assert_eq!(*maximum_stream_data, 0, "Issue 4: the field is the constant 0");
+                            assert_eq!(
+                                *maximum_stream_data, 0,
+                                "Issue 4: the field is the constant 0"
+                            );
                         }
                     }
                 }
             }
         }
-        assert!(saw_blocked_zero, "the Google profile must eventually report STREAM_DATA_BLOCKED");
+        assert!(
+            saw_blocked_zero,
+            "the Google profile must eventually report STREAM_DATA_BLOCKED"
+        );
     }
 
     #[test]
@@ -450,14 +525,22 @@ mod tests {
         profile.initial_peer_max_stream_data = 150;
         let mut server = QuicServer::new(profile, 1);
         let mut client = ReferenceQuicClient::new(12, 40_005);
-        run_query(&mut server, &mut client, &["INITIAL(?,?)[CRYPTO]", "HANDSHAKE(?,?)[ACK,CRYPTO]"]);
+        run_query(
+            &mut server,
+            &mut client,
+            &["INITIAL(?,?)[CRYPTO]", "HANDSHAKE(?,?)[ACK,CRYPTO]"],
+        );
         let mut blocked_values = Vec::new();
         for _ in 0..4 {
             let (_, wire) = client.concretize("SHORT(?,?)[ACK,STREAM]").unwrap();
             for d in server.handle_datagram(&wire, client.source_port()) {
                 if let Some(p) = client.absorb(&d) {
                     for f in &p.frames {
-                        if let Frame::StreamDataBlocked { maximum_stream_data, .. } = f {
+                        if let Frame::StreamDataBlocked {
+                            maximum_stream_data,
+                            ..
+                        } = f
+                        {
                             blocked_values.push(*maximum_stream_data);
                         }
                     }
@@ -465,7 +548,10 @@ mod tests {
             }
         }
         assert!(!blocked_values.is_empty());
-        assert!(blocked_values.iter().all(|&v| v == 150), "correct implementations advertise the limit: {blocked_values:?}");
+        assert!(
+            blocked_values.iter().all(|&v| v == 150),
+            "correct implementations advertise the limit: {blocked_values:?}"
+        );
     }
 
     #[test]
@@ -489,9 +575,15 @@ mod tests {
                 resets += 1;
             }
         }
-        assert!(resets > 0 && silences > 0, "Issue 2: the response must be nondeterministic");
+        assert!(
+            resets > 0 && silences > 0,
+            "Issue 2: the response must be nondeterministic"
+        );
         let ratio = resets as f64 / 400.0;
-        assert!((0.70..0.92).contains(&ratio), "reset ratio {ratio} should be near 0.82");
+        assert!(
+            (0.70..0.92).contains(&ratio),
+            "reset ratio {ratio} should be near 0.82"
+        );
     }
 
     #[test]
@@ -507,7 +599,11 @@ mod tests {
         for _ in 0..20 {
             let (_, wire) = client.concretize("SHORT(?,?)[ACK,STREAM]").unwrap();
             let responses = server.handle_datagram(&wire, client.source_port());
-            assert_eq!(responses.len(), 1, "correct implementations answer deterministically");
+            assert_eq!(
+                responses.len(),
+                1,
+                "correct implementations answer deterministically"
+            );
         }
     }
 
@@ -525,7 +621,11 @@ mod tests {
         assert_eq!(responses.len(), 1);
         let retry = client.absorb(&responses[0]).unwrap();
         assert_eq!(retry.header.packet_type, PacketType::Retry);
-        assert_ne!(client.source_port(), original_port, "the defect rebinds the port");
+        assert_ne!(
+            client.source_port(),
+            original_port,
+            "the defect rebinds the port"
+        );
         let (_, wire) = client.concretize("INITIAL(?,?)[CRYPTO]").unwrap();
         let responses = server.handle_datagram(&wire, client.source_port());
         assert!(responses.is_empty(), "validation fails: handshake is stuck");
@@ -567,7 +667,11 @@ mod tests {
             &mut client,
             &["INITIAL(?,?)[CRYPTO]", "HANDSHAKE(?,?)[ACK,CRYPTO]"],
         );
-        assert!(out[1].contains("HANDSHAKE_DONE"), "fresh connection works after reset: {}", out[1]);
+        assert!(
+            out[1].contains("HANDSHAKE_DONE"),
+            "fresh connection works after reset: {}",
+            out[1]
+        );
     }
 
     #[test]
@@ -576,7 +680,11 @@ mod tests {
         // a reset — the property the learner depends on (Remark 3.1).
         let mut server = QuicServer::new(ImplementationProfile::google(), 3);
         let mut client = ReferenceQuicClient::new(18, 40_011);
-        let inputs = ["INITIAL(?,?)[CRYPTO]", "HANDSHAKE(?,?)[ACK,CRYPTO]", "SHORT(?,?)[ACK,STREAM]"];
+        let inputs = [
+            "INITIAL(?,?)[CRYPTO]",
+            "HANDSHAKE(?,?)[ACK,CRYPTO]",
+            "SHORT(?,?)[ACK,STREAM]",
+        ];
         let first = run_query(&mut server, &mut client, &inputs);
         server.reset();
         client.reset();
@@ -589,9 +697,21 @@ mod tests {
         let p = Packet::new(
             PacketHeader::short(ConnectionId::from_seed(1), 3),
             vec![
-                Frame::Ack { largest_acknowledged: 9, ack_delay: 0, first_ack_range: 0 },
-                Frame::Stream { stream_id: 1, offset: 200, fin: false, data: Bytes::from_static(b"x") },
-                Frame::StreamDataBlocked { stream_id: 1, maximum_stream_data: 0 },
+                Frame::Ack {
+                    largest_acknowledged: 9,
+                    ack_delay: 0,
+                    first_ack_range: 0,
+                },
+                Frame::Stream {
+                    stream_id: 1,
+                    offset: 200,
+                    fin: false,
+                    data: Bytes::from_static(b"x"),
+                },
+                Frame::StreamDataBlocked {
+                    stream_id: 1,
+                    maximum_stream_data: 0,
+                },
             ],
         );
         assert_eq!(numeric_fields(&p), vec![9, 200, 0]);

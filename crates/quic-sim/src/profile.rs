@@ -139,19 +139,31 @@ mod tests {
     #[test]
     fn profiles_encode_the_documented_defects() {
         let google = ImplementationProfile::google();
-        assert!(google.stream_data_blocked_constant_zero, "Issue 4 lives in the Google profile");
+        assert!(
+            google.stream_data_blocked_constant_zero,
+            "Issue 4 lives in the Google profile"
+        );
         assert_eq!(google.handshake_style, HandshakeStyle::Google);
-        assert!(google.initial_peer_max_stream_data < 1_000, "Google profile must hit flow control");
+        assert!(
+            google.initial_peer_max_stream_data < 1_000,
+            "Google profile must hit flow control"
+        );
 
         let quiche = ImplementationProfile::quiche();
         assert!(!quiche.stream_data_blocked_constant_zero);
         assert_eq!(quiche.reset_probability_after_close, 1.0);
 
         let mvfst = ImplementationProfile::mvfst();
-        assert!((mvfst.reset_probability_after_close - 0.82).abs() < 1e-9, "Issue 2: ≈82% resets");
+        assert!(
+            (mvfst.reset_probability_after_close - 0.82).abs() < 1e-9,
+            "Issue 2: ≈82% resets"
+        );
 
         let tracker = ImplementationProfile::tracker();
-        assert!(tracker.supports_retry, "Issue 3 concerns the tracker's retry mechanism");
+        assert!(
+            tracker.supports_retry,
+            "Issue 3 concerns the tracker's retry mechanism"
+        );
     }
 
     #[test]

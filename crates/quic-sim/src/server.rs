@@ -150,15 +150,17 @@ impl QuicServer {
             PacketType::Short => PacketHeader::short(self.client_cid.clone(), pn),
             _ => PacketHeader::long(packet_type, self.client_cid.clone(), self.scid.clone(), pn),
         };
-        let keys = self
-            .keys(level)
-            .unwrap_or_else(|| Keys::derive(0, level));
+        let keys = self.keys(level).unwrap_or_else(|| Keys::derive(0, level));
         Packet::new(header, frames).encode(&keys)
     }
 
     fn ack_frame(&self, level: EncryptionLevel) -> Frame {
         let largest = self.largest_rx[Self::space(level)].unwrap_or(0);
-        Frame::Ack { largest_acknowledged: largest, ack_delay: 0, first_ack_range: 0 }
+        Frame::Ack {
+            largest_acknowledged: largest,
+            ack_delay: 0,
+            first_ack_range: 0,
+        }
     }
 
     fn stateless_reset(&mut self) -> Bytes {
@@ -216,17 +218,28 @@ impl QuicServer {
             return Vec::new();
         };
         let space = Self::space(level);
-        self.largest_rx[space] =
-            Some(self.largest_rx[space].map_or(packet.header.packet_number, |l| l.max(packet.header.packet_number)));
+        self.largest_rx[space] = Some(
+            self.largest_rx[space].map_or(packet.header.packet_number, |l| {
+                l.max(packet.header.packet_number)
+            }),
+        );
 
         // A client must never send HANDSHAKE_DONE (§6.2.4): protocol violation.
-        if packet.frames.iter().any(|f| f.frame_type() == FrameType::HandshakeDone) {
+        if packet
+            .frames
+            .iter()
+            .any(|f| f.frame_type() == FrameType::HandshakeDone)
+        {
             return self.close_on_violation(packet.header.packet_type);
         }
 
         match (self.phase, packet.header.packet_type) {
-            (ServerPhase::Idle, PacketType::Initial) => self.on_client_initial(&packet, source_port),
-            (ServerPhase::HandshakeStarted, PacketType::Handshake) => self.on_client_handshake(&packet),
+            (ServerPhase::Idle, PacketType::Initial) => {
+                self.on_client_initial(&packet, source_port)
+            }
+            (ServerPhase::HandshakeStarted, PacketType::Handshake) => {
+                self.on_client_handshake(&packet)
+            }
             (ServerPhase::HandshakeStarted, PacketType::Initial) => {
                 // Duplicate / reordered Initial: acknowledge, nothing more.
                 Vec::new()
@@ -238,7 +251,10 @@ impl QuicServer {
     }
 
     fn on_client_initial(&mut self, packet: &Packet, source_port: u16) -> Vec<Bytes> {
-        let has_crypto = packet.frames.iter().any(|f| f.frame_type() == FrameType::Crypto);
+        let has_crypto = packet
+            .frames
+            .iter()
+            .any(|f| f.frame_type() == FrameType::Crypto);
         if !has_crypto {
             return Vec::new();
         }
@@ -290,16 +306,25 @@ impl QuicServer {
             PacketType::Initial,
             vec![
                 self.ack_frame(EncryptionLevel::Initial),
-                Frame::Crypto { offset: 0, data: Bytes::from_static(b"server-hello") },
+                Frame::Crypto {
+                    offset: 0,
+                    data: Bytes::from_static(b"server-hello"),
+                },
             ],
         ));
         out.push(self.build(
             PacketType::Handshake,
-            vec![Frame::Crypto { offset: 0, data: Bytes::from_static(b"encrypted-extensions") }],
+            vec![Frame::Crypto {
+                offset: 0,
+                data: Bytes::from_static(b"encrypted-extensions"),
+            }],
         ));
         out.push(self.build(
             PacketType::Handshake,
-            vec![Frame::Crypto { offset: 20, data: Bytes::from_static(b"certificate-finished") }],
+            vec![Frame::Crypto {
+                offset: 20,
+                data: Bytes::from_static(b"certificate-finished"),
+            }],
         ));
         if self.profile.handshake_style == HandshakeStyle::Google {
             // Google's first flight already carries early application data.
@@ -318,7 +343,10 @@ impl QuicServer {
     }
 
     fn on_client_handshake(&mut self, packet: &Packet) -> Vec<Bytes> {
-        let has_crypto = packet.frames.iter().any(|f| f.frame_type() == FrameType::Crypto);
+        let has_crypto = packet
+            .frames
+            .iter()
+            .any(|f| f.frame_type() == FrameType::Crypto);
         if !has_crypto {
             return Vec::new();
         }
@@ -328,16 +356,25 @@ impl QuicServer {
             HandshakeStyle::Google => vec![
                 self.build(
                     PacketType::Short,
-                    vec![Frame::Crypto { offset: 0, data: Bytes::from_static(b"session-ticket") }],
+                    vec![Frame::Crypto {
+                        offset: 0,
+                        data: Bytes::from_static(b"session-ticket"),
+                    }],
                 ),
                 self.build(PacketType::Short, vec![Frame::HandshakeDone]),
             ],
             HandshakeStyle::Quiche => vec![
-                self.build(PacketType::Handshake, vec![self.ack_frame(EncryptionLevel::Handshake)]),
+                self.build(
+                    PacketType::Handshake,
+                    vec![self.ack_frame(EncryptionLevel::Handshake)],
+                ),
                 self.build(
                     PacketType::Short,
                     vec![
-                        Frame::Crypto { offset: 0, data: Bytes::from_static(b"session-ticket") },
+                        Frame::Crypto {
+                            offset: 0,
+                            data: Bytes::from_static(b"session-ticket"),
+                        },
                         Frame::HandshakeDone,
                         Frame::Stream {
                             stream_id: STREAM_RESPONSE_ID,
@@ -388,7 +425,9 @@ impl QuicServer {
             self.blocked_bytes += self.profile.response_chunk;
         }
         if has_stream || has_flow_update {
-            let budget = self.peer_max_stream_data.saturating_sub(self.sent_stream_offset);
+            let budget = self
+                .peer_max_stream_data
+                .saturating_sub(self.sent_stream_offset);
             let to_send = self.blocked_bytes.min(budget);
             if to_send > 0 {
                 frames.push(Frame::Stream {
@@ -443,7 +482,8 @@ impl QuicServer {
                     PacketType::Handshake,
                     vec![self.ack_frame(EncryptionLevel::Handshake), close.clone()],
                 ));
-                if self.profile.handshake_style == HandshakeStyle::Google && self.one_rtt_available {
+                if self.profile.handshake_style == HandshakeStyle::Google && self.one_rtt_available
+                {
                     out.push(self.build(
                         PacketType::Short,
                         vec![
@@ -484,7 +524,11 @@ impl QuicServer {
                 reason: "closed".to_string(),
                 application: false,
             };
-            let packet_type = if self.one_rtt_available { PacketType::Short } else { PacketType::Initial };
+            let packet_type = if self.one_rtt_available {
+                PacketType::Short
+            } else {
+                PacketType::Initial
+            };
             return vec![self.build(packet_type, vec![close])];
         }
         if self.rng.gen_bool(p) {

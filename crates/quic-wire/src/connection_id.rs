@@ -22,7 +22,10 @@ impl ConnectionId {
     /// Panics when the length exceeds [`MAX_CID_LEN`].
     pub fn new(bytes: impl Into<Vec<u8>>) -> Self {
         let bytes = bytes.into();
-        assert!(bytes.len() <= MAX_CID_LEN, "connection IDs are at most 20 bytes");
+        assert!(
+            bytes.len() <= MAX_CID_LEN,
+            "connection IDs are at most 20 bytes"
+        );
         ConnectionId { bytes }
     }
 
@@ -63,9 +66,9 @@ impl ConnectionId {
     /// Folds the ID into a `u64`, used as key material by the simulated
     /// key schedule.
     pub fn key_material(&self) -> u64 {
-        self.bytes
-            .iter()
-            .fold(0xcbf2_9ce4_8422_2325u64, |acc, &b| (acc ^ u64::from(b)).wrapping_mul(0x100_0000_01b3))
+        self.bytes.iter().fold(0xcbf2_9ce4_8422_2325u64, |acc, &b| {
+            (acc ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        })
     }
 }
 

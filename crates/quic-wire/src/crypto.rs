@@ -30,8 +30,11 @@ pub enum EncryptionLevel {
 
 impl EncryptionLevel {
     /// All levels, in handshake order.
-    pub const ALL: [EncryptionLevel; 3] =
-        [EncryptionLevel::Initial, EncryptionLevel::Handshake, EncryptionLevel::OneRtt];
+    pub const ALL: [EncryptionLevel; 3] = [
+        EncryptionLevel::Initial,
+        EncryptionLevel::Handshake,
+        EncryptionLevel::OneRtt,
+    ];
 
     fn domain_separator(self) -> u64 {
         match self {
@@ -98,7 +101,8 @@ impl Keys {
     }
 
     fn keystream_byte(&self, packet_number: u64, index: usize) -> u8 {
-        let word = splitmix(self.secret ^ packet_number.wrapping_mul(0x9E37_79B9) ^ (index as u64 / 8));
+        let word =
+            splitmix(self.secret ^ packet_number.wrapping_mul(0x9E37_79B9) ^ (index as u64 / 8));
         (word >> ((index % 8) * 8)) as u8
     }
 
@@ -158,7 +162,11 @@ mod tests {
             let plaintext = b"prognosis closed-box analysis";
             let sealed = keys.seal(7, plaintext);
             assert_eq!(sealed.len(), plaintext.len() + TAG_LEN);
-            assert_ne!(&sealed[..plaintext.len()], plaintext, "payload must be transformed");
+            assert_ne!(
+                &sealed[..plaintext.len()],
+                plaintext,
+                "payload must be transformed"
+            );
             assert_eq!(keys.open(7, &sealed).unwrap(), plaintext);
         }
     }
@@ -169,9 +177,18 @@ mod tests {
         let handshake = Keys::derive(42, EncryptionLevel::Handshake);
         let other_conn = Keys::derive(43, EncryptionLevel::Initial);
         let sealed = initial.seal(0, b"client hello");
-        assert_eq!(handshake.open(0, &sealed).unwrap_err(), CryptoError::TagMismatch);
-        assert_eq!(other_conn.open(0, &sealed).unwrap_err(), CryptoError::TagMismatch);
-        assert_eq!(initial.open(1, &sealed).unwrap_err(), CryptoError::TagMismatch);
+        assert_eq!(
+            handshake.open(0, &sealed).unwrap_err(),
+            CryptoError::TagMismatch
+        );
+        assert_eq!(
+            other_conn.open(0, &sealed).unwrap_err(),
+            CryptoError::TagMismatch
+        );
+        assert_eq!(
+            initial.open(1, &sealed).unwrap_err(),
+            CryptoError::TagMismatch
+        );
         assert_eq!(initial.open(0, &sealed).unwrap(), b"client hello");
     }
 

@@ -109,23 +109,76 @@ pub enum Frame {
     Padding,
     Ping,
     /// Simplified ACK: a single range ending at `largest_acknowledged`.
-    Ack { largest_acknowledged: u64, ack_delay: u64, first_ack_range: u64 },
-    ResetStream { stream_id: u64, error_code: u64, final_size: u64 },
-    StopSending { stream_id: u64, error_code: u64 },
-    Crypto { offset: u64, data: Bytes },
-    NewToken { token: Bytes },
-    Stream { stream_id: u64, offset: u64, fin: bool, data: Bytes },
-    MaxData { maximum: u64 },
-    MaxStreamData { stream_id: u64, maximum: u64 },
-    MaxStreams { bidirectional: bool, maximum: u64 },
-    DataBlocked { limit: u64 },
-    StreamDataBlocked { stream_id: u64, maximum_stream_data: u64 },
-    StreamsBlocked { bidirectional: bool, limit: u64 },
-    NewConnectionId { sequence: u64, retire_prior_to: u64, connection_id: Bytes, reset_token: [u8; 16] },
-    RetireConnectionId { sequence: u64 },
-    PathChallenge { data: [u8; 8] },
-    PathResponse { data: [u8; 8] },
-    ConnectionClose { error_code: u64, frame_type: u64, reason: String, application: bool },
+    Ack {
+        largest_acknowledged: u64,
+        ack_delay: u64,
+        first_ack_range: u64,
+    },
+    ResetStream {
+        stream_id: u64,
+        error_code: u64,
+        final_size: u64,
+    },
+    StopSending {
+        stream_id: u64,
+        error_code: u64,
+    },
+    Crypto {
+        offset: u64,
+        data: Bytes,
+    },
+    NewToken {
+        token: Bytes,
+    },
+    Stream {
+        stream_id: u64,
+        offset: u64,
+        fin: bool,
+        data: Bytes,
+    },
+    MaxData {
+        maximum: u64,
+    },
+    MaxStreamData {
+        stream_id: u64,
+        maximum: u64,
+    },
+    MaxStreams {
+        bidirectional: bool,
+        maximum: u64,
+    },
+    DataBlocked {
+        limit: u64,
+    },
+    StreamDataBlocked {
+        stream_id: u64,
+        maximum_stream_data: u64,
+    },
+    StreamsBlocked {
+        bidirectional: bool,
+        limit: u64,
+    },
+    NewConnectionId {
+        sequence: u64,
+        retire_prior_to: u64,
+        connection_id: Bytes,
+        reset_token: [u8; 16],
+    },
+    RetireConnectionId {
+        sequence: u64,
+    },
+    PathChallenge {
+        data: [u8; 8],
+    },
+    PathResponse {
+        data: [u8; 8],
+    },
+    ConnectionClose {
+        error_code: u64,
+        frame_type: u64,
+        reason: String,
+        application: bool,
+    },
     HandshakeDone,
 }
 
@@ -188,7 +241,10 @@ impl Frame {
     /// Whether this frame is ack-eliciting (draft-29 §13.2): everything
     /// except ACK, PADDING and CONNECTION_CLOSE.
     pub fn is_ack_eliciting(&self) -> bool {
-        !matches!(self, Frame::Ack { .. } | Frame::Padding | Frame::ConnectionClose { .. })
+        !matches!(
+            self,
+            Frame::Ack { .. } | Frame::Padding | Frame::ConnectionClose { .. }
+        )
     }
 
     /// Encodes the frame onto a buffer.
@@ -197,20 +253,31 @@ impl Frame {
         match self {
             Frame::Padding => buf.put_u8(0x00),
             Frame::Ping => buf.put_u8(0x01),
-            Frame::Ack { largest_acknowledged, ack_delay, first_ack_range } => {
+            Frame::Ack {
+                largest_acknowledged,
+                ack_delay,
+                first_ack_range,
+            } => {
                 buf.put_u8(0x02);
                 write_varint(buf, *largest_acknowledged).unwrap();
                 write_varint(buf, *ack_delay).unwrap();
                 write_varint(buf, 0).unwrap(); // ack range count
                 write_varint(buf, *first_ack_range).unwrap();
             }
-            Frame::ResetStream { stream_id, error_code, final_size } => {
+            Frame::ResetStream {
+                stream_id,
+                error_code,
+                final_size,
+            } => {
                 buf.put_u8(0x04);
                 write_varint(buf, *stream_id).unwrap();
                 write_varint(buf, *error_code).unwrap();
                 write_varint(buf, *final_size).unwrap();
             }
-            Frame::StopSending { stream_id, error_code } => {
+            Frame::StopSending {
+                stream_id,
+                error_code,
+            } => {
                 buf.put_u8(0x05);
                 write_varint(buf, *stream_id).unwrap();
                 write_varint(buf, *error_code).unwrap();
@@ -226,7 +293,12 @@ impl Frame {
                 write_varint(buf, token.len() as u64).unwrap();
                 buf.put_slice(token);
             }
-            Frame::Stream { stream_id, offset, fin, data } => {
+            Frame::Stream {
+                stream_id,
+                offset,
+                fin,
+                data,
+            } => {
                 // OFF and LEN bits always set; FIN bit as requested.
                 buf.put_u8(0x0E | u8::from(*fin));
                 write_varint(buf, *stream_id).unwrap();
@@ -243,7 +315,10 @@ impl Frame {
                 write_varint(buf, *stream_id).unwrap();
                 write_varint(buf, *maximum).unwrap();
             }
-            Frame::MaxStreams { bidirectional, maximum } => {
+            Frame::MaxStreams {
+                bidirectional,
+                maximum,
+            } => {
                 buf.put_u8(if *bidirectional { 0x12 } else { 0x13 });
                 write_varint(buf, *maximum).unwrap();
             }
@@ -251,16 +326,27 @@ impl Frame {
                 buf.put_u8(0x14);
                 write_varint(buf, *limit).unwrap();
             }
-            Frame::StreamDataBlocked { stream_id, maximum_stream_data } => {
+            Frame::StreamDataBlocked {
+                stream_id,
+                maximum_stream_data,
+            } => {
                 buf.put_u8(0x15);
                 write_varint(buf, *stream_id).unwrap();
                 write_varint(buf, *maximum_stream_data).unwrap();
             }
-            Frame::StreamsBlocked { bidirectional, limit } => {
+            Frame::StreamsBlocked {
+                bidirectional,
+                limit,
+            } => {
                 buf.put_u8(if *bidirectional { 0x16 } else { 0x17 });
                 write_varint(buf, *limit).unwrap();
             }
-            Frame::NewConnectionId { sequence, retire_prior_to, connection_id, reset_token } => {
+            Frame::NewConnectionId {
+                sequence,
+                retire_prior_to,
+                connection_id,
+                reset_token,
+            } => {
                 buf.put_u8(0x18);
                 write_varint(buf, *sequence).unwrap();
                 write_varint(buf, *retire_prior_to).unwrap();
@@ -280,7 +366,12 @@ impl Frame {
                 buf.put_u8(0x1B);
                 buf.put_slice(data);
             }
-            Frame::ConnectionClose { error_code, frame_type, reason, application } => {
+            Frame::ConnectionClose {
+                error_code,
+                frame_type,
+                reason,
+                application,
+            } => {
                 buf.put_u8(if *application { 0x1D } else { 0x1C });
                 write_varint(buf, *error_code).unwrap();
                 if !application {
@@ -319,22 +410,34 @@ impl Frame {
                     let _ect1 = read_varint(buf)?;
                     let _ce = read_varint(buf)?;
                 }
-                Frame::Ack { largest_acknowledged, ack_delay, first_ack_range }
+                Frame::Ack {
+                    largest_acknowledged,
+                    ack_delay,
+                    first_ack_range,
+                }
             }
             0x04 => Frame::ResetStream {
                 stream_id: read_varint(buf)?,
                 error_code: read_varint(buf)?,
                 final_size: read_varint(buf)?,
             },
-            0x05 => Frame::StopSending { stream_id: read_varint(buf)?, error_code: read_varint(buf)? },
+            0x05 => Frame::StopSending {
+                stream_id: read_varint(buf)?,
+                error_code: read_varint(buf)?,
+            },
             0x06 => {
                 let offset = read_varint(buf)?;
                 let len = read_varint(buf)? as usize;
-                Frame::Crypto { offset, data: take_bytes(buf, len)? }
+                Frame::Crypto {
+                    offset,
+                    data: take_bytes(buf, len)?,
+                }
             }
             0x07 => {
                 let len = read_varint(buf)? as usize;
-                Frame::NewToken { token: take_bytes(buf, len)? }
+                Frame::NewToken {
+                    token: take_bytes(buf, len)?,
+                }
             }
             0x08..=0x0F => {
                 let has_offset = frame_type & 0x04 != 0;
@@ -349,17 +452,35 @@ impl Frame {
                     let rest = buf.remaining();
                     take_bytes(buf, rest)?
                 };
-                Frame::Stream { stream_id, offset, fin, data }
+                Frame::Stream {
+                    stream_id,
+                    offset,
+                    fin,
+                    data,
+                }
             }
-            0x10 => Frame::MaxData { maximum: read_varint(buf)? },
-            0x11 => Frame::MaxStreamData { stream_id: read_varint(buf)?, maximum: read_varint(buf)? },
-            0x12 | 0x13 => Frame::MaxStreams { bidirectional: frame_type == 0x12, maximum: read_varint(buf)? },
-            0x14 => Frame::DataBlocked { limit: read_varint(buf)? },
+            0x10 => Frame::MaxData {
+                maximum: read_varint(buf)?,
+            },
+            0x11 => Frame::MaxStreamData {
+                stream_id: read_varint(buf)?,
+                maximum: read_varint(buf)?,
+            },
+            0x12 | 0x13 => Frame::MaxStreams {
+                bidirectional: frame_type == 0x12,
+                maximum: read_varint(buf)?,
+            },
+            0x14 => Frame::DataBlocked {
+                limit: read_varint(buf)?,
+            },
             0x15 => Frame::StreamDataBlocked {
                 stream_id: read_varint(buf)?,
                 maximum_stream_data: read_varint(buf)?,
             },
-            0x16 | 0x17 => Frame::StreamsBlocked { bidirectional: frame_type == 0x16, limit: read_varint(buf)? },
+            0x16 | 0x17 => Frame::StreamsBlocked {
+                bidirectional: frame_type == 0x16,
+                limit: read_varint(buf)?,
+            },
             0x18 => {
                 let sequence = read_varint(buf)?;
                 let retire_prior_to = read_varint(buf)?;
@@ -371,9 +492,16 @@ impl Frame {
                 let token_bytes = take_bytes(buf, 16)?;
                 let mut reset_token = [0u8; 16];
                 reset_token.copy_from_slice(&token_bytes);
-                Frame::NewConnectionId { sequence, retire_prior_to, connection_id, reset_token }
+                Frame::NewConnectionId {
+                    sequence,
+                    retire_prior_to,
+                    connection_id,
+                    reset_token,
+                }
             }
-            0x19 => Frame::RetireConnectionId { sequence: read_varint(buf)? },
+            0x19 => Frame::RetireConnectionId {
+                sequence: read_varint(buf)?,
+            },
             0x1A | 0x1B => {
                 let data_bytes = take_bytes(buf, 8)?;
                 let mut data = [0u8; 8];
@@ -430,18 +558,51 @@ mod tests {
         vec![
             Frame::Padding,
             Frame::Ping,
-            Frame::Ack { largest_acknowledged: 17, ack_delay: 3, first_ack_range: 2 },
-            Frame::ResetStream { stream_id: 4, error_code: 9, final_size: 100 },
-            Frame::StopSending { stream_id: 4, error_code: 1 },
-            Frame::Crypto { offset: 0, data: Bytes::from_static(b"client hello") },
-            Frame::NewToken { token: Bytes::from_static(b"tok") },
-            Frame::Stream { stream_id: 0, offset: 64, fin: true, data: Bytes::from_static(b"GET /") },
+            Frame::Ack {
+                largest_acknowledged: 17,
+                ack_delay: 3,
+                first_ack_range: 2,
+            },
+            Frame::ResetStream {
+                stream_id: 4,
+                error_code: 9,
+                final_size: 100,
+            },
+            Frame::StopSending {
+                stream_id: 4,
+                error_code: 1,
+            },
+            Frame::Crypto {
+                offset: 0,
+                data: Bytes::from_static(b"client hello"),
+            },
+            Frame::NewToken {
+                token: Bytes::from_static(b"tok"),
+            },
+            Frame::Stream {
+                stream_id: 0,
+                offset: 64,
+                fin: true,
+                data: Bytes::from_static(b"GET /"),
+            },
             Frame::MaxData { maximum: 65_536 },
-            Frame::MaxStreamData { stream_id: 0, maximum: 32_768 },
-            Frame::MaxStreams { bidirectional: true, maximum: 100 },
+            Frame::MaxStreamData {
+                stream_id: 0,
+                maximum: 32_768,
+            },
+            Frame::MaxStreams {
+                bidirectional: true,
+                maximum: 100,
+            },
             Frame::DataBlocked { limit: 65_536 },
-            Frame::StreamDataBlocked { stream_id: 0, maximum_stream_data: 0 },
-            Frame::StreamsBlocked { bidirectional: false, limit: 10 },
+            Frame::StreamDataBlocked {
+                stream_id: 0,
+                maximum_stream_data: 0,
+            },
+            Frame::StreamsBlocked {
+                bidirectional: false,
+                limit: 10,
+            },
             Frame::NewConnectionId {
                 sequence: 1,
                 retire_prior_to: 0,
@@ -449,8 +610,12 @@ mod tests {
                 reset_token: [7; 16],
             },
             Frame::RetireConnectionId { sequence: 0 },
-            Frame::PathChallenge { data: [1, 2, 3, 4, 5, 6, 7, 8] },
-            Frame::PathResponse { data: [8, 7, 6, 5, 4, 3, 2, 1] },
+            Frame::PathChallenge {
+                data: [1, 2, 3, 4, 5, 6, 7, 8],
+            },
+            Frame::PathResponse {
+                data: [8, 7, 6, 5, 4, 3, 2, 1],
+            },
             Frame::ConnectionClose {
                 error_code: 0x0A,
                 frame_type: 0x1E,
@@ -474,8 +639,14 @@ mod tests {
     fn frame_type_names_cover_the_paper_notation() {
         let names: Vec<&str> = FrameType::ALL.iter().map(|t| t.name()).collect();
         for expected in [
-            "ACK", "CRYPTO", "STREAM", "HANDSHAKE_DONE", "MAX_DATA", "MAX_STREAM_DATA",
-            "STREAM_DATA_BLOCKED", "CONNECTION_CLOSE",
+            "ACK",
+            "CRYPTO",
+            "STREAM",
+            "HANDSHAKE_DONE",
+            "MAX_DATA",
+            "MAX_STREAM_DATA",
+            "STREAM_DATA_BLOCKED",
+            "CONNECTION_CLOSE",
         ] {
             assert!(names.contains(&expected), "missing frame name {expected}");
         }
@@ -496,19 +667,40 @@ mod tests {
     #[test]
     fn ack_eliciting_classification() {
         assert!(!Frame::Padding.is_ack_eliciting());
-        assert!(!Frame::Ack { largest_acknowledged: 0, ack_delay: 0, first_ack_range: 0 }.is_ack_eliciting());
-        assert!(!Frame::ConnectionClose { error_code: 0, frame_type: 0, reason: String::new(), application: true }
-            .is_ack_eliciting());
+        assert!(!Frame::Ack {
+            largest_acknowledged: 0,
+            ack_delay: 0,
+            first_ack_range: 0
+        }
+        .is_ack_eliciting());
+        assert!(!Frame::ConnectionClose {
+            error_code: 0,
+            frame_type: 0,
+            reason: String::new(),
+            application: true
+        }
+        .is_ack_eliciting());
         assert!(Frame::Ping.is_ack_eliciting());
         assert!(Frame::HandshakeDone.is_ack_eliciting());
-        assert!(Frame::Stream { stream_id: 0, offset: 0, fin: false, data: Bytes::new() }.is_ack_eliciting());
+        assert!(Frame::Stream {
+            stream_id: 0,
+            offset: 0,
+            fin: false,
+            data: Bytes::new()
+        }
+        .is_ack_eliciting());
     }
 
     #[test]
     fn stream_fin_bit_round_trips() {
         for fin in [false, true] {
-            let f = Frame::Stream { stream_id: 8, offset: 0, fin, data: Bytes::from_static(b"d") };
-            let decoded = Frame::decode_all(Frame::encode_all(&[f.clone()])).unwrap();
+            let f = Frame::Stream {
+                stream_id: 8,
+                offset: 0,
+                fin,
+                data: Bytes::from_static(b"d"),
+            };
+            let decoded = Frame::decode_all(Frame::encode_all(std::slice::from_ref(&f))).unwrap();
             assert_eq!(decoded, vec![f]);
         }
     }
@@ -521,7 +713,7 @@ mod tests {
             reason: "bye".to_string(),
             application: true,
         };
-        let decoded = Frame::decode_all(Frame::encode_all(&[f.clone()])).unwrap();
+        let decoded = Frame::decode_all(Frame::encode_all(std::slice::from_ref(&f))).unwrap();
         assert_eq!(decoded, vec![f]);
     }
 

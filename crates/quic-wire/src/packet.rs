@@ -211,7 +211,11 @@ impl Packet {
             names.push(name);
         }
         names.sort_unstable();
-        format!("{}(?,?)[{}]", self.header.packet_type.name(), names.join(","))
+        format!(
+            "{}(?,?)[{}]",
+            self.header.packet_type.name(),
+            names.join(",")
+        )
     }
 
     /// Encodes and protects the packet with `keys` (ignored for Retry,
@@ -375,7 +379,10 @@ impl Packet {
         let (header, protected) = Packet::decode_header(datagram)?;
         match header.packet_type {
             PacketType::Retry | PacketType::VersionNegotiation | PacketType::StatelessReset => {
-                Ok(Packet { header, frames: Vec::new() })
+                Ok(Packet {
+                    header,
+                    frames: Vec::new(),
+                })
             }
             _ => {
                 let plaintext = keys.open(header.packet_number, &protected)?;
@@ -423,7 +430,10 @@ mod tests {
                 ConnectionId::from_seed(2),
                 0,
             ),
-            vec![Frame::Crypto { offset: 0, data: Bytes::from_static(b"client hello") }],
+            vec![Frame::Crypto {
+                offset: 0,
+                data: Bytes::from_static(b"client hello"),
+            }],
         )
     }
 
@@ -443,8 +453,17 @@ mod tests {
         let p = Packet::new(
             PacketHeader::short(ConnectionId::from_seed(1), 42),
             vec![
-                Frame::Ack { largest_acknowledged: 3, ack_delay: 0, first_ack_range: 0 },
-                Frame::Stream { stream_id: 0, offset: 0, fin: false, data: Bytes::from_static(b"x") },
+                Frame::Ack {
+                    largest_acknowledged: 3,
+                    ack_delay: 0,
+                    first_ack_range: 0,
+                },
+                Frame::Stream {
+                    stream_id: 0,
+                    offset: 0,
+                    fin: false,
+                    data: Bytes::from_static(b"x"),
+                },
                 Frame::Padding,
             ],
         );
@@ -495,7 +514,10 @@ mod tests {
                 1,
             )
             .with_token(Bytes::from_static(b"tok123")),
-            vec![Frame::Crypto { offset: 0, data: Bytes::from_static(b"ch") }],
+            vec![Frame::Crypto {
+                offset: 0,
+                data: Bytes::from_static(b"ch"),
+            }],
         );
         let decoded = Packet::decode(&p.encode(&k), &k).unwrap();
         assert_eq!(&decoded.header.token[..], b"tok123");
@@ -545,8 +567,15 @@ mod tests {
                 5,
             ),
             vec![
-                Frame::Ack { largest_acknowledged: 1, ack_delay: 0, first_ack_range: 0 },
-                Frame::Crypto { offset: 0, data: Bytes::from_static(b"finished") },
+                Frame::Ack {
+                    largest_acknowledged: 1,
+                    ack_delay: 0,
+                    first_ack_range: 0,
+                },
+                Frame::Crypto {
+                    offset: 0,
+                    data: Bytes::from_static(b"finished"),
+                },
             ],
         );
         let decoded = Packet::decode(&p.encode(&k), &k).unwrap();
@@ -557,7 +586,10 @@ mod tests {
     #[test]
     fn malformed_datagrams_are_rejected() {
         let k = keys(EncryptionLevel::Initial);
-        assert!(matches!(Packet::decode(&Bytes::new(), &k), Err(PacketError::Truncated)));
+        assert!(matches!(
+            Packet::decode(&Bytes::new(), &k),
+            Err(PacketError::Truncated)
+        ));
         assert!(matches!(
             Packet::decode(&Bytes::from_static(&[0xC0, 0x00]), &k),
             Err(PacketError::Truncated)

@@ -112,8 +112,14 @@ mod tests {
     #[test]
     fn errors() {
         let mut buf = BytesMut::new();
-        assert_eq!(write_varint(&mut buf, MAX_VARINT + 1), Err(VarIntError::TooLarge(MAX_VARINT + 1)));
-        assert_eq!(varint_len(u64::MAX).unwrap_err(), VarIntError::TooLarge(u64::MAX));
+        assert_eq!(
+            write_varint(&mut buf, MAX_VARINT + 1),
+            Err(VarIntError::TooLarge(MAX_VARINT + 1))
+        );
+        assert_eq!(
+            varint_len(u64::MAX).unwrap_err(),
+            VarIntError::TooLarge(u64::MAX)
+        );
         let mut empty = Bytes::new();
         assert_eq!(read_varint(&mut empty), Err(VarIntError::Truncated));
         let mut short = Bytes::from_static(&[0xc0, 0x01]);
@@ -123,7 +129,16 @@ mod tests {
 
     #[test]
     fn exhaustive_round_trip_near_boundaries() {
-        for base in [0u64, 63, 64, 16_383, 16_384, (1 << 30) - 1, 1 << 30, MAX_VARINT - 1] {
+        for base in [
+            0u64,
+            63,
+            64,
+            16_383,
+            16_384,
+            (1 << 30) - 1,
+            1 << 30,
+            MAX_VARINT - 1,
+        ] {
             for delta in 0..2 {
                 let v = base.saturating_add(delta).min(MAX_VARINT);
                 assert_eq!(round_trip(v).1, v);

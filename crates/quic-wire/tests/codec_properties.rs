@@ -19,21 +19,40 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             ack_delay: b,
             first_ack_range: c
         }),
-        (v.clone(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(offset, data)| Frame::Crypto {
-            offset,
-            data: Bytes::from(data)
+        (v.clone(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(offset, data)| {
+            Frame::Crypto {
+                offset,
+                data: Bytes::from(data),
+            }
         }),
-        (v.clone(), v.clone(), any::<bool>(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(
-            |(stream_id, offset, fin, data)| Frame::Stream { stream_id, offset, fin, data: Bytes::from(data) }
-        ),
+        (
+            v.clone(),
+            v.clone(),
+            any::<bool>(),
+            prop::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(stream_id, offset, fin, data)| Frame::Stream {
+                stream_id,
+                offset,
+                fin,
+                data: Bytes::from(data)
+            }),
         v.clone().prop_map(|maximum| Frame::MaxData { maximum }),
-        (v.clone(), v.clone()).prop_map(|(stream_id, maximum)| Frame::MaxStreamData { stream_id, maximum }),
-        (v.clone(), v.clone()).prop_map(|(stream_id, maximum_stream_data)| Frame::StreamDataBlocked {
-            stream_id,
-            maximum_stream_data
+        (v.clone(), v.clone())
+            .prop_map(|(stream_id, maximum)| Frame::MaxStreamData { stream_id, maximum }),
+        (v.clone(), v.clone()).prop_map(|(stream_id, maximum_stream_data)| {
+            Frame::StreamDataBlocked {
+                stream_id,
+                maximum_stream_data,
+            }
         }),
         (v.clone(), ".{0,32}", any::<bool>()).prop_map(|(error_code, reason, application)| {
-            Frame::ConnectionClose { error_code, frame_type: 0, reason, application }
+            Frame::ConnectionClose {
+                error_code,
+                frame_type: 0,
+                reason,
+                application,
+            }
         }),
         Just(Frame::HandshakeDone),
     ]

@@ -47,7 +47,10 @@ impl fmt::Display for ExtendedMachineError {
         match self {
             ExtendedMachineError::Skeleton(msg) => write!(f, "skeleton error: {msg}"),
             ExtendedMachineError::BadTerm { state, input, term } => {
-                write!(f, "term {term} not evaluable at state {state} on input {input}")
+                write!(
+                    f,
+                    "term {term} not evaluable at state {state} on input {input}"
+                )
             }
         }
     }
@@ -164,21 +167,25 @@ impl ExtendedMealyMachine {
             // Registers update first (over old registers + input fields)...
             let mut new_registers = Vec::with_capacity(registers.len());
             for term in &ext.updates {
-                let v = term.eval(&registers, fields).ok_or(ExtendedMachineError::BadTerm {
-                    state,
-                    input: symbol.clone(),
-                    term: *term,
-                })?;
+                let v = term
+                    .eval(&registers, fields)
+                    .ok_or(ExtendedMachineError::BadTerm {
+                        state,
+                        input: symbol.clone(),
+                        term: *term,
+                    })?;
                 new_registers.push(v);
             }
             // ...then output fields are computed over the *new* registers.
             let mut out_fields = Vec::with_capacity(ext.outputs.len());
             for term in &ext.outputs {
-                let v = term.eval(&new_registers, fields).ok_or(ExtendedMachineError::BadTerm {
-                    state,
-                    input: symbol.clone(),
-                    term: *term,
-                })?;
+                let v = term
+                    .eval(&new_registers, fields)
+                    .ok_or(ExtendedMachineError::BadTerm {
+                        state,
+                        input: symbol.clone(),
+                        term: *term,
+                    })?;
                 out_fields.push(v);
             }
             registers = new_registers;
@@ -238,7 +245,10 @@ impl ExtendedMealyMachine {
                 .map(|(j, t)| {
                     format!(
                         "{}:={}",
-                        self.register_names.get(j).cloned().unwrap_or_else(|| format!("r{j}")),
+                        self.register_names
+                            .get(j)
+                            .cloned()
+                            .unwrap_or_else(|| format!("r{j}")),
                         t.render(&self.register_names, &self.field_names)
                     )
                 })

@@ -42,7 +42,9 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        SolverConfig { max_nodes: 2_000_000 }
+        SolverConfig {
+            max_nodes: 2_000_000,
+        }
     }
 }
 
@@ -88,9 +90,12 @@ impl Solution {
     /// The representative output terms for a transition: the first surviving
     /// candidate of each field.
     pub fn representative_outputs(&self, key: &TransitionKey) -> Option<Vec<Term>> {
-        self.output_candidates
-            .get(key)
-            .map(|fields| fields.iter().map(|c| *c.first().expect("non-empty candidate set")).collect())
+        self.output_candidates.get(key).map(|fields| {
+            fields
+                .iter()
+                .map(|c| *c.first().expect("non-empty candidate set"))
+                .collect()
+        })
     }
 }
 
@@ -126,7 +131,12 @@ impl<'a> Solver<'a> {
             domain.num_registers,
             "initial register valuation must match the domain's register count"
         );
-        Solver { skeleton, domain, initial_registers, config }
+        Solver {
+            skeleton,
+            domain,
+            initial_registers,
+            config,
+        }
     }
 
     /// Flattens the positive traces into a step list, validating each trace
@@ -245,7 +255,9 @@ impl<'s, 'a> Search<'s, 'a> {
         if let Some(update_terms) = self.updates.get(&step.key).cloned() {
             // Updates already fixed for this transition: propagate.
             match self.apply_updates(&update_terms, &registers, &step.input_fields) {
-                Some(new_regs) => self.check_outputs_and_continue(pos, new_regs, negatives, positives),
+                Some(new_regs) => {
+                    self.check_outputs_and_continue(pos, new_regs, negatives, positives)
+                }
                 None => false,
             }
         } else {
@@ -299,7 +311,10 @@ impl<'s, 'a> Search<'s, 'a> {
         registers: &[i64],
         input_fields: &[i64],
     ) -> Option<Vec<i64>> {
-        terms.iter().map(|t| t.eval(registers, input_fields)).collect()
+        terms
+            .iter()
+            .map(|t| t.eval(registers, input_fields))
+            .collect()
     }
 
     fn check_outputs_and_continue(
@@ -320,9 +335,8 @@ impl<'s, 'a> Search<'s, 'a> {
         }
         let mut ok = true;
         for (field_idx, &observed) in step.output_fields.iter().enumerate() {
-            sets[field_idx].retain(|t| {
-                t.eval(&new_registers, &step.input_fields) == Some(observed)
-            });
+            sets[field_idx]
+                .retain(|t| t.eval(&new_registers, &step.input_fields) == Some(observed));
             if sets[field_idx].is_empty() {
                 ok = false;
                 break;
@@ -355,14 +369,20 @@ impl<'s, 'a> Search<'s, 'a> {
         'neg: for trace in negatives {
             let mut state = self.solver.skeleton.initial_state();
             let mut registers = self.solver.initial_registers().to_vec();
-            for ((input, output), concrete) in trace.abstract_trace.steps().zip(trace.steps.iter()) {
+            for ((input, output), concrete) in trace.abstract_trace.steps().zip(trace.steps.iter())
+            {
                 let Ok((next, out_sym)) = self.solver.skeleton.step(state, input) else {
                     continue 'neg; // not reproducible at the abstract level
                 };
                 if out_sym != *output {
                     continue 'neg;
                 }
-                let in_idx = self.solver.skeleton.input_alphabet().index_of(input).unwrap();
+                let in_idx = self
+                    .solver
+                    .skeleton
+                    .input_alphabet()
+                    .index_of(input)
+                    .unwrap();
                 let key = (state, in_idx);
                 let Some(update_terms) = self.updates.get(&key) else {
                     continue 'neg; // unconstrained transition: treat as not reproduced
@@ -376,9 +396,14 @@ impl<'s, 'a> Search<'s, 'a> {
                 };
                 if let Some(sets) = self.output_candidates.get(&key) {
                     for (field_idx, &observed) in concrete.output_fields.iter().enumerate() {
-                        let Some(set) = sets.get(field_idx) else { continue };
-                        let Some(representative) = set.first() else { continue };
-                        if representative.eval(&new_regs, &concrete.input_fields) != Some(observed) {
+                        let Some(set) = sets.get(field_idx) else {
+                            continue;
+                        };
+                        let Some(representative) = set.first() else {
+                            continue;
+                        };
+                        if representative.eval(&new_regs, &concrete.input_fields) != Some(observed)
+                        {
                             continue 'neg;
                         }
                     }
@@ -409,7 +434,8 @@ mod tests {
         let s0 = b.add_state();
         let s1 = b.add_state();
         b.add_transition(s0, "ACK(sn,an,0)", "NIL", s0).unwrap();
-        b.add_transition(s0, "SYN(sn,an,0)", "ACK(o1,o2,0)", s1).unwrap();
+        b.add_transition(s0, "SYN(sn,an,0)", "ACK(o1,o2,0)", s1)
+            .unwrap();
         b.add_transition(s1, "SYN(sn,an,0)", "NIL", s1).unwrap();
         b.add_transition(s1, "ACK(sn,an,0)", "NIL", s1).unwrap();
         b.build().unwrap()
@@ -456,12 +482,21 @@ mod tests {
         // register-consistent explanation with non-empty candidate sets and
         // update terms for every exercised transition.
         let syn_key = (0, 1);
-        let outputs = solution.output_candidates.get(&syn_key).expect("SYN transition exercised");
+        let outputs = solution
+            .output_candidates
+            .get(&syn_key)
+            .expect("SYN transition exercised");
         assert_eq!(outputs.len(), 2);
         assert!(!outputs[0].is_empty());
         assert!(!outputs[1].is_empty());
-        assert!(solution.updates.contains_key(&(0, 0)), "ACK transition must have update terms");
-        assert!(solution.updates.contains_key(&syn_key), "SYN transition must have update terms");
+        assert!(
+            solution.updates.contains_key(&(0, 0)),
+            "ACK transition must have update terms"
+        );
+        assert!(
+            solution.updates.contains_key(&syn_key),
+            "SYN transition must have update terms"
+        );
         assert!(solution.representative_outputs(&syn_key).is_some());
     }
 
@@ -483,8 +518,14 @@ mod tests {
         ]);
         let solution = solver.solve(&[t], &[]).unwrap();
         let candidates = &solution.output_candidates[&(0, 0)][0];
-        assert!(candidates.iter().all(|t| t.is_constant()), "only constants can explain the field: {candidates:?}");
-        assert_eq!(solution.representative_outputs(&(0, 0)).unwrap(), vec![Term::Const(0)]);
+        assert!(
+            candidates.iter().all(|t| t.is_constant()),
+            "only constants can explain the field: {candidates:?}"
+        );
+        assert_eq!(
+            solution.representative_outputs(&(0, 0)).unwrap(),
+            vec![Term::Const(0)]
+        );
     }
 
     #[test]
@@ -496,10 +537,18 @@ mod tests {
         let skeleton = b.build().unwrap();
         // No constants except 0, no input fields, one register stuck at 0:
         // an output field of 7 cannot be produced.
-        let domain = TermDomain { num_registers: 1, num_input_fields: 0, constants: vec![0], allow_increment: false };
+        let domain = TermDomain {
+            num_registers: 1,
+            num_input_fields: 0,
+            constants: vec![0],
+            allow_increment: false,
+        };
         let solver = Solver::new(&skeleton, &domain, vec![0], SolverConfig::default());
         let t = trace(vec![("a", vec![], "x", vec![7])]);
-        assert_eq!(solver.solve(&[t], &[]).unwrap_err(), SolverError::NoSolution);
+        assert_eq!(
+            solver.solve(&[t], &[]).unwrap_err(),
+            SolverError::NoSolution
+        );
     }
 
     #[test]
@@ -508,7 +557,12 @@ mod tests {
         let domain = TermDomain::new(1, 2);
         let solver = Solver::new(&skeleton, &domain, vec![0], SolverConfig::default());
         // Claims the ACK input produces an ACK output, but the skeleton says NIL.
-        let t = trace(vec![("ACK(sn,an,0)", vec![0, 3], "ACK(o1,o2,0)", vec![1, 2])]);
+        let t = trace(vec![(
+            "ACK(sn,an,0)",
+            vec![0, 3],
+            "ACK(o1,o2,0)",
+            vec![1, 2],
+        )]);
         assert!(matches!(
             solver.solve(&[t], &[]).unwrap_err(),
             SolverError::InconsistentTrace(_)
@@ -525,11 +579,17 @@ mod tests {
             vec![0, 0, 0],
             SolverConfig { max_nodes: 1 },
         );
-        let t = trace(vec![
-            ("SYN(sn,an,0)", vec![2, 3], "ACK(o1,o2,0)", vec![995, 996]),
-        ]);
+        let t = trace(vec![(
+            "SYN(sn,an,0)",
+            vec![2, 3],
+            "ACK(o1,o2,0)",
+            vec![995, 996],
+        )]);
         let err = solver.solve(&[t], &[]).unwrap_err();
-        assert!(matches!(err, SolverError::BudgetExhausted | SolverError::NoSolution));
+        assert!(matches!(
+            err,
+            SolverError::BudgetExhausted | SolverError::NoSolution
+        ));
     }
 
     #[test]

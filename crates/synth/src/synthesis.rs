@@ -77,7 +77,11 @@ pub struct SynthesisReport {
 impl SynthesisReport {
     /// Transitions that no trace exercised.
     pub fn unexercised(&self) -> Vec<TransitionKey> {
-        self.findings.iter().filter(|f| !f.exercised).map(|f| f.key).collect()
+        self.findings
+            .iter()
+            .filter(|f| !f.exercised)
+            .map(|f| f.key)
+            .collect()
     }
 
     /// All `(transition, field, constant)` triples where a numeric output
@@ -149,7 +153,12 @@ impl Synthesizer {
         positives: &[ConcreteTrace],
         negatives: &[ConcreteTrace],
     ) -> Result<SynthesisOutcome, SolverError> {
-        let solver = Solver::new(skeleton, &self.domain, self.initial_registers.clone(), self.config);
+        let solver = Solver::new(
+            skeleton,
+            &self.domain,
+            self.initial_registers.clone(),
+            self.config,
+        );
         let solution = solver.solve(positives, negatives)?;
         Ok(self.assemble(skeleton, &solution, positives.len(), negatives.len(), 0))
     }
@@ -169,11 +178,14 @@ impl Synthesizer {
     ) -> Result<SynthesisOutcome, SolverError> {
         let mut rounds = 0;
         loop {
-            let solver =
-                Solver::new(skeleton, &self.domain, self.initial_registers.clone(), self.config);
+            let solver = Solver::new(
+                skeleton,
+                &self.domain,
+                self.initial_registers.clone(),
+                self.config,
+            );
             let solution = solver.solve(&positives, &[])?;
-            let outcome =
-                self.assemble(skeleton, &solution, positives.len(), 0, rounds);
+            let outcome = self.assemble(skeleton, &solution, positives.len(), 0, rounds);
             if rounds >= max_rounds {
                 return Ok(outcome);
             }
@@ -213,11 +225,17 @@ impl Synthesizer {
                     .get(&key)
                     .cloned()
                     .unwrap_or_else(|| identity_updates.clone());
-                let output_candidates: Vec<Vec<Term>> =
-                    solution.output_candidates.get(&key).cloned().unwrap_or_default();
+                let output_candidates: Vec<Vec<Term>> = solution
+                    .output_candidates
+                    .get(&key)
+                    .cloned()
+                    .unwrap_or_default();
                 let outputs: Vec<Term> = output_candidates
                     .iter()
-                    .map(|set| *set.first().expect("solver never leaves an empty candidate set"))
+                    .map(|set| {
+                        *set.first()
+                            .expect("solver never leaves an empty candidate set")
+                    })
                     .collect();
                 findings.push(TransitionFinding {
                     key,
@@ -266,7 +284,8 @@ pub fn candidates_by_symbol(
             .get(finding.key.1)
             .map(|s| s.to_string())
             .unwrap_or_default();
-        out.entry(symbol).or_insert_with(|| finding.output_candidates.clone());
+        out.entry(symbol)
+            .or_insert_with(|| finding.output_candidates.clone());
     }
     out
 }
@@ -291,7 +310,10 @@ mod tests {
     fn trace(steps: Vec<(&str, Vec<i64>, &str, Vec<i64>)>) -> ConcreteTrace {
         let input = InputWord::from_symbols(steps.iter().map(|(i, _, _, _)| *i));
         let output = OutputWord::from_symbols(steps.iter().map(|(_, _, o, _)| *o));
-        let concrete = steps.into_iter().map(|(_, i, _, o)| ConcreteStep::new(i, o)).collect();
+        let concrete = steps
+            .into_iter()
+            .map(|(_, i, _, o)| ConcreteStep::new(i, o))
+            .collect();
         ConcreteTrace::new(IoTrace::new(input, output), concrete)
     }
 
@@ -321,7 +343,9 @@ mod tests {
     #[test]
     fn synthesizes_a_latch_register_machine() {
         let skeleton = latch_skeleton();
-        let outcome = synthesizer().synthesize(&skeleton, &latch_traces(), &[]).unwrap();
+        let outcome = synthesizer()
+            .synthesize(&skeleton, &latch_traces(), &[])
+            .unwrap();
         // The machine must reproduce a fresh latch trace with new values.
         let fresh = trace(vec![
             ("put", vec![123], "ok", vec![]),
@@ -332,7 +356,10 @@ mod tests {
         assert!(outcome.report.solver_nodes > 0);
         assert!(outcome.report.unexercised().is_empty());
         let rendered = outcome.machine.render();
-        assert!(rendered.contains("r0:=v"), "expected latch update in: {rendered}");
+        assert!(
+            rendered.contains("r0:=v"),
+            "expected latch update in: {rendered}"
+        );
     }
 
     #[test]
@@ -342,7 +369,7 @@ mod tests {
         let outcome = synthesizer().synthesize(&skeleton, &only_put, &[]).unwrap();
         let unexercised = outcome.report.unexercised();
         assert_eq!(unexercised, vec![(0, 1)]); // the `get` transition
-        // Unexercised transitions default to identity updates.
+                                               // Unexercised transitions default to identity updates.
         let finding = outcome
             .report
             .findings
@@ -407,13 +434,12 @@ mod tests {
     #[test]
     fn synthesized_machine_runs_concretely() {
         let skeleton = latch_skeleton();
-        let outcome = synthesizer().synthesize(&skeleton, &latch_traces(), &[]).unwrap();
+        let outcome = synthesizer()
+            .synthesize(&skeleton, &latch_traces(), &[])
+            .unwrap();
         let run = outcome
             .machine
-            .run_concrete(&[
-                (Symbol::new("put"), vec![9]),
-                (Symbol::new("get"), vec![0]),
-            ])
+            .run_concrete(&[(Symbol::new("put"), vec![9]), (Symbol::new("get"), vec![0])])
             .unwrap();
         assert_eq!(run[1].fields, vec![9]);
     }
@@ -421,6 +447,11 @@ mod tests {
     #[test]
     #[should_panic]
     fn synthesizer_rejects_mismatched_register_names() {
-        let _ = Synthesizer::new(TermDomain::new(2, 1), vec!["only_one".to_string()], vec![], vec![0, 0]);
+        let _ = Synthesizer::new(
+            TermDomain::new(2, 1),
+            vec!["only_one".to_string()],
+            vec![],
+            vec![0, 0],
+        );
     }
 }

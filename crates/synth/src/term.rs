@@ -55,7 +55,10 @@ impl Term {
     /// matching the paper's notation (`r`, `r+1`, `pi+1`, `sn`, `0`, ...).
     pub fn render(&self, register_names: &[String], field_names: &[String]) -> String {
         let name = |names: &[String], i: usize, fallback: &str| {
-            names.get(i).cloned().unwrap_or_else(|| format!("{fallback}{i}"))
+            names
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| format!("{fallback}{i}"))
         };
         match *self {
             Term::Register(i) => name(register_names, i, "r"),
@@ -168,7 +171,10 @@ mod tests {
 
     #[test]
     fn wrapping_add_does_not_panic_on_extremes() {
-        assert_eq!(Term::RegisterPlusOne(0).eval(&[i64::MAX], &[]), Some(i64::MIN));
+        assert_eq!(
+            Term::RegisterPlusOne(0).eval(&[i64::MAX], &[]),
+            Some(i64::MIN)
+        );
     }
 
     #[test]
@@ -200,7 +206,12 @@ mod tests {
         // is [r, r+1, pr, pr+1, pi, pi+1, sn, an] — 8 candidates.  With our
         // uniform grammar (increments also on input fields) the domain is 10;
         // restricting increments reproduces a superset either way.
-        let d = TermDomain { num_registers: 3, num_input_fields: 2, constants: vec![], allow_increment: true };
+        let d = TermDomain {
+            num_registers: 3,
+            num_input_fields: 2,
+            constants: vec![],
+            allow_increment: true,
+        };
         assert_eq!(d.size(), 10);
         let no_inc = d.clone().without_increment();
         assert_eq!(no_inc.size(), 5);

@@ -24,7 +24,10 @@ pub struct ConcreteStep {
 impl ConcreteStep {
     /// Creates a step from input and output field vectors.
     pub fn new(input_fields: Vec<i64>, output_fields: Vec<i64>) -> Self {
-        ConcreteStep { input_fields, output_fields }
+        ConcreteStep {
+            input_fields,
+            output_fields,
+        }
     }
 }
 
@@ -48,7 +51,10 @@ impl ConcreteTrace {
             steps.len(),
             "a concrete trace needs exactly one concrete step per abstract step"
         );
-        ConcreteTrace { abstract_trace, steps }
+        ConcreteTrace {
+            abstract_trace,
+            steps,
+        }
     }
 
     /// Number of steps.
@@ -63,12 +69,20 @@ impl ConcreteTrace {
 
     /// Maximum number of input fields appearing in any step.
     pub fn max_input_fields(&self) -> usize {
-        self.steps.iter().map(|s| s.input_fields.len()).max().unwrap_or(0)
+        self.steps
+            .iter()
+            .map(|s| s.input_fields.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum number of output fields appearing in any step.
     pub fn max_output_fields(&self) -> usize {
-        self.steps.iter().map(|s| s.output_fields.len()).max().unwrap_or(0)
+        self.steps
+            .iter()
+            .map(|s| s.output_fields.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// All constants appearing in the trace's fields (useful for seeding the

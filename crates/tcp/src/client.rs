@@ -106,7 +106,11 @@ impl ReferenceTcpClient {
                 "FIN" => flags.fin = true,
                 "RST" => flags.rst = true,
                 "PSH" => flags.psh = true,
-                other => return Err(ConcretizeError::BadSymbol(format!("unknown flag {other} in {symbol}"))),
+                other => {
+                    return Err(ConcretizeError::BadSymbol(format!(
+                        "unknown flag {other} in {symbol}"
+                    )))
+                }
             }
         }
         Ok((flags, payload_len))
@@ -214,7 +218,10 @@ mod tests {
         let syn = client.concretize("SYN(?,?,0)").unwrap();
         let synack = server.handle_segment(&syn).unwrap();
         client.absorb(&synack);
-        assert_eq!(ReferenceTcpClient::abstract_response(Some(&synack)), "ACK+SYN(?,?,0)");
+        assert_eq!(
+            ReferenceTcpClient::abstract_response(Some(&synack)),
+            "ACK+SYN(?,?,0)"
+        );
         // ACK →
         let ack = client.concretize("ACK(?,?,0)").unwrap();
         let r = server.handle_segment(&ack);
@@ -229,7 +236,10 @@ mod tests {
         let fin = client.concretize("FIN+ACK(?,?,0)").unwrap();
         let finack = server.handle_segment(&fin).unwrap();
         client.absorb(&finack);
-        assert_eq!(ReferenceTcpClient::abstract_response(Some(&finack)), "ACK+FIN(?,?,0)");
+        assert_eq!(
+            ReferenceTcpClient::abstract_response(Some(&finack)),
+            "ACK+FIN(?,?,0)"
+        );
         // final ACK →
         let last = client.concretize("ACK(?,?,0)").unwrap();
         assert!(server.handle_segment(&last).is_none());

@@ -29,19 +29,61 @@ pub struct TcpFlags {
 
 impl TcpFlags {
     /// SYN only.
-    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false, psh: false };
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// ACK only.
-    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false, psh: false };
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// SYN+ACK.
-    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false, psh: false };
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
     /// FIN+ACK.
-    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true, rst: false, psh: false };
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: true,
+        rst: false,
+        psh: false,
+    };
     /// RST only.
-    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, fin: false, rst: true, psh: false };
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+        psh: false,
+    };
     /// RST+ACK.
-    pub const RST_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: true, psh: false };
+    pub const RST_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: true,
+        psh: false,
+    };
     /// PSH+ACK.
-    pub const PSH_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false, psh: true };
+    pub const PSH_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        psh: true,
+    };
 
     /// Packs the flags into the low bits of a byte
     /// (FIN=0x01, SYN=0x02, RST=0x04, PSH=0x08, ACK=0x10 as in the TCP header).
@@ -150,8 +192,14 @@ impl fmt::Display for SegmentError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SegmentError::Truncated => write!(f, "segment truncated"),
-            SegmentError::BadPayloadLength { declared, available } => {
-                write!(f, "payload length {declared} exceeds available {available} bytes")
+            SegmentError::BadPayloadLength {
+                declared,
+                available,
+            } => {
+                write!(
+                    f,
+                    "payload length {declared} exceeds available {available} bytes"
+                )
             }
         }
     }
@@ -165,7 +213,13 @@ const HEADER_LEN: usize = 2 + 2 + 4 + 4 + 1 + 2 + 2;
 impl TcpSegment {
     /// Creates a segment with an empty payload.
     pub fn new(flags: TcpFlags, seq: u32, ack: u32) -> Self {
-        TcpSegment { flags, seq, ack, window: 8192, ..TcpSegment::default() }
+        TcpSegment {
+            flags,
+            seq,
+            ack,
+            window: 8192,
+            ..TcpSegment::default()
+        }
     }
 
     /// Sets the payload.
@@ -232,7 +286,15 @@ impl TcpSegment {
             });
         }
         let payload = data.slice(..payload_len);
-        Ok(TcpSegment { source_port, destination_port, seq, ack, flags, window, payload })
+        Ok(TcpSegment {
+            source_port,
+            destination_port,
+            seq,
+            ack,
+            flags,
+            window,
+            payload,
+        })
     }
 }
 
@@ -284,7 +346,10 @@ mod tests {
 
     #[test]
     fn decode_errors() {
-        assert_eq!(TcpSegment::decode(Bytes::from_static(b"xx")), Err(SegmentError::Truncated));
+        assert_eq!(
+            TcpSegment::decode(Bytes::from_static(b"xx")),
+            Err(SegmentError::Truncated)
+        );
         // Declare a payload longer than what follows.
         let seg = TcpSegment::new(TcpFlags::ACK, 0, 0);
         let mut bad = BytesMut::from(&seg.encode()[..]);
@@ -311,7 +376,10 @@ mod tests {
 
     #[test]
     fn abstract_names_match_the_learning_alphabet() {
-        assert_eq!(TcpSegment::new(TcpFlags::SYN, 5, 0).abstract_name(), "SYN(?,?,0)");
+        assert_eq!(
+            TcpSegment::new(TcpFlags::SYN, 5, 0).abstract_name(),
+            "SYN(?,?,0)"
+        );
         assert_eq!(
             TcpSegment::new(TcpFlags::PSH_ACK, 5, 9)
                 .with_payload(Bytes::from_static(b"x"))

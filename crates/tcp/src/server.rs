@@ -51,7 +51,11 @@ pub struct TcpServerConfig {
 
 impl Default for TcpServerConfig {
     fn default() -> Self {
-        TcpServerConfig { port: 44_344, isn: IsnPolicy::default(), window: 8_192 }
+        TcpServerConfig {
+            port: 44_344,
+            isn: IsnPolicy::default(),
+            window: 8_192,
+        }
     }
 }
 
@@ -197,7 +201,11 @@ impl TcpServer {
         }
         // Anything else directed at a listening socket is answered with RST.
         let rst_seq = if f.ack { seg.ack } else { 0 };
-        Some(self.reply(TcpFlags::RST, rst_seq, seg.seq.wrapping_add(seg.sequence_space())))
+        Some(self.reply(
+            TcpFlags::RST,
+            rst_seq,
+            seg.seq.wrapping_add(seg.sequence_space()),
+        ))
     }
 
     fn in_syn_received(&mut self, seg: &TcpSegment) -> Option<TcpSegment> {
@@ -256,7 +264,10 @@ impl TcpServer {
         if f.fin && f.ack {
             // Passive close: acknowledge the FIN and send ours in the same
             // segment (ACK+FIN), as the Appendix A.1 model shows.
-            self.rcv_nxt = self.rcv_nxt.wrapping_add(seg.payload.len() as u32).wrapping_add(1);
+            self.rcv_nxt = self
+                .rcv_nxt
+                .wrapping_add(seg.payload.len() as u32)
+                .wrapping_add(1);
             let reply = self.reply(TcpFlags::FIN_ACK, self.snd_nxt, self.rcv_nxt);
             self.snd_nxt = self.snd_nxt.wrapping_add(1);
             self.state = TcpState::LastAck;
@@ -303,7 +314,11 @@ impl TcpServer {
         } else {
             (0, seg.seq.wrapping_add(seg.sequence_space()))
         };
-        let flags = if f.ack { TcpFlags::RST } else { TcpFlags::RST_ACK };
+        let flags = if f.ack {
+            TcpFlags::RST
+        } else {
+            TcpFlags::RST_ACK
+        };
         Some(self.reply(flags, seq, ack))
     }
 }
@@ -324,7 +339,9 @@ mod tests {
     fn three_way_handshake() {
         let mut server = TcpServer::with_defaults();
         assert_eq!(server.state(), TcpState::Listen);
-        let synack = server.handle_segment(&syn(100)).expect("SYN must be answered");
+        let synack = server
+            .handle_segment(&syn(100))
+            .expect("SYN must be answered");
         assert_eq!(synack.flags, TcpFlags::SYN_ACK);
         assert_eq!(synack.ack, 101);
         assert_eq!(synack.seq, 10_000);
@@ -374,7 +391,9 @@ mod tests {
     #[test]
     fn listen_answers_stray_segments_with_rst() {
         let mut server = TcpServer::with_defaults();
-        let r = server.handle_segment(&ack(5, 77)).expect("stray ACK gets RST");
+        let r = server
+            .handle_segment(&ack(5, 77))
+            .expect("stray ACK gets RST");
         assert!(r.flags.rst);
         assert_eq!(r.seq, 77);
         assert_eq!(server.state(), TcpState::Listen);
@@ -437,7 +456,10 @@ mod tests {
         let first = server.handle_segment(&syn(1)).unwrap().seq;
         server.reset();
         let second = server.handle_segment(&syn(1)).unwrap().seq;
-        assert_ne!(first, second, "random ISNs should differ across connections");
+        assert_ne!(
+            first, second,
+            "random ISNs should differ across connections"
+        );
         assert_eq!(server.port(), 44_344);
     }
 
@@ -448,7 +470,9 @@ mod tests {
         server.handle_segment(&ack(101, synack.seq + 1));
         let fin = TcpSegment::new(TcpFlags::FIN_ACK, 101, synack.seq + 1);
         let first = server.handle_segment(&fin).unwrap();
-        let retrans = server.handle_segment(&fin).expect("retransmitted FIN re-ACKed");
+        let retrans = server
+            .handle_segment(&fin)
+            .expect("retransmitted FIN re-ACKed");
         assert_eq!(retrans.flags, TcpFlags::ACK);
         assert_eq!(retrans.ack, first.ack);
         assert_eq!(server.state(), TcpState::LastAck);

@@ -29,7 +29,11 @@ fn issue2_nondeterministic_reset() {
         "SHORT(?,?)[ACK,STREAM]",
     ]);
     let sul = QuicSul::new(ImplementationProfile::mvfst(), 42);
-    let config = NondeterminismConfig { min_repetitions: 5, max_repetitions: 200, confidence: 0.95 };
+    let config = NondeterminismConfig {
+        min_repetitions: 5,
+        max_repetitions: 200,
+        confidence: 0.95,
+    };
     let mut checker = NondeterminismChecker::new(sul, config);
     let result = checker.check(&word);
     println!("  deterministic        : {}", result.deterministic);
@@ -66,7 +70,11 @@ fn issue3_retry_port() {
 fn issue4_constant_zero() {
     println!("== Issue 4: STREAM_DATA_BLOCKED Maximum Stream Data (google profile) ==");
     let mut sul = QuicSul::new(ImplementationProfile::google(), 11);
-    let config = LearnConfig { random_tests: 500, max_word_len: 8, ..LearnConfig::default() };
+    let config = LearnConfig {
+        random_tests: 500,
+        max_word_len: 8,
+        ..LearnConfig::default()
+    };
     let _ = learn_model(&mut sul, &quic_data_alphabet(), config);
     sul.reset();
     let mut observed = Vec::new();

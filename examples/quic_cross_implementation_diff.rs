@@ -13,7 +13,11 @@ use prognosis::core::quic_adapter::{quic_alphabet, QuicSul};
 use prognosis::quic_sim::profile::ImplementationProfile;
 
 fn main() {
-    let config = LearnConfig { random_tests: 2_000, max_word_len: 12, ..LearnConfig::default() };
+    let config = LearnConfig {
+        random_tests: 2_000,
+        max_word_len: 12,
+        ..LearnConfig::default()
+    };
 
     let mut google_sul = QuicSul::new(ImplementationProfile::google(), 3);
     let google = learn_model(&mut google_sul, &quic_alphabet(), config);

@@ -20,7 +20,11 @@ fn main() {
     let mut sul = QuicSul::new(ImplementationProfile::quiche(), 1);
 
     // 2. Learn a Mealy model over the abstract alphabet.
-    let config = LearnConfig { random_tests: 1_500, max_word_len: 10, ..LearnConfig::default() };
+    let config = LearnConfig {
+        random_tests: 1_500,
+        max_word_len: 10,
+        ..LearnConfig::default()
+    };
     let learned = learn_model(&mut sul, &quic_alphabet(), config);
 
     // 3. Inspect the result.

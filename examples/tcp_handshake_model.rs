@@ -46,8 +46,7 @@ fn main() {
             println!("{}", outcome.machine.render());
             println!(
                 "\n(solver explored {} nodes over {} Oracle-Table traces)",
-                outcome.report.solver_nodes,
-                outcome.report.traces_used
+                outcome.report.solver_nodes, outcome.report.traces_used
             );
         }
         Err(e) => println!("synthesis failed: {e}"),

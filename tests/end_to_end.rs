@@ -18,7 +18,13 @@ use prognosis::synth::synthesis::Synthesizer;
 use prognosis::synth::term::TermDomain;
 
 fn config(tests: usize, len: usize) -> LearnConfig {
-    LearnConfig { seed: 7, random_tests: tests, min_word_len: 2, max_word_len: len }
+    LearnConfig {
+        seed: 7,
+        random_tests: tests,
+        min_word_len: 2,
+        max_word_len: len,
+        ..LearnConfig::default()
+    }
 }
 
 #[test]
@@ -26,7 +32,11 @@ fn tcp_pipeline_learns_a_handshake_model_and_registers() {
     // E1: the abstract model.
     let mut sul = TcpSul::with_defaults();
     let learned = learn_model(&mut sul, &tcp_alphabet(), config(500, 8));
-    assert!((4..=8).contains(&learned.model.num_states()), "{} states", learned.model.num_states());
+    assert!(
+        (4..=8).contains(&learned.model.num_states()),
+        "{} states",
+        learned.model.num_states()
+    );
     // The handshake trace behaves as in Fig. 3(b).
     let word = InputWord::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)"]);
     let out = learned.model.run(&word).unwrap();
@@ -106,15 +116,27 @@ fn issue2_nondeterministic_reset_is_detected_only_for_mvfst() {
         "HANDSHAKE(?,?)[ACK,HANDSHAKE_DONE]",
         "SHORT(?,?)[ACK,STREAM]",
     ]);
-    let cfg = NondeterminismConfig { min_repetitions: 5, max_repetitions: 200, confidence: 0.95 };
-    let mut mvfst = NondeterminismChecker::new(QuicSul::new(ImplementationProfile::mvfst(), 42), cfg);
+    let cfg = NondeterminismConfig {
+        min_repetitions: 5,
+        max_repetitions: 200,
+        confidence: 0.95,
+    };
+    let mut mvfst =
+        NondeterminismChecker::new(QuicSul::new(ImplementationProfile::mvfst(), 42), cfg);
     let report = mvfst.check(&word);
     assert!(!report.deterministic, "Issue 2 must be flagged");
     let (_, freq) = report.majority().unwrap();
-    assert!((0.70..0.92).contains(&freq), "majority frequency {freq} should be near 0.82");
+    assert!(
+        (0.70..0.92).contains(&freq),
+        "majority frequency {freq} should be near 0.82"
+    );
 
-    let mut quiche = NondeterminismChecker::new(QuicSul::new(ImplementationProfile::quiche(), 42), cfg);
-    assert!(quiche.check(&word).deterministic, "correct implementations stay deterministic");
+    let mut quiche =
+        NondeterminismChecker::new(QuicSul::new(ImplementationProfile::quiche(), 42), cfg);
+    assert!(
+        quiche.check(&word).deterministic,
+        "correct implementations stay deterministic"
+    );
 }
 
 #[test]
@@ -149,8 +171,14 @@ fn issue4_constant_zero_is_visible_in_the_oracle_table() {
             }
         }
     }
-    assert!(!observed.is_empty(), "the google profile must hit flow control during learning");
-    assert!(observed.iter().all(|&v| v == 0), "Issue 4: the field is always the constant 0");
+    assert!(
+        !observed.is_empty(),
+        "the google profile must hit flow control during learning"
+    );
+    assert!(
+        observed.iter().all(|&v| v == 0),
+        "Issue 4: the field is always the constant 0"
+    );
 }
 
 #[test]

@@ -24,14 +24,22 @@ impl EchoOverNetwork {
         let mut network = Network::with_default_link(seed, LinkConfig::ideal().loss(loss));
         let client = network.bind(1_000).unwrap();
         let server = network.bind(2_000).unwrap();
-        EchoOverNetwork { network, client, server }
+        EchoOverNetwork {
+            network,
+            client,
+            server,
+        }
     }
 }
 
 impl Sul for EchoOverNetwork {
     fn step(&mut self, input: &Symbol) -> Symbol {
         self.network
-            .send(self.client, 2_000, Bytes::from(input.as_str().as_bytes().to_vec()))
+            .send(
+                self.client,
+                2_000,
+                Bytes::from(input.as_str().as_bytes().to_vec()),
+            )
             .ok();
         self.network.advance(SimDuration::from_millis(1));
         // The "server" echoes whatever arrived; if the datagram was lost
@@ -69,11 +77,18 @@ fn lossless_links_keep_queries_deterministic() {
 #[test]
 fn packet_loss_is_flagged_as_nondeterminism() {
     let sul = EchoOverNetwork::new(0.3, 7);
-    let config = NondeterminismConfig { min_repetitions: 5, max_repetitions: 60, confidence: 0.99 };
+    let config = NondeterminismConfig {
+        min_repetitions: 5,
+        max_repetitions: 60,
+        confidence: 0.99,
+    };
     let mut checker = NondeterminismChecker::new(sul, config);
     let word = prognosis::automata::word::InputWord::from_symbols(["ping", "ping", "ping"]);
     let report = checker.check(&word);
-    assert!(!report.deterministic, "30% loss must be detected as nondeterministic behaviour");
+    assert!(
+        !report.deterministic,
+        "30% loss must be detected as nondeterministic behaviour"
+    );
     assert!(report.distinct_outputs() >= 2);
 }
 

@@ -1,0 +1,624 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a serde look-alike.  The public trait surface (`Serialize`,
+//! `Deserialize<'de>`, `Serializer`, `Deserializer<'de>`, the derive
+//! macros, `ser::Error` / `de::Error`) matches real serde closely enough
+//! that the repository's code compiles unchanged.  The data model is
+//! simplified to a single JSON-shaped [`Value`] tree: serializers receive a
+//! fully built `Value` and deserializers surrender one.  `serde_json` in
+//! `vendor/serde_json` renders and parses that tree.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON-shaped data model every value passes through.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value does not fit `i64`, and for
+    /// all unsigned sources).
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object; insertion order is preserved.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as an object, if it is one.
+    pub fn as_map(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_seq(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, converting between numeric variants.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) => u64::try_from(v).ok(),
+            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, converting between numeric variants.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) => i64::try_from(v).ok(),
+            Value::F64(v) if v.fract() == 0.0 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, converting between numeric variants.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(v) => Some(v),
+            Value::I64(v) => Some(v as f64),
+            Value::U64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Seq(a), Value::Seq(b)) => a == b,
+            (Value::Map(a), Value::Map(b)) => a == b,
+            // Numbers compare by value across variants, as in real
+            // serde_json (`7` parses as I64 but may have been written U64).
+            (a, b) => match (a.as_i64(), b.as_i64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => match (a.as_u64(), b.as_u64()) {
+                    (Some(x), Some(y)) => x == y,
+                    _ => match (a.as_f64(), b.as_f64()) {
+                        (Some(x), Some(y)) => x == y,
+                        _ => false,
+                    },
+                },
+            },
+        }
+    }
+}
+
+/// Looks up a key in an object's entry list.
+pub fn map_get<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Serialization error helpers.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Errors a [`crate::Serializer`] may produce.
+    pub trait Error: Sized + Display {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization error helpers.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors a [`crate::Deserializer`] may produce.
+    pub trait Error: Sized + Display {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// The error type of the built-in [`ValueSink`] / [`ValueDeserializer`].
+#[derive(Clone, Debug)]
+pub struct ValueError(pub String);
+
+impl Display for ValueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// A data format that can receive a [`Value`].
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Consumes the fully built value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data structure that can be turned into a [`Value`].
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data format that can surrender a [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Produces the value tree to deserialize from.
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A data structure that can be built from a [`Value`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Deserialization independent of the input's lifetime.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A serializer whose output *is* the value tree.
+pub struct ValueSink;
+
+impl Serializer for ValueSink {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// Serializes any value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSink)
+}
+
+/// A deserializer that reads from an owned [`Value`] tree.
+pub struct ValueDeserializer<'de> {
+    value: Value,
+    marker: PhantomData<&'de ()>,
+}
+
+impl<'de> ValueDeserializer<'de> {
+    /// Wraps a value tree.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer<'de> {
+    type Error = ValueError;
+
+    fn into_value(self) -> Result<Value, ValueError> {
+        Ok(self.value)
+    }
+}
+
+/// Deserializes any value from a borrowed [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>>(value: &Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer::new(value.clone()))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::U64(*self as u64))
+            }
+        })*
+    };
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::I64(*self as i64))
+            }
+        })*
+    };
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match u64::try_from(*self) {
+            Ok(v) => serializer.serialize_value(Value::U64(v)),
+            // Beyond u64: keep full precision as a decimal string.
+            Err(_) => serializer.serialize_value(Value::Str(self.to_string())),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match i64::try_from(*self) {
+            Ok(v) => serializer.serialize_value(Value::I64(v)),
+            Err(_) => serializer.serialize_value(Value::Str(self.to_string())),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(f64::from(*self)))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_str().serialize(serializer)
+    }
+}
+
+impl Serialize for std::sync::Arc<str> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+fn seq_to_value<'a, T: Serialize + 'a>(
+    items: impl Iterator<Item = &'a T>,
+) -> Result<Value, ValueError> {
+    let mut seq = Vec::new();
+    for item in items {
+        seq.push(to_value(item)?);
+    }
+    Ok(Value::Seq(seq))
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value(self.iter()).map_err(<S::Error as ser::Error>::custom)?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {
+        $(impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let seq = vec![
+                    $(to_value(&self.$n).map_err(<S::Error as ser::Error>::custom)?),+
+                ];
+                serializer.serialize_value(Value::Seq(seq))
+            }
+        })*
+    };
+}
+serialize_tuple! {
+    (0 T0)
+    (0 T0, 1 T1)
+    (0 T0, 1 T1, 2 T2)
+    (0 T0, 1 T1, 2 T2, 3 T3)
+}
+
+/// Types usable as JSON object keys (stringified, as real serde_json does
+/// for integer map keys).
+pub trait MapKey: Sized {
+    /// Renders the key as an object-key string.
+    fn to_key(&self) -> String;
+    /// Parses the key back from an object-key string.
+    fn from_key(key: &str) -> Option<Self>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Option<Self> {
+        Some(key.to_string())
+    }
+}
+
+macro_rules! int_map_key {
+    ($($t:ty),*) => {
+        $(impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Option<Self> {
+                key.parse().ok()
+            }
+        })*
+    };
+}
+int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = Vec::new();
+        for (k, v) in self {
+            map.push((
+                k.to_key(),
+                to_value(v).map_err(<S::Error as ser::Error>::custom)?,
+            ));
+        }
+        serializer.serialize_value(Value::Map(map))
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut entries: Vec<(String, &V)> = self.iter().map(|(k, v)| (k.to_key(), v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut map = Vec::new();
+        for (k, v) in entries {
+            map.push((k, to_value(v).map_err(<S::Error as ser::Error>::custom)?));
+        }
+        serializer.serialize_value(Value::Map(map))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {
+        $(impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.into_value()?;
+                let n = value
+                    .as_i64()
+                    .map(|v| v as i128)
+                    .or_else(|| value.as_u64().map(|v| v as i128))
+                    .ok_or_else(|| {
+                        <D::Error as de::Error>::custom(concat!("expected ", stringify!($t)))
+                    })?;
+                <$t>::try_from(n).map_err(|_| {
+                    <D::Error as de::Error>::custom(concat!("out of range for ", stringify!($t)))
+                })
+            }
+        })*
+    };
+}
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! deserialize_int128 {
+    ($($t:ty),*) => {
+        $(impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.into_value()?;
+                if let Some(v) = value.as_u64() {
+                    return <$t>::try_from(v).map_err(|_| {
+                        <D::Error as de::Error>::custom(concat!("out of range for ", stringify!($t)))
+                    });
+                }
+                if let Some(v) = value.as_i64() {
+                    return <$t>::try_from(v).map_err(|_| {
+                        <D::Error as de::Error>::custom(concat!("out of range for ", stringify!($t)))
+                    });
+                }
+                value
+                    .as_str()
+                    .and_then(|s| s.parse::<$t>().ok())
+                    .ok_or_else(|| {
+                        <D::Error as de::Error>::custom(concat!("expected ", stringify!($t)))
+                    })
+            }
+        })*
+    };
+}
+deserialize_int128!(u128, i128);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer
+            .into_value()?
+            .as_f64()
+            .ok_or_else(|| <D::Error as de::Error>::custom("expected a number"))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Bool(b) => Ok(b),
+            _ => Err(<D::Error as de::Error>::custom("expected a boolean")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Str(s) => Ok(s),
+            _ => Err(<D::Error as de::Error>::custom("expected a string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for std::sync::Arc<str> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        String::deserialize(deserializer).map(|s| std::sync::Arc::from(s.as_str()))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Null => Ok(None),
+            other => from_value(&other)
+                .map(Some)
+                .map_err(<D::Error as de::Error>::custom),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.into_value()?;
+        let seq = value
+            .as_seq()
+            .ok_or_else(|| <D::Error as de::Error>::custom("expected an array"))?;
+        seq.iter()
+            .map(|v| from_value(v).map_err(<D::Error as de::Error>::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(deserializer)?;
+        items
+            .try_into()
+            .map_err(|_| <D::Error as de::Error>::custom("wrong array length"))
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {
+        $(impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.into_value()?;
+                let seq = value
+                    .as_seq()
+                    .ok_or_else(|| <D::Error as de::Error>::custom("expected a tuple array"))?;
+                if seq.len() != $len {
+                    return Err(<D::Error as de::Error>::custom("wrong tuple length"));
+                }
+                Ok(($(from_value(&seq[$n]).map_err(<D::Error as de::Error>::custom)?,)+))
+            }
+        })*
+    };
+}
+deserialize_tuple! {
+    (1; 0 T0)
+    (2; 0 T0, 1 T1)
+    (3; 0 T0, 1 T1, 2 T2)
+    (4; 0 T0, 1 T1, 2 T2, 3 T3)
+}
+
+impl<'de, K: MapKey + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.into_value()?;
+        let map = value
+            .as_map()
+            .ok_or_else(|| <D::Error as de::Error>::custom("expected an object"))?;
+        map.iter()
+            .map(|(k, v)| {
+                let key = K::from_key(k)
+                    .ok_or_else(|| <D::Error as de::Error>::custom("invalid map key"))?;
+                Ok((key, from_value(v).map_err(<D::Error as de::Error>::custom)?))
+            })
+            .collect()
+    }
+}
+
+impl<'de, K: MapKey + Ord + std::hash::Hash, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let map: std::collections::BTreeMap<K, V> = Deserialize::deserialize(deserializer)?;
+        Ok(map.into_iter().collect())
+    }
+}

@@ -1,0 +1,527 @@
+//! Derive macros for the vendored serde shim.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`,
+//! which are unavailable offline).  Supports the item shapes this workspace
+//! uses: non-generic structs (named, tuple/newtype, unit) and enums with
+//! unit, tuple and struct variants, plus the `#[serde(transparent)]`
+//! container attribute and the `#[serde(with = "module")]` field attribute.
+//! Output follows real serde's externally-tagged JSON conventions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+    transparent: bool,
+}
+
+/// Extracts `transparent` / `with = "..."` from one `#[...]` attribute body.
+fn scan_attr(group: &proc_macro::Group, transparent: &mut bool, with: &mut Option<String>) {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(inner)) = tokens.get(1) else {
+        return;
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut k = 0;
+    while k < inner.len() {
+        match &inner[k] {
+            TokenTree::Ident(id) if id.to_string() == "transparent" => *transparent = true,
+            TokenTree::Ident(id) if id.to_string() == "with" => {
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (inner.get(k + 1), inner.get(k + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let raw = lit.to_string();
+                        *with = Some(raw.trim_matches('"').to_string());
+                        k += 2;
+                    }
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+}
+
+/// Consumes leading attributes at `*i`, collecting serde attrs.
+fn skip_attrs(
+    tokens: &[TokenTree],
+    i: &mut usize,
+    transparent: &mut bool,
+    with: &mut Option<String>,
+) {
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                scan_attr(g, transparent, with);
+                *i += 2;
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes a visibility qualifier at `*i`, if present.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skips tokens up to (and over) a `,` at angle-bracket depth 0.
+fn skip_past_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut transparent = false;
+        let mut with = None;
+        skip_attrs(&tokens, &mut i, &mut transparent, &mut with);
+        skip_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_past_comma(&tokens, &mut i);
+        fields.push(Field { name, with });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_past_comma(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut transparent = false;
+        let mut with = None;
+        skip_attrs(&tokens, &mut i, &mut transparent, &mut with);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g);
+                i += 1;
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g)?;
+                i += 1;
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        skip_past_comma(&tokens, &mut i);
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+    let mut with = None;
+    skip_attrs(&tokens, &mut i, &mut transparent, &mut with);
+    skip_vis(&tokens, &mut i);
+    let item_kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the vendored serde_derive shim does not support generic item `{name}`"
+            ));
+        }
+    }
+    let kind = match item_kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Shape::Named(parse_named_fields(g)?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Shape::Tuple(count_tuple_fields(g)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Shape::Unit),
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g)?)
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for item kind `{other}`")),
+    };
+    Ok(Item {
+        name,
+        kind,
+        transparent,
+    })
+}
+
+const SER_ERR: &str = "<S::Error as ::serde::ser::Error>::custom";
+const DE_ERR: &str = "<D::Error as ::serde::de::Error>::custom";
+
+fn field_to_value(access: &str, with: &Option<String>) -> String {
+    match with {
+        Some(module) => {
+            format!("{module}::serialize({access}, ::serde::ValueSink).map_err({SER_ERR})?")
+        }
+        None => format!("::serde::to_value({access}).map_err({SER_ERR})?"),
+    }
+}
+
+fn field_from_value(value_expr: &str, with: &Option<String>) -> String {
+    match with {
+        Some(module) => format!(
+            "{module}::deserialize(::serde::ValueDeserializer::new(({value_expr}).clone())).map_err({DE_ERR})?"
+        ),
+        None => format!("::serde::from_value({value_expr}).map_err({DE_ERR})?"),
+    }
+}
+
+fn map_lookup(map: &str, field: &str) -> String {
+    format!(
+        "::serde::map_get({map}, \"{field}\").ok_or_else(|| {DE_ERR}(\"missing field `{field}`\"))?"
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Unit) => "serializer.serialize_value(::serde::Value::Null)".to_string(),
+        Kind::Struct(Shape::Tuple(1)) => {
+            "::serde::Serialize::serialize(&self.0, serializer)".to_string()
+        }
+        Kind::Struct(Shape::Named(fields)) if item.transparent && fields.len() == 1 => {
+            format!(
+                "::serde::Serialize::serialize(&self.{}, serializer)",
+                fields[0].name
+            )
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::to_value(&self.{k}).map_err({SER_ERR})?"))
+                .collect();
+            format!(
+                "serializer.serialize_value(::serde::Value::Seq(::std::vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push((\"{}\".to_string(), {}));",
+                        f.name,
+                        field_to_value(&format!("&self.{}", f.name), &f.with)
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{}\nserializer.serialize_value(::serde::Value::Map(__fields))",
+                pushes.join("\n")
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![(\"{vname}\".to_string(), ::serde::to_value(__f0).map_err({SER_ERR})?)]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|k| format!("__f{k}")).collect();
+                            let values: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::to_value(__f{k}).map_err({SER_ERR})?")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![(\"{vname}\".to_string(), ::serde::Value::Seq(::std::vec![{}]))]),",
+                                binders.join(", "),
+                                values.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binders: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{}\".to_string(), {})",
+                                        f.name,
+                                        field_to_value(&f.name, &f.with)
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![(\"{vname}\".to_string(), ::serde::Value::Map(::std::vec![{}]))]),",
+                                binders.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let __value: ::serde::Value = match self {{\n{}\n}};\nserializer.serialize_value(__value)",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+         -> ::core::result::Result<S::Ok, S::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Unit) => {
+            format!("let _ = deserializer; ::core::result::Result::Ok({name})")
+        }
+        Kind::Struct(Shape::Tuple(1)) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(deserializer)?))"
+        ),
+        Kind::Struct(Shape::Named(fields)) if item.transparent && fields.len() == 1 => format!(
+            "::core::result::Result::Ok({name} {{ {}: ::serde::Deserialize::deserialize(deserializer)? }})",
+            fields[0].name
+        ),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::from_value(&__seq[{k}]).map_err({DE_ERR})?"))
+                .collect();
+            format!(
+                "let __value = ::serde::Deserializer::into_value(deserializer)?;\n\
+                 let __seq = __value.as_seq().ok_or_else(|| {DE_ERR}(\"expected array for `{name}`\"))?;\n\
+                 if __seq.len() != {n} {{ return ::core::result::Result::Err({DE_ERR}(\"wrong tuple length for `{name}`\")); }}\n\
+                 ::core::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{}: {},",
+                        f.name,
+                        field_from_value(&map_lookup("__map", &f.name), &f.with)
+                    )
+                })
+                .collect();
+            format!(
+                "let __value = ::serde::Deserializer::into_value(deserializer)?;\n\
+                 let __map = __value.as_map().ok_or_else(|| {DE_ERR}(\"expected object for `{name}`\"))?;\n\
+                 ::core::result::Result::Ok({name} {{\n{}\n}})",
+                inits.join("\n")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => ::core::result::Result::Ok({name}::{0}),",
+                        v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => unreachable!(),
+                        Shape::Tuple(1) => format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(::serde::from_value(__v).map_err({DE_ERR})?)),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::from_value(&__seq[{k}]).map_err({DE_ERR})?")
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                 let __seq = __v.as_seq().ok_or_else(|| {DE_ERR}(\"expected array for variant `{vname}`\"))?;\n\
+                                 if __seq.len() != {n} {{ return ::core::result::Result::Err({DE_ERR}(\"wrong tuple length for variant `{vname}`\")); }}\n\
+                                 ::core::result::Result::Ok({name}::{vname}({}))\n}}",
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{}: {},",
+                                        f.name,
+                                        field_from_value(
+                                            &map_lookup("__inner", &f.name),
+                                            &f.with
+                                        )
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                 let __inner = __v.as_map().ok_or_else(|| {DE_ERR}(\"expected object for variant `{vname}`\"))?;\n\
+                                 ::core::result::Result::Ok({name}::{vname} {{\n{}\n}})\n}}",
+                                inits.join("\n")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let __value = ::serde::Deserializer::into_value(deserializer)?;\n\
+                 match &__value {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit}\n\
+                 __other => ::core::result::Result::Err({DE_ERR}(::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n}},\n\
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = &__m[0];\n\
+                 match __k.as_str() {{\n{data}\n\
+                 __other => ::core::result::Result::Err({DE_ERR}(::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n}}\n}},\n\
+                 _ => ::core::result::Result::Err({DE_ERR}(\"expected string or single-key object for enum `{name}`\")),\n}}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+         -> ::core::result::Result<Self, D::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!(
+            "::core::compile_error!(\"serde_derive shim: {}\");",
+            msg.replace('"', "'")
+        ),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!(
+            "::core::compile_error!(\"serde_derive shim generated invalid code: {}\");",
+            format!("{e:?}").replace('"', "'")
+        )
+        .parse()
+        .unwrap()
+    })
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
