@@ -104,7 +104,7 @@ fn bench_parallel_learning(c: &mut Criterion) {
     };
     group.bench_function("tcp_sequential", |b| {
         b.iter(|| {
-            let learned = learn_model(&mut factory().create(), &tcp_alphabet(), config);
+            let learned = learn_model(&mut factory().create(), &tcp_alphabet(), config.clone());
             assert!(learned.model.num_states() >= 4);
         })
     });
@@ -117,7 +117,7 @@ fn bench_parallel_learning(c: &mut Criterion) {
                     let outcome = learn_model_parallel(
                         &factory(),
                         &tcp_alphabet(),
-                        config.with_workers(workers),
+                        config.clone().with_workers(workers),
                     );
                     assert!(outcome.learned.model.num_states() >= 4);
                 })

@@ -73,22 +73,28 @@ pub fn exp_tcp_learning() -> (Report, LearnedModel) {
 
 /// E2 / Fig. 3(c), Fig. 4: synthesize the register behaviour of the TCP
 /// handshake (sequence/acknowledgement numbers) from the Oracle Table.
+///
+/// Learning runs on the batched-parallel engine and synthesis consumes the
+/// *merged* worker Oracle Tables
+/// ([`prognosis_core::pipeline::ParallelLearnOutcome::merged_oracle_table`]),
+/// so every concrete trace any worker collected is available to the solver
+/// — the default pipeline shape for parallel runs.
 pub fn exp_tcp_synthesis() -> Report {
     // Learn a small model over the handshake-relevant alphabet so the
     // Oracle Table contains clean handshake traces.
     let alphabet = Alphabet::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)", "ACK+PSH(?,?,1)"]);
-    let mut sul = TcpSul::with_defaults();
-    let learned = learn_model(&mut sul, &alphabet, default_learn_config());
-    sul.reset(); // flush the last query into the Oracle Table
-    let skeleton = learned.model.clone();
+    let outcome = learn_model_parallel(
+        &TcpSulFactory::default(),
+        &alphabet,
+        default_learn_config().with_workers(2),
+    );
+    let skeleton = outcome.learned.model.clone();
+    // Workers are reset on shutdown, so their tables are fully flushed.
+    let table = outcome.merged_oracle_table();
     // A handful of short, skeleton-consistent traces keeps the enumerative
     // solver fast while still pinning down the register behaviour.
-    let positives: Vec<ConcreteTrace> = sul
-        .oracle_table()
-        .to_concrete_traces(|t| t.len() <= 4 && skeleton.accepts_trace(t))
-        .into_iter()
-        .take(8)
-        .collect();
+    let candidates = table.to_concrete_traces(|t| t.len() <= 4 && skeleton.accepts_trace(t));
+    let positives = select_synthesis_traces(&skeleton, candidates, 8);
     // Registers: srv (our ISN), peer (client sequence); input fields: seq, ack.
     let domain = TermDomain::new(2, 2).with_constant(10_000);
     let synthesizer = Synthesizer::new(
@@ -99,6 +105,8 @@ pub fn exp_tcp_synthesis() -> Report {
     );
     let mut report = Report::new("E2 — TCP register synthesis (paper §4.3, Fig. 3c / Fig. 4)");
     report
+        .row("worker oracle tables merged", outcome.suls.len())
+        .row("merged oracle-table entries", table.len())
         .row("oracle-table traces", positives.len())
         .row("skeleton states", skeleton.num_states());
     match synthesizer.synthesize(&skeleton, &positives, &[]) {
@@ -119,6 +127,57 @@ pub fn exp_tcp_synthesis() -> Report {
         }
     }
     report
+}
+
+/// Canonical, order-independent selection of synthesis input from an
+/// Oracle Table: sort the candidate traces, then greedily pick those that
+/// exercise skeleton transitions not yet covered, topping up with the
+/// shortest remaining traces.  The result depends only on the *set* of
+/// recorded traces — not on table order — so sequential and merged-
+/// parallel Oracle Tables (any worker count) feed the solver identically.
+fn select_synthesis_traces(
+    skeleton: &MealyMachine,
+    mut candidates: Vec<ConcreteTrace>,
+    limit: usize,
+) -> Vec<ConcreteTrace> {
+    use std::collections::BTreeSet;
+    candidates.sort_by(|a, b| {
+        (a.abstract_trace.len(), &a.abstract_trace.input)
+            .cmp(&(b.abstract_trace.len(), &b.abstract_trace.input))
+    });
+    candidates.dedup_by(|a, b| a.abstract_trace == b.abstract_trace);
+    let transitions_of = |trace: &ConcreteTrace| {
+        let mut state = skeleton.initial_state();
+        let mut seen = BTreeSet::new();
+        for (input, _) in trace.abstract_trace.steps() {
+            match skeleton.step(state, input) {
+                Ok((next, _)) => {
+                    seen.insert((state, input.clone()));
+                    state = next;
+                }
+                Err(_) => break,
+            }
+        }
+        seen
+    };
+    let mut covered: BTreeSet<_> = BTreeSet::new();
+    let mut selected = Vec::new();
+    let mut rest = Vec::new();
+    for trace in candidates {
+        if selected.len() >= limit {
+            break;
+        }
+        let transitions = transitions_of(&trace);
+        if transitions.iter().any(|t| !covered.contains(t)) {
+            covered.extend(transitions);
+            selected.push(trace);
+        } else {
+            rest.push(trace);
+        }
+    }
+    let missing = limit.saturating_sub(selected.len());
+    selected.extend(rest.into_iter().take(missing));
+    selected
 }
 
 /// Learns one QUIC implementation profile over the full 7-symbol alphabet.
@@ -283,7 +342,7 @@ pub fn exp_issue3() -> Report {
     let mut report = Report::new("E7 / Issue 3 — inconsistent port on Retry (paper §6.2.5)");
 
     let mut buggy = QuicSul::new(ImplementationProfile::tracker(), 5).with_buggy_retry_client();
-    let buggy_model = learn_model(&mut buggy, &alphabet, config);
+    let buggy_model = learn_model(&mut buggy, &alphabet, config.clone());
     let mut fixed = QuicSul::new(ImplementationProfile::tracker(), 5);
     let fixed_model = learn_model(&mut fixed, &alphabet, config);
 
@@ -481,6 +540,178 @@ pub fn exp_alphabet_scaling() -> Report {
     report
 }
 
+/// Summary numbers of the cold-vs-warm comparison ([`exp_warm_start`]).
+#[derive(Clone, Copy, Debug)]
+pub struct WarmStartSummary {
+    /// Wall-clock seconds of the cold run (empty cache).
+    pub cold_seconds: f64,
+    /// Wall-clock seconds of the warm run (cache fully covering the run).
+    pub warm_seconds: f64,
+    /// Fresh SUL symbols the cold run paid for.
+    pub cold_fresh_symbols: u64,
+    /// Fresh SUL symbols the warm run paid for — zero when the cache hits.
+    pub warm_fresh_symbols: u64,
+    /// Fresh SUL symbols of a 4-worker warm run (worker-count independence).
+    pub warm_parallel_fresh_symbols: u64,
+    /// States of the (identical) cold and warm models.
+    pub model_states: usize,
+}
+
+/// E16 — cold vs warm-start learning with the persistent observation cache.
+///
+/// Runs the same TCP learning configuration twice against a
+/// [`LearnConfig::cache_path`]: the cold run pays the full SUL cost and
+/// persists its observations ([`prognosis_learner::cache::CacheStore`]);
+/// the warm run answers every membership query from disk, issuing **zero
+/// fresh SUL symbols** while learning a bit-identical model.  A 4-worker
+/// warm run checks that the cache is worker-count independent.  The
+/// scenario is appended to `BENCH_learning.json` by
+/// [`exp_parallel_learning`], and the assertions double as the CI
+/// warm-start smoke test (`exp_warm_start` binary).
+pub fn exp_warm_start() -> (Report, WarmStartSummary, serde_json::Value) {
+    let cache_path = std::env::temp_dir().join(format!(
+        "prognosis-warm-start-bench-{}.json",
+        std::process::id()
+    ));
+    let cache_path_str = cache_path.to_string_lossy().into_owned();
+    let _ = std::fs::remove_file(&cache_path);
+    let config = LearnConfig {
+        seed: 7,
+        random_tests: 600,
+        min_word_len: 2,
+        max_word_len: 10,
+        eq_batch_size: 512,
+        ..LearnConfig::default()
+    }
+    .with_cache_path(cache_path_str.clone());
+
+    let start = std::time::Instant::now();
+    let mut cold_sul = TcpSul::with_defaults();
+    let cold = learn_model(&mut cold_sul, &tcp_alphabet(), config.clone());
+    let cold_seconds = start.elapsed().as_secs_f64();
+
+    let start = std::time::Instant::now();
+    let mut warm_sul = TcpSul::with_defaults();
+    let warm = learn_model(&mut warm_sul, &tcp_alphabet(), config.clone());
+    let warm_seconds = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        cold.model, warm.model,
+        "warm start must reproduce the cold model bit-identically"
+    );
+    assert_eq!(
+        warm.stats.fresh_symbols, 0,
+        "a fully covering cache must answer every membership query from disk"
+    );
+    assert_eq!(
+        warm_sul.stats().symbols_sent,
+        0,
+        "the warm run must not touch the SUL at all"
+    );
+
+    // Worker-count independence: a warm parallel run hits the same cache.
+    let start = std::time::Instant::now();
+    let parallel = learn_model_parallel(
+        &TcpSulFactory::default(),
+        &tcp_alphabet(),
+        config.clone().with_workers(4),
+    );
+    let parallel_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(
+        cold.model, parallel.learned.model,
+        "warm start must be worker-count independent"
+    );
+    assert_eq!(parallel.learned.stats.fresh_symbols, 0);
+    assert_eq!(parallel.sul_stats.symbols_sent, 0);
+
+    let _ = std::fs::remove_file(&cache_path);
+
+    let summary = WarmStartSummary {
+        cold_seconds,
+        warm_seconds,
+        cold_fresh_symbols: cold.stats.fresh_symbols,
+        warm_fresh_symbols: warm.stats.fresh_symbols,
+        warm_parallel_fresh_symbols: parallel.learned.stats.fresh_symbols,
+        model_states: cold.model.num_states(),
+    };
+    let run_json = |seconds: f64, learned: &LearnedModel, sul_symbols: u64| {
+        serde_json::Value::Map(vec![
+            ("seconds".to_string(), serde_json::Value::F64(seconds)),
+            (
+                "membership_queries".to_string(),
+                serde_json::Value::U64(learned.stats.membership_queries),
+            ),
+            (
+                "fresh_symbols".to_string(),
+                serde_json::Value::U64(learned.stats.fresh_symbols),
+            ),
+            (
+                "sul_symbols_sent".to_string(),
+                serde_json::Value::U64(sul_symbols),
+            ),
+            (
+                "model_states".to_string(),
+                serde_json::Value::U64(learned.model.num_states() as u64),
+            ),
+        ])
+    };
+    let json = serde_json::Value::Map(vec![
+        (
+            "cold".to_string(),
+            run_json(cold_seconds, &cold, cold_sul.stats().symbols_sent),
+        ),
+        (
+            "warm".to_string(),
+            run_json(warm_seconds, &warm, warm_sul.stats().symbols_sent),
+        ),
+        (
+            "warm_parallel_4".to_string(),
+            run_json(
+                parallel_seconds,
+                &parallel.learned,
+                parallel.sul_stats.symbols_sent,
+            ),
+        ),
+        (
+            "models_bit_identical".to_string(),
+            serde_json::Value::Bool(true),
+        ),
+    ]);
+
+    let mut report = Report::new(
+        "E16 — cold vs warm-start TCP learning (persistent cross-run observation cache)",
+    );
+    report
+        .row(
+            "cold: fresh symbols / SUL symbols / seconds",
+            format!(
+                "{} / {} / {:.3}s",
+                cold.stats.fresh_symbols,
+                cold_sul.stats().symbols_sent,
+                cold_seconds
+            ),
+        )
+        .row(
+            "warm: fresh symbols / SUL symbols / seconds",
+            format!(
+                "{} / {} / {:.3}s",
+                warm.stats.fresh_symbols,
+                warm_sul.stats().symbols_sent,
+                warm_seconds
+            ),
+        )
+        .row(
+            "warm (4 workers): fresh symbols",
+            parallel.learned.stats.fresh_symbols,
+        )
+        .row("models bit-identical (cold == warm == 4-worker)", true)
+        .finding(
+            "the persisted prefix trie answers every repeat membership query from disk: \
+             re-learning the same SUL costs zero fresh SUL symbols",
+        );
+    (report, summary, json)
+}
+
 /// One timed learning run for the throughput comparison of
 /// [`exp_parallel_learning`].
 #[derive(Clone, Copy, Debug)]
@@ -626,13 +857,13 @@ pub fn exp_parallel_learning(workers: usize) -> (Report, String) {
     let scenarios: Vec<(&str, LearnConfig, Runner, Runner)> = vec![
         (
             "tcp",
-            latency_config,
+            latency_config.clone(),
             Box::new(move |c| time_sequential(&mut tcp_latency().create(), &tcp_alphabet(), c)),
             Box::new(move |c| time_parallel(&tcp_latency(), &tcp_alphabet(), c)),
         ),
         (
             "quic_google",
-            latency_config,
+            latency_config.clone(),
             Box::new(move |c| {
                 time_sequential(&mut quic_latency().create(), &quic_data_alphabet(), c)
             }),
@@ -640,13 +871,13 @@ pub fn exp_parallel_learning(workers: usize) -> (Report, String) {
         ),
         (
             "tcp_cpu_bound",
-            cpu_config,
+            cpu_config.clone(),
             Box::new(|c| time_sequential(&mut TcpSul::with_defaults(), &tcp_alphabet(), c)),
             Box::new(|c| time_parallel(&TcpSulFactory::default(), &tcp_alphabet(), c)),
         ),
         (
             "quic_google_cpu_bound",
-            cpu_config,
+            cpu_config.clone(),
             Box::new(|c| {
                 time_sequential(
                     &mut QuicSul::new(ImplementationProfile::google(), 3),
@@ -665,7 +896,7 @@ pub fn exp_parallel_learning(workers: usize) -> (Report, String) {
     ];
 
     for (name, config, sequential, parallel) in scenarios {
-        let (seq, seq_model) = sequential(config);
+        let (seq, seq_model) = sequential(config.clone());
         let (par, par_model) = parallel(config.with_workers(workers));
         assert!(
             machines_equivalent(&seq_model, &par_model),
@@ -698,6 +929,22 @@ pub fn exp_parallel_learning(workers: usize) -> (Report, String) {
             ]),
         ));
     }
+    // E16 rides along: the cold-vs-warm persistent-cache comparison joins
+    // the same BENCH_learning.json trajectory.
+    let (_, warm_summary, warm_json) = exp_warm_start();
+    json_scenarios.push(("tcp_warm_start".to_string(), warm_json));
+    report
+        .row(
+            "tcp_warm_start: cold fresh symbols",
+            warm_summary.cold_fresh_symbols,
+        )
+        .row(
+            "tcp_warm_start: warm fresh symbols (1 / 4 workers)",
+            format!(
+                "{} / {}",
+                warm_summary.warm_fresh_symbols, warm_summary.warm_parallel_fresh_symbols
+            ),
+        );
     report.finding(format!(
         "tcp / quic_google model a {}µs-per-symbol, {}µs-per-reset SUL round trip (the \
          deployment regime of §4.1); the *_cpu_bound rows run the raw in-process simulators",

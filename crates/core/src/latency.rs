@@ -11,6 +11,7 @@
 //! conditions: independent SUL instances wait on "the wire" concurrently,
 //! which is precisely how parallel trace collection scales in practice.
 
+use crate::oracle_table::{HasOracleTable, OracleTable};
 use crate::sul::{Sul, SulFactory, SulStats};
 use prognosis_automata::alphabet::Symbol;
 use std::time::Duration;
@@ -61,6 +62,18 @@ impl<S: Sul> Sul for LatencySul<S> {
 
     fn stats(&self) -> SulStats {
         self.inner.stats()
+    }
+
+    fn cache_key(&self) -> Option<String> {
+        // Latency changes wall-clock only, never answers, so the wrapped
+        // SUL shares its cache identity with the bare one.
+        self.inner.cache_key()
+    }
+}
+
+impl<S: HasOracleTable> HasOracleTable for LatencySul<S> {
+    fn oracle_table(&self) -> &OracleTable {
+        self.inner.oracle_table()
     }
 }
 

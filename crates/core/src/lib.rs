@@ -39,7 +39,7 @@ pub mod tcp_adapter;
 
 pub use latency::{LatencySul, LatencySulFactory};
 pub use nondeterminism::{NondeterminismChecker, NondeterminismReport};
-pub use oracle_table::OracleTable;
+pub use oracle_table::{HasOracleTable, OracleTable};
 pub use parallel::ParallelSulOracle;
 pub use pipeline::{
     learn_model, learn_model_parallel, LearnConfig, LearnedModel, ParallelLearnOutcome,

@@ -109,6 +109,15 @@ impl OracleTable {
     }
 }
 
+/// Implemented by SULs whose adapter accumulates an [`OracleTable`] (§3.2
+/// property 4).  Lets generic pipeline code — notably
+/// [`crate::pipeline::ParallelLearnOutcome::merged_oracle_table`] — collect
+/// the synthesis input without knowing the concrete adapter type.
+pub trait HasOracleTable {
+    /// The Oracle Table accumulated so far.
+    fn oracle_table(&self) -> &OracleTable;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

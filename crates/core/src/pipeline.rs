@@ -12,18 +12,21 @@
 //! stream depends only on the seed, and each SUL instance answers each word
 //! the same way (§3.2 property 3).
 
+use crate::oracle_table::{HasOracleTable, OracleTable};
 use crate::parallel::ParallelSulOracle;
 use crate::sul::{Sul, SulFactory, SulMembershipOracle, SulStats};
 use prognosis_automata::alphabet::Alphabet;
 use prognosis_automata::mealy::MealyMachine;
+use prognosis_learner::cache::CacheStore;
 use prognosis_learner::eq_oracles::{RandomWordOracle, DEFAULT_EQ_BATCH_SIZE};
 use prognosis_learner::oracle::{CacheOracle, MembershipOracle};
 use prognosis_learner::stats::LearningStats;
+use prognosis_learner::trie::PrefixTrie;
 use prognosis_learner::{DTreeLearner, Learner};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a learning run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LearnConfig {
     /// RNG seed for the equivalence oracle.
     pub seed: u64,
@@ -38,6 +41,18 @@ pub struct LearnConfig {
     pub workers: usize,
     /// Number of equivalence-test words dispatched per membership batch.
     pub eq_batch_size: usize,
+    /// Where to persist the observation cache across runs (`None` disables
+    /// persistence).  The file is keyed by the SUL's
+    /// [`Sul::cache_key`] and the alphabet, so one path can safely be
+    /// shared between different SULs and alphabets — mismatched entries are
+    /// replaced, matching entries are merged.
+    pub cache_path: Option<String>,
+    /// Whether to pre-load the cache file before learning (warm start).
+    /// With a fully matching cache a warm run issues zero fresh SUL
+    /// symbols yet learns a bit-identical model, because the cache answers
+    /// queries exactly as the (deterministic) SUL would.  When `false` the
+    /// run learns cold but still persists its observations afterwards.
+    pub warm_start: bool,
 }
 
 impl Default for LearnConfig {
@@ -49,6 +64,8 @@ impl Default for LearnConfig {
             max_word_len: 10,
             workers: 1,
             eq_batch_size: DEFAULT_EQ_BATCH_SIZE,
+            cache_path: None,
+            warm_start: true,
         }
     }
 }
@@ -60,6 +77,14 @@ impl LearnConfig {
         self.workers = workers;
         self
     }
+
+    /// Returns the configuration persisting (and, unless disabled via
+    /// [`LearnConfig::warm_start`], consuming) the observation cache at
+    /// `path`.
+    pub fn with_cache_path(mut self, path: impl Into<String>) -> Self {
+        self.cache_path = Some(path.into());
+        self
+    }
 }
 
 /// The result of a learning run.
@@ -69,7 +94,10 @@ pub struct LearnedModel {
     pub model: MealyMachine,
     /// Learner-side statistics (membership/equivalence queries, model size).
     pub stats: LearningStats,
-    /// Cache statistics: distinct queries answered by the SUL.
+    /// Cache statistics: distinct queries the SUL actually answered in
+    /// *this* run (cache misses — every forwarded word is distinct, since
+    /// an answered word is cached and never forwarded again).  A fully
+    /// warm-started run reports 0.
     pub distinct_queries: usize,
 }
 
@@ -85,6 +113,19 @@ pub struct ParallelLearnOutcome<S> {
     pub sul_stats: SulStats,
 }
 
+impl<S: HasOracleTable> ParallelLearnOutcome<S> {
+    /// The worker SULs' Oracle Tables combined in worker order — the
+    /// default synthesis input for parallel learning runs, so the
+    /// synthesis stage sees every concrete trace any worker collected.
+    pub fn merged_oracle_table(&self) -> OracleTable {
+        let mut merged = OracleTable::new();
+        for sul in &self.suls {
+            merged.merge_from(sul.oracle_table().clone());
+        }
+        merged
+    }
+}
+
 fn equivalence_oracle(config: &LearnConfig) -> RandomWordOracle {
     RandomWordOracle::new(
         config.seed,
@@ -95,29 +136,86 @@ fn equivalence_oracle(config: &LearnConfig) -> RandomWordOracle {
     .with_batch_size(config.eq_batch_size)
 }
 
+/// Loads the persisted observation trie for this (SUL, alphabet) pair.
+/// Returns the trie plus whether it actually came from the file — an empty
+/// trie (and `false`) when persistence is off, warm start is disabled, the
+/// SUL is uncacheable, or the file does not match.
+fn warm_trie(
+    config: &LearnConfig,
+    cache_key: Option<&str>,
+    alphabet: &Alphabet,
+) -> (PrefixTrie, bool) {
+    match (&config.cache_path, cache_key) {
+        (Some(path), Some(key)) if config.warm_start => {
+            match CacheStore::load_matching(path, key, alphabet) {
+                Some(trie) => (trie, true),
+                None => (PrefixTrie::new(), false),
+            }
+        }
+        _ => (PrefixTrie::new(), false),
+    }
+}
+
+/// Persists the run's observation trie.  When this run warm-loaded the
+/// same file (`covers_disk`), the trie is already a superset of what is on
+/// disk and is saved directly; otherwise same-keyed disk observations are
+/// merged in first.  Persistence failures are reported but never fail the
+/// learning run itself.
+fn persist_trie(
+    config: &LearnConfig,
+    cache_key: Option<&str>,
+    alphabet: &Alphabet,
+    trie: &PrefixTrie,
+    covers_disk: bool,
+) {
+    if let (Some(path), Some(key)) = (&config.cache_path, cache_key) {
+        let result = if covers_disk {
+            CacheStore::new(key, alphabet, trie.clone()).save(path)
+        } else {
+            CacheStore::save_merged(path, key, alphabet, trie)
+        };
+        if let Err(e) = result {
+            eprintln!("warning: failed to persist observation cache to {path}: {e}");
+        }
+    }
+}
+
 fn run_learner<M: MembershipOracle>(
     alphabet: &Alphabet,
     config: &LearnConfig,
     mut membership: CacheOracle<M>,
-) -> (LearnedModel, M) {
+) -> (LearnedModel, M, PrefixTrie) {
     let mut learner = DTreeLearner::new(alphabet.clone());
     let mut equivalence = equivalence_oracle(config);
     let result = learner.learn(&mut membership, &mut equivalence);
+    let mut stats = result.stats;
+    stats.fresh_symbols = membership.fresh_symbols();
     let learned = LearnedModel {
         model: result.model,
-        stats: result.stats,
-        distinct_queries: membership.len(),
+        stats,
+        distinct_queries: membership.misses() as usize,
     };
-    (learned, membership.into_inner())
+    let (inner, trie) = membership.into_parts();
+    (learned, inner, trie)
 }
 
 /// Learns a Mealy model of `sul` over `alphabet`, sequentially.
 ///
 /// The SUL is borrowed mutably so the caller keeps access to its Oracle
 /// Table (and any implementation-specific state) afterwards.
+///
+/// With [`LearnConfig::cache_path`] set and a SUL that reports a
+/// [`Sul::cache_key`], observations persist across runs: a repeat run
+/// answers every already-seen membership query from disk
+/// (`stats.fresh_symbols == 0` when the cache covers the whole run) while
+/// learning a bit-identical model.
 pub fn learn_model<S: Sul>(sul: &mut S, alphabet: &Alphabet, config: LearnConfig) -> LearnedModel {
-    let membership = CacheOracle::new(SulMembershipOracle::new(sul));
-    run_learner(alphabet, &config, membership).0
+    let cache_key = sul.cache_key();
+    let (warm, covers_disk) = warm_trie(&config, cache_key.as_deref(), alphabet);
+    let membership = CacheOracle::with_trie(SulMembershipOracle::new(sul), warm);
+    let (learned, _oracle, trie) = run_learner(alphabet, &config, membership);
+    persist_trie(&config, cache_key.as_deref(), alphabet, &trie, covers_disk);
+    learned
 }
 
 /// Learns a Mealy model over `alphabet` with `config.workers` parallel SUL
@@ -125,7 +223,9 @@ pub fn learn_model<S: Sul>(sul: &mut S, alphabet: &Alphabet, config: LearnConfig
 ///
 /// With a fixed seed the learned model is identical to [`learn_model`]'s on
 /// a SUL from the same factory, for any worker count — parallelism changes
-/// only the wall-clock time, never the answers.
+/// only the wall-clock time, never the answers.  The observation cache
+/// (see [`learn_model`]) is likewise worker-count independent: cold and
+/// warm runs produce the same model for any number of workers.
 pub fn learn_model_parallel<F>(
     factory: &F,
     alphabet: &Alphabet,
@@ -135,9 +235,14 @@ where
     F: SulFactory,
     F::Sul: Send + 'static,
 {
+    // A throwaway instance reports the cache key; every worker SUL from
+    // the same factory shares it (the determinism property of §3.2).
+    let cache_key = factory.create().cache_key();
+    let (warm, covers_disk) = warm_trie(&config, cache_key.as_deref(), alphabet);
     let parallel = ParallelSulOracle::spawn(factory, config.workers.max(1));
-    let membership = CacheOracle::new(parallel);
-    let (learned, parallel) = run_learner(alphabet, &config, membership);
+    let membership = CacheOracle::with_trie(parallel, warm);
+    let (learned, parallel, trie) = run_learner(alphabet, &config, membership);
+    persist_trie(&config, cache_key.as_deref(), alphabet, &trie, covers_disk);
     let sul_stats = parallel.stats();
     let suls = parallel.into_suls();
     ParallelLearnOutcome {
@@ -223,7 +328,7 @@ mod tests {
             ..LearnConfig::default()
         };
         let mut sul = TcpSul::with_defaults();
-        let sequential = learn_model(&mut sul, &tcp_alphabet(), config);
+        let sequential = learn_model(&mut sul, &tcp_alphabet(), config.clone());
         let outcome = learn_model_parallel(
             &TcpSulFactory::default(),
             &tcp_alphabet(),
@@ -244,11 +349,16 @@ mod tests {
         assert_eq!(outcome.suls.len(), 4);
         assert!(outcome.sul_stats.symbols_sent > 0);
         // The workers' Oracle Tables merge into one synthesis input.
-        let mut merged = crate::oracle_table::OracleTable::new();
-        for sul in outcome.suls {
-            merged.merge_from(sul.oracle_table().clone());
-        }
+        let merged = outcome.merged_oracle_table();
         assert!(!merged.is_empty());
+        assert_eq!(
+            merged.len(),
+            outcome
+                .suls
+                .iter()
+                .map(|s| s.oracle_table().len())
+                .sum::<usize>()
+        );
     }
 
     #[test]
@@ -259,7 +369,7 @@ mod tests {
             ..LearnConfig::default()
         };
         let mut sul = QuicSul::new(ImplementationProfile::google(), 3);
-        let sequential = learn_model(&mut sul, &quic_data_alphabet(), config);
+        let sequential = learn_model(&mut sul, &quic_data_alphabet(), config.clone());
         let outcome = learn_model_parallel(
             &QuicSulFactory::new(ImplementationProfile::google(), 3),
             &quic_data_alphabet(),
@@ -279,10 +389,14 @@ mod tests {
             ..LearnConfig::default()
         };
         let factory = TcpSulFactory::default();
-        let baseline = learn_model_parallel(&factory, &tcp_alphabet(), config.with_workers(1));
+        let baseline =
+            learn_model_parallel(&factory, &tcp_alphabet(), config.clone().with_workers(1));
         for workers in [2, 3] {
-            let outcome =
-                learn_model_parallel(&factory, &tcp_alphabet(), config.with_workers(workers));
+            let outcome = learn_model_parallel(
+                &factory,
+                &tcp_alphabet(),
+                config.clone().with_workers(workers),
+            );
             assert!(
                 machines_equivalent(&baseline.learned.model, &outcome.learned.model),
                 "worker count {workers} changed the learned model"

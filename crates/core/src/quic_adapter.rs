@@ -11,7 +11,7 @@
 //! concrete numeric fields of every exchanged packet are recorded in the
 //! Oracle Table for synthesis.
 
-use crate::oracle_table::OracleTable;
+use crate::oracle_table::{HasOracleTable, OracleTable};
 use crate::sul::{Sul, SulFactory, SulStats};
 use prognosis_automata::alphabet::{Alphabet, Symbol};
 use prognosis_quic_sim::client::{numeric_fields, ReferenceQuicClient};
@@ -88,6 +88,16 @@ impl SulFactory for QuicSulFactory {
 pub struct QuicSul {
     server: QuicServer,
     client: ReferenceQuicClient,
+    /// Rendering of the profile + seed this SUL was built from, kept for
+    /// the cross-run cache key (the pair fully determines query answers;
+    /// the reference-client defect flag is folded in at key time because
+    /// it can be toggled after construction).
+    identity: String,
+    /// Whether the profile answers every query deterministically.  A
+    /// probabilistic profile (mvfst's 0.82 post-close RESET ratio) draws
+    /// from RNG state that advances per reset, so its answers depend on
+    /// query position — such SULs must opt out of the persistent cache.
+    deterministic: bool,
     oracle: OracleTable,
     stats: SulStats,
     current_inputs: Vec<(String, Vec<i64>)>,
@@ -97,9 +107,14 @@ pub struct QuicSul {
 impl QuicSul {
     /// Creates the SUL for the given implementation profile.
     pub fn new(profile: ImplementationProfile, seed: u64) -> Self {
+        let identity = format!("quic:{profile:?}:seed={seed}");
+        let deterministic = profile.reset_probability_after_close == 0.0
+            || profile.reset_probability_after_close == 1.0;
         QuicSul {
             server: QuicServer::new(profile, seed),
+            deterministic,
             client: ReferenceQuicClient::new(seed ^ 0xADA9, 40_000),
+            identity,
             oracle: OracleTable::new(),
             stats: SulStats::default(),
             current_inputs: Vec::new(),
@@ -185,6 +200,24 @@ impl Sul for QuicSul {
     fn stats(&self) -> SulStats {
         self.stats
     }
+
+    fn cache_key(&self) -> Option<String> {
+        // Probabilistic profiles violate the cache-key contract (identical
+        // keys ⇒ identical answers): their answers depend on RNG state
+        // advanced per reset, so they learn cold every time.
+        self.deterministic.then(|| {
+            format!(
+                "{}:rebind_on_retry={}",
+                self.identity, self.client.rebind_on_retry
+            )
+        })
+    }
+}
+
+impl HasOracleTable for QuicSul {
+    fn oracle_table(&self) -> &OracleTable {
+        &self.oracle
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +225,31 @@ mod tests {
     use super::*;
     use prognosis_automata::word::InputWord;
     use prognosis_learner::oracle::MembershipOracle;
+
+    #[test]
+    fn cache_keys_distinguish_profiles_seeds_and_client_defects() {
+        let a = QuicSul::new(ImplementationProfile::google(), 3);
+        let same = QuicSul::new(ImplementationProfile::google(), 3);
+        assert_eq!(a.cache_key(), same.cache_key());
+        let other_seed = QuicSul::new(ImplementationProfile::google(), 4);
+        assert_ne!(a.cache_key(), other_seed.cache_key());
+        let other_profile = QuicSul::new(ImplementationProfile::quiche(), 3);
+        assert_ne!(a.cache_key(), other_profile.cache_key());
+        let buggy = QuicSul::new(ImplementationProfile::google(), 3).with_buggy_retry_client();
+        assert_ne!(a.cache_key(), buggy.cache_key());
+    }
+
+    #[test]
+    fn probabilistic_profiles_opt_out_of_the_persistent_cache() {
+        // mvfst answers post-close packets with a stateless reset only
+        // ≈82% of the time (Issue 2): its answers depend on RNG position,
+        // so caching them across runs would poison warm starts.
+        let mvfst = QuicSul::new(ImplementationProfile::mvfst(), 3);
+        assert_eq!(mvfst.cache_key(), None);
+        assert!(QuicSul::new(ImplementationProfile::google(), 3)
+            .cache_key()
+            .is_some());
+    }
 
     #[test]
     fn alphabets_match_the_paper() {

@@ -27,6 +27,16 @@ pub trait Sul {
     fn stats(&self) -> SulStats {
         SulStats::default()
     }
+
+    /// A stable identifier of this SUL's configuration, used to key the
+    /// cross-run observation cache: two SULs with the same cache key must
+    /// answer every query identically (the §3.2 determinism property lifted
+    /// across process boundaries).  `None` — the default — opts the SUL out
+    /// of persistent caching; the pipeline then learns cold even when a
+    /// cache path is configured.
+    fn cache_key(&self) -> Option<String> {
+        None
+    }
 }
 
 impl<T: Sul + ?Sized> Sul for &mut T {
@@ -40,6 +50,10 @@ impl<T: Sul + ?Sized> Sul for &mut T {
 
     fn stats(&self) -> SulStats {
         (**self).stats()
+    }
+
+    fn cache_key(&self) -> Option<String> {
+        (**self).cache_key()
     }
 }
 

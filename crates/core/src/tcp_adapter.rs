@@ -9,7 +9,7 @@
 //! together with its concrete sequence/acknowledgement numbers (4), and
 //! responses are abstracted back to the learner's alphabet (5).
 
-use crate::oracle_table::OracleTable;
+use crate::oracle_table::{HasOracleTable, OracleTable};
 use crate::sul::{Sul, SulFactory, SulStats};
 use prognosis_automata::alphabet::{Alphabet, Symbol};
 use prognosis_tcp::client::ReferenceTcpClient;
@@ -57,6 +57,10 @@ impl SulFactory for TcpSulFactory {
 pub struct TcpSul {
     server: TcpServer,
     client: ReferenceTcpClient,
+    /// The server configuration, kept so the SUL can report a stable
+    /// cross-run cache key (the config fully determines query answers:
+    /// the reference client's ports and ISN are fixed constants).
+    config: TcpServerConfig,
     oracle: OracleTable,
     stats: SulStats,
     /// The (abstract, concrete-fields) steps of the query in progress.
@@ -69,8 +73,9 @@ impl TcpSul {
     pub fn new(config: TcpServerConfig) -> Self {
         let server_port = config.port;
         TcpSul {
-            server: TcpServer::new(config),
+            server: TcpServer::new(config.clone()),
             client: ReferenceTcpClient::new(40_965, server_port, 48_108),
+            config,
             oracle: OracleTable::new(),
             stats: SulStats::default(),
             current_inputs: Vec::new(),
@@ -149,6 +154,16 @@ impl Sul for TcpSul {
     fn stats(&self) -> SulStats {
         self.stats
     }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("tcp:{:?}", self.config))
+    }
+}
+
+impl HasOracleTable for TcpSul {
+    fn oracle_table(&self) -> &OracleTable {
+        &self.oracle
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +171,18 @@ mod tests {
     use super::*;
     use prognosis_automata::word::InputWord;
     use prognosis_learner::oracle::MembershipOracle;
+
+    #[test]
+    fn cache_keys_distinguish_server_configurations() {
+        let a = TcpSul::with_defaults();
+        let b = TcpSul::with_defaults();
+        assert_eq!(a.cache_key(), b.cache_key(), "same config, same key");
+        let other = TcpSul::new(TcpServerConfig {
+            window: 1_024,
+            ..TcpServerConfig::default()
+        });
+        assert_ne!(a.cache_key(), other.cache_key());
+    }
 
     #[test]
     fn alphabet_has_the_seven_symbols_of_the_paper() {

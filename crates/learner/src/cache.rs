@@ -1,0 +1,361 @@
+//! Cross-run persistence for the membership-query cache.
+//!
+//! The paper's central cost metric is the number of concrete queries sent
+//! to the implementation under test, and its workflow re-learns the same
+//! closed-box SUL repeatedly (alphabet tweaks, synthesis validation,
+//! regression checks across implementation versions).  A [`CacheStore`]
+//! makes the prefix-trie cache ([`crate::trie::PrefixTrie`]) durable: it
+//! stamps the serialized trie with a format version and a *cache key* —
+//! the SUL identity plus a hash of the learning alphabet — and saves it as
+//! JSON.  A later run against the same SUL loads the trie and answers its
+//! warm-up membership queries from disk with zero fresh SUL symbols; a run
+//! against a different SUL configuration or alphabet finds a key mismatch
+//! and starts cold, so a stale cache can never corrupt learning.
+
+use crate::trie::PrefixTrie;
+use prognosis_automata::alphabet::Alphabet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// On-disk format version; bump when the serialized layout changes.
+/// Loading a file with a different version fails soundly (treated as a
+/// cache miss by [`CacheStore::load_matching`]).
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a over the alphabet's symbols (length-prefixed, so `["ab","c"]`
+/// and `["a","bc"]` hash differently).  Stable across runs and platforms —
+/// unlike `std`'s randomized hashers — which is what an on-disk key needs.
+pub fn alphabet_hash(alphabet: &Alphabet) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for symbol in alphabet.iter() {
+        eat(&(symbol.len() as u64).to_le_bytes());
+        eat(symbol.as_str().as_bytes());
+    }
+    hash
+}
+
+/// Errors loading a persisted cache.
+#[derive(Debug)]
+pub enum CacheError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The file is not a valid cache document (corrupt JSON, contradictory
+    /// trie paths, …).
+    Format(String),
+    /// The file parsed but was written by an incompatible format version.
+    Version {
+        /// Version found in the file.
+        found: u32,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Io(e) => write!(f, "cache i/o error: {e}"),
+            CacheError::Format(msg) => write!(f, "invalid cache file: {msg}"),
+            CacheError::Version { found } => write!(
+                f,
+                "cache format version {found} (this build reads {CACHE_FORMAT_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl From<std::io::Error> for CacheError {
+    fn from(e: std::io::Error) -> Self {
+        CacheError::Io(e)
+    }
+}
+
+/// A persisted observation store: a prefix trie of membership-query
+/// answers, stamped with the format version and the cache key (SUL id +
+/// alphabet) it is valid for.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CacheStore {
+    /// Format version the file was written with.
+    version: u32,
+    /// Stable identifier of the SUL configuration the answers came from.
+    sul_id: String,
+    /// The learning alphabet, spelled out for human inspection.
+    alphabet: Vec<String>,
+    /// FNV-1a hash of the alphabet — the machine-checked half of the key.
+    alphabet_hash: u64,
+    /// The cached (input, output, terminal) observations.
+    trie: PrefixTrie,
+}
+
+impl CacheStore {
+    /// Wraps a trie with the key it is valid for.
+    pub fn new(sul_id: impl Into<String>, alphabet: &Alphabet, trie: PrefixTrie) -> Self {
+        CacheStore {
+            version: CACHE_FORMAT_VERSION,
+            sul_id: sul_id.into(),
+            alphabet: alphabet.iter().map(|s| s.to_string()).collect(),
+            alphabet_hash: alphabet_hash(alphabet),
+            trie,
+        }
+    }
+
+    /// The SUL identifier this cache is keyed by.
+    pub fn sul_id(&self) -> &str {
+        &self.sul_id
+    }
+
+    /// Whether this store's observations are valid for the given SUL and
+    /// alphabet.  Both the spelled-out alphabet and its hash must match, so
+    /// a hand-edited file cannot silently pass.
+    pub fn key_matches(&self, sul_id: &str, alphabet: &Alphabet) -> bool {
+        self.sul_id == sul_id
+            && self.alphabet_hash == alphabet_hash(alphabet)
+            && self.alphabet.len() == alphabet.len()
+            && self
+                .alphabet
+                .iter()
+                .zip(alphabet.iter())
+                .all(|(a, b)| a == b.as_str())
+    }
+
+    /// The cached trie.
+    pub fn trie(&self) -> &PrefixTrie {
+        &self.trie
+    }
+
+    /// Consumes the store, returning the trie.
+    pub fn into_trie(self) -> PrefixTrie {
+        self.trie
+    }
+
+    /// Writes the store as JSON, creating parent directories as needed.
+    /// The write goes through a sibling temp file and an atomic rename, so
+    /// an interrupted save never leaves a truncated cache behind — the old
+    /// file survives intact or the new one appears whole.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CacheError> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let json =
+            serde_json::to_string_pretty(self).map_err(|e| CacheError::Format(e.to_string()))?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })?;
+        Ok(())
+    }
+
+    /// Reads a store back, verifying the format version.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CacheError> {
+        let text = std::fs::read_to_string(path)?;
+        let store: CacheStore =
+            serde_json::from_str(&text).map_err(|e| CacheError::Format(e.to_string()))?;
+        if store.version != CACHE_FORMAT_VERSION {
+            return Err(CacheError::Version {
+                found: store.version,
+            });
+        }
+        Ok(store)
+    }
+
+    /// The warm-start read path: loads the trie at `path` if the file
+    /// exists, parses, and was written for exactly this SUL and alphabet.
+    /// Any miss — no file, unreadable, version skew, key mismatch — yields
+    /// `None`, never an error: a cache must only ever accelerate a run.
+    pub fn load_matching(
+        path: impl AsRef<Path>,
+        sul_id: &str,
+        alphabet: &Alphabet,
+    ) -> Option<PrefixTrie> {
+        let store = CacheStore::load(path).ok()?;
+        store
+            .key_matches(sul_id, alphabet)
+            .then(|| store.into_trie())
+    }
+
+    /// The persistence write path: merges `trie` over whatever same-keyed
+    /// observations are already at `path` (so alternating runs accumulate
+    /// rather than clobber each other) and saves the union.  A
+    /// differently-keyed or unreadable existing file is replaced — and so
+    /// is a same-keyed file that *contradicts* the live observations (a
+    /// stale cache from before the implementation changed behaviour): the
+    /// run's own trie is authoritative, persisting never panics.
+    pub fn save_merged(
+        path: impl AsRef<Path>,
+        sul_id: &str,
+        alphabet: &Alphabet,
+        trie: &PrefixTrie,
+    ) -> Result<(), CacheError> {
+        let path = path.as_ref();
+        let mut merged = trie.clone();
+        if let Some(existing) = CacheStore::load_matching(path, sul_id, alphabet) {
+            if merged.try_merge_from(&existing).is_err() {
+                // The disk cache disagrees with what the SUL just answered;
+                // drop it wholesale rather than persist a mixture.
+                merged = trie.clone();
+            }
+        }
+        CacheStore::new(sul_id, alphabet, merged).save(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prognosis_automata::word::{InputWord, OutputWord};
+
+    fn sample_trie() -> PrefixTrie {
+        let mut trie = PrefixTrie::new();
+        trie.insert(
+            &InputWord::from_symbols(["a", "b"]),
+            &OutputWord::from_symbols(["1", "2"]),
+        );
+        trie.mark_terminal(&InputWord::from_symbols(["a", "b"]));
+        trie
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "prognosis-cache-test-{}-{name}",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_the_trie() {
+        let alphabet = Alphabet::from_symbols(["a", "b"]);
+        let path = tmp_path("roundtrip.json");
+        CacheStore::new("sul-1", &alphabet, sample_trie())
+            .save(&path)
+            .unwrap();
+        let loaded = CacheStore::load(&path).unwrap();
+        assert_eq!(loaded.sul_id(), "sul-1");
+        assert!(loaded.key_matches("sul-1", &alphabet));
+        assert_eq!(loaded.trie().entries(), sample_trie().entries());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_keys_are_cache_misses() {
+        let alphabet = Alphabet::from_symbols(["a", "b"]);
+        let path = tmp_path("mismatch.json");
+        CacheStore::new("sul-1", &alphabet, sample_trie())
+            .save(&path)
+            .unwrap();
+        // Wrong SUL id.
+        assert!(CacheStore::load_matching(&path, "sul-2", &alphabet).is_none());
+        // Wrong alphabet.
+        let other = Alphabet::from_symbols(["a", "b", "c"]);
+        assert!(CacheStore::load_matching(&path, "sul-1", &other).is_none());
+        // Matching key hits.
+        assert!(CacheStore::load_matching(&path, "sul-1", &alphabet).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_and_corrupt_files_are_cache_misses() {
+        let alphabet = Alphabet::from_symbols(["a"]);
+        assert!(
+            CacheStore::load_matching(tmp_path("does-not-exist.json"), "x", &alphabet).is_none()
+        );
+        let path = tmp_path("corrupt.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(CacheStore::load_matching(&path, "x", &alphabet).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let alphabet = Alphabet::from_symbols(["a", "b"]);
+        let path = tmp_path("version.json");
+        CacheStore::new("sul-1", &alphabet, sample_trie())
+            .save(&path)
+            .unwrap();
+        let bumped = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"version\": 1", "\"version\": 999");
+        std::fs::write(&path, bumped).unwrap();
+        assert!(matches!(
+            CacheStore::load(&path),
+            Err(CacheError::Version { found: 999 })
+        ));
+        assert!(CacheStore::load_matching(&path, "sul-1", &alphabet).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_merged_unions_same_keyed_observations() {
+        let alphabet = Alphabet::from_symbols(["a", "b"]);
+        let path = tmp_path("merged.json");
+        CacheStore::save_merged(&path, "sul-1", &alphabet, &sample_trie()).unwrap();
+        let mut second = PrefixTrie::new();
+        second.insert(
+            &InputWord::from_symbols(["b"]),
+            &OutputWord::from_symbols(["9"]),
+        );
+        second.mark_terminal(&InputWord::from_symbols(["b"]));
+        CacheStore::save_merged(&path, "sul-1", &alphabet, &second).unwrap();
+        let loaded = CacheStore::load_matching(&path, "sul-1", &alphabet).unwrap();
+        assert_eq!(loaded.terminal_words(), 2);
+        assert!(loaded
+            .lookup(&InputWord::from_symbols(["a", "b"]))
+            .is_some());
+        assert!(loaded.lookup(&InputWord::from_symbols(["b"])).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_merged_survives_a_contradictory_stale_cache() {
+        let alphabet = Alphabet::from_symbols(["a", "b"]);
+        let path = tmp_path("stale.json");
+        // An earlier run recorded a·b → 1·2 under the same key...
+        CacheStore::new("sul-1", &alphabet, sample_trie())
+            .save(&path)
+            .unwrap();
+        // ...but the implementation has since changed behaviour: the live
+        // run observed a·b → 9·2.  Persisting must not panic; the live
+        // observations replace the stale file wholesale.
+        let mut live = PrefixTrie::new();
+        live.insert(
+            &InputWord::from_symbols(["a", "b"]),
+            &OutputWord::from_symbols(["9", "2"]),
+        );
+        live.mark_terminal(&InputWord::from_symbols(["a", "b"]));
+        CacheStore::save_merged(&path, "sul-1", &alphabet, &live).unwrap();
+        let loaded = CacheStore::load_matching(&path, "sul-1", &alphabet).unwrap();
+        assert_eq!(
+            loaded.lookup(&InputWord::from_symbols(["a", "b"])),
+            Some(OutputWord::from_symbols(["9", "2"]))
+        );
+        assert_eq!(loaded.terminal_words(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn alphabet_hash_is_order_and_boundary_sensitive() {
+        let a = Alphabet::from_symbols(["ab", "c"]);
+        let b = Alphabet::from_symbols(["a", "bc"]);
+        let c = Alphabet::from_symbols(["c", "ab"]);
+        assert_ne!(alphabet_hash(&a), alphabet_hash(&b));
+        assert_ne!(alphabet_hash(&a), alphabet_hash(&c));
+        assert_eq!(
+            alphabet_hash(&a),
+            alphabet_hash(&Alphabet::from_symbols(["ab", "c"]))
+        );
+    }
+}

@@ -60,6 +60,13 @@ pub const DEFAULT_EQ_BATCH_SIZE: usize = 64;
 /// the first (in suite order) counterexample trace.  Deterministic: the
 /// result depends only on the suite order, never on how the membership
 /// oracle schedules a batch internally.
+///
+/// `tests_executed` counts only the words up to and including the first
+/// mismatch, exactly as the word-at-a-time sequential strategy would —
+/// words after the counterexample in the same chunk were dispatched
+/// speculatively and are not part of the equivalence test count.
+/// `batch_size` must be ≥ 1; the oracle constructors validate it
+/// ([`RandomWordOracle::with_batch_size`] / [`WMethodOracle::with_batch_size`]).
 fn run_suite_batched(
     suite: &[InputWord],
     batch_size: usize,
@@ -67,10 +74,10 @@ fn run_suite_batched(
     membership: &mut dyn MembershipOracle,
     tests_executed: &mut u64,
 ) -> Option<IoTrace> {
-    for chunk in suite.chunks(batch_size.max(1)) {
-        *tests_executed += chunk.len() as u64;
+    for chunk in suite.chunks(batch_size) {
         let sul_outs = membership.query_batch(chunk);
         for (word, sul_out) in chunk.iter().zip(sul_outs) {
+            *tests_executed += 1;
             let hyp_out = hypothesis
                 .run(word)
                 .expect("suite word over hypothesis alphabet");
@@ -344,6 +351,46 @@ mod tests {
             .find_counterexample(&target, &mut membership)
             .is_none());
         assert!(oracle.tests_executed() > 0);
+    }
+
+    #[test]
+    fn tests_executed_stops_at_the_counterexample_in_any_batch_size() {
+        // Regression: the batched runner used to add the whole chunk to
+        // `tests_executed` even when the counterexample sat mid-chunk,
+        // overstating the count vs the sequential strategy.
+        let target = known::counter(4);
+        let wrong = known::counter(3);
+        let mut baseline = None;
+        for batch_size in [1usize, 7, 64, 1024] {
+            let mut membership = MachineOracle::new(target.clone());
+            let mut oracle = RandomWordOracle::new(11, 500, 1, 12).with_batch_size(batch_size);
+            let ce = oracle
+                .find_counterexample(&wrong, &mut membership)
+                .expect("4-vs-3 counter must be distinguished");
+            match &baseline {
+                None => baseline = Some((ce, oracle.tests_executed())),
+                Some((expected_ce, expected_count)) => {
+                    assert_eq!(&ce, expected_ce, "batch size {batch_size} changed the ce");
+                    assert_eq!(
+                        oracle.tests_executed(),
+                        *expected_count,
+                        "batch size {batch_size} changed the tests-executed count"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn random_word_oracle_rejects_zero_batch_size() {
+        let _ = RandomWordOracle::new(0, 10, 1, 2).with_batch_size(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn w_method_oracle_rejects_zero_batch_size() {
+        let _ = WMethodOracle::new(1).with_batch_size(0);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod dtree;
 pub mod eq_oracles;
 pub mod lstar;
@@ -35,6 +36,7 @@ pub mod oracle;
 pub mod stats;
 pub mod trie;
 
+pub use cache::{CacheError, CacheStore, CACHE_FORMAT_VERSION};
 pub use dtree::DTreeLearner;
 pub use eq_oracles::{RandomWordOracle, SimulatorOracle, WMethodOracle};
 pub use lstar::LStarLearner;

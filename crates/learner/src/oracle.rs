@@ -124,9 +124,17 @@ pub struct CacheOracle<O> {
 impl<O: MembershipOracle> CacheOracle<O> {
     /// Wraps `inner` with a cache.
     pub fn new(inner: O) -> Self {
+        CacheOracle::with_trie(inner, PrefixTrie::new())
+    }
+
+    /// Wraps `inner` with a pre-populated cache — the warm-start path: a
+    /// trie persisted by an earlier run (see `crate::cache::CacheStore`)
+    /// answers its queries without any fresh SUL work.  Hit/miss/fresh
+    /// counters start at zero; only *this* run's traffic is accounted.
+    pub fn with_trie(inner: O, trie: PrefixTrie) -> Self {
         CacheOracle {
             inner,
-            trie: PrefixTrie::new(),
+            trie,
             hits: 0,
             misses: 0,
             fresh_symbols: 0,
@@ -165,9 +173,19 @@ impl<O: MembershipOracle> CacheOracle<O> {
         &self.inner
     }
 
+    /// The backing prefix trie (e.g. to persist it across runs).
+    pub fn trie(&self) -> &PrefixTrie {
+        &self.trie
+    }
+
     /// Consumes the cache, returning the inner oracle.
     pub fn into_inner(self) -> O {
         self.inner
+    }
+
+    /// Consumes the cache, returning the inner oracle and the trie.
+    pub fn into_parts(self) -> (O, PrefixTrie) {
+        (self.inner, self.trie)
     }
 
     /// All distinct (input, output) query pairs — the raw material for the
@@ -176,13 +194,18 @@ impl<O: MembershipOracle> CacheOracle<O> {
         self.trie.entries().into_iter()
     }
 
+    /// Records a forwarded answer and accounts its fresh symbols: exactly
+    /// the trie nodes this answer created.  Counting at insertion time (not
+    /// against a pre-batch snapshot of the trie) makes the total immune to
+    /// batching — two batch words sharing an uncached prefix pay for that
+    /// prefix once, the same as sequential queries would.
     fn record_answer(&mut self, input: &InputWord, output: &OutputWord) {
         assert_eq!(
             output.len(),
             input.len(),
             "membership oracle must return one output symbol per input symbol"
         );
-        self.trie.insert(input, output);
+        self.fresh_symbols += self.trie.insert(input, output) as u64;
         self.trie.mark_terminal(input);
     }
 }
@@ -195,7 +218,6 @@ impl<O: MembershipOracle> MembershipOracle for CacheOracle<O> {
             return out;
         }
         self.misses += 1;
-        self.fresh_symbols += (input.len() - self.trie.known_prefix_len(input)) as u64;
         let out = self.inner.query(input);
         self.record_answer(input, &out);
         out
@@ -240,9 +262,6 @@ impl<O: MembershipOracle> MembershipOracle for CacheOracle<O> {
         // answered on the back of a forwarded word.
         self.misses += forward.len() as u64;
         self.hits += missing_occurrences - forward.len() as u64;
-        for word in &forward {
-            self.fresh_symbols += (word.len() - self.trie.known_prefix_len(word)) as u64;
-        }
         let answers = self.inner.query_batch(&forward);
         assert_eq!(
             answers.len(),
@@ -386,6 +405,49 @@ mod tests {
         let batch_outs = batched.query_batch(&words);
         let seq_outs: Vec<OutputWord> = words.iter().map(|w| sequential.query(w)).collect();
         assert_eq!(batch_outs, seq_outs);
+    }
+
+    #[test]
+    fn batch_fresh_symbols_match_sequential_for_shared_prefixes() {
+        // Regression: the batched path used to charge a shared uncached
+        // prefix once per batch word because fresh symbols were computed
+        // against the trie before any of the batch was inserted.
+        let machine = known::counter(5);
+        let batch = vec![
+            InputWord::from_symbols(["inc", "inc", "reset"]),
+            InputWord::from_symbols(["inc", "inc", "inc"]),
+            InputWord::from_symbols(["inc", "reset"]),
+        ];
+        let mut batched = CacheOracle::new(MachineOracle::new(machine.clone()));
+        let mut sequential = CacheOracle::new(MachineOracle::new(machine));
+        batched.query_batch(&batch);
+        for word in &batch {
+            sequential.query(word);
+        }
+        // The shared prefix `inc · inc` (and `inc`) is fresh exactly once:
+        // 3 + 1 + 1 symbols, not the 3 + 3 + 2 the buggy pre-batch
+        // accounting reported.
+        assert_eq!(batched.fresh_symbols(), 5);
+        assert_eq!(batched.fresh_symbols(), sequential.fresh_symbols());
+    }
+
+    #[test]
+    fn preloaded_trie_answers_without_fresh_symbols() {
+        let machine = known::counter(4);
+        let mut cold = CacheOracle::new(MachineOracle::new(machine.clone()));
+        let words = vec![
+            InputWord::from_symbols(["inc", "inc", "inc"]),
+            InputWord::from_symbols(["inc", "reset"]),
+        ];
+        let cold_outs = cold.query_batch(&words);
+        assert!(cold.fresh_symbols() > 0);
+        let (_, trie) = cold.into_parts();
+        let mut warm = CacheOracle::with_trie(MachineOracle::new(machine), trie);
+        let warm_outs = warm.query_batch(&words);
+        assert_eq!(warm_outs, cold_outs);
+        assert_eq!(warm.fresh_symbols(), 0, "warm start must not touch the SUL");
+        assert_eq!(warm.misses(), 0);
+        assert_eq!(warm.inner().queries_answered(), 0);
     }
 
     #[test]

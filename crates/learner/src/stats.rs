@@ -16,6 +16,11 @@ pub struct LearningStats {
     pub membership_queries: u64,
     /// Input symbols sent across all membership queries.
     pub input_symbols: u64,
+    /// Input symbols genuinely executed by the SUL — symbols not already
+    /// covered by a cached (possibly persisted, cross-run) prefix.  This is
+    /// the paper's cost metric: a warm-started run that answers everything
+    /// from the cache reports zero.
+    pub fresh_symbols: u64,
     /// Equivalence queries issued.
     pub equivalence_queries: u64,
     /// Counterexamples processed (= refinement rounds triggered).
@@ -57,6 +62,7 @@ impl Add for LearningStats {
         LearningStats {
             membership_queries: self.membership_queries + rhs.membership_queries,
             input_symbols: self.input_symbols + rhs.input_symbols,
+            fresh_symbols: self.fresh_symbols + rhs.fresh_symbols,
             equivalence_queries: self.equivalence_queries + rhs.equivalence_queries,
             counterexamples: self.counterexamples + rhs.counterexamples,
             learning_rounds: self.learning_rounds + rhs.learning_rounds,

@@ -10,9 +10,17 @@
 //! the number the paper's query accounting cares about.  This replaces the
 //! seed's flat `HashMap` cache, whose prefix lookups were linear scans over
 //! every cached word.
+//!
+//! The trie is also the unit of *cross-run persistence*: it serializes to a
+//! list of `(input, output, terminal)` maximal-path triples (see
+//! [`PrefixTrie::paths`]) rather than its arena representation, so the
+//! on-disk format is stable under node reordering and survives refactors of
+//! the in-memory layout.  [`crate::cache::CacheStore`] wraps the serialized
+//! trie with a version stamp and cache key.
 
 use prognosis_automata::alphabet::Symbol;
 use prognosis_automata::word::{InputWord, OutputWord};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One trie node: the outputs observed after some input prefix.
@@ -111,27 +119,40 @@ impl PrefixTrie {
     }
 
     /// Inserts a full (input, output) answer, extending the cached paths.
+    /// Returns the number of newly created nodes — the symbols of `input`
+    /// that were *not* already covered by a cached prefix, i.e. the fresh
+    /// work the SUL performed for this answer.
     ///
     /// # Panics
     /// Panics when `output` is shorter than `input`, or when a step
     /// contradicts an already-cached output (the SUL must be deterministic;
     /// nondeterminism is detected by `prognosis-core`'s checker, not here).
-    pub fn insert(&mut self, input: &InputWord, output: &OutputWord) {
-        assert_eq!(
-            input.len(),
-            output.len(),
-            "one output symbol per input symbol"
-        );
+    pub fn insert(&mut self, input: &InputWord, output: &OutputWord) -> usize {
+        self.try_insert(input, output)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`PrefixTrie::insert`], but reports length mismatches and
+    /// contradictory outputs as errors instead of panicking.  Used when
+    /// rebuilding a trie from untrusted (on-disk) data.
+    ///
+    /// On error the input's consistent prefix may already have been
+    /// inserted; callers rebuilding from disk discard the whole trie.
+    pub fn try_insert(&mut self, input: &InputWord, output: &OutputWord) -> Result<usize, String> {
+        if input.len() != output.len() {
+            return Err("one output symbol per input symbol".to_string());
+        }
         let mut node = 0;
+        let mut created = 0;
         for (symbol, out) in input.iter().zip(output.iter()) {
             match self.nodes[node].children.get(symbol) {
                 Some(&child) => {
                     node = child;
-                    assert_eq!(
-                        self.nodes[node].output.as_ref(),
-                        Some(out),
-                        "prefix trie: SUL answered a cached prefix differently (nondeterministic SUL?)"
-                    );
+                    if self.nodes[node].output.as_ref() != Some(out) {
+                        return Err("prefix trie: SUL answered a cached prefix differently \
+                             (nondeterministic SUL?)"
+                            .to_string());
+                    }
                 }
                 None => {
                     let child = self.nodes.len();
@@ -142,9 +163,11 @@ impl PrefixTrie {
                     });
                     self.nodes[node].children.insert(symbol.clone(), child);
                     node = child;
+                    created += 1;
                 }
             }
         }
+        Ok(created)
     }
 
     /// All words recorded as full queries, with their answers, in
@@ -180,6 +203,100 @@ impl PrefixTrie {
             input.pop();
             output.pop();
         }
+    }
+
+    /// A lossless, layout-independent dump of the trie: every terminal node
+    /// and every leaf, as `(input path, output path, is_terminal)` triples
+    /// in depth-first order.  Rebuilding via [`PrefixTrie::from_paths`]
+    /// reproduces the exact node set and terminal markers, because every
+    /// node lies on the path to some leaf and every terminal is flagged.
+    pub fn paths(&self) -> Vec<(InputWord, OutputWord, bool)> {
+        let mut result = Vec::new();
+        let mut input = Vec::new();
+        let mut output = Vec::new();
+        self.collect_paths(0, &mut input, &mut output, &mut result);
+        result
+    }
+
+    fn collect_paths(
+        &self,
+        node: usize,
+        input: &mut Vec<Symbol>,
+        output: &mut Vec<Symbol>,
+        result: &mut Vec<(InputWord, OutputWord, bool)>,
+    ) {
+        let is_leaf = self.nodes[node].children.is_empty();
+        // The root is emitted only when marked terminal (an ε query was
+        // asked); an empty trie dumps to an empty list.
+        if self.nodes[node].terminal || (is_leaf && node != 0) {
+            result.push((
+                input.iter().cloned().collect(),
+                output.iter().cloned().collect(),
+                self.nodes[node].terminal,
+            ));
+        }
+        let mut children: Vec<(&Symbol, &usize)> = self.nodes[node].children.iter().collect();
+        children.sort_by(|a, b| a.0.cmp(b.0));
+        for (symbol, &child) in children {
+            input.push(symbol.clone());
+            output.push(self.nodes[child].output.clone().expect("non-root output"));
+            self.collect_paths(child, input, output, result);
+            input.pop();
+            output.pop();
+        }
+    }
+
+    /// Rebuilds a trie from a [`PrefixTrie::paths`] dump.  Fails when a
+    /// triple pairs words of different lengths or contradicts another
+    /// triple's outputs (corrupt or hand-edited cache data).
+    pub fn from_paths(paths: &[(InputWord, OutputWord, bool)]) -> Result<Self, String> {
+        let mut trie = PrefixTrie::new();
+        for (input, output, terminal) in paths {
+            trie.try_insert(input, output)?;
+            if *terminal {
+                trie.mark_terminal(input);
+            }
+        }
+        Ok(trie)
+    }
+
+    /// Inserts every path of `other` into `self`, unioning the two caches.
+    /// Terminal markers are preserved.  Used when persisting: a freshly
+    /// learned trie is merged over whatever an earlier run left on disk.
+    ///
+    /// # Panics
+    /// Panics when the tries contradict each other (they must describe the
+    /// same deterministic SUL).  Use [`PrefixTrie::try_merge_from`] when
+    /// `other` comes from untrusted (on-disk) data.
+    pub fn merge_from(&mut self, other: &PrefixTrie) {
+        self.try_merge_from(other).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`PrefixTrie::merge_from`], but reports contradictions between
+    /// the two tries as an error instead of panicking.  On error `self` may
+    /// hold a partial merge; callers discard it (the caches disagree, so
+    /// one of them must win wholesale).
+    pub fn try_merge_from(&mut self, other: &PrefixTrie) -> Result<(), String> {
+        for (input, output, terminal) in other.paths() {
+            self.try_insert(&input, &output)?;
+            if terminal {
+                self.mark_terminal(&input);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Serialize for PrefixTrie {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.paths().serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for PrefixTrie {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let paths = Vec::<(InputWord, OutputWord, bool)>::deserialize(deserializer)?;
+        PrefixTrie::from_paths(&paths).map_err(<D::Error as serde::de::Error>::custom)
     }
 }
 
@@ -236,5 +353,82 @@ mod tests {
         let mut trie = PrefixTrie::new();
         trie.insert(&w(&["a"]), &o(&["1"]));
         trie.insert(&w(&["a"]), &o(&["2"]));
+    }
+
+    #[test]
+    fn insert_counts_newly_created_nodes() {
+        let mut trie = PrefixTrie::new();
+        assert_eq!(trie.insert(&w(&["a", "b"]), &o(&["1", "2"])), 2);
+        // Re-inserting is free; extending pays only for the fresh suffix.
+        assert_eq!(trie.insert(&w(&["a", "b"]), &o(&["1", "2"])), 0);
+        assert_eq!(trie.insert(&w(&["a", "b", "c"]), &o(&["1", "2", "3"])), 1);
+        assert_eq!(trie.insert(&w(&["a", "x"]), &o(&["1", "9"])), 1);
+    }
+
+    #[test]
+    fn paths_round_trip_preserves_lookups_and_terminals() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(&w(&["a", "b", "c"]), &o(&["1", "2", "3"]));
+        trie.mark_terminal(&w(&["a", "b", "c"]));
+        trie.mark_terminal(&w(&["a"]));
+        trie.insert(&w(&["a", "x"]), &o(&["1", "9"]));
+        let rebuilt = PrefixTrie::from_paths(&trie.paths()).unwrap();
+        assert_eq!(rebuilt.num_nodes(), trie.num_nodes());
+        assert_eq!(rebuilt.terminal_words(), trie.terminal_words());
+        for word in [
+            w(&["a"]),
+            w(&["a", "b"]),
+            w(&["a", "b", "c"]),
+            w(&["a", "x"]),
+        ] {
+            assert_eq!(rebuilt.lookup(&word), trie.lookup(&word));
+        }
+        assert_eq!(rebuilt.entries(), trie.entries());
+        // The non-terminal leaf `a·x` survives even though `entries` (which
+        // lists only full queries) does not mention it.
+        assert_eq!(rebuilt.lookup(&w(&["a", "x"])), Some(o(&["1", "9"])));
+    }
+
+    #[test]
+    fn root_terminal_survives_the_round_trip() {
+        let mut trie = PrefixTrie::new();
+        trie.mark_terminal(&InputWord::empty());
+        let rebuilt = PrefixTrie::from_paths(&trie.paths()).unwrap();
+        assert_eq!(rebuilt.terminal_words(), 1);
+        assert_eq!(rebuilt.entries(), trie.entries());
+    }
+
+    #[test]
+    fn from_paths_rejects_contradictions_without_panicking() {
+        let paths = vec![(w(&["a"]), o(&["1"]), true), (w(&["a"]), o(&["2"]), true)];
+        assert!(PrefixTrie::from_paths(&paths).is_err());
+        let bad_len = vec![(w(&["a", "b"]), o(&["1"]), true)];
+        assert!(PrefixTrie::from_paths(&bad_len).is_err());
+    }
+
+    #[test]
+    fn merge_from_unions_two_tries() {
+        let mut a = PrefixTrie::new();
+        a.insert(&w(&["a", "b"]), &o(&["1", "2"]));
+        a.mark_terminal(&w(&["a", "b"]));
+        let mut b = PrefixTrie::new();
+        b.insert(&w(&["a", "c"]), &o(&["1", "3"]));
+        b.mark_terminal(&w(&["a", "c"]));
+        a.merge_from(&b);
+        assert_eq!(a.terminal_words(), 2);
+        assert_eq!(a.lookup(&w(&["a", "c"])), Some(o(&["1", "3"])));
+        assert_eq!(a.lookup(&w(&["a", "b"])), Some(o(&["1", "2"])));
+    }
+
+    #[test]
+    fn serde_round_trip_through_json() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(&w(&["a", "b"]), &o(&["1", "2"]));
+        trie.mark_terminal(&w(&["a", "b"]));
+        let json = serde_json::to_string(&trie).unwrap();
+        let back: PrefixTrie = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.entries(), trie.entries());
+        assert_eq!(back.terminal_words(), trie.terminal_words());
+        assert_eq!(back.num_nodes(), trie.num_nodes());
     }
 }

@@ -142,6 +142,77 @@ proptest! {
     }
 
     #[test]
+    fn batch_and_sequential_fresh_symbol_counts_agree(
+        (states, inputs, outputs, seed) in machine_params(),
+        raw_queries in query_sequences(),
+    ) {
+        // Regression for the batched double-count: fresh symbols are the
+        // trie nodes created, which is independent of batching, ordering,
+        // deduplication and prefix subsumption.
+        let machine = random_machine(states, inputs, outputs, seed);
+        let words = to_words(&machine, &raw_queries);
+        let mut batched = CacheOracle::new(MachineOracle::new(machine.clone()));
+        let mut sequential = CacheOracle::new(MachineOracle::new(machine));
+        batched.query_batch(&words);
+        for word in &words {
+            sequential.query(word);
+        }
+        prop_assert_eq!(batched.fresh_symbols(), sequential.fresh_symbols());
+        // Both equal the node count of the union trie (root excluded).
+        prop_assert_eq!(
+            batched.fresh_symbols() as usize,
+            batched.trie().num_nodes() - 1
+        );
+    }
+
+    #[test]
+    fn trie_serde_round_trip_preserves_lookups_terminals_and_entries(
+        (states, inputs, outputs, seed) in machine_params(),
+        raw_queries in query_sequences(),
+    ) {
+        let machine = random_machine(states, inputs, outputs, seed);
+        let words = to_words(&machine, &raw_queries);
+        let mut cache = CacheOracle::new(MachineOracle::new(machine));
+        cache.query_batch(&words);
+        let trie = cache.trie();
+        let json = serde_json::to_string(trie).unwrap();
+        let back: prognosis_learner::trie::PrefixTrie = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.terminal_words(), trie.terminal_words());
+        prop_assert_eq!(back.num_nodes(), trie.num_nodes());
+        // Lookups agree on every queried word and on every prefix of it.
+        for word in &words {
+            for n in 0..=word.len() {
+                let prefix = word.prefix(n);
+                prop_assert_eq!(back.lookup(&prefix), trie.lookup(&prefix));
+            }
+        }
+        // Entries agree as sets (both listings are depth-first sorted, so
+        // set equality here is order-insensitive by construction).
+        let a: std::collections::BTreeSet<_> = trie.entries().into_iter().collect();
+        let b: std::collections::BTreeSet<_> = back.entries().into_iter().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn warmed_cache_oracle_answers_repeat_runs_without_sul_traffic(
+        (states, inputs, outputs, seed) in machine_params(),
+        raw_queries in query_sequences(),
+    ) {
+        let machine = random_machine(states, inputs, outputs, seed);
+        let words = to_words(&machine, &raw_queries);
+        let mut cold = CacheOracle::new(MachineOracle::new(machine.clone()));
+        let cold_outs = cold.query_batch(&words);
+        // Serialize, reload, and warm-start a fresh oracle from the trie.
+        let json = serde_json::to_string(cold.trie()).unwrap();
+        let trie: prognosis_learner::trie::PrefixTrie = serde_json::from_str(&json).unwrap();
+        let mut warm = CacheOracle::with_trie(MachineOracle::new(machine), trie);
+        let warm_outs = warm.query_batch(&words);
+        prop_assert_eq!(warm_outs, cold_outs);
+        prop_assert_eq!(warm.fresh_symbols(), 0);
+        prop_assert_eq!(warm.inner().queries_answered(), 0);
+    }
+
+    #[test]
     fn distinct_query_count_matches_the_set_of_words_asked(
         (states, inputs, outputs, seed) in machine_params(),
         raw_queries in query_sequences(),

@@ -20,7 +20,7 @@ fn main() {
     };
 
     let mut google_sul = QuicSul::new(ImplementationProfile::google(), 3);
-    let google = learn_model(&mut google_sul, &quic_alphabet(), config);
+    let google = learn_model(&mut google_sul, &quic_alphabet(), config.clone());
     let mut quiche_sul = QuicSul::new(ImplementationProfile::quiche(), 3);
     let quiche = learn_model(&mut quiche_sul, &quic_alphabet(), config);
 

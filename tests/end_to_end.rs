@@ -77,7 +77,7 @@ fn quic_models_reproduce_the_paper_shape() {
     // and the two are behaviourally different.
     let cfg = config(3_000, 12);
     let mut google_sul = QuicSul::new(ImplementationProfile::google(), 3);
-    let google = learn_model(&mut google_sul, &quic_alphabet(), cfg);
+    let google = learn_model(&mut google_sul, &quic_alphabet(), cfg.clone());
     let mut quiche_sul = QuicSul::new(ImplementationProfile::quiche(), 3);
     let quiche = learn_model(&mut quiche_sul, &quic_alphabet(), cfg);
     assert!(
@@ -144,7 +144,7 @@ fn issue3_broken_retry_prevents_connection_establishment() {
     let alphabet = Alphabet::from_symbols(["INITIAL(?,?)[CRYPTO]", "HANDSHAKE(?,?)[ACK,CRYPTO]"]);
     let cfg = config(300, 8);
     let mut buggy = QuicSul::new(ImplementationProfile::tracker(), 5).with_buggy_retry_client();
-    let buggy_model = learn_model(&mut buggy, &alphabet, cfg);
+    let buggy_model = learn_model(&mut buggy, &alphabet, cfg.clone());
     let mut fixed = QuicSul::new(ImplementationProfile::tracker(), 5);
     let fixed_model = learn_model(&mut fixed, &alphabet, cfg);
     let can_complete = SafetyProperty::never_output("HANDSHAKE_DONE");
