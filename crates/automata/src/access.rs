@@ -6,6 +6,7 @@
 //! such an oracle is guaranteed valid, while its absence gives probabilistic
 //! rather than absolute guarantees.
 
+use crate::alphabet::Symbol;
 use crate::mealy::{MealyMachine, StateId};
 use crate::word::InputWord;
 use std::collections::{BTreeMap, HashSet, VecDeque};
@@ -156,6 +157,130 @@ pub fn w_method_suite(machine: &MealyMachine, extra_states: usize) -> Vec<InputW
     suite
 }
 
+/// Streaming generator of the W-method suite `P · Σ^{≤extra} · W`.
+///
+/// Yields one suite word at a time without ever materializing the product:
+/// only the (small) transition cover `P` and characterizing set `W` are
+/// held in memory, while the middle words `Σ^{≤extra}` are enumerated by an
+/// odometer — the `|P|·|Σ|^{extra}·|W|`-word product is exactly what makes
+/// the W-method suite for a large hypothesis expensive to build and hold.
+///
+/// Order: for each `p ∈ P` (sorted), middles by length then
+/// lexicographically by symbol index, then each `s ∈ W` (sorted).  Repeated
+/// `p · m` prefixes (e.g. `p="a", m="b"` vs `p="ab", m=ε`) are emitted only
+/// once, so the stream matches [`w_method_suite`] as a *set* (see the
+/// property test) up to the rare residual duplicate where triples with
+/// *different* `p · m` but different `s` concatenate identically; unlike
+/// the materialized suite the stream is not globally sorted.
+pub struct WMethodSuite {
+    cover: Vec<InputWord>,
+    w: Vec<InputWord>,
+    alphabet: Vec<Symbol>,
+    extra: usize,
+    p_idx: usize,
+    m_len: usize,
+    m_digits: Vec<usize>,
+    s_idx: usize,
+    /// `p · m` prefixes already emitted, so a prefix reachable through
+    /// several `(p, m)` factorizations (e.g. `p="a", m="b"` and
+    /// `p="ab", m=ε`) contributes its `· W` block only once — the same
+    /// duplicates [`w_method_suite`]'s sort+dedup removes, caught with
+    /// `|W|`-times less memory than materializing the product.
+    seen_prefixes: HashSet<InputWord>,
+    /// The current block's `p · m` concatenation, cached across its `s`s.
+    current_prefix: Option<InputWord>,
+    done: bool,
+}
+
+/// Creates the streaming W-method suite generator for conformance testing
+/// against `machine`, assuming the SUL has at most
+/// `machine.num_states() + extra_states` states.
+pub fn w_method_suite_stream(machine: &MealyMachine, extra_states: usize) -> WMethodSuite {
+    let cover = transition_cover(machine);
+    let w = characterizing_set(machine);
+    let alphabet: Vec<Symbol> = machine.input_alphabet().iter().cloned().collect();
+    let done = cover.is_empty() || w.is_empty();
+    WMethodSuite {
+        cover,
+        w,
+        alphabet,
+        extra: extra_states,
+        p_idx: 0,
+        m_len: 0,
+        m_digits: Vec::new(),
+        s_idx: 0,
+        seen_prefixes: HashSet::new(),
+        current_prefix: None,
+        done,
+    }
+}
+
+impl WMethodSuite {
+    /// Advances the `(p, m, s)` odometer; sets `done` past the last triple.
+    fn advance(&mut self) {
+        self.s_idx += 1;
+        if self.s_idx < self.w.len() {
+            return;
+        }
+        self.s_idx = 0;
+        // Increment the middle word (rightmost digit fastest).
+        for digit in self.m_digits.iter_mut().rev() {
+            *digit += 1;
+            if *digit < self.alphabet.len() {
+                return;
+            }
+            *digit = 0;
+        }
+        // All digits wrapped: next middle length (or next cover prefix).
+        self.m_len += 1;
+        if self.m_len <= self.extra && !self.alphabet.is_empty() {
+            self.m_digits = vec![0; self.m_len];
+            return;
+        }
+        self.m_len = 0;
+        self.m_digits.clear();
+        self.p_idx += 1;
+        if self.p_idx >= self.cover.len() {
+            self.done = true;
+        }
+    }
+}
+
+impl Iterator for WMethodSuite {
+    type Item = InputWord;
+
+    fn next(&mut self) -> Option<InputWord> {
+        loop {
+            if self.done {
+                return None;
+            }
+            if self.s_idx == 0 {
+                // Entering a new `(p, m)` block: build its prefix once and
+                // skip the whole block if an equal prefix was already
+                // emitted (its `· W` words would all be duplicates).
+                let middle: InputWord = self
+                    .m_digits
+                    .iter()
+                    .map(|&d| self.alphabet[d].clone())
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .collect();
+                let prefix = self.cover[self.p_idx].concat(&middle);
+                if !self.seen_prefixes.insert(prefix.clone()) {
+                    self.s_idx = self.w.len() - 1;
+                    self.advance();
+                    continue;
+                }
+                self.current_prefix = Some(prefix);
+            }
+            let prefix = self.current_prefix.as_ref().expect("block prefix built");
+            let word = prefix.concat(&self.w[self.s_idx]);
+            self.advance();
+            return Some(word);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +354,31 @@ mod tests {
             .iter()
             .any(|w| m.run(w).unwrap() != mutant.run(w).unwrap());
         assert!(caught, "W-method suite must catch the transition mutation");
+    }
+
+    #[test]
+    fn streamed_suite_covers_exactly_the_materialized_suite() {
+        for extra in 0..=2 {
+            for machine in [known::counter(4), known::toggle(), known::counter(2)] {
+                let materialized = w_method_suite(&machine, extra);
+                let mut streamed: Vec<InputWord> = w_method_suite_stream(&machine, extra).collect();
+                streamed.sort();
+                streamed.dedup();
+                assert_eq!(
+                    streamed, materialized,
+                    "stream must cover the same word set (extra = {extra})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_suite_is_lazy_and_deterministic() {
+        let m = known::counter(6);
+        let first: Vec<InputWord> = w_method_suite_stream(&m, 2).take(10).collect();
+        let again: Vec<InputWord> = w_method_suite_stream(&m, 2).take(10).collect();
+        assert_eq!(first, again);
+        assert_eq!(first.len(), 10, "a large suite streams without building");
     }
 
     #[test]

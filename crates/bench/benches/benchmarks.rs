@@ -16,7 +16,7 @@ use prognosis_core::latency::LatencySulFactory;
 use prognosis_core::nondeterminism::{NondeterminismChecker, NondeterminismConfig};
 use prognosis_core::pipeline::{learn_model, learn_model_parallel, LearnConfig};
 use prognosis_core::quic_adapter::{quic_data_alphabet, QuicSul};
-use prognosis_core::sul::SulFactory;
+use prognosis_core::session::SimDuration;
 use prognosis_core::tcp_adapter::{tcp_alphabet, TcpSul, TcpSulFactory};
 use prognosis_quic_sim::profile::ImplementationProfile;
 use prognosis_quic_wire::connection_id::ConnectionId;
@@ -90,8 +90,8 @@ fn bench_parallel_learning(c: &mut Criterion) {
     let factory = || {
         LatencySulFactory::new(
             TcpSulFactory::default(),
-            Duration::from_micros(50),
-            Duration::from_micros(100),
+            SimDuration::from_micros(50),
+            SimDuration::from_micros(100),
         )
     };
     let config = LearnConfig {
@@ -118,7 +118,25 @@ fn bench_parallel_learning(c: &mut Criterion) {
                         &factory(),
                         &tcp_alphabet(),
                         config.clone().with_workers(workers),
-                    );
+                    )
+                    .expect("parallel learning succeeds");
+                    assert!(outcome.learned.model.num_states() >= 4);
+                })
+            },
+        );
+    }
+    for inflight in [16usize, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("tcp_multiplexed_1worker", inflight),
+            &inflight,
+            |b, &inflight| {
+                b.iter(|| {
+                    let outcome = learn_model_parallel(
+                        &factory(),
+                        &tcp_alphabet(),
+                        config.clone().with_workers(1).with_max_inflight(inflight),
+                    )
+                    .expect("parallel learning succeeds");
                     assert!(outcome.learned.model.num_states() >= 4);
                 })
             },

@@ -17,11 +17,12 @@ use prognosis_automata::alphabet::{Alphabet, Symbol};
 use prognosis_automata::dot::{to_dot, DotOptions};
 use prognosis_automata::mealy::MealyMachine;
 use prognosis_automata::word::InputWord;
-use prognosis_core::latency::LatencySulFactory;
+use prognosis_core::latency::{LatencySul, LatencySulFactory};
 use prognosis_core::nondeterminism::{NondeterminismChecker, NondeterminismConfig};
 use prognosis_core::pipeline::{learn_model, learn_model_parallel, LearnConfig, LearnedModel};
 use prognosis_core::quic_adapter::{quic_alphabet, quic_data_alphabet, QuicSul, QuicSulFactory};
-use prognosis_core::sul::{Sul, SulFactory};
+use prognosis_core::session::{EngineStats, SimDuration};
+use prognosis_core::sul::Sul;
 use prognosis_core::tcp_adapter::{tcp_alphabet, TcpSul, TcpSulFactory};
 use prognosis_quic_sim::profile::ImplementationProfile;
 use prognosis_synth::synthesis::Synthesizer;
@@ -87,7 +88,8 @@ pub fn exp_tcp_synthesis() -> Report {
         &TcpSulFactory::default(),
         &alphabet,
         default_learn_config().with_workers(2),
-    );
+    )
+    .expect("parallel learning succeeds");
     let skeleton = outcome.learned.model.clone();
     // Workers are reset on shutdown, so their tables are fully flushed.
     let table = outcome.merged_oracle_table();
@@ -609,13 +611,15 @@ pub fn exp_warm_start() -> (Report, WarmStartSummary, serde_json::Value) {
         "the warm run must not touch the SUL at all"
     );
 
-    // Worker-count independence: a warm parallel run hits the same cache.
+    // Worker-count independence: a warm parallel run hits the same cache
+    // (4 workers × 4 in-flight sessions, exercising the session engine).
     let start = std::time::Instant::now();
     let parallel = learn_model_parallel(
         &TcpSulFactory::default(),
         &tcp_alphabet(),
-        config.clone().with_workers(4),
-    );
+        config.clone().with_workers(4).with_max_inflight(4),
+    )
+    .expect("parallel learning succeeds");
     let parallel_seconds = start.elapsed().as_secs_f64();
     assert_eq!(
         cold.model, parallel.learned.model,
@@ -712,31 +716,49 @@ pub fn exp_warm_start() -> (Report, WarmStartSummary, serde_json::Value) {
     (report, summary, json)
 }
 
-/// One timed learning run for the throughput comparison of
-/// [`exp_parallel_learning`].
+/// One timed learning run for the throughput comparisons of
+/// [`exp_parallel_learning`] and [`exp_session_engine`].
 #[derive(Clone, Copy, Debug)]
 pub struct ThroughputSample {
     /// Wall-clock seconds for the complete learning run.
     pub seconds: f64,
+    /// Virtual seconds of simulated round-trip time the run took
+    /// (latency-modelled scenarios only): the makespan on the virtual
+    /// clock, which is what a real deployment's wall clock would show.
+    pub virtual_seconds: Option<f64>,
     /// Membership queries the learner issued.
     pub membership_queries: u64,
     /// Abstract input symbols the SUL instances actually executed.
     pub symbols_sent: u64,
-    /// Symbols executed per wall-clock second — the throughput number the
-    /// perf trajectory tracks across PRs.
+    /// Symbols executed per second — over virtual time when the scenario
+    /// models round-trip latency, over wall-clock otherwise.  The
+    /// throughput number the perf trajectory tracks across PRs.
     pub symbols_per_sec: f64,
     /// States of the learned model (sanity: must match across modes).
     pub model_states: usize,
 }
 
-fn throughput(seconds: f64, queries: u64, symbols: u64, states: usize) -> ThroughputSample {
+fn throughput(
+    seconds: f64,
+    virtual_seconds: Option<f64>,
+    queries: u64,
+    symbols: u64,
+    states: usize,
+) -> ThroughputSample {
+    let basis = virtual_seconds.unwrap_or(seconds).max(1e-9);
     ThroughputSample {
         seconds,
+        virtual_seconds,
         membership_queries: queries,
         symbols_sent: symbols,
-        symbols_per_sec: symbols as f64 / seconds.max(1e-9),
+        symbols_per_sec: symbols as f64 / basis,
         model_states: states,
     }
+}
+
+/// The time basis a sample's throughput was computed over.
+fn basis_seconds(sample: &ThroughputSample) -> f64 {
+    sample.virtual_seconds.unwrap_or(sample.seconds)
 }
 
 fn time_sequential<S: Sul>(
@@ -750,8 +772,31 @@ fn time_sequential<S: Sul>(
     let symbols = sul.stats().symbols_sent;
     let sample = throughput(
         seconds,
+        None,
         learned.stats.membership_queries,
         symbols,
+        learned.model.num_states(),
+    );
+    (sample, learned.model)
+}
+
+/// Sequential learning through a [`LatencySul`], reporting virtual-time
+/// throughput: the blocking path pays every simulated round trip serially
+/// on the virtual clock.
+fn time_sequential_rtt<S: Sul>(
+    sul: &mut LatencySul<S>,
+    alphabet: &Alphabet,
+    config: LearnConfig,
+) -> (ThroughputSample, MealyMachine) {
+    let start = std::time::Instant::now();
+    let learned = learn_model(sul, alphabet, config);
+    let seconds = start.elapsed().as_secs_f64();
+    let virtual_seconds = sul.virtual_elapsed().as_micros() as f64 / 1e6;
+    let sample = throughput(
+        seconds,
+        Some(virtual_seconds),
+        learned.stats.membership_queries,
+        sul.stats().symbols_sent,
         learned.model.num_states(),
     );
     (sample, learned.model)
@@ -761,25 +806,29 @@ fn time_parallel<F>(
     factory: &F,
     alphabet: &Alphabet,
     config: LearnConfig,
-) -> (ThroughputSample, MealyMachine)
+    rtt_modelled: bool,
+) -> (ThroughputSample, MealyMachine, EngineStats)
 where
-    F: SulFactory,
-    F::Sul: Send + 'static,
+    F: prognosis_core::session::SessionSulFactory,
+    F::Session: Send + 'static,
 {
     let start = std::time::Instant::now();
-    let outcome = learn_model_parallel(factory, alphabet, config);
+    let outcome =
+        learn_model_parallel(factory, alphabet, config).expect("parallel learning succeeds");
     let seconds = start.elapsed().as_secs_f64();
+    let virtual_seconds = rtt_modelled.then(|| outcome.engine.virtual_elapsed_micros as f64 / 1e6);
     let sample = throughput(
         seconds,
+        virtual_seconds,
         outcome.learned.stats.membership_queries,
         outcome.sul_stats.symbols_sent,
         outcome.learned.model.num_states(),
     );
-    (sample, outcome.learned.model)
+    (sample, outcome.learned.model, outcome.engine)
 }
 
 fn sample_json(sample: &ThroughputSample) -> serde_json::Value {
-    serde_json::Value::Map(vec![
+    let mut fields = vec![
         (
             "seconds".to_string(),
             serde_json::Value::F64(sample.seconds),
@@ -800,28 +849,42 @@ fn sample_json(sample: &ThroughputSample) -> serde_json::Value {
             "model_states".to_string(),
             serde_json::Value::U64(sample.model_states as u64),
         ),
-    ])
+    ];
+    if let Some(virtual_seconds) = sample.virtual_seconds {
+        fields.insert(
+            1,
+            (
+                "virtual_seconds".to_string(),
+                serde_json::Value::F64(virtual_seconds),
+            ),
+        );
+    }
+    serde_json::Value::Map(fields)
 }
 
 /// E15 — membership-query throughput of the batched-parallel engine.
 ///
 /// Learns the TCP SUL and the google-profile QUIC SUL twice each — once
-/// sequentially, once with `workers` parallel SUL instances — verifies the
-/// learned models are equivalent (parallelism must never change answers),
-/// and reports symbols/second both ways.  The headline `tcp` / `quic_google`
-/// scenarios run the SULs behind a [`LatencySulFactory`] modelling the
-/// per-packet round-trip latency a real closed-box deployment pays (§4.1 is
-/// wall-clock-bound by exactly that); the `*_cpu_bound` scenarios run the
-/// raw in-process simulators and track pure CPU throughput.  The JSON
-/// document is written to `BENCH_learning.json` by the
-/// `exp_parallel_learning` binary so later PRs have a perf trajectory.
+/// sequentially, once with `workers` parallel session workers — verifies
+/// the learned models are equivalent (parallelism must never change
+/// answers), and reports symbols/second both ways.  The headline `tcp` /
+/// `quic_google` scenarios run the SULs behind a [`LatencySulFactory`]
+/// modelling the per-packet round-trip latency a real closed-box deployment
+/// pays (§4.1 is wall-clock-bound by exactly that); since PR 3 the latency
+/// model runs on the `netsim` **virtual clock** — no real sleeps — so these
+/// rows report throughput over *virtual* seconds (what a deployment's wall
+/// clock would show) while the bench itself runs at CPU speed.  The
+/// `*_cpu_bound` scenarios run the raw in-process simulators and track pure
+/// CPU throughput over wall-clock time.  The JSON document is written to
+/// `BENCH_learning.json` by the `exp_parallel_learning` binary so later PRs
+/// have a perf trajectory; the `exp_session_engine` binary (E17) appends
+/// the in-flight-scaling scenario to the same file.
 pub fn exp_parallel_learning(workers: usize) -> (Report, String) {
     use prognosis_automata::equivalence::machines_equivalent;
-    use std::time::Duration;
     // Simulated per-packet round trip: 50µs per symbol, 100µs per reset —
     // a fast-LAN deployment; real WAN targets are orders of magnitude worse.
-    let step_rtt = Duration::from_micros(50);
-    let reset_rtt = Duration::from_micros(100);
+    let step_rtt = SimDuration::from_micros(50);
+    let reset_rtt = SimDuration::from_micros(100);
     // Equivalence-testing-heavy configuration: random testing dominates the
     // query volume, which is exactly the batchable part of learning.
     let latency_config = LearnConfig {
@@ -845,89 +908,125 @@ pub fn exp_parallel_learning(workers: usize) -> (Report, String) {
     ));
     let mut json_scenarios: Vec<(String, serde_json::Value)> = Vec::new();
 
-    type Runner = Box<dyn Fn(LearnConfig) -> (ThroughputSample, MealyMachine)>;
-    let tcp_latency = move || LatencySulFactory::new(TcpSulFactory::default(), step_rtt, reset_rtt);
-    let quic_latency = move || {
+    let tcp_latency = || LatencySulFactory::new(TcpSulFactory::default(), step_rtt, reset_rtt);
+    let quic_latency = || {
         LatencySulFactory::new(
             QuicSulFactory::new(ImplementationProfile::google(), 3),
             step_rtt,
             reset_rtt,
         )
     };
-    let scenarios: Vec<(&str, LearnConfig, Runner, Runner)> = vec![
-        (
-            "tcp",
-            latency_config.clone(),
-            Box::new(move |c| time_sequential(&mut tcp_latency().create(), &tcp_alphabet(), c)),
-            Box::new(move |c| time_parallel(&tcp_latency(), &tcp_alphabet(), c)),
-        ),
-        (
-            "quic_google",
-            latency_config.clone(),
-            Box::new(move |c| {
-                time_sequential(&mut quic_latency().create(), &quic_data_alphabet(), c)
-            }),
-            Box::new(move |c| time_parallel(&quic_latency(), &quic_data_alphabet(), c)),
-        ),
-        (
-            "tcp_cpu_bound",
-            cpu_config.clone(),
-            Box::new(|c| time_sequential(&mut TcpSul::with_defaults(), &tcp_alphabet(), c)),
-            Box::new(|c| time_parallel(&TcpSulFactory::default(), &tcp_alphabet(), c)),
-        ),
-        (
-            "quic_google_cpu_bound",
-            cpu_config.clone(),
-            Box::new(|c| {
-                time_sequential(
-                    &mut QuicSul::new(ImplementationProfile::google(), 3),
-                    &quic_data_alphabet(),
-                    c,
-                )
-            }),
-            Box::new(|c| {
-                time_parallel(
-                    &QuicSulFactory::new(ImplementationProfile::google(), 3),
-                    &quic_data_alphabet(),
-                    c,
-                )
-            }),
-        ),
-    ];
 
-    for (name, config, sequential, parallel) in scenarios {
-        let (seq, seq_model) = sequential(config.clone());
-        let (par, par_model) = parallel(config.with_workers(workers));
+    let mut record =
+        |name: &str, seq: ThroughputSample, par: ThroughputSample, rtt_modelled: bool| {
+            let speedup = basis_seconds(&seq) / basis_seconds(&par).max(1e-9);
+            let unit = if rtt_modelled { "virtual s" } else { "s" };
+            report
+                .row(
+                    format!("{name}: sequential"),
+                    format!(
+                        "{:.3}{unit}, {} queries, {} symbols, {:.0} symbols/s",
+                        basis_seconds(&seq),
+                        seq.membership_queries,
+                        seq.symbols_sent,
+                        seq.symbols_per_sec
+                    ),
+                )
+                .row(
+                    format!("{name}: {workers} workers"),
+                    format!(
+                        "{:.3}{unit}, {} queries, {} symbols, {:.0} symbols/s",
+                        basis_seconds(&par),
+                        par.membership_queries,
+                        par.symbols_sent,
+                        par.symbols_per_sec
+                    ),
+                )
+                .row(format!("{name}: speedup"), format!("{speedup:.2}x"))
+                .row(format!("{name}: models equivalent"), true);
+            json_scenarios.push((
+                name.to_string(),
+                serde_json::Value::Map(vec![
+                    ("sequential".to_string(), sample_json(&seq)),
+                    (format!("parallel_{workers}"), sample_json(&par)),
+                    ("speedup".to_string(), serde_json::Value::F64(speedup)),
+                ]),
+            ));
+        };
+
+    // Latency-modelled scenarios: virtual-time throughput.
+    {
+        let (seq, seq_model) = time_sequential_rtt(
+            &mut tcp_latency().create(),
+            &tcp_alphabet(),
+            latency_config.clone(),
+        );
+        let (par, par_model, _) = time_parallel(
+            &tcp_latency(),
+            &tcp_alphabet(),
+            latency_config.clone().with_workers(workers),
+            true,
+        );
         assert!(
             machines_equivalent(&seq_model, &par_model),
-            "{name}: parallel learning must produce the sequential model"
+            "tcp: parallel learning must produce the sequential model"
         );
-        let speedup = seq.seconds / par.seconds.max(1e-9);
-        report
-            .row(
-                format!("{name}: sequential"),
-                format!(
-                    "{:.3}s, {} queries, {} symbols, {:.0} symbols/s",
-                    seq.seconds, seq.membership_queries, seq.symbols_sent, seq.symbols_per_sec
-                ),
-            )
-            .row(
-                format!("{name}: {workers} workers"),
-                format!(
-                    "{:.3}s, {} queries, {} symbols, {:.0} symbols/s",
-                    par.seconds, par.membership_queries, par.symbols_sent, par.symbols_per_sec
-                ),
-            )
-            .row(format!("{name}: speedup"), format!("{speedup:.2}x"))
-            .row(format!("{name}: models equivalent"), true);
-        json_scenarios.push((
-            name.to_string(),
-            serde_json::Value::Map(vec![
-                ("sequential".to_string(), sample_json(&seq)),
-                (format!("parallel_{workers}"), sample_json(&par)),
-                ("speedup".to_string(), serde_json::Value::F64(speedup)),
-            ]),
-        ));
+        record("tcp", seq, par, true);
+    }
+    {
+        let (seq, seq_model) = time_sequential_rtt(
+            &mut quic_latency().create(),
+            &quic_data_alphabet(),
+            latency_config.clone(),
+        );
+        let (par, par_model, _) = time_parallel(
+            &quic_latency(),
+            &quic_data_alphabet(),
+            latency_config.clone().with_workers(workers),
+            true,
+        );
+        assert!(
+            machines_equivalent(&seq_model, &par_model),
+            "quic_google: parallel learning must produce the sequential model"
+        );
+        record("quic_google", seq, par, true);
+    }
+    // CPU-bound scenarios: wall-clock throughput of the raw simulators.
+    {
+        let (seq, seq_model) = time_sequential(
+            &mut TcpSul::with_defaults(),
+            &tcp_alphabet(),
+            cpu_config.clone(),
+        );
+        let (par, par_model, _) = time_parallel(
+            &TcpSulFactory::default(),
+            &tcp_alphabet(),
+            cpu_config.clone().with_workers(workers),
+            false,
+        );
+        assert!(
+            machines_equivalent(&seq_model, &par_model),
+            "tcp_cpu_bound: parallel learning must produce the sequential model"
+        );
+        record("tcp_cpu_bound", seq, par, false);
+    }
+    {
+        let (seq, seq_model) = time_sequential(
+            &mut QuicSul::new(ImplementationProfile::google(), 3),
+            &quic_data_alphabet(),
+            cpu_config.clone(),
+        );
+        let (par, par_model, _) = time_parallel(
+            &QuicSulFactory::new(ImplementationProfile::google(), 3),
+            &quic_data_alphabet(),
+            cpu_config.clone().with_workers(workers),
+            false,
+        );
+        assert!(
+            machines_equivalent(&seq_model, &par_model),
+            "quic_google_cpu_bound: parallel learning must produce the sequential model"
+        );
+        record("quic_google_cpu_bound", seq, par, false);
     }
     // E16 rides along: the cold-vs-warm persistent-cache comparison joins
     // the same BENCH_learning.json trajectory.
@@ -970,11 +1069,202 @@ pub fn exp_parallel_learning(workers: usize) -> (Report, String) {
     (report, json)
 }
 
+/// E17 — in-flight-session scaling of the event-driven session engine.
+///
+/// Runs the simulated-RTT TCP scenario (50µs per symbol, 100µs per reset on
+/// the virtual clock) across engine shapes: 1 blocking worker (the
+/// baseline), 4 blocking workers (thread scaling), and 1 worker multiplexing
+/// {16, 64} in-flight sessions (event-driven scaling).  Reports virtual-time
+/// symbols/sec and scheduler occupancy per shape, asserts every shape learns
+/// an equivalent model with identical query-cost statistics, and asserts the
+/// headline claim: **one worker with 64 in-flight sessions beats 4 blocking
+/// workers outright and clears 8× the blocking single-worker throughput** —
+/// under latency, throughput comes from keeping requests in flight, not
+/// from more threads.  The `exp_session_engine` binary appends the returned
+/// JSON scenario to `BENCH_learning.json`.
+pub fn exp_session_engine() -> (Report, serde_json::Value) {
+    use prognosis_automata::equivalence::machines_equivalent;
+    let step_rtt = SimDuration::from_micros(50);
+    let reset_rtt = SimDuration::from_micros(100);
+    let factory = LatencySulFactory::new(TcpSulFactory::default(), step_rtt, reset_rtt);
+    let config = LearnConfig {
+        seed: 7,
+        random_tests: 2_000,
+        min_word_len: 2,
+        max_word_len: 10,
+        eq_batch_size: 512,
+        ..LearnConfig::default()
+    };
+
+    let shapes: [(&str, usize, usize); 4] = [
+        ("workers1_inflight1", 1, 1),
+        ("workers4_inflight1", 4, 1),
+        ("workers1_inflight16", 1, 16),
+        ("workers1_inflight64", 1, 64),
+    ];
+    let mut report = Report::new(
+        "E17 — session-engine in-flight scaling (1 worker × {1,16,64} sessions vs 4 blocking workers)",
+    );
+    let mut json_fields: Vec<(String, serde_json::Value)> = Vec::new();
+    let mut samples: Vec<(ThroughputSample, EngineStats)> = Vec::new();
+    let mut baseline: Option<(MealyMachine, u64, u64)> = None;
+
+    for (name, workers, max_inflight) in shapes {
+        let start = std::time::Instant::now();
+        let outcome = learn_model_parallel(
+            &factory,
+            &tcp_alphabet(),
+            config
+                .clone()
+                .with_workers(workers)
+                .with_max_inflight(max_inflight),
+        )
+        .expect("parallel learning succeeds");
+        let seconds = start.elapsed().as_secs_f64();
+        let virtual_seconds = outcome.engine.virtual_elapsed_micros as f64 / 1e6;
+        let sample = throughput(
+            seconds,
+            Some(virtual_seconds),
+            outcome.learned.stats.membership_queries,
+            outcome.sul_stats.symbols_sent,
+            outcome.learned.model.num_states(),
+        );
+        match &baseline {
+            None => {
+                baseline = Some((
+                    outcome.learned.model.clone(),
+                    outcome.learned.stats.fresh_symbols,
+                    outcome.learned.stats.equivalence_tests,
+                ));
+            }
+            Some((model, fresh, eq_tests)) => {
+                assert!(
+                    machines_equivalent(model, &outcome.learned.model),
+                    "{name}: engine shape changed the learned model"
+                );
+                assert_eq!(
+                    *fresh, outcome.learned.stats.fresh_symbols,
+                    "{name}: engine shape changed the fresh-symbol cost"
+                );
+                assert_eq!(
+                    *eq_tests, outcome.learned.stats.equivalence_tests,
+                    "{name}: engine shape changed the equivalence-test count"
+                );
+            }
+        }
+        report.row(
+            name.to_string(),
+            format!(
+                "{:.3} virtual s, {:.0} symbols/s, occupancy {:.2}, {} clock advances",
+                virtual_seconds,
+                sample.symbols_per_sec,
+                outcome.engine.occupancy(),
+                outcome.engine.clock_advances
+            ),
+        );
+        let mut fields = match sample_json(&sample) {
+            serde_json::Value::Map(fields) => fields,
+            _ => unreachable!("sample_json returns a map"),
+        };
+        fields.push((
+            "occupancy".to_string(),
+            serde_json::Value::F64(outcome.engine.occupancy()),
+        ));
+        fields.push((
+            "clock_advances".to_string(),
+            serde_json::Value::U64(outcome.engine.clock_advances),
+        ));
+        fields.push((
+            "peak_inflight".to_string(),
+            serde_json::Value::U64(outcome.engine.peak_inflight),
+        ));
+        json_fields.push((name.to_string(), serde_json::Value::Map(fields)));
+        samples.push((sample, outcome.engine));
+    }
+
+    let blocking1 = samples[0].0.symbols_per_sec;
+    let blocking4 = samples[1].0.symbols_per_sec;
+    let inflight64 = samples[3].0.symbols_per_sec;
+    let speedup64 = inflight64 / blocking1.max(1e-9);
+    assert!(
+        speedup64 >= 8.0,
+        "1 worker × 64 sessions must clear 8× the blocking single-worker \
+         throughput (got {speedup64:.2}x)"
+    );
+    assert!(
+        inflight64 > blocking4,
+        "1 worker × 64 sessions must beat 4 blocking workers outright \
+         ({inflight64:.0} vs {blocking4:.0} symbols/s)"
+    );
+    report
+        .row(
+            "speedup: 1×64 sessions vs 1 blocking worker",
+            format!("{speedup64:.2}x"),
+        )
+        .row(
+            "speedup: 1×64 sessions vs 4 blocking workers",
+            format!("{:.2}x", inflight64 / blocking4.max(1e-9)),
+        )
+        .finding(
+            "identical models and query-cost statistics across every engine shape; \
+             throughput under simulated RTT comes from in-flight sessions, not threads",
+        );
+    json_fields.push((
+        "speedup_inflight64_vs_blocking1".to_string(),
+        serde_json::Value::F64(speedup64),
+    ));
+    json_fields.push((
+        "speedup_inflight64_vs_blocking4".to_string(),
+        serde_json::Value::F64(inflight64 / blocking4.max(1e-9)),
+    ));
+    (report, serde_json::Value::Map(json_fields))
+}
+
+/// Merges the E17 scenario into an existing `BENCH_learning.json` document
+/// (or builds a fresh one), returning the rendered file contents.
+pub fn merge_session_engine_scenario(
+    existing: Option<&str>,
+    scenario: serde_json::Value,
+) -> String {
+    let mut document = existing
+        .and_then(|text| serde_json::from_str::<ValueDocIn>(text).ok())
+        .map(|doc| doc.0)
+        .unwrap_or_else(|| {
+            serde_json::Value::Map(vec![(
+                "experiment".to_string(),
+                serde_json::Value::Str("parallel_learning".to_string()),
+            )])
+        });
+    if let serde_json::Value::Map(fields) = &mut document {
+        let scenarios = fields.iter_mut().find(|(k, _)| k == "scenarios");
+        match scenarios {
+            Some((_, serde_json::Value::Map(scenarios))) => {
+                scenarios.retain(|(k, _)| k != "session_engine");
+                scenarios.push(("session_engine".to_string(), scenario));
+            }
+            _ => fields.push((
+                "scenarios".to_string(),
+                serde_json::Value::Map(vec![("session_engine".to_string(), scenario)]),
+            )),
+        }
+    }
+    serde_json::to_string_pretty(&ValueDoc(document)).expect("render BENCH json")
+}
+
 /// Wrapper making a pre-built JSON value serializable through the shim.
 struct ValueDoc(serde_json::Value);
 
 impl serde::Serialize for ValueDoc {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         serializer.serialize_value(self.0.clone())
+    }
+}
+
+/// Wrapper parsing a JSON document into the shim's raw value tree.
+struct ValueDocIn(serde_json::Value);
+
+impl<'de> serde::Deserialize<'de> for ValueDocIn {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.into_value().map(ValueDocIn)
     }
 }

@@ -16,14 +16,20 @@
 //!   built on the instrumented reference implementations from
 //!   `prognosis-tcp` and `prognosis-quic-sim`, enforcing properties (1)–(5)
 //!   of §3.2.
-//! * [`parallel`] — the batched, parallel membership-query engine: a
-//!   [`sul::SulFactory`] mints independent SUL instances and
-//!   [`parallel::ParallelSulOracle`] shards query batches across worker
-//!   threads, deterministically.
+//! * [`session`] — the event-driven session engine: [`session::SessionSul`]
+//!   is a non-blocking query session polled against a virtual clock
+//!   ([`session::SharedClock`]), and [`session::SessionScheduler`]
+//!   multiplexes many in-flight sessions on one thread, advancing the clock
+//!   to the next deadline instead of sleeping.
+//! * [`parallel`] — the parallel membership-query engine: a
+//!   [`session::SessionSulFactory`] mints independent query sessions and
+//!   [`parallel::ParallelSulOracle`] runs a per-worker session scheduler
+//!   with dynamic work-pulling dispatch — model- and statistics-identical
+//!   to a sequential run for any `(workers, max_inflight)`.
 //! * [`pipeline`] — end-to-end orchestration: learn a Mealy model of a SUL
-//!   (sequentially or with parallel workers), optionally synthesize a
-//!   register machine from the Oracle Table, and hand both to the analysis
-//!   crate.
+//!   (sequentially or with parallel session workers), optionally synthesize
+//!   a register machine from the Oracle Table, and hand both to the
+//!   analysis crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,16 +40,22 @@ pub mod oracle_table;
 pub mod parallel;
 pub mod pipeline;
 pub mod quic_adapter;
+pub mod session;
 pub mod sul;
 pub mod tcp_adapter;
 
 pub use latency::{LatencySul, LatencySulFactory};
 pub use nondeterminism::{NondeterminismChecker, NondeterminismReport};
 pub use oracle_table::{HasOracleTable, OracleTable};
-pub use parallel::ParallelSulOracle;
+pub use parallel::{EngineShutdown, ParallelSulOracle};
 pub use pipeline::{
-    learn_model, learn_model_parallel, LearnConfig, LearnedModel, ParallelLearnOutcome,
+    learn_model, learn_model_parallel, LearnConfig, LearnError, LearnedModel, ParallelLearnOutcome,
 };
 pub use quic_adapter::{quic_alphabet, quic_data_alphabet, QuicSul, QuicSulFactory};
+pub use session::{
+    BlockingSession, BlockingSessionFactory, EngineStats, SchedulerStats, SessionPoll,
+    SessionScheduler, SessionSul, SessionSulFactory, SharedClock, SimDuration, SimTime,
+    TimedSession, TimedSul,
+};
 pub use sul::{replay_query, Sul, SulFactory, SulMembershipOracle, SulStats};
 pub use tcp_adapter::{tcp_alphabet, TcpSul, TcpSulFactory};

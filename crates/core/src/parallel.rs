@@ -1,93 +1,198 @@
-//! Parallel membership-query execution across independent SUL instances.
+//! Parallel, multiplexed membership-query execution across session workers.
 //!
 //! Learning wall-clock time is dominated by membership queries replayed
 //! symbol-by-symbol against the SUL (§4.1).  Queries within a batch are
 //! independent — each starts from a reset — so they can run concurrently on
 //! *separate* SUL instances.  [`ParallelSulOracle`] owns `N` worker
-//! threads, each holding one SUL minted by a [`SulFactory`]; a batch is
-//! sharded over the workers by a fixed `index % N` assignment and the
-//! answers are merged back in query order.  Because every SUL instance is
-//! deterministic per query (§3.2 property 3), the merged answers — and
-//! therefore the learned model — are bit-identical to a sequential run,
-//! regardless of the worker count.
+//! threads, each running a [`SessionScheduler`] that multiplexes up to
+//! `max_inflight` concurrent query sessions on a virtual clock; a batch is
+//! published to a shared work queue and workers **pull** queries
+//! dynamically as their sessions free up (replacing the old static
+//! `index % N` sharding), so a slow query never idles the rest of the
+//! fleet.  Answers are merged back in query order.  Because every session's
+//! SUL is deterministic per query (§3.2 property 3) and answers are pure,
+//! the merged answers — and therefore the learned model and all query-cost
+//! statistics — are bit-identical to a sequential run, regardless of
+//! `(workers, max_inflight)` or which worker happens to grab which query.
 
-use crate::sul::{replay_query, Sul, SulFactory, SulStats};
+use crate::pipeline::{panic_message, LearnError};
+use crate::session::{
+    add_stats, EngineStats, SchedulerStats, SessionScheduler, SessionSul, SessionSulFactory,
+    SimTime,
+};
+use crate::sul::SulStats;
 use prognosis_automata::word::{InputWord, OutputWord};
 use prognosis_learner::oracle::MembershipOracle;
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-/// One batch shard sent to a worker: `(original index, query)` pairs.
-type Job = Vec<(usize, InputWord)>;
+/// One queued query: `(original batch index, input word)`.
+type Job = (usize, InputWord);
 
-/// A worker's answer: the answered shard plus a stats snapshot of its SUL.
-type Reply = (Vec<(usize, OutputWord)>, SulStats);
-
-struct Worker<S> {
-    job_tx: Sender<Job>,
-    reply_rx: Receiver<Reply>,
-    handle: JoinHandle<S>,
-    /// Stats snapshot from the worker's most recent reply.
-    last_stats: SulStats,
+enum Reply {
+    Answer {
+        index: usize,
+        output: OutputWord,
+    },
+    /// A worker's session panicked; the message is the panic payload.
+    Dead {
+        worker: usize,
+        message: String,
+    },
 }
 
-/// A membership oracle that shards query batches across worker threads,
-/// each owning an independent SUL instance.
-pub struct ParallelSulOracle<S> {
-    workers: Vec<Worker<S>>,
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// The shared dispatcher ⇄ worker state: a work queue plus its condvar.
+struct Shared {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+}
+
+impl Shared {
+    /// What a worker should do next given its free capacity and whether it
+    /// still has queries in flight.  Blocks only when the worker is
+    /// completely idle (an in-flight scheduler must keep driving its
+    /// virtual clock instead of sleeping on the queue).
+    fn next_jobs(&self, capacity: usize, idle: bool) -> WorkerCommand {
+        let mut q = self.queue.lock().expect("work queue poisoned");
+        loop {
+            if capacity > 0 && !q.jobs.is_empty() {
+                let take = capacity.min(q.jobs.len());
+                return WorkerCommand::Jobs(q.jobs.drain(..take).collect());
+            }
+            if !idle {
+                return WorkerCommand::Jobs(Vec::new());
+            }
+            if q.shutdown {
+                return WorkerCommand::Exit;
+            }
+            q = self.available.wait(q).expect("work queue poisoned");
+        }
+    }
+}
+
+enum WorkerCommand {
+    Jobs(Vec<Job>),
+    Exit,
+}
+
+/// Live counters one worker publishes while running.
+#[derive(Clone, Copy, Default)]
+struct WorkerSnapshot {
+    sul: SulStats,
+    scheduler: SchedulerStats,
+}
+
+struct Worker<Sn> {
+    handle: JoinHandle<(Vec<Sn>, SchedulerStats)>,
+    snapshot: Arc<Mutex<WorkerSnapshot>>,
+}
+
+/// A membership oracle that fans query batches out to worker threads, each
+/// multiplexing `max_inflight` concurrent SUL sessions on virtual time.
+pub struct ParallelSulOracle<Sn: SessionSul> {
+    shared: Arc<Shared>,
+    reply_rx: Receiver<Reply>,
+    workers: Vec<Worker<Sn>>,
+    max_inflight: usize,
     queries: u64,
     batches: u64,
 }
 
-impl<S: Sul + Send + 'static> ParallelSulOracle<S> {
-    /// Spawns `workers` threads, each with a fresh SUL from `factory`.
+/// The result of shutting the engine down: the session SULs (adapter-side
+/// state flushed) plus the aggregated engine statistics.
+pub struct EngineShutdown<S> {
+    /// All session SULs, worker-major (worker 0's sessions first).  With
+    /// `max_inflight` = 1 this is exactly one SUL per worker.
+    pub suls: Vec<S>,
+    /// Aggregated scheduler statistics across all workers.
+    pub engine: EngineStats,
+}
+
+impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
+    /// Spawns `workers` threads with one session each (the blocking
+    /// configuration: parallelism without multiplexing).
     ///
     /// # Panics
     /// Panics when `workers` is zero.
     pub fn spawn<F>(factory: &F, workers: usize) -> Self
     where
-        F: SulFactory<Sul = S>,
+        F: SessionSulFactory<Session = Sn>,
+    {
+        Self::spawn_with(factory, workers, 1)
+    }
+
+    /// Spawns `workers` threads, each multiplexing `max_inflight` sessions
+    /// minted by `factory` over one shared virtual clock.
+    ///
+    /// # Panics
+    /// Panics when `workers` or `max_inflight` is zero.
+    pub fn spawn_with<F>(factory: &F, workers: usize, max_inflight: usize) -> Self
+    where
+        F: SessionSulFactory<Session = Sn>,
     {
         assert!(workers >= 1, "a parallel oracle needs at least one worker");
+        assert!(max_inflight >= 1, "each worker needs at least one session");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let (reply_tx, reply_rx) = channel::<Reply>();
         let workers = (0..workers)
-            .map(|_| {
-                let mut sul = factory.create();
-                let (job_tx, job_rx) = channel::<Job>();
-                let (reply_tx, reply_rx) = channel::<Reply>();
+            .map(|worker_id| {
+                let sessions: Vec<Sn> = (0..max_inflight)
+                    .map(|_| factory.create_session())
+                    .collect();
+                let shared = Arc::clone(&shared);
+                let reply_tx = reply_tx.clone();
+                let snapshot = Arc::new(Mutex::new(WorkerSnapshot::default()));
+                let published = Arc::clone(&snapshot);
                 let handle = std::thread::spawn(move || {
-                    while let Ok(job) = job_rx.recv() {
-                        let answers: Vec<(usize, OutputWord)> = job
-                            .iter()
-                            .map(|(index, input)| (*index, replay_query(&mut sul, input)))
-                            .collect();
-                        if reply_tx.send((answers, sul.stats())).is_err() {
-                            break;
-                        }
+                    let mut scheduler = SessionScheduler::new(sessions);
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        worker_loop(&shared, &mut scheduler, &reply_tx, &published);
+                    }));
+                    if let Err(payload) = outcome {
+                        let _ = reply_tx.send(Reply::Dead {
+                            worker: worker_id,
+                            message: panic_message(payload.as_ref()),
+                        });
+                        std::panic::resume_unwind(payload);
                     }
-                    // A final reset flushes the last query into adapter-side
-                    // state (e.g. the Oracle Table) before the SUL is
-                    // handed back.
-                    sul.reset();
-                    sul
+                    let stats = scheduler.stats();
+                    (scheduler.into_sessions(), stats)
                 });
-                Worker {
-                    job_tx,
-                    reply_rx,
-                    handle,
-                    last_stats: SulStats::default(),
-                }
+                Worker { handle, snapshot }
             })
             .collect();
         ParallelSulOracle {
+            shared,
+            reply_rx,
             workers,
+            max_inflight,
             queries: 0,
             batches: 0,
         }
     }
 
-    /// Number of worker threads (and SUL instances).
+    /// Number of worker threads.
     pub fn num_workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Session slots per worker.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
     }
 
     /// Number of batches dispatched so far.
@@ -95,71 +200,162 @@ impl<S: Sul + Send + 'static> ParallelSulOracle<S> {
         self.batches
     }
 
-    /// Aggregated interaction counters across all worker SULs.
+    /// Aggregated interaction counters across all worker sessions, as of
+    /// the most recently answered batch.
     pub fn stats(&self) -> SulStats {
         self.workers
             .iter()
-            .fold(SulStats::default(), |acc, w| SulStats {
-                symbols_sent: acc.symbols_sent + w.last_stats.symbols_sent,
-                resets: acc.resets + w.last_stats.resets,
-                concrete_packets_sent: acc.concrete_packets_sent
-                    + w.last_stats.concrete_packets_sent,
-                concrete_packets_received: acc.concrete_packets_received
-                    + w.last_stats.concrete_packets_received,
-            })
+            .map(|w| w.snapshot.lock().expect("snapshot poisoned").sul)
+            .fold(SulStats::default(), add_stats)
     }
 
-    /// Shuts the workers down and returns their SULs (e.g. to merge Oracle
-    /// Tables for the synthesis stage).  Worker `i`'s SUL is at index `i`;
-    /// each has been reset so any pending query is flushed into its
-    /// adapter-side state.
-    pub fn into_suls(self) -> Vec<S> {
-        self.workers
-            .into_iter()
-            .map(|worker| {
-                drop(worker.job_tx);
-                drop(worker.reply_rx);
-                worker.handle.join().expect("SUL worker thread panicked")
-            })
-            .collect()
+    /// Aggregated engine statistics, as of the most recently answered
+    /// batch (final numbers come from [`ParallelSulOracle::shutdown`]).
+    pub fn engine_stats(&self) -> EngineStats {
+        let mut engine = EngineStats {
+            workers: self.workers.len() as u64,
+            max_inflight: self.max_inflight as u64,
+            ..EngineStats::default()
+        };
+        for w in &self.workers {
+            engine.absorb(&w.snapshot.lock().expect("snapshot poisoned").scheduler);
+        }
+        engine
+    }
+
+    /// Shuts the workers down, flushes every session (a final reset pushes
+    /// the last query into adapter-side state such as the Oracle Table) and
+    /// returns the session SULs plus final engine statistics.  A worker
+    /// that panicked surfaces as [`LearnError::WorkerPanicked`] instead of
+    /// poisoning the caller.
+    pub fn shutdown(mut self) -> Result<EngineShutdown<Sn::Sul>, LearnError> {
+        {
+            let mut q = self.shared.queue.lock().expect("work queue poisoned");
+            q.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        let mut engine = EngineStats {
+            workers: self.workers.len() as u64,
+            max_inflight: self.max_inflight as u64,
+            ..EngineStats::default()
+        };
+        let mut suls = Vec::with_capacity(self.workers.len() * self.max_inflight);
+        for (worker_id, worker) in std::mem::take(&mut self.workers).into_iter().enumerate() {
+            let (sessions, stats) =
+                worker
+                    .handle
+                    .join()
+                    .map_err(|payload| LearnError::WorkerPanicked {
+                        worker: worker_id,
+                        message: panic_message(payload.as_ref()),
+                    })?;
+            engine.absorb(&stats);
+            for mut session in sessions {
+                session.start_reset(SimTime::ZERO);
+                suls.push(session.into_sul());
+            }
+        }
+        Ok(EngineShutdown { suls, engine })
+    }
+
+    /// Shuts down and returns just the session SULs (see
+    /// [`ParallelSulOracle::shutdown`]).
+    pub fn into_suls(self) -> Result<Vec<Sn::Sul>, LearnError> {
+        self.shutdown().map(|s| s.suls)
     }
 
     fn dispatch(&mut self, inputs: &[InputWord]) -> Vec<OutputWord> {
         self.batches += 1;
         self.queries += inputs.len() as u64;
-        let n = self.workers.len();
-        // Fixed shard→worker assignment: query i goes to worker i % n.  The
-        // assignment is part of the oracle's deterministic contract — every
-        // worker sees the same query stream on every run with this config.
-        let mut shards: Vec<Job> = vec![Vec::new(); n];
-        for (index, input) in inputs.iter().enumerate() {
-            shards[index % n].push((index, input.clone()));
+        {
+            let mut q = self.shared.queue.lock().expect("work queue poisoned");
+            q.jobs.extend(inputs.iter().cloned().enumerate());
         }
-        let active: Vec<bool> = shards.iter().map(|shard| !shard.is_empty()).collect();
-        for (worker, shard) in self.workers.iter().zip(shards) {
-            if !shard.is_empty() {
-                worker.job_tx.send(shard).expect("SUL worker hung up");
-            }
-        }
+        self.shared.available.notify_all();
         let mut results: Vec<Option<OutputWord>> = vec![None; inputs.len()];
-        for (worker, is_active) in self.workers.iter_mut().zip(active) {
-            if !is_active {
-                continue;
-            }
-            let (answers, stats) = worker.reply_rx.recv().expect("SUL worker hung up");
-            worker.last_stats = stats;
-            for (index, output) in answers {
-                results[index] = Some(output);
+        let mut received = 0;
+        while received < inputs.len() {
+            match self.reply_rx.recv() {
+                Ok(Reply::Answer { index, output }) => {
+                    debug_assert!(results[index].is_none(), "query answered twice");
+                    results[index] = Some(output);
+                    received += 1;
+                }
+                Ok(Reply::Dead { worker, message }) => {
+                    // Relay the worker's death up through the learning loop;
+                    // `learn_model_parallel` converts it into a `LearnError`.
+                    std::panic::panic_any(LearnError::WorkerPanicked { worker, message });
+                }
+                Err(_) => {
+                    std::panic::panic_any(LearnError::EnginePanicked {
+                        message: "all session workers exited mid-batch".to_string(),
+                    });
+                }
             }
         }
         results
             .into_iter()
-            .map(|out| out.expect("every query index answered by its worker"))
+            .map(|out| out.expect("every query index answered"))
             .collect()
     }
 }
 
-impl<S: Sul + Send + 'static> MembershipOracle for ParallelSulOracle<S> {
+impl<Sn: SessionSul> Drop for ParallelSulOracle<Sn> {
+    fn drop(&mut self) {
+        // A dropped oracle (e.g. during a panic unwind) must not leak
+        // blocked worker threads.
+        if self.workers.is_empty() {
+            return;
+        }
+        if let Ok(mut q) = self.shared.queue.lock() {
+            q.shutdown = true;
+            q.jobs.clear();
+        }
+        self.shared.available.notify_all();
+        for worker in std::mem::take(&mut self.workers) {
+            let _ = worker.handle.join();
+        }
+    }
+}
+
+fn worker_loop<Sn: SessionSul>(
+    shared: &Shared,
+    scheduler: &mut SessionScheduler<Sn>,
+    reply_tx: &Sender<Reply>,
+    snapshot: &Arc<Mutex<WorkerSnapshot>>,
+) {
+    loop {
+        match shared.next_jobs(scheduler.capacity(), scheduler.is_idle()) {
+            WorkerCommand::Exit => return,
+            WorkerCommand::Jobs(jobs) => {
+                for (index, input) in jobs {
+                    scheduler.submit(index, input);
+                }
+            }
+        }
+        if scheduler.is_idle() {
+            continue; // Woken without work; re-check the queue.
+        }
+        let completed = scheduler.drive();
+        if completed.is_empty() {
+            continue;
+        }
+        // Publish counters *before* the answers so `stats()` reads taken
+        // after a batch returns always cover that batch.
+        {
+            let mut snap = snapshot.lock().expect("snapshot poisoned");
+            snap.sul = scheduler.sul_stats();
+            snap.scheduler = scheduler.stats();
+        }
+        for (index, output) in completed {
+            if reply_tx.send(Reply::Answer { index, output }).is_err() {
+                return; // Dispatcher is gone; shut down quietly.
+            }
+        }
+    }
+}
+
+impl<Sn: SessionSul + Send + 'static> MembershipOracle for ParallelSulOracle<Sn> {
     fn query(&mut self, input: &InputWord) -> OutputWord {
         self.dispatch(std::slice::from_ref(input))
             .pop()
@@ -181,7 +377,8 @@ impl<S: Sul + Send + 'static> MembershipOracle for ParallelSulOracle<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sul::SulMembershipOracle;
+    use crate::session::BlockingSessionFactory;
+    use crate::sul::{Sul, SulFactory, SulMembershipOracle};
     use prognosis_automata::alphabet::Symbol;
     use prognosis_automata::known;
     use prognosis_automata::mealy::{MealyMachine, StateId};
@@ -229,6 +426,10 @@ mod tests {
         }
     }
 
+    fn session_factory(machine: MealyMachine) -> BlockingSessionFactory<MachineSulFactory> {
+        BlockingSessionFactory(MachineSulFactory(machine))
+    }
+
     fn words(machine: &MealyMachine, count: usize) -> Vec<InputWord> {
         let alphabet = machine.input_alphabet().clone();
         (0..count)
@@ -241,19 +442,20 @@ mod tests {
     }
 
     #[test]
-    fn parallel_answers_match_sequential_for_any_worker_count() {
+    fn parallel_answers_match_sequential_for_any_worker_and_inflight_count() {
         let machine = known::counter(5);
-        let factory = MachineSulFactory(machine.clone());
+        let factory = session_factory(machine.clone());
         let batch = words(&machine, 23);
-        let mut sequential = SulMembershipOracle::new(factory.create());
+        let mut sequential = SulMembershipOracle::new(MachineSulFactory(machine.clone()).create());
         let expected = sequential.query_batch(&batch);
-        for workers in [1, 2, 4, 7] {
-            let mut parallel = ParallelSulOracle::spawn(&factory, workers);
+        for (workers, inflight) in [(1, 1), (2, 1), (4, 3), (7, 1), (1, 8)] {
+            let mut parallel = ParallelSulOracle::spawn_with(&factory, workers, inflight);
             assert_eq!(parallel.num_workers(), workers);
+            assert_eq!(parallel.max_inflight(), inflight);
             let got = parallel.query_batch(&batch);
             assert_eq!(
                 got, expected,
-                "worker count {workers} changed batch answers"
+                "(workers, inflight) = ({workers}, {inflight}) changed batch answers"
             );
             assert_eq!(parallel.queries_answered(), batch.len() as u64);
         }
@@ -261,25 +463,76 @@ mod tests {
 
     #[test]
     fn single_queries_and_stats_flow_through() {
-        let machine = known::toggle();
-        let factory = MachineSulFactory(machine.clone());
+        let factory = session_factory(known::toggle());
         let mut parallel = ParallelSulOracle::spawn(&factory, 2);
         let word = InputWord::from_symbols(["press", "press", "press"]);
         let out = parallel.query(&word);
-        assert_eq!(out, machine.run(&word).unwrap());
+        assert_eq!(out, known::toggle().run(&word).unwrap());
         assert_eq!(parallel.stats().symbols_sent, 3);
         assert_eq!(parallel.stats().resets, 1);
         assert_eq!(parallel.batches_dispatched(), 1);
-        let suls = parallel.into_suls();
+        let suls = parallel.into_suls().expect("clean shutdown");
         assert_eq!(suls.len(), 2);
         assert_eq!(suls.iter().map(|s| s.stats().symbols_sent).sum::<u64>(), 3);
     }
 
     #[test]
     fn empty_batches_are_answered_without_dispatch() {
-        let factory = MachineSulFactory(known::toggle());
+        let factory = session_factory(known::toggle());
         let mut parallel = ParallelSulOracle::spawn(&factory, 3);
         assert!(parallel.query_batch(&[]).is_empty());
         assert_eq!(parallel.batches_dispatched(), 0);
+    }
+
+    #[test]
+    fn shutdown_reports_engine_statistics() {
+        let machine = known::counter(4);
+        let factory = session_factory(machine.clone());
+        let mut parallel = ParallelSulOracle::spawn_with(&factory, 2, 3);
+        parallel.query_batch(&words(&machine, 12));
+        let shutdown = parallel.shutdown().expect("clean shutdown");
+        assert_eq!(shutdown.suls.len(), 6, "2 workers × 3 sessions");
+        assert_eq!(shutdown.engine.workers, 2);
+        assert_eq!(shutdown.engine.max_inflight, 3);
+        assert_eq!(shutdown.engine.queries_completed, 12);
+    }
+
+    /// A SUL that panics on a poisoned symbol, for the error-path test.
+    struct PanickySul;
+
+    impl Sul for PanickySul {
+        fn step(&mut self, input: &Symbol) -> Symbol {
+            assert!(input.as_str() != "poison", "poisoned symbol");
+            Symbol::new("ok")
+        }
+
+        fn reset(&mut self) {}
+    }
+
+    struct PanickySulFactory;
+
+    impl SulFactory for PanickySulFactory {
+        type Sul = PanickySul;
+
+        fn create(&self) -> PanickySul {
+            PanickySul
+        }
+    }
+
+    #[test]
+    fn panicking_workers_surface_as_learn_errors_not_hangs() {
+        let factory = BlockingSessionFactory(PanickySulFactory);
+        let mut parallel = ParallelSulOracle::spawn(&factory, 2);
+        let poisoned = vec![InputWord::from_symbols(["poison"])];
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel.query_batch(&poisoned);
+        }));
+        let payload = outcome.expect_err("the dispatcher must observe the worker death");
+        let error = payload
+            .downcast_ref::<LearnError>()
+            .expect("worker death is relayed as a LearnError");
+        assert!(matches!(error, LearnError::WorkerPanicked { .. }));
+        assert!(error.to_string().contains("poisoned symbol"));
+        drop(parallel); // must not hang or double-panic
     }
 }

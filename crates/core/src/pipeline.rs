@@ -13,8 +13,9 @@
 //! the same way (§3.2 property 3).
 
 use crate::oracle_table::{HasOracleTable, OracleTable};
-use crate::parallel::ParallelSulOracle;
-use crate::sul::{Sul, SulFactory, SulMembershipOracle, SulStats};
+use crate::parallel::{EngineShutdown, ParallelSulOracle};
+use crate::session::{EngineStats, SessionSul, SessionSulFactory};
+use crate::sul::{Sul, SulMembershipOracle, SulStats};
 use prognosis_automata::alphabet::Alphabet;
 use prognosis_automata::mealy::MealyMachine;
 use prognosis_learner::cache::CacheStore;
@@ -24,6 +25,46 @@ use prognosis_learner::stats::LearningStats;
 use prognosis_learner::trie::PrefixTrie;
 use prognosis_learner::{DTreeLearner, Learner};
 use serde::{Deserialize, Serialize};
+use std::panic::AssertUnwindSafe;
+
+/// The session-SUL type a [`SessionSulFactory`] ultimately hands back —
+/// what [`ParallelLearnOutcome::suls`] contains.
+pub type FactorySul<F> = <<F as SessionSulFactory>::Session as SessionSul>::Sul;
+
+/// Errors of the parallel learning engine.  A panicking worker SUL (or a
+/// panic anywhere in the learning loop) surfaces as a value instead of
+/// poisoning the pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LearnError {
+    /// A session worker thread panicked while answering queries.
+    WorkerPanicked {
+        /// Index of the worker that died.
+        worker: usize,
+        /// The panic payload, rendered.
+        message: String,
+    },
+    /// The learning loop itself panicked (learner invariant violation,
+    /// dispatcher failure, ...).
+    EnginePanicked {
+        /// The panic payload, rendered.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for LearnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LearnError::WorkerPanicked { worker, message } => {
+                write!(f, "session worker {worker} panicked: {message}")
+            }
+            LearnError::EnginePanicked { message } => {
+                write!(f, "learning engine panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LearnError {}
 
 /// Configuration of a learning run.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,6 +80,13 @@ pub struct LearnConfig {
     /// Number of parallel SUL workers ([`learn_model_parallel`] only; the
     /// borrowed-SUL path of [`learn_model`] is inherently single-instance).
     pub workers: usize,
+    /// Concurrent query sessions each worker multiplexes on its virtual
+    /// clock ([`learn_model_parallel`] only).  1 = the blocking model (one
+    /// query at a time per worker); raise it to overlap simulated round
+    /// trips — under RTT-dominated workloads throughput scales roughly
+    /// linearly up to the membership batch size.  Answers and all query
+    /// statistics are identical for every value.
+    pub max_inflight: usize,
     /// Number of equivalence-test words dispatched per membership batch.
     pub eq_batch_size: usize,
     /// Where to persist the observation cache across runs (`None` disables
@@ -63,6 +111,7 @@ impl Default for LearnConfig {
             min_word_len: 2,
             max_word_len: 10,
             workers: 1,
+            max_inflight: 1,
             eq_batch_size: DEFAULT_EQ_BATCH_SIZE,
             cache_path: None,
             warm_start: true,
@@ -75,6 +124,14 @@ impl LearnConfig {
     pub fn with_workers(mut self, workers: usize) -> Self {
         assert!(workers >= 1, "learning needs at least one worker");
         self.workers = workers;
+        self
+    }
+
+    /// Returns the configuration with the given per-worker in-flight
+    /// session count.
+    pub fn with_max_inflight(mut self, max_inflight: usize) -> Self {
+        assert!(max_inflight >= 1, "each worker needs at least one session");
+        self.max_inflight = max_inflight;
         self
     }
 
@@ -101,16 +158,22 @@ pub struct LearnedModel {
     pub distinct_queries: usize,
 }
 
-/// The result of a parallel learning run, including the worker SULs (whose
-/// Oracle Tables feed the synthesis stage).
+/// The result of a parallel learning run, including the session SULs
+/// (whose Oracle Tables feed the synthesis stage).
 pub struct ParallelLearnOutcome<S> {
     /// The learned model and query statistics.
     pub learned: LearnedModel,
-    /// The worker SULs, reset so their adapter-side state (Oracle Tables)
-    /// is fully flushed.  Worker `i` is at index `i`.
+    /// The session SULs, reset so their adapter-side state (Oracle Tables)
+    /// is fully flushed.  Worker-major: worker `i`'s `max_inflight`
+    /// sessions occupy indices `i·max_inflight ..`; with `max_inflight` = 1
+    /// this is exactly one SUL per worker.
     pub suls: Vec<S>,
-    /// Aggregated SUL interaction counters across all workers.
+    /// Aggregated SUL interaction counters across all sessions.
     pub sul_stats: SulStats,
+    /// Session-engine statistics: virtual makespan, scheduler occupancy,
+    /// clock advances.  `engine.virtual_elapsed()` is the denominator of
+    /// virtual-time throughput in the benchmarks.
+    pub engine: EngineStats,
 }
 
 impl<S: HasOracleTable> ParallelLearnOutcome<S> {
@@ -190,6 +253,7 @@ fn run_learner<M: MembershipOracle>(
     let result = learner.learn(&mut membership, &mut equivalence);
     let mut stats = result.stats;
     stats.fresh_symbols = membership.fresh_symbols();
+    stats.equivalence_tests = equivalence.tests_executed();
     let learned = LearnedModel {
         model: result.model,
         stats,
@@ -218,37 +282,73 @@ pub fn learn_model<S: Sul>(sul: &mut S, alphabet: &Alphabet, config: LearnConfig
     learned
 }
 
-/// Learns a Mealy model over `alphabet` with `config.workers` parallel SUL
-/// instances minted by `factory`.
+/// Learns a Mealy model over `alphabet` with `config.workers` parallel
+/// session workers, each multiplexing `config.max_inflight` concurrent
+/// query sessions minted by `factory` on a virtual clock.
 ///
-/// With a fixed seed the learned model is identical to [`learn_model`]'s on
-/// a SUL from the same factory, for any worker count — parallelism changes
-/// only the wall-clock time, never the answers.  The observation cache
-/// (see [`learn_model`]) is likewise worker-count independent: cold and
-/// warm runs produce the same model for any number of workers.
+/// With a fixed seed the learned model — and every query-cost statistic
+/// (`fresh_symbols`, `equivalence_tests`, `membership_queries`) — is
+/// identical to [`learn_model`]'s on a SUL from the same factory, for any
+/// `(workers, max_inflight)`: membership answers are pure and equivalence
+/// oracles resolve the first mismatch in suite order, so scheduling moves
+/// only virtual time.  The observation cache (see [`learn_model`]) is
+/// likewise configuration-independent.
+///
+/// A panicking worker (or learner) surfaces as a [`LearnError`] instead of
+/// poisoning the calling thread.
 pub fn learn_model_parallel<F>(
     factory: &F,
     alphabet: &Alphabet,
     config: LearnConfig,
-) -> ParallelLearnOutcome<F::Sul>
+) -> Result<ParallelLearnOutcome<FactorySul<F>>, LearnError>
 where
-    F: SulFactory,
-    F::Sul: Send + 'static,
+    F: SessionSulFactory,
+    F::Session: Send + 'static,
 {
-    // A throwaway instance reports the cache key; every worker SUL from
-    // the same factory shares it (the determinism property of §3.2).
-    let cache_key = factory.create().cache_key();
+    // A throwaway session reports the cache key; every session from the
+    // same factory shares it (the determinism property of §3.2).
+    let cache_key = factory.create_session().cache_key();
     let (warm, covers_disk) = warm_trie(&config, cache_key.as_deref(), alphabet);
-    let parallel = ParallelSulOracle::spawn(factory, config.workers.max(1));
+    let parallel =
+        ParallelSulOracle::spawn_with(factory, config.workers.max(1), config.max_inflight.max(1));
     let membership = CacheOracle::with_trie(parallel, warm);
-    let (learned, parallel, trie) = run_learner(alphabet, &config, membership);
+    let (learned, parallel, trie) = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+        run_learner(alphabet, &config, membership)
+    })) {
+        Ok(parts) => parts,
+        Err(payload) => return Err(learn_error_from_panic(payload)),
+    };
     persist_trie(&config, cache_key.as_deref(), alphabet, &trie, covers_disk);
     let sul_stats = parallel.stats();
-    let suls = parallel.into_suls();
-    ParallelLearnOutcome {
+    let EngineShutdown { suls, engine } = parallel.shutdown()?;
+    Ok(ParallelLearnOutcome {
         learned,
         suls,
         sul_stats,
+        engine,
+    })
+}
+
+/// Renders a panic payload for error reporting: string payloads verbatim,
+/// relayed [`LearnError`]s via their `Display`, anything else generically.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(e) = payload.downcast_ref::<LearnError>() {
+        e.to_string()
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+fn learn_error_from_panic(payload: Box<dyn std::any::Any + Send>) -> LearnError {
+    match payload.downcast::<LearnError>() {
+        Ok(error) => *error,
+        Err(payload) => LearnError::EnginePanicked {
+            message: panic_message(payload.as_ref()),
+        },
     }
 }
 
@@ -333,7 +433,8 @@ mod tests {
             &TcpSulFactory::default(),
             &tcp_alphabet(),
             config.with_workers(4),
-        );
+        )
+        .expect("parallel learning succeeds");
         assert!(
             machines_equivalent(&sequential.model, &outcome.learned.model),
             "4-worker parallel learning must produce a model equivalent to sequential"
@@ -374,7 +475,8 @@ mod tests {
             &QuicSulFactory::new(ImplementationProfile::google(), 3),
             &quic_data_alphabet(),
             config.with_workers(4),
-        );
+        )
+        .expect("parallel learning succeeds");
         assert!(
             machines_equivalent(&sequential.model, &outcome.learned.model),
             "4-worker parallel QUIC learning must match sequential"
@@ -390,17 +492,69 @@ mod tests {
         };
         let factory = TcpSulFactory::default();
         let baseline =
-            learn_model_parallel(&factory, &tcp_alphabet(), config.clone().with_workers(1));
-        for workers in [2, 3] {
+            learn_model_parallel(&factory, &tcp_alphabet(), config.clone().with_workers(1))
+                .expect("parallel learning succeeds");
+        for (workers, inflight) in [(2, 1), (3, 1), (1, 4), (2, 8)] {
             let outcome = learn_model_parallel(
                 &factory,
                 &tcp_alphabet(),
-                config.clone().with_workers(workers),
-            );
+                config
+                    .clone()
+                    .with_workers(workers)
+                    .with_max_inflight(inflight),
+            )
+            .expect("parallel learning succeeds");
             assert!(
                 machines_equivalent(&baseline.learned.model, &outcome.learned.model),
-                "worker count {workers} changed the learned model"
+                "(workers, max_inflight) = ({workers}, {inflight}) changed the learned model"
             );
+            assert_eq!(
+                baseline.learned.stats.fresh_symbols, outcome.learned.stats.fresh_symbols,
+                "(workers, max_inflight) = ({workers}, {inflight}) changed the fresh-symbol cost"
+            );
+            assert_eq!(outcome.suls.len(), workers * inflight);
+        }
+    }
+
+    #[test]
+    fn panicking_suls_surface_as_learn_errors() {
+        use crate::session::BlockingSessionFactory;
+        use crate::sul::SulFactory;
+        use prognosis_automata::alphabet::Symbol;
+
+        struct ExplodingSul;
+        impl Sul for ExplodingSul {
+            fn step(&mut self, _input: &Symbol) -> Symbol {
+                panic!("the wire caught fire");
+            }
+            fn reset(&mut self) {}
+        }
+        struct ExplodingFactory;
+        impl SulFactory for ExplodingFactory {
+            type Sul = ExplodingSul;
+            fn create(&self) -> ExplodingSul {
+                ExplodingSul
+            }
+        }
+
+        let config = LearnConfig {
+            random_tests: 10,
+            max_word_len: 4,
+            ..LearnConfig::default()
+        };
+        let error = match learn_model_parallel(
+            &BlockingSessionFactory(ExplodingFactory),
+            &tcp_alphabet(),
+            config.with_workers(2),
+        ) {
+            Err(error) => error,
+            Ok(_) => panic!("a panicking SUL must produce an error, not a poisoned pipeline"),
+        };
+        match &error {
+            LearnError::WorkerPanicked { message, .. } => {
+                assert!(message.contains("the wire caught fire"), "{message}");
+            }
+            other => panic!("unexpected error variant: {other}"),
         }
     }
 }

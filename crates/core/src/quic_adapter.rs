@@ -12,6 +12,7 @@
 //! Oracle Table for synthesis.
 
 use crate::oracle_table::{HasOracleTable, OracleTable};
+use crate::session::{SessionSulFactory, SimTime, TimedSession, TimedSul};
 use crate::sul::{Sul, SulFactory, SulStats};
 use prognosis_automata::alphabet::{Alphabet, Symbol};
 use prognosis_quic_sim::client::{numeric_fields, ReferenceQuicClient};
@@ -84,6 +85,14 @@ impl SulFactory for QuicSulFactory {
     }
 }
 
+impl SessionSulFactory for QuicSulFactory {
+    type Session = TimedSession<QuicSul>;
+
+    fn create_session(&self) -> Self::Session {
+        TimedSession::new(self.create())
+    }
+}
+
 /// The QUIC system under learning: one implementation profile + the adapter.
 pub struct QuicSul {
     server: QuicServer,
@@ -148,24 +157,26 @@ impl QuicSul {
             std::mem::take(&mut self.current_outputs),
         );
     }
-}
 
-impl Sul for QuicSul {
-    fn step(&mut self, input: &Symbol) -> Symbol {
+    /// One step on the virtual clock: the abstract output plus the instant
+    /// the server's response flight is ready (`now` when nothing was sent).
+    /// Both [`Sul::step`] and [`TimedSul::step_at`] funnel through here, so
+    /// the two paths answer identically by construction.
+    fn step_timed(&mut self, input: &Symbol, now: SimTime) -> (Symbol, SimTime) {
         self.stats.symbols_sent += 1;
         let (request_packet, wire) = match self.client.concretize(input.as_str()) {
             Ok(r) => r,
             Err(_) => {
                 self.current_inputs.push((input.to_string(), vec![]));
                 self.current_outputs.push(("{}".to_string(), vec![]));
-                return Symbol::new("{}");
+                return (Symbol::new("{}"), now);
             }
         };
         self.stats.concrete_packets_sent += 1;
         let input_fields = numeric_fields(&request_packet);
-        let responses = self
-            .server
-            .handle_datagram(&wire, self.client.source_port());
+        let (responses, ready_at) =
+            self.server
+                .handle_datagram_at(&wire, self.client.source_port(), now);
         // Abstract every response packet; keep (name, fields) pairs sorted by
         // name so the output symbol and the recorded fields stay aligned and
         // deterministic.
@@ -187,7 +198,13 @@ impl Sul for QuicSul {
         self.current_inputs.push((input.to_string(), input_fields));
         self.current_outputs
             .push((abstract_out.clone(), output_fields));
-        Symbol::new(abstract_out)
+        (Symbol::new(abstract_out), ready_at)
+    }
+}
+
+impl Sul for QuicSul {
+    fn step(&mut self, input: &Symbol) -> Symbol {
+        self.step_timed(input, SimTime::ZERO).0
     }
 
     fn reset(&mut self) {
@@ -211,6 +228,17 @@ impl Sul for QuicSul {
                 self.identity, self.client.rebind_on_retry
             )
         })
+    }
+}
+
+impl TimedSul for QuicSul {
+    fn step_at(&mut self, input: &Symbol, now: SimTime) -> (Symbol, SimTime) {
+        self.step_timed(input, now)
+    }
+
+    fn reset_at(&mut self, now: SimTime) -> SimTime {
+        self.reset();
+        now
     }
 }
 

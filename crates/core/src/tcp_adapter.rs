@@ -10,6 +10,7 @@
 //! responses are abstracted back to the learner's alphabet (5).
 
 use crate::oracle_table::{HasOracleTable, OracleTable};
+use crate::session::{SessionSulFactory, SimTime, TimedSession, TimedSul};
 use crate::sul::{Sul, SulFactory, SulStats};
 use prognosis_automata::alphabet::{Alphabet, Symbol};
 use prognosis_tcp::client::ReferenceTcpClient;
@@ -50,6 +51,14 @@ impl SulFactory for TcpSulFactory {
 
     fn create(&self) -> TcpSul {
         TcpSul::new(self.config.clone())
+    }
+}
+
+impl SessionSulFactory for TcpSulFactory {
+    type Session = TimedSession<TcpSul>;
+
+    fn create_session(&self) -> Self::Session {
+        TimedSession::new(self.create())
     }
 }
 
@@ -112,10 +121,12 @@ impl TcpSul {
             std::mem::take(&mut self.current_outputs),
         );
     }
-}
 
-impl Sul for TcpSul {
-    fn step(&mut self, input: &Symbol) -> Symbol {
+    /// One step on the virtual clock: the abstract output plus the instant
+    /// the server's response is ready (`now` when no packet was exchanged).
+    /// Both [`Sul::step`] and [`TimedSul::step_at`] funnel through here, so
+    /// the two paths answer identically by construction.
+    fn step_timed(&mut self, input: &Symbol, now: SimTime) -> (Symbol, SimTime) {
         self.stats.symbols_sent += 1;
         let segment = match self.client.concretize(input.as_str()) {
             Ok(s) => s,
@@ -124,12 +135,12 @@ impl Sul for TcpSul {
                 // cannot wedge the learner.
                 self.current_inputs.push((input.to_string(), vec![]));
                 self.current_outputs.push(("NIL".to_string(), vec![]));
-                return Symbol::new("NIL");
+                return (Symbol::new("NIL"), now);
             }
         };
         self.stats.concrete_packets_sent += 1;
         let input_fields = Self::fields(&segment);
-        let response = self.server.handle_segment(&segment);
+        let (response, ready_at) = self.server.handle_segment_at(&segment, now);
         let (abstract_out, output_fields) = match &response {
             Some(seg) => {
                 self.stats.concrete_packets_received += 1;
@@ -141,7 +152,13 @@ impl Sul for TcpSul {
         self.current_inputs.push((input.to_string(), input_fields));
         self.current_outputs
             .push((abstract_out.clone(), output_fields));
-        Symbol::new(abstract_out)
+        (Symbol::new(abstract_out), ready_at)
+    }
+}
+
+impl Sul for TcpSul {
+    fn step(&mut self, input: &Symbol) -> Symbol {
+        self.step_timed(input, SimTime::ZERO).0
     }
 
     fn reset(&mut self) {
@@ -157,6 +174,17 @@ impl Sul for TcpSul {
 
     fn cache_key(&self) -> Option<String> {
         Some(format!("tcp:{:?}", self.config))
+    }
+}
+
+impl TimedSul for TcpSul {
+    fn step_at(&mut self, input: &Symbol, now: SimTime) -> (Symbol, SimTime) {
+        self.step_timed(input, now)
+    }
+
+    fn reset_at(&mut self, now: SimTime) -> SimTime {
+        self.reset();
+        now
     }
 }
 

@@ -44,7 +44,8 @@ fn tcp_warm_start_is_deterministic_for_one_and_four_workers() {
             &TcpSulFactory::default(),
             &tcp_alphabet(),
             config.clone().with_workers(workers),
-        );
+        )
+        .expect("parallel learning succeeds");
         assert_eq!(
             cold.model, outcome.learned.model,
             "warm model with {workers} workers must be bit-identical to the cold model"

@@ -13,7 +13,7 @@
 //!   under an assumed bound on the number of extra states in the SUL.
 
 use crate::oracle::{EquivalenceOracle, MembershipOracle};
-use prognosis_automata::access::w_method_suite;
+use prognosis_automata::access::w_method_suite_stream;
 use prognosis_automata::equivalence::find_counterexample;
 use prognosis_automata::mealy::MealyMachine;
 use prognosis_automata::word::{InputWord, IoTrace};
@@ -56,10 +56,13 @@ impl EquivalenceOracle for SimulatorOracle {
 /// suite-based equivalence oracles.
 pub const DEFAULT_EQ_BATCH_SIZE: usize = 64;
 
-/// Runs a pre-generated test suite against the SUL in batches, returning
-/// the first (in suite order) counterexample trace.  Deterministic: the
-/// result depends only on the suite order, never on how the membership
-/// oracle schedules a batch internally.
+/// Runs a *streamed* test suite against the SUL in batches, returning the
+/// first (in suite order) counterexample trace.  The suite is generated one
+/// `batch_size` chunk at a time, on demand: nothing past the first
+/// counterexample is ever materialized, and a W-method suite for a large
+/// hypothesis — itself expensive to build and hold — never exists in memory
+/// as a whole.  Deterministic: the result depends only on the stream order,
+/// never on how the membership oracle schedules a batch internally.
 ///
 /// `tests_executed` counts only the words up to and including the first
 /// mismatch, exactly as the word-at-a-time sequential strategy would —
@@ -67,15 +70,26 @@ pub const DEFAULT_EQ_BATCH_SIZE: usize = 64;
 /// speculatively and are not part of the equivalence test count.
 /// `batch_size` must be ≥ 1; the oracle constructors validate it
 /// ([`RandomWordOracle::with_batch_size`] / [`WMethodOracle::with_batch_size`]).
-fn run_suite_batched(
-    suite: &[InputWord],
+fn run_suite_streamed(
+    mut suite: impl Iterator<Item = InputWord>,
     batch_size: usize,
     hypothesis: &MealyMachine,
     membership: &mut dyn MembershipOracle,
     tests_executed: &mut u64,
 ) -> Option<IoTrace> {
-    for chunk in suite.chunks(batch_size) {
-        let sul_outs = membership.query_batch(chunk);
+    let mut chunk: Vec<InputWord> = Vec::with_capacity(batch_size);
+    loop {
+        chunk.clear();
+        while chunk.len() < batch_size {
+            match suite.next() {
+                Some(word) => chunk.push(word),
+                None => break,
+            }
+        }
+        if chunk.is_empty() {
+            return None;
+        }
+        let sul_outs = membership.query_batch(&chunk);
         for (word, sul_out) in chunk.iter().zip(sul_outs) {
             *tests_executed += 1;
             let hyp_out = hypothesis
@@ -86,20 +100,19 @@ fn run_suite_batched(
             }
         }
     }
-    None
 }
 
 /// Random-word equivalence testing.
 ///
 /// Each equivalence query draws up to `max_tests` random input words with
-/// lengths uniform in `[min_len, max_len]`, generates the whole suite up
-/// front, and dispatches it to the SUL in membership-query *batches* so a
-/// parallel oracle can fan the words out across SUL instances.  The first
-/// mismatching word in generation order is returned, so results are
-/// identical to the sequential word-at-a-time strategy of the seed.  The
-/// paper's framework uses the same strategy ("random equivalence testing")
-/// both for Mealy learning and for validating synthesized register
-/// machines.
+/// lengths uniform in `[min_len, max_len]`, generating them **on demand**
+/// one membership batch at a time, so a parallel oracle can fan the words
+/// out across SUL sessions while the suite never exists in memory as a
+/// whole.  The first mismatching word in generation order is returned, so
+/// results are identical to the sequential word-at-a-time strategy of the
+/// seed.  The paper's framework uses the same strategy ("random
+/// equivalence testing") both for Mealy learning and for validating
+/// synthesized register machines.
 #[derive(Clone, Debug)]
 pub struct RandomWordOracle {
     rng: StdRng,
@@ -140,21 +153,26 @@ impl RandomWordOracle {
     pub fn tests_executed(&self) -> u64 {
         self.tests_executed
     }
+}
 
-    fn random_word(&mut self, hypothesis: &MealyMachine) -> InputWord {
-        let len = self.rng.gen_range(self.min_len..=self.max_len);
-        let alphabet = hypothesis.input_alphabet();
-        (0..len)
-            .map(|_| {
-                alphabet
-                    .get(self.rng.gen_range(0..alphabet.len()))
-                    .unwrap()
-                    .clone()
-            })
-            .collect::<Vec<_>>()
-            .into_iter()
-            .collect()
-    }
+fn random_word(
+    rng: &mut StdRng,
+    min_len: usize,
+    max_len: usize,
+    hypothesis: &MealyMachine,
+) -> InputWord {
+    let len = rng.gen_range(min_len..=max_len);
+    let alphabet = hypothesis.input_alphabet();
+    (0..len)
+        .map(|_| {
+            alphabet
+                .get(rng.gen_range(0..alphabet.len()))
+                .unwrap()
+                .clone()
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect()
 }
 
 impl EquivalenceOracle for RandomWordOracle {
@@ -164,20 +182,46 @@ impl EquivalenceOracle for RandomWordOracle {
         membership: &mut dyn MembershipOracle,
     ) -> Option<IoTrace> {
         self.queries += 1;
-        let suite: Vec<InputWord> = (0..self.max_tests)
-            .map(|_| self.random_word(hypothesis))
-            .collect();
-        run_suite_batched(
-            &suite,
-            self.batch_size,
-            hypothesis,
-            membership,
-            &mut self.tests_executed,
-        )
+        let (min_len, max_len, batch_size) = (self.min_len, self.max_len, self.batch_size);
+        let max_tests = self.max_tests;
+        let rng = &mut self.rng;
+        let mut executed = 0;
+        let mut drawn = 0usize;
+        // Words are drawn from the RNG in exactly the order the materialized
+        // suite used to be generated in, so results are bit-identical — only
+        // the memory profile changes (one batch at a time, stopping at the
+        // first counterexample).
+        let result = {
+            let suite = std::iter::from_fn(|| {
+                if drawn == max_tests {
+                    return None;
+                }
+                drawn += 1;
+                Some(random_word(rng, min_len, max_len, hypothesis))
+            });
+            run_suite_streamed(suite, batch_size, hypothesis, membership, &mut executed)
+        };
+        // Fast-forward the RNG past the words a counterexample made
+        // unnecessary, so the RNG state after every equivalence query — and
+        // therefore every *subsequent* suite — is a function of the seed
+        // alone, exactly as when the whole suite was generated up front.
+        let alphabet_len = hypothesis.input_alphabet().len();
+        for _ in drawn..max_tests {
+            let len = rng.gen_range(min_len..=max_len);
+            for _ in 0..len {
+                let _ = rng.gen_range(0..alphabet_len);
+            }
+        }
+        self.tests_executed += executed;
+        result
     }
 
     fn equivalence_queries(&self) -> u64 {
         self.queries
+    }
+
+    fn tests_executed(&self) -> u64 {
+        self.tests_executed
     }
 }
 
@@ -185,11 +229,17 @@ impl EquivalenceOracle for RandomWordOracle {
 ///
 /// Exhaustively runs the suite `P · Σ^{≤k} · W` where `P` is the transition
 /// cover of the hypothesis, `W` its characterizing set and `k` the assumed
-/// bound on extra states in the SUL.  The whole suite is generated up front
-/// and dispatched in membership batches (first mismatch in suite order
-/// wins).  Exact (guaranteed to find a counterexample if one exists)
-/// whenever the SUL has at most `hypothesis.num_states() + extra_states`
-/// states.
+/// bound on extra states in the SUL.  The suite is **streamed**
+/// ([`w_method_suite_stream`]) one membership batch at a time — only the
+/// small `P` and `W` sets are materialized, never the
+/// `|P|·|Σ|^{≤k}·|W|`-word product, whose size is exactly what makes the
+/// W-method expensive on large hypotheses.  The first mismatch in stream
+/// order wins; the generator suppresses repeated `p · m` prefixes, so only
+/// the rare cross-`s` collision can repeat a word — which the prefix-trie
+/// membership cache answers for free.  Exact (guaranteed to find a
+/// counterexample if
+/// one exists) whenever the SUL has at most
+/// `hypothesis.num_states() + extra_states` states.
 #[derive(Clone, Debug)]
 pub struct WMethodOracle {
     extra_states: usize,
@@ -230,12 +280,10 @@ impl EquivalenceOracle for WMethodOracle {
         membership: &mut dyn MembershipOracle,
     ) -> Option<IoTrace> {
         self.queries += 1;
-        let suite: Vec<InputWord> = w_method_suite(hypothesis, self.extra_states)
-            .into_iter()
-            .filter(|word| !word.is_empty())
-            .collect();
-        run_suite_batched(
-            &suite,
+        let suite =
+            w_method_suite_stream(hypothesis, self.extra_states).filter(|word| !word.is_empty());
+        run_suite_streamed(
+            suite,
             self.batch_size,
             hypothesis,
             membership,
@@ -245,6 +293,10 @@ impl EquivalenceOracle for WMethodOracle {
 
     fn equivalence_queries(&self) -> u64 {
         self.queries
+    }
+
+    fn tests_executed(&self) -> u64 {
+        self.tests_executed
     }
 }
 
@@ -276,6 +328,10 @@ impl<A: EquivalenceOracle, B: EquivalenceOracle> EquivalenceOracle for ChainedOr
 
     fn equivalence_queries(&self) -> u64 {
         self.first.equivalence_queries() + self.second.equivalence_queries()
+    }
+
+    fn tests_executed(&self) -> u64 {
+        self.first.tests_executed() + self.second.tests_executed()
     }
 }
 

@@ -57,6 +57,12 @@ pub trait EquivalenceOracle {
     fn equivalence_queries(&self) -> u64 {
         0
     }
+
+    /// Total suite test words executed across all equivalence queries
+    /// (0 for oracles that do not test word-by-word).
+    fn tests_executed(&self) -> u64 {
+        0
+    }
 }
 
 /// A membership oracle backed by a known Mealy machine.  Used in unit tests
@@ -303,6 +309,7 @@ pub fn snapshot_stats(
     LearningStats {
         membership_queries: membership.queries_answered(),
         equivalence_queries: equivalence.equivalence_queries(),
+        equivalence_tests: equivalence.tests_executed(),
         learning_rounds: rounds,
         ..LearningStats::default()
     }

@@ -23,6 +23,10 @@ pub struct LearningStats {
     pub fresh_symbols: u64,
     /// Equivalence queries issued.
     pub equivalence_queries: u64,
+    /// Equivalence-suite test words executed (counted up to and including
+    /// the first mismatch of each query, exactly as a word-at-a-time
+    /// strategy would — independent of batching and scheduling).
+    pub equivalence_tests: u64,
     /// Counterexamples processed (= refinement rounds triggered).
     pub counterexamples: u64,
     /// Hypothesis construction rounds.
@@ -64,6 +68,7 @@ impl Add for LearningStats {
             input_symbols: self.input_symbols + rhs.input_symbols,
             fresh_symbols: self.fresh_symbols + rhs.fresh_symbols,
             equivalence_queries: self.equivalence_queries + rhs.equivalence_queries,
+            equivalence_tests: self.equivalence_tests + rhs.equivalence_tests,
             counterexamples: self.counterexamples + rhs.counterexamples,
             learning_rounds: self.learning_rounds + rhs.learning_rounds,
             model_states: self.model_states.max(rhs.model_states),

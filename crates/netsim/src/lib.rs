@@ -26,4 +26,4 @@ pub use capture::{CaptureRecord, TraceCapture};
 pub use endpoint::{Datagram, Endpoint, EndpointId};
 pub use link::LinkConfig;
 pub use network::Network;
-pub use time::{SimDuration, SimTime};
+pub use time::{SharedClock, SimDuration, SimTime};

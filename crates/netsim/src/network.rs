@@ -9,7 +9,7 @@
 use crate::capture::{CaptureRecord, Fate, TraceCapture};
 use crate::endpoint::{Datagram, Endpoint, EndpointId};
 use crate::link::LinkConfig;
-use crate::time::{SimDuration, SimTime};
+use crate::time::{SharedClock, SimDuration, SimTime};
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -70,6 +70,9 @@ pub struct Network {
     sequence: u64,
     rng: StdRng,
     capture: TraceCapture,
+    /// Shared-clock handle the network publishes its virtual time to (so
+    /// event-driven schedulers and other networks can share one "now").
+    clock: Option<SharedClock>,
 }
 
 impl Network {
@@ -90,12 +93,40 @@ impl Network {
             sequence: 0,
             rng: StdRng::seed_from_u64(seed),
             capture: TraceCapture::new(),
+            clock: None,
         }
     }
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Attaches a [`SharedClock`] handle.  The network immediately syncs to
+    /// the later of its own time and the clock's, and from then on every
+    /// time advance is published to the handle, so entities outside the
+    /// network (e.g. a per-worker session scheduler) observe the same
+    /// virtual instant.
+    pub fn attach_clock(&mut self, clock: SharedClock) {
+        self.now = self.now.max(clock.now());
+        clock.advance_to(self.now);
+        self.clock = Some(clock);
+    }
+
+    /// Advances the network to the attached shared clock's current time (a
+    /// no-op without an attached clock), delivering everything due.
+    /// Returns the number of datagrams delivered.
+    pub fn advance_to_clock(&mut self) -> usize {
+        match self.clock.as_ref().map(|c| c.now()) {
+            Some(target) if target > self.now => self.advance(target - self.now),
+            _ => 0,
+        }
+    }
+
+    fn publish_time(&self) {
+        if let Some(clock) = &self.clock {
+            clock.advance_to(self.now);
+        }
     }
 
     /// The traffic capture.
@@ -276,6 +307,7 @@ impl Network {
             }
         }
         self.now = target;
+        self.publish_time();
         delivered
     }
 
@@ -293,6 +325,7 @@ impl Network {
                 }
             }
         }
+        self.publish_time();
         delivered
     }
 
@@ -436,6 +469,30 @@ mod tests {
             .map(|d| d.payload[0])
             .collect();
         assert_eq!(payloads, (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn attached_clock_tracks_network_time_and_back() {
+        let mut net =
+            Network::with_default_link(3, LinkConfig::with_latency(SimDuration::from_millis(10)));
+        let clock = SharedClock::starting_at(SimTime::from_micros(500));
+        net.attach_clock(clock.clone());
+        assert_eq!(net.now().as_micros(), 500, "network syncs up on attach");
+        let a = net.bind(1).unwrap();
+        let b = net.bind(2).unwrap();
+        net.send(a, 2, Bytes::from_static(b"x")).unwrap();
+        net.deliver_all();
+        assert_eq!(
+            clock.now(),
+            net.now(),
+            "delivery time is published to the shared clock"
+        );
+        // An outside scheduler advances the shared clock; the network
+        // catches up on demand.
+        clock.advance_by(SimDuration::from_millis(5));
+        net.send(b, 1, Bytes::from_static(b"y")).unwrap();
+        assert_eq!(net.advance_to_clock(), 0, "reply still 10ms out");
+        assert_eq!(net.now(), clock.now());
     }
 
     #[test]

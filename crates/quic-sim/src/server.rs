@@ -11,6 +11,7 @@
 
 use crate::profile::{HandshakeStyle, ImplementationProfile};
 use bytes::Bytes;
+use prognosis_netsim::time::{SimDuration, SimTime};
 use prognosis_quic_wire::connection_id::ConnectionId;
 use prognosis_quic_wire::crypto::{EncryptionLevel, Keys};
 use prognosis_quic_wire::frame::{Frame, FrameType};
@@ -173,6 +174,27 @@ impl QuicServer {
             packet_number: 0,
         };
         Packet::new(header, vec![]).encode(&Keys::derive(0, EncryptionLevel::OneRtt))
+    }
+
+    /// Modeled per-datagram processing time of the server on the virtual
+    /// clock (decrypt + frame processing + response flight build).
+    pub const SERVICE_DELAY: SimDuration = SimDuration::from_micros(5);
+
+    /// The non-blocking step path: handles `datagram` as of virtual time
+    /// `now` and returns the response flight together with the virtual
+    /// instant it is ready to leave the server (`now + SERVICE_DELAY`).
+    /// Nothing blocks; an event-driven session records the deadline and a
+    /// shared clock jumps to the earliest one across all in-flight
+    /// exchanges.  State transitions are identical to
+    /// [`QuicServer::handle_datagram`].
+    pub fn handle_datagram_at(
+        &mut self,
+        datagram: &Bytes,
+        source_port: u16,
+        now: SimTime,
+    ) -> (Vec<Bytes>, SimTime) {
+        let responses = self.handle_datagram(datagram, source_port);
+        (responses, now + Self::SERVICE_DELAY)
     }
 
     /// Handles a datagram arriving from `source_port`, returning the
@@ -543,5 +565,18 @@ impl QuicServer {
 mod tests {
     // The server is exercised end-to-end (through real packet exchanges) in
     // `client.rs` and in the crate-level tests in `tests/conversations.rs`,
-    // where a reference client is available to drive it.
+    // where a reference client is available to drive it.  Here we only pin
+    // the deadline arithmetic of the non-blocking step path.
+    use super::*;
+
+    #[test]
+    fn timed_datagram_path_reports_the_service_deadline() {
+        let mut server = QuicServer::new(ImplementationProfile::google(), 1);
+        let now = SimTime::from_micros(250);
+        let (responses, ready_at) =
+            server.handle_datagram_at(&Bytes::from_static(b"not-a-quic-packet"), 40_000, now);
+        assert!(responses.is_empty(), "garbage datagrams are ignored");
+        assert_eq!(ready_at, now + QuicServer::SERVICE_DELAY);
+        assert_eq!(server.datagrams_processed(), 1);
+    }
 }

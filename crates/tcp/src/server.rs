@@ -13,6 +13,7 @@
 
 use crate::segment::{TcpFlags, TcpSegment};
 use bytes::Bytes;
+use prognosis_netsim::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -186,6 +187,28 @@ impl TcpServer {
         response
     }
 
+    /// Modeled per-segment processing time of the server on the virtual
+    /// clock (segment parse + state-machine transition + response build).
+    pub const SERVICE_DELAY: SimDuration = SimDuration::from_micros(2);
+
+    /// The non-blocking step path: handles `segment` as of virtual time
+    /// `now` and returns the response together with the virtual instant it
+    /// is ready to leave the server (`now + SERVICE_DELAY`).  The caller —
+    /// an event-driven session — must not observe the response before that
+    /// deadline; nothing here blocks, so one thread can keep many such
+    /// exchanges in flight and let a shared clock jump to the earliest
+    /// deadline.  State transitions are identical to
+    /// [`TcpServer::handle_segment`] (the deadline delays *visibility*, not
+    /// computation).
+    pub fn handle_segment_at(
+        &mut self,
+        segment: &TcpSegment,
+        now: SimTime,
+    ) -> (Option<TcpSegment>, SimTime) {
+        let response = self.handle_segment(segment);
+        (response, now + Self::SERVICE_DELAY)
+    }
+
     fn in_listen(&mut self, seg: &TcpSegment) -> Option<TcpSegment> {
         let f = seg.flags;
         if f.rst {
@@ -333,6 +356,17 @@ mod tests {
 
     fn ack(seq: u32, ack_no: u32) -> TcpSegment {
         TcpSegment::new(TcpFlags::ACK, seq, ack_no).with_ports(40_965, 44_344)
+    }
+
+    #[test]
+    fn timed_step_path_matches_the_blocking_path_and_sets_deadlines() {
+        let mut blocking = TcpServer::with_defaults();
+        let mut timed = TcpServer::with_defaults();
+        let now = SimTime::from_micros(1_000);
+        let (response, ready_at) = timed.handle_segment_at(&syn(48_108), now);
+        assert_eq!(response, blocking.handle_segment(&syn(48_108)));
+        assert_eq!(ready_at, now + TcpServer::SERVICE_DELAY);
+        assert_eq!(timed.state(), blocking.state());
     }
 
     #[test]
