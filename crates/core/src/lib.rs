@@ -21,6 +21,12 @@
 //!   ([`session::SharedClock`]), and [`session::SessionScheduler`]
 //!   multiplexes many in-flight sessions on one thread, advancing the clock
 //!   to the next deadline instead of sleeping.
+//! * [`net_transport`] — the impaired-network session transport:
+//!   [`net_transport::NetworkedSession`] routes each multiplexed session's
+//!   concrete packets through one shared `netsim` network per worker, so
+//!   loss, jitter, reordering and duplication apply to in-flight learning
+//!   queries; lost packets resolve to the adapter's timeout symbol at the
+//!   step deadline.
 //! * [`parallel`] — the parallel membership-query engine: a
 //!   [`session::SessionSulFactory`] mints independent query sessions and
 //!   [`parallel::ParallelSulOracle`] runs a per-worker session scheduler
@@ -35,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod latency;
+pub mod net_transport;
 pub mod nondeterminism;
 pub mod oracle_table;
 pub mod parallel;
@@ -45,7 +52,10 @@ pub mod sul;
 pub mod tcp_adapter;
 
 pub use latency::{LatencySul, LatencySulFactory};
-pub use nondeterminism::{NondeterminismChecker, NondeterminismReport};
+pub use net_transport::{
+    LinkConfig, Network, NetworkedSession, NetworkedSessionFactory, WireRequest, WireSul,
+};
+pub use nondeterminism::{check_multiplexed, NondeterminismChecker, NondeterminismReport};
 pub use oracle_table::{HasOracleTable, OracleTable};
 pub use parallel::{EngineShutdown, ParallelSulOracle};
 pub use pipeline::{

@@ -1,0 +1,701 @@
+//! The impaired-network session transport: concrete packets of multiplexed
+//! query sessions routed through a shared `netsim` [`Network`] per worker.
+//!
+//! The PR-3 session engine multiplexes in-flight queries on bare deadline
+//! state machines, so link impairments — loss, jitter, reordering,
+//! duplication ([`LinkConfig`]) — never touched an in-flight learning
+//! query.  This module closes that gap: a [`NetworkedSession`] puts every
+//! concrete TCP segment / QUIC datagram of its query on a real simulated
+//! wire.  All sessions of one scheduler worker share **one** [`Network`]
+//! (its virtual time attached to the worker's `SharedClock` via
+//! [`Network::attach_clock`]), each session owning a pair of ephemeral
+//! ports: requests leave the client endpoint, the implementation under
+//! learning answers from the server endpoint, and both directions cross
+//! the impaired link.  A step whose packet is lost resolves to the
+//! adapter's timeout symbol at the step deadline instead of hanging.
+//!
+//! Determinism is engineered, not accidental: every endpoint draws its
+//! packet fates from a private noise stream ([`Network::set_noise_seed`])
+//! that is **rewound at query boundaries**, and [`LinkConfig::fate`] makes
+//! each impairment a pure function of `(stream seed, packet index)`.  With
+//! every session of a learning run sharing one stream seed, a membership
+//! query's answer is a pure function of the query itself — the same
+//! weather hits packet *k* of a query no matter which session, worker or
+//! virtual instant executes it — so the learned model and all query-cost
+//! statistics are bit-identical across `(workers, max_inflight)` grids
+//! even on a lossy, jittery link.  The nondeterminism checker's
+//! multiplexed path instead gives each repetition its own stream
+//! ([`NetworkedSessionFactory::repetition_sessions`]), which is what makes
+//! answer *frequencies* under noise observable (§5, the mvfst 82% finding).
+
+use crate::session::{
+    SessionPoll, SessionSul, SessionSulFactory, SharedClock, SimDuration, SimTime,
+};
+use crate::sul::{Sul, SulFactory, SulStats};
+use bytes::Bytes;
+use prognosis_automata::alphabet::Symbol;
+use std::sync::{Arc, Mutex};
+
+pub use prognosis_netsim::{LinkConfig, Network};
+
+/// Decorrelates a session's server-direction noise stream from its
+/// client-direction one.
+const SERVER_NOISE_SALT: u64 = 0x5EED_0000_A110_CA7E;
+
+/// What one abstract input symbol turns into at the wire boundary.
+pub enum WireRequest {
+    /// A concrete request datagram to put on the wire.
+    Datagram(Bytes),
+    /// The symbol produced no packet (e.g. it could not be concretized);
+    /// the step completes immediately with this output.
+    Immediate(Symbol),
+}
+
+/// A SUL whose query exchange decomposes into concrete datagrams a network
+/// can carry: the client side concretizes abstract symbols into wire bytes
+/// and abstracts responses back, the server side is driven one datagram at
+/// a time.  [`crate::TcpSul`] and [`crate::QuicSul`] implement it; the
+/// in-process [`Sul::step`] path and this wire path answer identically on
+/// an ideal link by construction (same client, same server, same records).
+pub trait WireSul: Sul {
+    /// Begins one abstract step: concretize `input` into the request
+    /// datagram (recording the concrete input fields for the Oracle
+    /// Table), or complete immediately when no packet is exchanged.
+    fn wire_request(&mut self, input: &Symbol) -> WireRequest;
+
+    /// The source port the request should claim on the wire, given the
+    /// session's bound client port.  The default is the bound port; the
+    /// QUIC adapter maps the Issue-3 defect (post-Retry rebinding) to a
+    /// fresh spoofed port here.
+    fn wire_source_port(&self, bound: u16) -> u16 {
+        bound
+    }
+
+    /// Server side: handles one request datagram arriving from
+    /// `source_port` as of virtual time `now`, returning the response
+    /// datagrams plus the instant they are ready to leave the server.
+    fn handle_wire(
+        &mut self,
+        datagram: &Bytes,
+        source_port: u16,
+        now: SimTime,
+    ) -> (Vec<Bytes>, SimTime);
+
+    /// Client side: absorbs one response datagram delivered by the
+    /// network (connection bookkeeping plus Oracle-Table material).
+    fn absorb_wire(&mut self, datagram: &Bytes);
+
+    /// Completes the step: abstracts everything absorbed since
+    /// [`WireSul::wire_request`] into the output symbol (the adapter's
+    /// timeout/silence symbol when nothing arrived) and records it.
+    fn finish_step(&mut self) -> Symbol;
+}
+
+enum StepState {
+    Idle,
+    /// No packet was exchanged; the output is available immediately.
+    Immediate(Symbol),
+    /// The request is on the wire (or being serviced).
+    Awaiting {
+        /// The step's hard deadline: with nothing received by then, the
+        /// step resolves to the adapter's timeout symbol.
+        deadline: SimTime,
+        /// Response flights handled by the server but not yet ready to
+        /// leave it: `(ready_at, reply-to port, wire bytes)`.
+        outbox: Vec<(SimTime, u16, Bytes)>,
+    },
+}
+
+/// One query session whose concrete packets cross a shared simulated
+/// network.  Implements [`SessionSul`], so a
+/// [`crate::session::SessionScheduler`] can multiplex many of these per
+/// worker: the scheduler wakes on the earliest of session deadlines and
+/// network delivery times, and deliveries are drained between polls.
+pub struct NetworkedSession<S: WireSul> {
+    sul: S,
+    net: Arc<Mutex<Network>>,
+    client: prognosis_netsim::EndpointId,
+    client_port: u16,
+    server: prognosis_netsim::EndpointId,
+    server_port: u16,
+    timeout: SimDuration,
+    impaired: bool,
+    state: StepState,
+}
+
+impl<S: WireSul> NetworkedSession<S> {
+    /// The session's client-side ephemeral port on the shared network.
+    pub fn client_port(&self) -> u16 {
+        self.client_port
+    }
+
+    /// The session's server-side ephemeral port on the shared network.
+    pub fn server_port(&self) -> u16 {
+        self.server_port
+    }
+
+    /// The shared network this session's packets cross.
+    pub fn network(&self) -> &Arc<Mutex<Network>> {
+        &self.net
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Network> {
+        self.net.lock().expect("session network poisoned")
+    }
+}
+
+impl<S: WireSul> SessionSul for NetworkedSession<S> {
+    type Sul = S;
+
+    fn start_reset(&mut self, now: SimTime) -> SimTime {
+        self.sul.reset();
+        self.state = StepState::Idle;
+        let mut net = self.lock();
+        net.advance_to(now);
+        // One query's stragglers — late jittered deliveries, duplicates in
+        // flight — must never leak into the next query, and the next query
+        // must meet the same network weather as every run of it.
+        net.drop_in_flight_to(self.client_port);
+        net.drop_in_flight_to(self.server_port);
+        net.endpoint_mut(self.client)
+            .expect("client endpoint bound")
+            .clear();
+        net.endpoint_mut(self.server)
+            .expect("server endpoint bound")
+            .clear();
+        net.rewind_noise(self.client)
+            .expect("client endpoint bound");
+        net.rewind_noise(self.server)
+            .expect("server endpoint bound");
+        now
+    }
+
+    fn start_step(&mut self, input: &Symbol, now: SimTime) {
+        debug_assert!(matches!(self.state, StepState::Idle), "step started twice");
+        match self.sul.wire_request(input) {
+            WireRequest::Immediate(symbol) => self.state = StepState::Immediate(symbol),
+            WireRequest::Datagram(wire) => {
+                let source = self.sul.wire_source_port(self.client_port);
+                let mut net = self.lock();
+                net.advance_to(now);
+                net.send_from_port(self.client, source, self.server_port, wire)
+                    .expect("session server port is bound");
+                drop(net);
+                self.state = StepState::Awaiting {
+                    deadline: now + self.timeout,
+                    outbox: Vec::new(),
+                };
+            }
+        }
+    }
+
+    fn poll_step(&mut self, now: SimTime) -> SessionPoll {
+        match std::mem::replace(&mut self.state, StepState::Idle) {
+            StepState::Idle => panic!("poll_step without start_step"),
+            StepState::Immediate(symbol) => SessionPoll::Ready(symbol),
+            StepState::Awaiting {
+                deadline,
+                mut outbox,
+            } => {
+                let mut net = self.net.lock().expect("session network poisoned");
+                // Pump the wire until this instant is quiescent: release
+                // response flights whose service deadline has passed, feed
+                // delivered requests to the server, absorb delivered
+                // responses at the client.  Every send can enable another
+                // delivery at the same instant (zero-latency links), hence
+                // the loop.
+                loop {
+                    // The session drives the network straight from the
+                    // scheduler-provided instant, so it works under any
+                    // clock — attached or not.
+                    net.advance_to(now);
+                    let mut progressed = false;
+                    let (due, later): (Vec<_>, Vec<_>) = outbox
+                        .drain(..)
+                        .partition(|(ready_at, _, _)| *ready_at <= now);
+                    outbox = later;
+                    for (_, reply_port, wire) in due {
+                        // Replying to a spoofed source port (the Issue-3
+                        // defect) has no route; the capture records it lost.
+                        let _ = net.send_from_port(self.server, self.server_port, reply_port, wire);
+                        progressed = true;
+                    }
+                    let requests = net
+                        .endpoint_mut(self.server)
+                        .expect("server endpoint bound")
+                        .receive_all();
+                    for datagram in requests {
+                        let (responses, ready_at) =
+                            self.sul
+                                .handle_wire(&datagram.payload, datagram.source_port, now);
+                        progressed = true;
+                        for response in responses {
+                            outbox.push((ready_at, datagram.source_port, response));
+                        }
+                    }
+                    let responses = net
+                        .endpoint_mut(self.client)
+                        .expect("client endpoint bound")
+                        .receive_all();
+                    for datagram in responses {
+                        self.sul.absorb_wire(&datagram.payload);
+                        progressed = true;
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+                // The step is over at its deadline, or as soon as nothing
+                // addressed to this session is on the wire any more (a lost
+                // request quiesces immediately — the timeout symbol needs
+                // no virtual waiting, its fate is already decided).
+                let quiescent = outbox.is_empty()
+                    && net.in_flight_to(self.client_port) == 0
+                    && net.in_flight_to(self.server_port) == 0;
+                if now >= deadline || quiescent {
+                    if !quiescent {
+                        // The step gave up with packets still on the wire
+                        // (timeout below the worst-case round trip): discard
+                        // everything addressed to this session so a late
+                        // response can never be attributed to a later step.
+                        net.drop_in_flight_to(self.client_port);
+                        net.drop_in_flight_to(self.server_port);
+                    }
+                    drop(net);
+                    return SessionPoll::Ready(self.sul.finish_step());
+                }
+                let mut wake_at = deadline;
+                for (ready_at, _, _) in &outbox {
+                    wake_at = wake_at.min(*ready_at);
+                }
+                if let Some(at) = net.next_delivery_to(self.client_port) {
+                    wake_at = wake_at.min(at);
+                }
+                if let Some(at) = net.next_delivery_to(self.server_port) {
+                    wake_at = wake_at.min(at);
+                }
+                drop(net);
+                self.state = StepState::Awaiting { deadline, outbox };
+                SessionPoll::Pending { wake_at }
+            }
+        }
+    }
+
+    fn stats(&self) -> SulStats {
+        self.sul.stats()
+    }
+
+    fn cache_key(&self) -> Option<String> {
+        // On an impaired link answers depend on the noise stream, not only
+        // on the SUL configuration — such sessions must never share a
+        // persistent cache with clean runs.  An unimpaired wire (latency
+        // included) answers exactly as the in-process SUL does.
+        if self.impaired {
+            None
+        } else {
+            self.sul.cache_key()
+        }
+    }
+
+    fn into_sul(self) -> S {
+        self.sul
+    }
+}
+
+/// Mints [`NetworkedSession`]s.  One scheduler worker's whole session group
+/// shares a single [`Network`] whose virtual time is attached to the
+/// worker's clock ([`SessionSulFactory::create_worker_sessions`]); every
+/// session gets its own pair of ephemeral ports and its own rewindable
+/// noise streams.
+#[derive(Clone, Debug)]
+pub struct NetworkedSessionFactory<F> {
+    inner: F,
+    link: LinkConfig,
+    timeout: SimDuration,
+    noise_seed: u64,
+}
+
+impl<F> NetworkedSessionFactory<F>
+where
+    F: SulFactory,
+    F::Sul: WireSul,
+{
+    /// A factory routing `inner`'s sessions over `link` in both directions,
+    /// with a step timeout generous enough for one maximally-delayed round
+    /// trip.
+    pub fn new(inner: F, link: LinkConfig) -> Self {
+        let worst_one_way = link.latency + link.jitter + link.reorder_delay;
+        NetworkedSessionFactory {
+            inner,
+            link,
+            timeout: worst_one_way + worst_one_way + SimDuration::from_millis(1),
+            noise_seed: 0,
+        }
+    }
+
+    /// Overrides the per-step timeout (the instant at which a step whose
+    /// packets were lost resolves to the adapter's timeout symbol).
+    ///
+    /// # Panics
+    /// Panics when the timeout is zero.
+    pub fn with_timeout(mut self, timeout: SimDuration) -> Self {
+        assert!(
+            !timeout.is_zero(),
+            "a zero step timeout cannot make progress"
+        );
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets the base noise seed: learning sessions all share this stream
+    /// (answers stay a pure function of the query), repetition sessions
+    /// derive per-repetition streams from it.
+    pub fn with_noise_seed(mut self, seed: u64) -> Self {
+        self.noise_seed = seed;
+        self
+    }
+
+    /// The link configuration packets cross.
+    pub fn link(&self) -> LinkConfig {
+        self.link
+    }
+
+    /// The per-step timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+
+    fn spawn_group(&self, seeds: &[u64]) -> (Vec<NetworkedSession<F::Sul>>, SharedClock) {
+        let clock = SharedClock::new();
+        let mut network = Network::with_default_link(self.noise_seed, self.link);
+        network.attach_clock(clock.clone());
+        let net = Arc::new(Mutex::new(network));
+        let sessions = seeds
+            .iter()
+            .map(|&seed| {
+                let mut guard = net.lock().expect("session network poisoned");
+                let (client, client_port) = guard
+                    .bind_ephemeral()
+                    .expect("ephemeral ports available for the session group");
+                let (server, server_port) = guard
+                    .bind_ephemeral()
+                    .expect("ephemeral ports available for the session group");
+                guard.set_noise_seed(client, seed).expect("just bound");
+                guard
+                    .set_noise_seed(server, seed ^ SERVER_NOISE_SALT)
+                    .expect("just bound");
+                drop(guard);
+                NetworkedSession {
+                    sul: self.inner.create(),
+                    net: Arc::clone(&net),
+                    client,
+                    client_port,
+                    server,
+                    server_port,
+                    timeout: self.timeout,
+                    impaired: self.link.is_impaired(),
+                    state: StepState::Idle,
+                }
+            })
+            .collect();
+        (sessions, clock)
+    }
+
+    /// The noise-stream seed of repetition `rep`: a splitmix64-finalized
+    /// mix, so repetition seeds carry no linear structure a downstream
+    /// `LinkConfig::fate` sub-stream (which XORs in `index × constant`)
+    /// could cancel against — repetition *r*'s packet *p* and repetition
+    /// *r'*'s packet *p'* draw genuinely unrelated fates.
+    fn repetition_seed(&self, rep: u64) -> u64 {
+        let mut z = self
+            .noise_seed
+            .wrapping_add((rep + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Sessions for repetitions `start .. start + count` of one query on a
+    /// fresh shared network: repetition *r* draws its packet fates from its
+    /// own noise stream, so concurrent repetitions of the same query see
+    /// independent network weather — the sampling substrate of
+    /// [`crate::nondeterminism::check_multiplexed`].
+    pub fn repetition_sessions(
+        &self,
+        start: u64,
+        count: usize,
+    ) -> (Vec<NetworkedSession<F::Sul>>, SharedClock) {
+        let seeds: Vec<u64> = (0..count as u64)
+            .map(|i| self.repetition_seed(start + i))
+            .collect();
+        self.spawn_group(&seeds)
+    }
+}
+
+impl<F> SessionSulFactory for NetworkedSessionFactory<F>
+where
+    F: SulFactory,
+    F::Sul: WireSul,
+{
+    type Session = NetworkedSession<F::Sul>;
+
+    fn create_session(&self) -> Self::Session {
+        self.spawn_group(&[self.noise_seed])
+            .0
+            .pop()
+            .expect("one session spawned")
+    }
+
+    fn create_worker_sessions(&self, count: usize) -> (Vec<Self::Session>, SharedClock) {
+        self.spawn_group(&vec![self.noise_seed; count])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quic_adapter::{QuicSul, QuicSulFactory};
+    use crate::session::SessionScheduler;
+    use crate::sul::replay_query;
+    use crate::tcp_adapter::{TcpSul, TcpSulFactory};
+    use prognosis_automata::word::{InputWord, OutputWord};
+    use prognosis_quic_sim::profile::ImplementationProfile;
+
+    fn words() -> Vec<InputWord> {
+        vec![
+            InputWord::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)", "ACK+PSH(?,?,1)"]),
+            InputWord::from_symbols(["ACK(?,?,0)"]),
+            InputWord::from_symbols(["SYN(?,?,0)", "FIN+ACK(?,?,0)"]),
+            InputWord::from_symbols(["RST(?,?,0)", "SYN(?,?,0)", "NOT_A_SYMBOL"]),
+            InputWord::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)", "FIN+ACK(?,?,0)", "ACK(?,?,0)"]),
+        ]
+    }
+
+    fn run_multiplexed(
+        factory: &NetworkedSessionFactory<TcpSulFactory>,
+        batch: &[InputWord],
+    ) -> Vec<OutputWord> {
+        let (sessions, clock) = factory.create_worker_sessions(batch.len());
+        let mut scheduler = SessionScheduler::with_clock(sessions, clock);
+        for (i, word) in batch.iter().enumerate() {
+            scheduler.submit(i, word.clone());
+        }
+        let mut done = scheduler.run_to_idle();
+        done.sort_by_key(|(i, _)| *i);
+        done.into_iter().map(|(_, out)| out).collect()
+    }
+
+    #[test]
+    fn ideal_wire_answers_exactly_as_the_in_process_path() {
+        let factory = NetworkedSessionFactory::new(TcpSulFactory::default(), LinkConfig::ideal());
+        let batch = words();
+        let got = run_multiplexed(&factory, &batch);
+        for (word, out) in batch.iter().zip(&got) {
+            assert_eq!(
+                out,
+                &replay_query(&mut TcpSul::with_defaults(), word),
+                "wire transport diverged on {word:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_and_jitter_cost_virtual_time_but_never_change_answers() {
+        let link = LinkConfig::with_latency(SimDuration::from_micros(300))
+            .jitter(SimDuration::from_micros(150));
+        let factory =
+            NetworkedSessionFactory::new(TcpSulFactory::default(), link).with_noise_seed(5);
+        let batch = words();
+        let (sessions, clock) = factory.create_worker_sessions(batch.len());
+        let mut scheduler = SessionScheduler::with_clock(sessions, clock);
+        for (i, word) in batch.iter().enumerate() {
+            scheduler.submit(i, word.clone());
+        }
+        let mut done = scheduler.run_to_idle();
+        done.sort_by_key(|(i, _)| *i);
+        for (word, (_, out)) in batch.iter().zip(&done) {
+            assert_eq!(out, &replay_query(&mut TcpSul::with_defaults(), word));
+        }
+        assert!(
+            scheduler.stats().virtual_elapsed_micros >= 600,
+            "at least one full round trip of virtual time"
+        );
+        assert!(scheduler.stats().clock_advances > 0);
+    }
+
+    #[test]
+    fn lost_packets_resolve_to_the_timeout_symbol_at_the_deadline() {
+        // Loss 1.0: every request is dropped on the wire, so every step of
+        // every query must resolve to NIL instead of hanging the scheduler.
+        let factory = NetworkedSessionFactory::new(
+            TcpSulFactory::default(),
+            LinkConfig::with_latency(SimDuration::from_micros(100)).loss(1.0),
+        );
+        let batch = words();
+        let got = run_multiplexed(&factory, &batch);
+        for (word, out) in batch.iter().zip(&got) {
+            let expected: OutputWord = word.iter().map(|_| Symbol::new("NIL")).collect();
+            assert_eq!(out, &expected, "lossy wire must time out, not hang");
+        }
+    }
+
+    #[test]
+    fn impaired_answers_are_a_pure_function_of_the_query() {
+        // The determinism keystone: on a heavily impaired link, re-running
+        // the same batch — in a different session order, on a different
+        // group size — yields identical answers, because fates depend only
+        // on (noise seed, per-query packet index).
+        let link = LinkConfig::with_latency(SimDuration::from_micros(200))
+            .jitter(SimDuration::from_micros(300))
+            .loss(0.3)
+            .reorder(0.3)
+            .duplicate(0.2);
+        let factory =
+            NetworkedSessionFactory::new(TcpSulFactory::default(), link).with_noise_seed(11);
+        let batch = words();
+        let first = run_multiplexed(&factory, &batch);
+        let second = run_multiplexed(&factory, &batch);
+        assert_eq!(first, second, "same group size must reproduce");
+        // One session executing the batch serially sees the same answers.
+        let (sessions, clock) = factory.create_worker_sessions(1);
+        let mut serial = SessionScheduler::with_clock(sessions, clock);
+        let mut serial_out = Vec::new();
+        for (i, word) in batch.iter().enumerate() {
+            serial.submit(i, word.clone());
+            serial_out.extend(serial.run_to_idle().into_iter().map(|(_, o)| o));
+        }
+        assert_eq!(first, serial_out, "group size must not change answers");
+        // And the noise seed genuinely matters (the link is really lossy).
+        let reseeded =
+            NetworkedSessionFactory::new(TcpSulFactory::default(), link).with_noise_seed(12);
+        let third = run_multiplexed(&reseeded, &batch);
+        assert_ne!(first, third, "a different seed meets different weather");
+    }
+
+    #[test]
+    fn networked_quic_handshake_completes_on_an_ideal_wire() {
+        let factory = NetworkedSessionFactory::new(
+            QuicSulFactory::new(ImplementationProfile::google(), 1),
+            LinkConfig::ideal(),
+        );
+        let word = InputWord::from_symbols([
+            "INITIAL(?,?)[CRYPTO]",
+            "HANDSHAKE(?,?)[ACK,CRYPTO]",
+            "SHORT(?,?)[ACK,STREAM]",
+        ]);
+        let (sessions, clock) = factory.create_worker_sessions(1);
+        let mut scheduler = SessionScheduler::with_clock(sessions, clock);
+        scheduler.submit(0, word.clone());
+        let done = scheduler.run_to_idle();
+        let expected = replay_query(&mut QuicSul::new(ImplementationProfile::google(), 1), &word);
+        assert_eq!(done[0].1, expected);
+        // The Oracle Table flows back out through the session teardown.
+        let mut sessions = scheduler.into_sessions();
+        let mut session = sessions.pop().unwrap();
+        session.start_reset(SimTime::ZERO);
+        let sul = session.into_sul();
+        assert!(!sul.oracle_table().is_empty());
+    }
+
+    #[test]
+    fn buggy_retry_client_still_cannot_complete_the_handshake_over_the_wire() {
+        // Issue 3 over netsim: the post-Retry Initial leaves from a spoofed
+        // source port, so server-side address validation fails and the
+        // handshake stays stuck — same observable as the in-process path.
+        let word = InputWord::from_symbols(["INITIAL(?,?)[CRYPTO]", "INITIAL(?,?)[CRYPTO]"]);
+        let profile = ImplementationProfile::quiche().with_retry();
+        for buggy in [false, true] {
+            let mut inner = QuicSulFactory::new(profile.clone(), 1);
+            if buggy {
+                inner = inner.with_buggy_retry_client();
+            }
+            let factory = NetworkedSessionFactory::new(inner, LinkConfig::ideal());
+            let (sessions, clock) = factory.create_worker_sessions(1);
+            let mut scheduler = SessionScheduler::with_clock(sessions, clock);
+            scheduler.submit(0, word.clone());
+            let done = scheduler.run_to_idle();
+            let second_step = done[0].1.as_slice()[1].to_string();
+            if buggy {
+                assert_eq!(second_step, "{}", "validation must fail: {second_step}");
+            } else {
+                assert_ne!(second_step, "{}", "validated handshake proceeds");
+            }
+        }
+    }
+
+    #[test]
+    fn repetition_streams_share_no_diagonal_fates() {
+        // Regression: repetition seeds used the same multiplier as
+        // LinkConfig's per-knob sub-streams, so repetition r's packet
+        // r + 1 collapsed to one shared fate across every repetition.
+        // With finalized seeds, the diagonal fates must genuinely vary.
+        let link = LinkConfig::ideal().loss(0.5);
+        let factory = NetworkedSessionFactory::new(TcpSulFactory::default(), link);
+        let diagonal: Vec<bool> = (0..32u64)
+            .map(|rep| link.fate(factory.repetition_seed(rep), rep + 1).is_none())
+            .collect();
+        assert!(
+            diagonal.iter().any(|&lost| lost) && diagonal.iter().any(|&lost| !lost),
+            "diagonal packet fates must not collapse to one value: {diagonal:?}"
+        );
+        let mut seeds: Vec<u64> = (0..1_000).map(|rep| factory.repetition_seed(rep)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 1_000, "repetition seeds are pairwise distinct");
+    }
+
+    #[test]
+    fn create_session_works_under_a_foreign_scheduler_clock() {
+        // A single session from `create_session` must behave on a scheduler
+        // that knows nothing of the factory's internal clock — the session
+        // drives its network from the scheduler-provided instant.
+        let factory = NetworkedSessionFactory::new(
+            TcpSulFactory::default(),
+            LinkConfig::with_latency(SimDuration::from_micros(200)),
+        );
+        let mut scheduler = SessionScheduler::new(vec![factory.create_session()]);
+        let word = InputWord::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)"]);
+        scheduler.submit(0, word.clone());
+        let done = scheduler.run_to_idle();
+        assert_eq!(done[0].1, replay_query(&mut TcpSul::with_defaults(), &word));
+        assert!(scheduler.stats().virtual_elapsed_micros >= 400);
+    }
+
+    #[test]
+    fn sub_rtt_timeouts_never_shift_answers_across_steps() {
+        // Regression: a step resolving at its deadline used to leave its
+        // response in flight, and the next step absorbed it as its own
+        // answer.  With a timeout far below the link latency, every step
+        // must individually time out to NIL — no off-by-one outputs.
+        let factory = NetworkedSessionFactory::new(
+            TcpSulFactory::default(),
+            LinkConfig::with_latency(SimDuration::from_micros(500)),
+        )
+        .with_timeout(SimDuration::from_micros(10));
+        let word = InputWord::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)", "SYN(?,?,0)"]);
+        let (sessions, clock) = factory.create_worker_sessions(1);
+        let mut scheduler = SessionScheduler::with_clock(sessions, clock);
+        scheduler.submit(0, word.clone());
+        let done = scheduler.run_to_idle();
+        let expected: OutputWord = word.iter().map(|_| Symbol::new("NIL")).collect();
+        assert_eq!(done[0].1, expected);
+    }
+
+    #[test]
+    fn sessions_get_distinct_port_pairs_and_factory_reports_config() {
+        let link = LinkConfig::with_latency(SimDuration::from_millis(2));
+        let factory = NetworkedSessionFactory::new(TcpSulFactory::default(), link)
+            .with_timeout(SimDuration::from_millis(50));
+        assert_eq!(factory.timeout(), SimDuration::from_millis(50));
+        assert_eq!(factory.link().latency, SimDuration::from_millis(2));
+        let (sessions, _clock) = factory.create_worker_sessions(3);
+        let mut ports: Vec<u16> = sessions
+            .iter()
+            .flat_map(|s| [s.client_port(), s.server_port()])
+            .collect();
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports.len(), 6, "each session owns a distinct port pair");
+        assert!(Arc::ptr_eq(sessions[0].network(), sessions[1].network()));
+    }
+}

@@ -11,7 +11,9 @@
 //! — so the checker also reports the observed frequency of every distinct
 //! answer.
 
-use crate::sul::Sul;
+use crate::net_transport::{NetworkedSessionFactory, WireSul};
+use crate::session::SessionScheduler;
+use crate::sul::{Sul, SulFactory};
 use prognosis_automata::alphabet::Symbol;
 use prognosis_automata::word::{InputWord, OutputWord};
 use serde::{Deserialize, Serialize};
@@ -168,6 +170,82 @@ impl<S: Sul> NondeterminismChecker<S> {
     }
 }
 
+/// The session-engine path of the repeated-query check: the `k` repetitions
+/// of one query run as `k` **concurrent sessions** multiplexed on one
+/// [`SessionScheduler`] over an impaired network — the regime a real
+/// deployment's noise check operates in, where many flows share the wire at
+/// once (and where the PR-3 engine could previously not take impairments at
+/// all).
+///
+/// Each repetition draws its packet fates from its own noise stream
+/// ([`NetworkedSessionFactory::repetition_sessions`]), so repetitions are
+/// independent samples of the link's weather while the whole check stays a
+/// pure function of `(query, factory seeds, config)`: rerunning it yields
+/// the identical report.  Sampling proceeds in concurrent waves of
+/// `min_repetitions` until the confidence threshold is met or the
+/// `max_repetitions` budget is exhausted, mirroring the sequential
+/// [`NondeterminismChecker::check`] protocol.
+pub fn check_multiplexed<F>(
+    factory: &NetworkedSessionFactory<F>,
+    input: &InputWord,
+    config: NondeterminismConfig,
+) -> NondeterminismReport
+where
+    F: SulFactory,
+    F::Sul: WireSul,
+{
+    assert!(config.min_repetitions >= 1);
+    assert!(config.max_repetitions >= config.min_repetitions);
+    assert!((0.0..=1.0).contains(&config.confidence));
+    let mut observations: BTreeMap<OutputWord, usize> = BTreeMap::new();
+    let mut executions = 0usize;
+    loop {
+        // Decide how many more samples this wave needs.
+        let wanted = if executions < config.min_repetitions {
+            config.min_repetitions - executions
+        } else if observations.len() == 1 {
+            return NondeterminismReport {
+                input: input.clone(),
+                observations,
+                executions,
+                deterministic: true,
+            };
+        } else {
+            let majority = observations.values().copied().max().unwrap_or(0);
+            if majority as f64 / executions as f64 >= config.confidence {
+                return NondeterminismReport {
+                    input: input.clone(),
+                    observations,
+                    executions,
+                    deterministic: true,
+                };
+            }
+            if executions >= config.max_repetitions {
+                return NondeterminismReport {
+                    input: input.clone(),
+                    observations,
+                    executions,
+                    deterministic: false,
+                };
+            }
+            config
+                .min_repetitions
+                .min(config.max_repetitions - executions)
+        };
+        // One wave: `wanted` concurrent sessions of the same query, each
+        // repetition on its own noise stream over one shared network.
+        let (sessions, clock) = factory.repetition_sessions(executions as u64, wanted);
+        let mut scheduler = SessionScheduler::with_clock(sessions, clock);
+        for index in 0..wanted {
+            scheduler.submit(index, input.clone());
+        }
+        for (_, output) in scheduler.run_to_idle() {
+            *observations.entry(output).or_insert(0) += 1;
+            executions += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +360,60 @@ mod tests {
         assert_eq!(flagged[0].input, InputWord::from_symbols(["flaky"]));
         let _ = checker.sul_mut();
         let _ = checker.into_inner();
+    }
+
+    #[test]
+    fn multiplexed_check_reproduces_injected_loss_frequencies() {
+        use crate::net_transport::{LinkConfig, NetworkedSessionFactory};
+        use crate::session::SimDuration;
+        use crate::tcp_adapter::TcpSulFactory;
+
+        // 10% loss per direction: a SYN's answer survives the round trip
+        // with probability 0.9 × 0.9 = 0.81 — the ~80/20 split the paper's
+        // mvfst analysis hinges on, here injected by the network.
+        let link = LinkConfig::with_latency(SimDuration::from_micros(100)).loss(0.1);
+        let factory =
+            NetworkedSessionFactory::new(TcpSulFactory::default(), link).with_noise_seed(42);
+        let config = NondeterminismConfig {
+            min_repetitions: 50,
+            max_repetitions: 400,
+            confidence: 0.95,
+        };
+        let word = InputWord::from_symbols(["SYN(?,?,0)"]);
+        let report = check_multiplexed(&factory, &word, config);
+        assert!(
+            !report.deterministic,
+            "20% answer noise cannot meet a 95% confidence threshold"
+        );
+        assert_eq!(report.distinct_outputs(), 2);
+        assert_eq!(report.executions, 400);
+        let (majority, freq) = report.majority().unwrap();
+        assert_eq!(majority, &OutputWord::from_symbols(["ACK+SYN(?,?,0)"]));
+        assert!(
+            (0.72..=0.90).contains(&freq),
+            "observed frequency {freq} should be ≈0.81"
+        );
+        // The whole check is a pure function of (query, seeds, config).
+        let again = check_multiplexed(&factory, &word, config);
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn multiplexed_check_accepts_clean_links_quickly() {
+        use crate::net_transport::{LinkConfig, NetworkedSessionFactory};
+        use crate::session::SimDuration;
+        use crate::tcp_adapter::TcpSulFactory;
+
+        let link = LinkConfig::with_latency(SimDuration::from_micros(100));
+        let factory = NetworkedSessionFactory::new(TcpSulFactory::default(), link);
+        let report = check_multiplexed(
+            &factory,
+            &InputWord::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)"]),
+            NondeterminismConfig::default(),
+        );
+        assert!(report.deterministic);
+        assert_eq!(report.executions, 3);
+        assert_eq!(report.distinct_outputs(), 1);
     }
 
     #[test]

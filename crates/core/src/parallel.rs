@@ -150,15 +150,15 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
         let (reply_tx, reply_rx) = channel::<Reply>();
         let workers = (0..workers)
             .map(|worker_id| {
-                let sessions: Vec<Sn> = (0..max_inflight)
-                    .map(|_| factory.create_session())
-                    .collect();
+                // One session group (and, for networked transports, one
+                // shared netsim network attached to this clock) per worker.
+                let (sessions, clock) = factory.create_worker_sessions(max_inflight);
                 let shared = Arc::clone(&shared);
                 let reply_tx = reply_tx.clone();
                 let snapshot = Arc::new(Mutex::new(WorkerSnapshot::default()));
                 let published = Arc::clone(&snapshot);
                 let handle = std::thread::spawn(move || {
-                    let mut scheduler = SessionScheduler::new(sessions);
+                    let mut scheduler = SessionScheduler::with_clock(sessions, clock);
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                         worker_loop(&shared, &mut scheduler, &reply_tx, &published);
                     }));

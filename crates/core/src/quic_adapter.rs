@@ -11,9 +11,11 @@
 //! concrete numeric fields of every exchanged packet are recorded in the
 //! Oracle Table for synthesis.
 
+use crate::net_transport::{WireRequest, WireSul};
 use crate::oracle_table::{HasOracleTable, OracleTable};
 use crate::session::{SessionSulFactory, SimTime, TimedSession, TimedSul};
 use crate::sul::{Sul, SulFactory, SulStats};
+use bytes::Bytes;
 use prognosis_automata::alphabet::{Alphabet, Symbol};
 use prognosis_quic_sim::client::{numeric_fields, ReferenceQuicClient};
 use prognosis_quic_sim::profile::ImplementationProfile;
@@ -111,6 +113,9 @@ pub struct QuicSul {
     stats: SulStats,
     current_inputs: Vec<(String, Vec<i64>)>,
     current_outputs: Vec<(String, Vec<i64>)>,
+    /// Response packets absorbed from the wire during the in-flight
+    /// networked step (see [`WireSul`]); empty outside a wire step.
+    wire_responses: Vec<(String, Vec<i64>)>,
 }
 
 impl QuicSul {
@@ -128,6 +133,7 @@ impl QuicSul {
             stats: SulStats::default(),
             current_inputs: Vec::new(),
             current_outputs: Vec::new(),
+            wire_responses: Vec::new(),
         }
     }
 
@@ -209,6 +215,7 @@ impl Sul for QuicSul {
 
     fn reset(&mut self) {
         self.stats.resets += 1;
+        self.wire_responses.clear();
         self.flush_query();
         self.server.reset();
         self.client.reset();
@@ -239,6 +246,75 @@ impl TimedSul for QuicSul {
     fn reset_at(&mut self, now: SimTime) -> SimTime {
         self.reset();
         now
+    }
+}
+
+impl WireSul for QuicSul {
+    fn wire_request(&mut self, input: &Symbol) -> WireRequest {
+        self.stats.symbols_sent += 1;
+        self.wire_responses.clear();
+        match self.client.concretize(input.as_str()) {
+            Err(_) => {
+                self.current_inputs.push((input.to_string(), vec![]));
+                self.current_outputs.push(("{}".to_string(), vec![]));
+                WireRequest::Immediate(Symbol::new("{}"))
+            }
+            Ok((request_packet, wire)) => {
+                self.stats.concrete_packets_sent += 1;
+                self.current_inputs
+                    .push((input.to_string(), numeric_fields(&request_packet)));
+                WireRequest::Datagram(wire)
+            }
+        }
+    }
+
+    fn wire_source_port(&self, bound: u16) -> u16 {
+        if self.client.rebound() {
+            // The Issue-3 defect on the netsim wire: the post-Retry
+            // Initial leaves from a fresh port, distinct per rebind and
+            // kept below the ephemeral range so it can never collide with
+            // another session's bound endpoint.
+            1_024 + self.client.source_port() % 16_384
+        } else {
+            bound
+        }
+    }
+
+    fn handle_wire(
+        &mut self,
+        datagram: &Bytes,
+        source_port: u16,
+        now: SimTime,
+    ) -> (Vec<Bytes>, SimTime) {
+        self.server.handle_datagram_at(datagram, source_port, now)
+    }
+
+    fn absorb_wire(&mut self, datagram: &Bytes) {
+        if let Some(packet) = self.client.absorb(datagram) {
+            self.stats.concrete_packets_received += 1;
+            self.wire_responses.push((
+                ReferenceQuicClient::abstract_packet(&packet),
+                numeric_fields(&packet),
+            ));
+        }
+    }
+
+    fn finish_step(&mut self) -> Symbol {
+        // Mirror the in-process path: (name, fields) pairs sorted by name
+        // so the output symbol and the recorded fields stay aligned.  An
+        // empty flight — server silence or every datagram lost — abstracts
+        // to `{}`, the adapter's timeout symbol.
+        let mut decoded = std::mem::take(&mut self.wire_responses);
+        decoded.sort();
+        let names: Vec<&str> = decoded.iter().map(|(n, _)| n.as_str()).collect();
+        let abstract_out = format!("{{{}}}", names.join(","));
+        let output_fields: Vec<i64> = decoded
+            .iter()
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
+        self.current_outputs
+            .push((abstract_out.clone(), output_fields));
+        Symbol::new(abstract_out)
     }
 }
 

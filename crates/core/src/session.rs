@@ -200,6 +200,20 @@ pub trait SessionSulFactory {
 
     /// Creates a fresh, independent session in its initial state.
     fn create_session(&self) -> Self::Session;
+
+    /// Mints the whole session group one scheduler worker multiplexes,
+    /// together with the clock that worker's [`SessionScheduler`] must
+    /// drive.  The default mints `count` independent sessions on a fresh
+    /// clock; transports whose sessions share per-worker substrate — one
+    /// `netsim` network per worker
+    /// ([`crate::net_transport::NetworkedSessionFactory`]) — override this
+    /// so the group lives on one substrate attached to the returned clock.
+    fn create_worker_sessions(&self, count: usize) -> (Vec<Self::Session>, SharedClock) {
+        (
+            (0..count).map(|_| self.create_session()).collect(),
+            SharedClock::new(),
+        )
+    }
 }
 
 impl<F: SessionSulFactory + ?Sized> SessionSulFactory for &F {
@@ -207,6 +221,10 @@ impl<F: SessionSulFactory + ?Sized> SessionSulFactory for &F {
 
     fn create_session(&self) -> Self::Session {
         (**self).create_session()
+    }
+
+    fn create_worker_sessions(&self, count: usize) -> (Vec<Self::Session>, SharedClock) {
+        (**self).create_worker_sessions(count)
     }
 }
 

@@ -9,9 +9,11 @@
 //! together with its concrete sequence/acknowledgement numbers (4), and
 //! responses are abstracted back to the learner's alphabet (5).
 
+use crate::net_transport::{WireRequest, WireSul};
 use crate::oracle_table::{HasOracleTable, OracleTable};
 use crate::session::{SessionSulFactory, SimTime, TimedSession, TimedSul};
 use crate::sul::{Sul, SulFactory, SulStats};
+use bytes::Bytes;
 use prognosis_automata::alphabet::{Alphabet, Symbol};
 use prognosis_tcp::client::ReferenceTcpClient;
 use prognosis_tcp::segment::TcpSegment;
@@ -75,6 +77,9 @@ pub struct TcpSul {
     /// The (abstract, concrete-fields) steps of the query in progress.
     current_inputs: Vec<(String, Vec<i64>)>,
     current_outputs: Vec<(String, Vec<i64>)>,
+    /// Responses absorbed from the wire during the in-flight networked
+    /// step (see [`WireSul`]); empty outside a wire step.
+    wire_responses: Vec<(String, Vec<i64>)>,
 }
 
 impl TcpSul {
@@ -89,6 +94,7 @@ impl TcpSul {
             stats: SulStats::default(),
             current_inputs: Vec::new(),
             current_outputs: Vec::new(),
+            wire_responses: Vec::new(),
         }
     }
 
@@ -163,6 +169,7 @@ impl Sul for TcpSul {
 
     fn reset(&mut self) {
         self.stats.resets += 1;
+        self.wire_responses.clear();
         self.flush_query();
         self.server.reset();
         self.client.reset();
@@ -174,6 +181,71 @@ impl Sul for TcpSul {
 
     fn cache_key(&self) -> Option<String> {
         Some(format!("tcp:{:?}", self.config))
+    }
+}
+
+impl WireSul for TcpSul {
+    fn wire_request(&mut self, input: &Symbol) -> WireRequest {
+        self.stats.symbols_sent += 1;
+        self.wire_responses.clear();
+        match self.client.concretize(input.as_str()) {
+            Err(_) => {
+                // Unknown symbols exchange no packet: answered with silence
+                // immediately, exactly as the in-process path does.
+                self.current_inputs.push((input.to_string(), vec![]));
+                self.current_outputs.push(("NIL".to_string(), vec![]));
+                WireRequest::Immediate(Symbol::new("NIL"))
+            }
+            Ok(segment) => {
+                self.stats.concrete_packets_sent += 1;
+                self.current_inputs
+                    .push((input.to_string(), Self::fields(&segment)));
+                WireRequest::Datagram(segment.encode())
+            }
+        }
+    }
+
+    fn handle_wire(
+        &mut self,
+        datagram: &Bytes,
+        _source_port: u16,
+        now: SimTime,
+    ) -> (Vec<Bytes>, SimTime) {
+        match TcpSegment::decode(datagram.clone()) {
+            Ok(segment) => {
+                let (response, ready_at) = self.server.handle_segment_at(&segment, now);
+                (
+                    response.into_iter().map(|seg| seg.encode()).collect(),
+                    ready_at,
+                )
+            }
+            // A mangled segment is dropped by the server's input stage.
+            Err(_) => (Vec::new(), now),
+        }
+    }
+
+    fn absorb_wire(&mut self, datagram: &Bytes) {
+        if let Ok(segment) = TcpSegment::decode(datagram.clone()) {
+            self.stats.concrete_packets_received += 1;
+            self.client.absorb(&segment);
+            self.wire_responses
+                .push((segment.abstract_name(), Self::fields(&segment)));
+        }
+    }
+
+    fn finish_step(&mut self) -> Symbol {
+        // TCP answers a request with at most one segment; a duplicated
+        // delivery repeats the identical segment, so the first absorbed
+        // response is the step's output.  Nothing absorbed means silence
+        // on the wire — the adapter's timeout symbol.
+        let (output, fields) = self
+            .wire_responses
+            .first()
+            .cloned()
+            .unwrap_or_else(|| ("NIL".to_string(), vec![]));
+        self.wire_responses.clear();
+        self.current_outputs.push((output.clone(), fields));
+        Symbol::new(output)
     }
 }
 

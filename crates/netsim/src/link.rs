@@ -4,13 +4,36 @@
 //! jitter, independent loss and duplication probabilities and a reordering
 //! probability (implemented as an extra random delay).  The default link is
 //! ideal — zero latency, no impairments — which is what the learning
-//! experiments use; the nondeterminism-check experiments (E13) sweep the
-//! loss and jitter knobs.
+//! experiments use; the nondeterminism-check experiments (E13/E18) sweep
+//! the loss and jitter knobs.
+//!
+//! Impairment decisions are **pure**: [`LinkConfig::fate`] derives every
+//! knob's decision for packet `index` of stream `seed` from its own RNG
+//! sub-stream, so each impairment is a function of `(seed, packet index)`
+//! alone.  Enabling or sweeping one knob never reshuffles another knob's
+//! outcomes for the same seed — sweep rows are comparable knob-by-knob —
+//! and two packets with the same stream seed and index meet identical
+//! network weather no matter which session, worker or virtual instant
+//! sends them.
 
 use crate::time::SimDuration;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Sub-stream tags, one per impairment knob.
+const KNOB_LOSS: u64 = 1;
+const KNOB_JITTER: u64 = 2;
+const KNOB_REORDER: u64 = 3;
+const KNOB_DUPLICATE: u64 = 4;
+
+/// A per-(stream, packet, knob) RNG: decisions drawn from it are a pure
+/// function of the three coordinates, independent of every other knob.
+fn substream(seed: u64, index: u64, knob: u64) -> StdRng {
+    StdRng::seed_from_u64(
+        seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ knob.wrapping_mul(0xD1B5_4A32_D192_ED03),
+    )
+}
 
 /// Impairment parameters for one direction of a link.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -96,22 +119,34 @@ impl LinkConfig {
         self
     }
 
-    /// Decides the fate of one datagram crossing this link: `None` when the
-    /// datagram is lost, otherwise the list of delivery delays (one entry,
-    /// or two when duplicated).
-    pub(crate) fn schedule(&self, rng: &mut StdRng) -> Option<Vec<SimDuration>> {
-        if self.loss_rate > 0.0 && rng.gen_bool(self.loss_rate) {
+    /// Decides the fate of packet `index` on noise stream `seed`: `None`
+    /// when the datagram is lost, otherwise the list of delivery delays
+    /// (one entry, or two when duplicated).
+    ///
+    /// Each impairment draws from its own `(seed, index, knob)` sub-stream,
+    /// so its decision is a pure function of the stream seed and packet
+    /// index: sweeping the loss rate leaves jitter draws untouched, and the
+    /// same `(seed, index)` pair meets the same weather on every call.
+    pub fn fate(&self, seed: u64, index: u64) -> Option<Vec<SimDuration>> {
+        if self.loss_rate > 0.0 && substream(seed, index, KNOB_LOSS).gen_bool(self.loss_rate) {
             return None;
         }
         let mut delay = self.latency;
         if self.jitter.as_micros() > 0 {
-            delay = delay + SimDuration::from_micros(rng.gen_range(0..=self.jitter.as_micros()));
+            delay = delay
+                + SimDuration::from_micros(
+                    substream(seed, index, KNOB_JITTER).gen_range(0..=self.jitter.as_micros()),
+                );
         }
-        if self.reorder_rate > 0.0 && rng.gen_bool(self.reorder_rate) {
+        if self.reorder_rate > 0.0
+            && substream(seed, index, KNOB_REORDER).gen_bool(self.reorder_rate)
+        {
             delay = delay + self.reorder_delay;
         }
         let mut deliveries = vec![delay];
-        if self.duplicate_rate > 0.0 && rng.gen_bool(self.duplicate_rate) {
+        if self.duplicate_rate > 0.0
+            && substream(seed, index, KNOB_DUPLICATE).gen_bool(self.duplicate_rate)
+        {
             deliveries.push(delay + SimDuration::from_micros(1));
         }
         Some(deliveries)
@@ -129,14 +164,12 @@ impl LinkConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn ideal_link_delivers_exactly_once_with_zero_delay() {
         let link = LinkConfig::ideal();
-        let mut rng = StdRng::seed_from_u64(1);
-        for _ in 0..100 {
-            let d = link.schedule(&mut rng).expect("ideal link never loses");
+        for index in 0..100 {
+            let d = link.fate(1, index).expect("ideal link never loses");
             assert_eq!(d, vec![SimDuration::ZERO]);
         }
         assert!(!link.is_impaired());
@@ -145,10 +178,7 @@ mod tests {
     #[test]
     fn lossy_link_drops_roughly_at_the_configured_rate() {
         let link = LinkConfig::ideal().loss(0.3);
-        let mut rng = StdRng::seed_from_u64(42);
-        let lost = (0..10_000)
-            .filter(|_| link.schedule(&mut rng).is_none())
-            .count();
+        let lost = (0..10_000).filter(|&i| link.fate(42, i).is_none()).count();
         assert!(
             (2_500..3_500).contains(&lost),
             "lost {lost} of 10000 at 30% loss"
@@ -159,8 +189,7 @@ mod tests {
     #[test]
     fn duplication_yields_two_deliveries() {
         let link = LinkConfig::ideal().duplicate(1.0);
-        let mut rng = StdRng::seed_from_u64(7);
-        let d = link.schedule(&mut rng).unwrap();
+        let d = link.fate(7, 0).unwrap();
         assert_eq!(d.len(), 2);
         assert!(d[1] > d[0]);
     }
@@ -170,8 +199,7 @@ mod tests {
         let link = LinkConfig::with_latency(SimDuration::from_millis(10))
             .jitter(SimDuration::from_millis(2))
             .reorder(1.0);
-        let mut rng = StdRng::seed_from_u64(3);
-        let d = link.schedule(&mut rng).unwrap();
+        let d = link.fate(3, 0).unwrap();
         let delay = d[0].as_micros();
         assert!(
             delay >= 15_000,
@@ -188,16 +216,56 @@ mod tests {
     }
 
     #[test]
-    fn scheduling_is_deterministic_per_seed() {
+    fn fates_are_deterministic_per_seed_and_index() {
         let link = LinkConfig::ideal()
             .loss(0.5)
             .duplicate(0.5)
             .jitter(SimDuration::from_micros(100));
-        let run = |seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            (0..50).map(|_| link.schedule(&mut rng)).collect::<Vec<_>>()
-        };
+        let run = |seed| (0..50).map(|i| link.fate(seed, i)).collect::<Vec<_>>();
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+        // Packet fates are index-addressable, not stream-positional: asking
+        // about packet 17 alone answers the same as asking in sequence.
+        assert_eq!(link.fate(9, 17), run(9)[17]);
+    }
+
+    #[test]
+    fn impairment_knobs_are_independent_per_packet() {
+        // The E13/E18 sweep-comparability property: toggling one knob must
+        // not reshuffle another knob's outcomes for the same (seed, index).
+        let jitter_only = LinkConfig::with_latency(SimDuration::from_millis(1))
+            .jitter(SimDuration::from_micros(500));
+        let jitter_and_loss = jitter_only.loss(0.4);
+        let jitter_loss_dup = jitter_and_loss.duplicate(0.3);
+        for index in 0..2_000 {
+            let base = jitter_only.fate(11, index).expect("lossless");
+            // Wherever the lossy link delivers, the jitter delay is
+            // identical to the lossless link's.
+            if let Some(d) = jitter_and_loss.fate(11, index) {
+                assert_eq!(d[0], base[0], "loss knob changed jitter at {index}");
+            }
+            if let Some(d) = jitter_loss_dup.fate(11, index) {
+                assert_eq!(d[0], base[0], "dup knob changed jitter at {index}");
+                // And duplication decisions agree with the loss+dup link
+                // regardless of the jitter bound.
+                let no_jitter = LinkConfig::with_latency(SimDuration::from_millis(1))
+                    .loss(0.4)
+                    .duplicate(0.3);
+                if let Some(nd) = no_jitter.fate(11, index) {
+                    assert_eq!(
+                        d.len(),
+                        nd.len(),
+                        "jitter knob changed duplication at {index}"
+                    );
+                }
+            }
+            // Loss decisions agree between the two lossy links (the extra
+            // duplicate knob must not perturb them).
+            assert_eq!(
+                jitter_and_loss.fate(11, index).is_none(),
+                jitter_loss_dup.fate(11, index).is_none(),
+                "dup knob changed loss at {index}"
+            );
+        }
     }
 }

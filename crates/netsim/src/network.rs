@@ -11,10 +11,13 @@ use crate::endpoint::{Datagram, Endpoint, EndpointId};
 use crate::link::LinkConfig;
 use crate::time::{SharedClock, SimDuration, SimTime};
 use bytes::Bytes;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+
+/// First port of the ephemeral (dynamic) range, per RFC 6335.
+pub const EPHEMERAL_PORT_MIN: u16 = 49_152;
+/// Last port of the ephemeral range.
+pub const EPHEMERAL_PORT_MAX: u16 = 65_535;
 
 /// Errors raised by network operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -25,6 +28,8 @@ pub enum NetworkError {
     PortInUse(u16),
     /// No endpoint is bound to the destination port.
     NoRoute(u16),
+    /// Every port of the ephemeral range (49152–65535) is bound.
+    PortsExhausted,
 }
 
 impl std::fmt::Display for NetworkError {
@@ -33,6 +38,9 @@ impl std::fmt::Display for NetworkError {
             NetworkError::UnknownEndpoint(id) => write!(f, "unknown endpoint {id}"),
             NetworkError::PortInUse(p) => write!(f, "port {p} already bound"),
             NetworkError::NoRoute(p) => write!(f, "no endpoint bound to port {p}"),
+            NetworkError::PortsExhausted => {
+                write!(f, "every ephemeral port (49152-65535) is bound")
+            }
         }
     }
 }
@@ -59,6 +67,14 @@ impl PartialOrd for ScheduledDelivery {
     }
 }
 
+/// A per-sender impairment stream: packet fates are a pure function of the
+/// stream's seed and its per-packet index (see [`LinkConfig::fate`]).
+#[derive(Clone, Copy, Debug)]
+struct NoiseStream {
+    seed: u64,
+    next_index: u64,
+}
+
 /// The simulated network.
 pub struct Network {
     endpoints: Vec<Endpoint>,
@@ -68,7 +84,17 @@ pub struct Network {
     queue: BinaryHeap<Reverse<ScheduledDelivery>>,
     now: SimTime,
     sequence: u64,
-    rng: StdRng,
+    /// Network-level noise stream for senders without their own.
+    noise: NoiseStream,
+    /// Lowest ephemeral port that could be free (every ephemeral port
+    /// below it is bound), keeping [`Network::bind_ephemeral`]'s
+    /// lowest-free-port scan amortized O(1).
+    ephemeral_hint: u16,
+    /// Per-endpoint noise streams (see [`Network::set_noise_seed`]): they
+    /// give each sender an impairment trajectory that is independent of
+    /// every other endpoint's traffic, and can be rewound at query
+    /// boundaries so repeated queries meet reproducible weather.
+    endpoint_noise: HashMap<EndpointId, NoiseStream>,
     capture: TraceCapture,
     /// Shared-clock handle the network publishes its virtual time to (so
     /// event-driven schedulers and other networks can share one "now").
@@ -76,7 +102,7 @@ pub struct Network {
 }
 
 impl Network {
-    /// Creates a network with an ideal default link and the given RNG seed.
+    /// Creates a network with an ideal default link and the given noise seed.
     pub fn new(seed: u64) -> Self {
         Network::with_default_link(seed, LinkConfig::ideal())
     }
@@ -91,7 +117,12 @@ impl Network {
             queue: BinaryHeap::new(),
             now: SimTime::ZERO,
             sequence: 0,
-            rng: StdRng::seed_from_u64(seed),
+            noise: NoiseStream {
+                seed,
+                next_index: 0,
+            },
+            ephemeral_hint: EPHEMERAL_PORT_MIN,
+            endpoint_noise: HashMap::new(),
             capture: TraceCapture::new(),
             clock: None,
         }
@@ -151,20 +182,33 @@ impl Network {
         Ok(id)
     }
 
-    /// Binds a new endpoint to an arbitrary currently-free port, returning
-    /// the endpoint and the chosen port.  Mirrors binding a UDP socket to
-    /// port 0 — the operation at the heart of the Issue-3 retry bug.
-    pub fn bind_ephemeral(&mut self) -> (EndpointId, u16) {
-        let mut port = 49_152u16;
-        while self.ports.contains_key(&port) {
-            port = port.wrapping_add(1);
+    /// Binds a new endpoint to the lowest currently-free port of the
+    /// ephemeral range (49152–65535), returning the endpoint and the chosen
+    /// port.  Mirrors binding a UDP socket to port 0 — the operation at the
+    /// heart of the Issue-3 retry bug, and the per-session client-port
+    /// allocation of the impaired-network session transport.
+    ///
+    /// The scan never leaves the ephemeral range (it previously wrapped
+    /// past 65535 into port 0 and the well-known range) and reports
+    /// [`NetworkError::PortsExhausted`] instead of spinning when every
+    /// ephemeral port is bound.
+    pub fn bind_ephemeral(&mut self) -> Result<(EndpointId, u16), NetworkError> {
+        for port in self.ephemeral_hint..=EPHEMERAL_PORT_MAX {
+            if !self.ports.contains_key(&port) {
+                let id = self.bind(port)?;
+                self.ephemeral_hint = port.saturating_add(1);
+                return Ok((id, port));
+            }
         }
-        let id = self.bind(port).expect("port was checked to be free");
-        (id, port)
+        Err(NetworkError::PortsExhausted)
     }
 
     /// Releases an endpoint's port binding and drops its pending datagrams.
     /// The endpoint id remains valid but can no longer receive traffic.
+    ///
+    /// The port mapping is only removed while it still points at this
+    /// endpoint: unbinding twice after the port was reassigned must not
+    /// steal the new owner's binding.
     pub fn unbind(&mut self, endpoint: EndpointId) -> Result<(), NetworkError> {
         let ep = self
             .endpoints
@@ -172,7 +216,40 @@ impl Network {
             .ok_or(NetworkError::UnknownEndpoint(endpoint))?;
         ep.clear();
         let port = ep.port();
-        self.ports.remove(&port);
+        if self.ports.get(&port) == Some(&endpoint) {
+            self.ports.remove(&port);
+            if port >= EPHEMERAL_PORT_MIN {
+                self.ephemeral_hint = self.ephemeral_hint.min(port);
+            }
+        }
+        Ok(())
+    }
+
+    /// Gives `endpoint` its own impairment stream: from now on, datagrams
+    /// it sends take their fates from `(seed, packet index)` via
+    /// [`LinkConfig::fate`], independent of all other traffic on the
+    /// network.
+    pub fn set_noise_seed(&mut self, endpoint: EndpointId, seed: u64) -> Result<(), NetworkError> {
+        let _ = self.endpoint(endpoint)?;
+        self.endpoint_noise.insert(
+            endpoint,
+            NoiseStream {
+                seed,
+                next_index: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Rewinds `endpoint`'s impairment stream to packet index 0, so its
+    /// next packets meet the same weather as its first ones — the query
+    /// boundary of the session transport.  A no-op for endpoints without a
+    /// private stream.
+    pub fn rewind_noise(&mut self, endpoint: EndpointId) -> Result<(), NetworkError> {
+        let _ = self.endpoint(endpoint)?;
+        if let Some(stream) = self.endpoint_noise.get_mut(&endpoint) {
+            stream.next_index = 0;
+        }
         Ok(())
     }
 
@@ -240,7 +317,14 @@ impl Network {
             });
             return Err(NetworkError::NoRoute(destination_port));
         };
-        match link.schedule(&mut self.rng) {
+        let stream = match self.endpoint_noise.get_mut(&from) {
+            Some(stream) => stream,
+            None => &mut self.noise,
+        };
+        let packet_index = stream.next_index;
+        stream.next_index += 1;
+        let seed = stream.seed;
+        match link.fate(seed, packet_index) {
             None => {
                 self.capture.record(CaptureRecord {
                     sent_at: self.now,
@@ -332,6 +416,58 @@ impl Network {
     /// Number of datagrams currently in flight.
     pub fn in_flight(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Delivers everything due at or before the current instant without
+    /// advancing time — needed when a datagram was scheduled with zero
+    /// delay at exactly `now`.
+    pub fn deliver_due(&mut self) -> usize {
+        self.advance(SimDuration::ZERO)
+    }
+
+    /// Advances virtual time to `target` (a no-op on time when `target`
+    /// is not in the future — virtual time is monotonic), delivering
+    /// everything due by the later of the two instants.  This is how an
+    /// event-driven session synchronizes the network to its scheduler's
+    /// clock without the network needing a clock handle of its own.
+    pub fn advance_to(&mut self, target: SimTime) -> usize {
+        if target > self.now {
+            self.advance(target - self.now)
+        } else {
+            self.deliver_due()
+        }
+    }
+
+    /// Number of in-flight datagrams addressed to `port`.
+    pub fn in_flight_to(&self, port: u16) -> usize {
+        self.queue
+            .iter()
+            .filter(|Reverse(d)| d.datagram.destination_port == port)
+            .count()
+    }
+
+    /// The earliest scheduled delivery time of an in-flight datagram
+    /// addressed to `port`, if any — the wake-up deadline an event-driven
+    /// session waiting on that port should report.
+    pub fn next_delivery_to(&self, port: u16) -> Option<SimTime> {
+        self.queue
+            .iter()
+            .filter(|Reverse(d)| d.datagram.destination_port == port)
+            .map(|Reverse(d)| d.deliver_at)
+            .min()
+    }
+
+    /// Drops every in-flight datagram addressed to `port`, returning how
+    /// many were dropped — the session transport uses this at query
+    /// boundaries so one query's stragglers never leak into the next.
+    pub fn drop_in_flight_to(&mut self, port: u16) -> usize {
+        let before = self.queue.len();
+        let kept: Vec<Reverse<ScheduledDelivery>> = std::mem::take(&mut self.queue)
+            .into_iter()
+            .filter(|Reverse(d)| d.datagram.destination_port != port)
+            .collect();
+        self.queue = kept.into_iter().collect();
+        before - self.queue.len()
     }
 }
 
@@ -433,10 +569,129 @@ mod tests {
     #[test]
     fn ephemeral_binding_picks_free_ports() {
         let mut net = Network::new(1);
-        let (_, p1) = net.bind_ephemeral();
-        let (_, p2) = net.bind_ephemeral();
+        let (_, p1) = net.bind_ephemeral().unwrap();
+        let (_, p2) = net.bind_ephemeral().unwrap();
         assert_ne!(p1, p2);
+        assert!((EPHEMERAL_PORT_MIN..=EPHEMERAL_PORT_MAX).contains(&p1));
         assert!(net.endpoint_on_port(p1).is_some());
+    }
+
+    #[test]
+    fn ephemeral_binding_stays_in_range_and_reports_exhaustion() {
+        let mut net = Network::new(1);
+        // A bound well-known port must never be stolen by the scan.
+        net.bind(443).unwrap();
+        let mut last = None;
+        for _ in EPHEMERAL_PORT_MIN..=EPHEMERAL_PORT_MAX {
+            let (_, port) = net.bind_ephemeral().expect("range not yet exhausted");
+            assert!((EPHEMERAL_PORT_MIN..=EPHEMERAL_PORT_MAX).contains(&port));
+            last = Some(port);
+        }
+        assert_eq!(last, Some(EPHEMERAL_PORT_MAX));
+        // The range is now full: the scan must fail instead of wrapping
+        // into port 0 / the well-known range or spinning forever.
+        assert_eq!(
+            net.bind_ephemeral().unwrap_err(),
+            NetworkError::PortsExhausted
+        );
+        assert_eq!(net.endpoint_on_port(443).map(|e| e.index()), Some(0));
+        // Releasing one port makes the scan succeed again at that port.
+        let victim = net.endpoint_on_port(50_000).unwrap();
+        net.unbind(victim).unwrap();
+        assert_eq!(net.bind_ephemeral().unwrap().1, 50_000);
+    }
+
+    #[test]
+    fn double_unbind_does_not_steal_a_reassigned_port() {
+        let mut net = Network::new(1);
+        let (first, port) = net.bind_ephemeral().unwrap();
+        net.unbind(first).unwrap();
+        // The port is reassigned to a new endpoint...
+        let (second, reused) = net.bind_ephemeral().unwrap();
+        assert_eq!(reused, port);
+        // ...and a stale second unbind of the old endpoint must not remove
+        // the new owner's binding.
+        net.unbind(first).unwrap();
+        assert_eq!(net.endpoint_on_port(port), Some(second));
+        let a = net.bind(10).unwrap();
+        net.send(a, port, Bytes::from_static(b"x")).unwrap();
+        net.deliver_all();
+        assert_eq!(
+            net.endpoint(second).unwrap().pending(),
+            1,
+            "traffic still routes to the live endpoint"
+        );
+    }
+
+    #[test]
+    fn per_endpoint_noise_streams_are_rewindable_and_independent() {
+        let link = LinkConfig::ideal().loss(0.5);
+        let run = |skip_other: usize| {
+            let mut net = Network::with_default_link(3, link);
+            let a = net.bind(1).unwrap();
+            let other = net.bind(3).unwrap();
+            let _b = net.bind(2).unwrap();
+            net.set_noise_seed(a, 77).unwrap();
+            // Unrelated traffic from an endpoint on the shared stream must
+            // not perturb a's private stream.
+            for _ in 0..skip_other {
+                net.send(other, 2, Bytes::from_static(b"noise")).unwrap();
+            }
+            let fates: Vec<bool> = (0..64)
+                .map(|_| {
+                    net.send(a, 2, Bytes::from_static(b"x")).unwrap();
+                    net.deliver_all() > 0
+                })
+                .collect();
+            fates
+        };
+        let clean = run(0);
+        assert_eq!(clean, run(13), "other senders must not shift a's fates");
+        // Rewinding replays the identical fate sequence.
+        let mut net = Network::with_default_link(3, link);
+        let a = net.bind(1).unwrap();
+        let _b = net.bind(2).unwrap();
+        net.set_noise_seed(a, 77).unwrap();
+        let observe = |net: &mut Network| -> Vec<bool> {
+            (0..64)
+                .map(|_| {
+                    net.send(a, 2, Bytes::from_static(b"x")).unwrap();
+                    net.deliver_all() > 0
+                })
+                .collect()
+        };
+        let first = observe(&mut net);
+        net.rewind_noise(a).unwrap();
+        let second = observe(&mut net);
+        assert_eq!(first, second);
+        assert_eq!(first, clean);
+        assert!(net.set_noise_seed(EndpointId(9), 1).is_err());
+        assert!(net.rewind_noise(EndpointId(9)).is_err());
+    }
+
+    #[test]
+    fn in_flight_queries_and_drops_are_port_scoped() {
+        let mut net =
+            Network::with_default_link(1, LinkConfig::with_latency(SimDuration::from_millis(2)));
+        let a = net.bind(1).unwrap();
+        let _b = net.bind(2).unwrap();
+        let _c = net.bind(3).unwrap();
+        net.send(a, 2, Bytes::from_static(b"x")).unwrap();
+        net.send(a, 3, Bytes::from_static(b"y")).unwrap();
+        assert_eq!(net.in_flight_to(2), 1);
+        assert_eq!(net.in_flight_to(3), 1);
+        assert_eq!(net.in_flight_to(9), 0);
+        assert_eq!(
+            net.next_delivery_to(2),
+            Some(SimTime::from_micros(2_000)),
+            "2ms link latency"
+        );
+        assert_eq!(net.next_delivery_to(9), None);
+        assert_eq!(net.drop_in_flight_to(2), 1);
+        assert_eq!(net.in_flight(), 1, "port 3's datagram survives");
+        assert_eq!(net.deliver_due(), 0, "nothing due yet at t=0");
+        net.advance(SimDuration::from_millis(2));
+        assert_eq!(net.endpoint(_c).unwrap().pending(), 1);
     }
 
     #[test]

@@ -104,6 +104,14 @@ impl ReferenceQuicClient {
         self.current_port
     }
 
+    /// Whether the client is currently sending from a rebound (post-Retry)
+    /// port rather than its base port — the observable of the Issue-3
+    /// defect, which the networked transport maps onto a spoofed wire
+    /// source port.
+    pub fn rebound(&self) -> bool {
+        self.current_port != self.base_port
+    }
+
     /// Whether the server has signalled handshake completion.
     pub fn handshake_complete(&self) -> bool {
         self.handshake_complete
