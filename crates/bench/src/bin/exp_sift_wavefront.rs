@@ -1,0 +1,20 @@
+//! E19: sift-wavefront batching vs serial sifting, and adaptive
+//! `max_inflight` scaling.
+//!
+//! Runs the latency-modelled TCP scenario at 1 worker × 64 in-flight
+//! sessions (16 with `--quick`, the CI smoke configuration) with both sift
+//! strategies.  The library asserts the headline claims — bit-identical
+//! models, `membership_queries` ≤ serial, hypothesis-construction
+//! occupancy > 0.5 and ≥ 4× construction-phase virtual-time speedup — so
+//! this binary doubles as the CI smoke test.  Appends the `sift_wavefront`
+//! scenario (per-phase occupancy, batch-size histograms, adaptive-limit
+//! events) to `BENCH_learning.json` in the current directory.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (report, scenario) = prognosis_bench::exp_sift_wavefront(quick);
+    println!("{report}");
+    let existing = std::fs::read_to_string("BENCH_learning.json").ok();
+    let merged = prognosis_bench::merge_scenario(existing.as_deref(), "sift_wavefront", scenario);
+    std::fs::write("BENCH_learning.json", merged).expect("write BENCH_learning.json");
+    println!("appended sift_wavefront scenario to BENCH_learning.json");
+}

@@ -22,9 +22,11 @@ use prognosis_core::net_transport::{LinkConfig, NetworkedSessionFactory};
 use prognosis_core::nondeterminism::{
     check_multiplexed, NondeterminismChecker, NondeterminismConfig,
 };
-use prognosis_core::pipeline::{learn_model, learn_model_parallel, LearnConfig, LearnedModel};
+use prognosis_core::pipeline::{
+    learn_model, learn_model_parallel, LearnConfig, LearnedModel, SiftStrategy,
+};
 use prognosis_core::quic_adapter::{quic_alphabet, quic_data_alphabet, QuicSul, QuicSulFactory};
-use prognosis_core::session::{EngineStats, SimDuration};
+use prognosis_core::session::{EngineStats, PhaseStats, QueryPhase, SimDuration};
 use prognosis_core::sul::Sul;
 use prognosis_core::tcp_adapter::{tcp_alphabet, TcpSul, TcpSulFactory};
 use prognosis_quic_sim::profile::ImplementationProfile;
@@ -1223,6 +1225,260 @@ pub fn exp_session_engine() -> (Report, serde_json::Value) {
     (report, serde_json::Value::Map(json_fields))
 }
 
+/// Renders one phase's dispatch accounting as a JSON map.
+fn phase_json(stats: &PhaseStats, max_inflight: u64) -> serde_json::Value {
+    serde_json::Value::Map(vec![
+        ("batches".to_string(), serde_json::Value::U64(stats.batches)),
+        ("queries".to_string(), serde_json::Value::U64(stats.queries)),
+        (
+            "mean_batch_size".to_string(),
+            serde_json::Value::F64(stats.mean_batch_size()),
+        ),
+        (
+            "virtual_seconds".to_string(),
+            serde_json::Value::F64(stats.worker_micros as f64 / 1e6),
+        ),
+        (
+            "occupancy".to_string(),
+            serde_json::Value::F64(stats.occupancy(max_inflight)),
+        ),
+    ])
+}
+
+/// E19 — sift-wavefront batching and adaptive in-flight scaling.
+///
+/// Runs the latency-modelled TCP scenario (50µs per symbol, 100µs per
+/// reset) at 1 worker × `max_inflight` sessions twice: once with the
+/// default [`SiftStrategy::Wavefront`] and once with
+/// [`SiftStrategy::Serial`] (the PR-4 one-query-at-a-time reference).
+/// Asserts the determinism contract — **bit-identical** models,
+/// `membership_queries` ≤ serial, identical `fresh_symbols` — and the
+/// performance claim: wavefront hypothesis construction sustains scheduler
+/// occupancy > 0.5 (serial construction idles at ~`1/max_inflight`) and is
+/// ≥ 4× faster in construction-phase virtual time.  `quick` runs at
+/// `max_inflight` = 16 for the CI smoke step; the full run uses 64.
+/// Returns the `sift_wavefront` scenario (per-phase occupancy, batch-size
+/// histograms, adaptive-limit events) for `BENCH_learning.json`.
+pub fn exp_sift_wavefront(quick: bool) -> (Report, serde_json::Value) {
+    let step_rtt = SimDuration::from_micros(50);
+    let reset_rtt = SimDuration::from_micros(100);
+    let factory = LatencySulFactory::new(TcpSulFactory::default(), step_rtt, reset_rtt);
+    let max_inflight = if quick { 16 } else { 64 };
+    let config = LearnConfig {
+        seed: 7,
+        random_tests: if quick { 600 } else { 2_000 },
+        min_word_len: 2,
+        max_word_len: 10,
+        eq_batch_size: 512,
+        ..LearnConfig::default()
+    }
+    .with_workers(1)
+    .with_max_inflight(max_inflight);
+
+    let run_at = |sift: SiftStrategy, inflight: usize| {
+        let start = std::time::Instant::now();
+        let outcome = learn_model_parallel(
+            &factory,
+            &tcp_alphabet(),
+            config.clone().with_sift(sift).with_max_inflight(inflight),
+        )
+        .expect("parallel learning succeeds");
+        (outcome, start.elapsed().as_secs_f64())
+    };
+    let (wave, wave_seconds) = run_at(SiftStrategy::Wavefront, max_inflight);
+    let (serial, serial_seconds) = run_at(SiftStrategy::Serial, max_inflight);
+
+    // Determinism contract: the wavefront is the same algorithm, faster.
+    assert_eq!(
+        wave.learned.model, serial.learned.model,
+        "wavefront sifting must learn a bit-identical model"
+    );
+    assert!(
+        wave.learned.stats.membership_queries <= serial.learned.stats.membership_queries,
+        "wavefront must not ask more membership queries ({} > {})",
+        wave.learned.stats.membership_queries,
+        serial.learned.stats.membership_queries
+    );
+    assert_eq!(
+        wave.learned.stats.fresh_symbols, serial.learned.stats.fresh_symbols,
+        "both strategies execute the same distinct words on the SUL"
+    );
+
+    let cap = max_inflight as u64;
+    let wave_con = &wave.engine.construction;
+    let serial_con = &serial.engine.construction;
+    let wave_occupancy = wave_con.occupancy(cap);
+    let serial_occupancy = serial_con.occupancy(cap);
+    let construction_speedup =
+        serial_con.worker_micros as f64 / (wave_con.worker_micros as f64).max(1e-9);
+    assert!(
+        construction_speedup >= 4.0,
+        "wavefront hypothesis construction must be ≥ 4× faster in virtual \
+         time at 1 worker × {max_inflight} sessions (got {construction_speedup:.2}x)"
+    );
+    // The pool-filling criterion is pinned at 16 slots (the CI smoke
+    // configuration): a TCP construction round's *fresh* queries — the
+    // cache forwards only those — can saturate a 16-slot pool but not a
+    // 64-slot one, which is exactly why `max_inflight` is an adaptive cap.
+    let occupancy_at_16 = if quick {
+        wave_occupancy
+    } else {
+        let (wave16, _) = run_at(SiftStrategy::Wavefront, 16);
+        wave16.engine.construction.occupancy(16)
+    };
+    assert!(
+        occupancy_at_16 > 0.5,
+        "wavefront construction must keep over half a 16-slot pool in \
+         flight (got {occupancy_at_16:.3}, serial idles at ~1/max_inflight)"
+    );
+
+    let mut report = Report::new(format!(
+        "E19 — sift wavefront vs serial sifting (1 worker × {max_inflight} sessions, \
+         latency-modelled TCP)"
+    ));
+    for (name, outcome, seconds) in [
+        ("wavefront", &wave, wave_seconds),
+        ("serial", &serial, serial_seconds),
+    ] {
+        let engine = &outcome.engine;
+        let con = engine.phase(QueryPhase::Construction);
+        report.row(
+            format!("{name}: construction phase"),
+            format!(
+                "{:.4} virtual s, {} batches (mean size {:.1}), occupancy {:.3}",
+                con.worker_micros as f64 / 1e6,
+                con.batches,
+                con.mean_batch_size(),
+                con.occupancy(cap)
+            ),
+        );
+        report.row(
+            format!("{name}: counterexample phase"),
+            format!(
+                "{:.4} virtual s, {} batches (mean size {:.1}), occupancy {:.3}",
+                engine.counterexample.worker_micros as f64 / 1e6,
+                engine.counterexample.batches,
+                engine.counterexample.mean_batch_size(),
+                engine.counterexample.occupancy(cap)
+            ),
+        );
+        report.row(
+            format!("{name}: whole run"),
+            format!(
+                "{:.4} virtual s, {} membership queries, occupancy {:.3}, \
+                 limit grows/shrinks {}/{}, {seconds:.3}s wall",
+                engine.virtual_elapsed_micros as f64 / 1e6,
+                outcome.learned.stats.membership_queries,
+                engine.occupancy(),
+                engine.limit_grows,
+                engine.limit_shrinks,
+            ),
+        );
+    }
+    report
+        .row(
+            "construction speedup (serial / wavefront virtual time)",
+            format!("{construction_speedup:.2}x"),
+        )
+        .row(
+            "construction occupancy (wavefront vs serial)",
+            format!("{wave_occupancy:.3} vs {serial_occupancy:.3}"),
+        )
+        .row(
+            "construction occupancy at a 16-slot pool",
+            format!("{occupancy_at_16:.3} (must exceed 0.5)"),
+        )
+        .row("models bit-identical, membership queries ≤ serial", true)
+        .finding(
+            "the wavefront turns hypothesis construction from one in-flight query into \
+             O(states × alphabet)-sized batches; the adaptive scheduler grows the pool \
+             while those batches keep it saturated and shrinks it for small windows",
+        );
+
+    let histogram_json = |engine: &EngineStats| {
+        serde_json::Value::Map(
+            engine
+                .batch_size_histogram
+                .iter()
+                .enumerate()
+                .filter(|(_, count)| **count > 0)
+                .map(|(bucket, count)| {
+                    let lo = 1u64 << bucket;
+                    let hi = (1u64 << (bucket + 1)) - 1;
+                    (format!("{lo}-{hi}"), serde_json::Value::U64(*count))
+                })
+                .collect(),
+        )
+    };
+    let run_json = |outcome: &prognosis_core::pipeline::ParallelLearnOutcome<
+        prognosis_core::latency::LatencySul<TcpSul>,
+    >,
+                    seconds: f64| {
+        serde_json::Value::Map(vec![
+            ("seconds".to_string(), serde_json::Value::F64(seconds)),
+            (
+                "virtual_seconds".to_string(),
+                serde_json::Value::F64(outcome.engine.virtual_elapsed_micros as f64 / 1e6),
+            ),
+            (
+                "membership_queries".to_string(),
+                serde_json::Value::U64(outcome.learned.stats.membership_queries),
+            ),
+            (
+                "fresh_symbols".to_string(),
+                serde_json::Value::U64(outcome.learned.stats.fresh_symbols),
+            ),
+            (
+                "occupancy".to_string(),
+                serde_json::Value::F64(outcome.engine.occupancy()),
+            ),
+            (
+                "construction".to_string(),
+                phase_json(&outcome.engine.construction, cap),
+            ),
+            (
+                "counterexample".to_string(),
+                phase_json(&outcome.engine.counterexample, cap),
+            ),
+            (
+                "equivalence".to_string(),
+                phase_json(&outcome.engine.equivalence, cap),
+            ),
+            (
+                "batch_size_histogram".to_string(),
+                histogram_json(&outcome.engine),
+            ),
+            (
+                "limit_grows".to_string(),
+                serde_json::Value::U64(outcome.engine.limit_grows),
+            ),
+            (
+                "limit_shrinks".to_string(),
+                serde_json::Value::U64(outcome.engine.limit_shrinks),
+            ),
+            (
+                "occupancy_timeline_samples".to_string(),
+                serde_json::Value::U64(outcome.engine.occupancy_timeline.len() as u64),
+            ),
+        ])
+    };
+    let scenario = serde_json::Value::Map(vec![
+        ("workers".to_string(), serde_json::Value::U64(1)),
+        ("max_inflight".to_string(), serde_json::Value::U64(cap)),
+        ("wavefront".to_string(), run_json(&wave, wave_seconds)),
+        ("serial".to_string(), run_json(&serial, serial_seconds)),
+        (
+            "construction_speedup".to_string(),
+            serde_json::Value::F64(construction_speedup),
+        ),
+        (
+            "models_bit_identical".to_string(),
+            serde_json::Value::Bool(true),
+        ),
+    ]);
+    (report, scenario)
+}
+
 /// E18 — learning throughput and determinism under swept link impairments,
 /// through the impaired-network session transport.
 ///
@@ -1319,6 +1575,86 @@ pub fn exp_noise_sweep(quick: bool) -> (Report, serde_json::Value) {
                 (
                     "symbols_sent".to_string(),
                     serde_json::Value::U64(outcome.sul_stats.symbols_sent),
+                ),
+                (
+                    "fresh_symbols".to_string(),
+                    serde_json::Value::U64(outcome.learned.stats.fresh_symbols),
+                ),
+                (
+                    "model_states".to_string(),
+                    serde_json::Value::U64(outcome.learned.model.num_states() as u64),
+                ),
+                (
+                    "occupancy".to_string(),
+                    serde_json::Value::F64(outcome.engine.occupancy()),
+                ),
+                ("grid_identical".to_string(), serde_json::Value::Bool(true)),
+            ]),
+        ));
+    }
+
+    // Asymmetric row: ideal-loss uplink, lossy+jittery downlink — real
+    // access networks impair the two directions differently, and
+    // `Network::set_link` carries direction-specific configs per session
+    // endpoint pair.  Same engine-shape-independence contract as the
+    // symmetric rows.
+    {
+        let downlink = LinkConfig::with_latency(base_latency)
+            .loss(0.05)
+            .jitter(SimDuration::from_micros(200));
+        let factory = NetworkedSessionFactory::new(
+            TcpSulFactory::default(),
+            LinkConfig::with_latency(base_latency),
+        )
+        .with_reverse_link(downlink)
+        .with_noise_seed(23);
+        let start = std::time::Instant::now();
+        let outcome = learn_model_parallel(
+            &factory,
+            &alphabet,
+            config.clone().with_workers(1).with_max_inflight(16),
+        )
+        .expect("asymmetric impaired learning succeeds");
+        let seconds = start.elapsed().as_secs_f64();
+        let virtual_seconds = outcome.engine.virtual_elapsed_micros as f64 / 1e6;
+        let cross = learn_model_parallel(
+            &factory,
+            &alphabet,
+            config.clone().with_workers(2).with_max_inflight(8),
+        )
+        .expect("asymmetric impaired learning succeeds");
+        assert_eq!(
+            outcome.learned.model, cross.learned.model,
+            "engine shape changed the model on the asymmetric link"
+        );
+        assert_eq!(
+            outcome.learned.stats.fresh_symbols,
+            cross.learned.stats.fresh_symbols
+        );
+        let name = "asym_up_clean_down_loss0.05_jitter200us".to_string();
+        report.row(
+            name.clone(),
+            format!(
+                "{virtual_seconds:.4} virtual s, {} states, {} fresh symbols, \
+                 occupancy {:.2} (asymmetric link, 2×8 run identical)",
+                outcome.learned.model.num_states(),
+                outcome.learned.stats.fresh_symbols,
+                outcome.engine.occupancy(),
+            ),
+        );
+        points.push((
+            name,
+            serde_json::Value::Map(vec![
+                ("uplink_loss".to_string(), serde_json::Value::F64(0.0)),
+                ("downlink_loss".to_string(), serde_json::Value::F64(0.05)),
+                (
+                    "downlink_jitter_us".to_string(),
+                    serde_json::Value::U64(200),
+                ),
+                ("seconds".to_string(), serde_json::Value::F64(seconds)),
+                (
+                    "virtual_seconds".to_string(),
+                    serde_json::Value::F64(virtual_seconds),
                 ),
                 (
                     "fresh_symbols".to_string(),

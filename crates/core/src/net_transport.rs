@@ -311,8 +311,19 @@ impl<S: WireSul> SessionSul for NetworkedSession<S> {
 pub struct NetworkedSessionFactory<F> {
     inner: F,
     link: LinkConfig,
+    /// Direction-specific server→client link; `None` means symmetric
+    /// (the forward config applies both ways).
+    reverse: Option<LinkConfig>,
     timeout: SimDuration,
+    /// Whether `timeout` was set explicitly via
+    /// [`NetworkedSessionFactory::with_timeout`] (an explicit override is
+    /// never replaced by the derived default, in any builder order).
+    timeout_overridden: bool,
     noise_seed: u64,
+}
+
+fn worst_one_way(link: &LinkConfig) -> SimDuration {
+    link.latency + link.jitter + link.reorder_delay
 }
 
 impl<F> NetworkedSessionFactory<F>
@@ -324,13 +335,33 @@ where
     /// with a step timeout generous enough for one maximally-delayed round
     /// trip.
     pub fn new(inner: F, link: LinkConfig) -> Self {
-        let worst_one_way = link.latency + link.jitter + link.reorder_delay;
+        let one_way = worst_one_way(&link);
         NetworkedSessionFactory {
             inner,
             link,
-            timeout: worst_one_way + worst_one_way + SimDuration::from_millis(1),
+            reverse: None,
+            timeout: one_way + one_way + SimDuration::from_millis(1),
+            timeout_overridden: false,
             noise_seed: 0,
         }
+    }
+
+    /// Makes the link asymmetric: requests (client→server) keep crossing
+    /// the forward config, responses (server→client) cross `reverse` —
+    /// via per-direction `Network::set_link` entries on each session's
+    /// endpoint pair.  Real access networks are asymmetric (uplink loss ≠
+    /// downlink loss); this is what lets E18 sweep the two directions
+    /// independently.  The derived step timeout is re-computed to cover
+    /// one maximally-delayed round trip across both directions; a timeout
+    /// set explicitly via [`NetworkedSessionFactory::with_timeout`] is
+    /// kept, whatever the builder-call order.
+    pub fn with_reverse_link(mut self, reverse: LinkConfig) -> Self {
+        if !self.timeout_overridden {
+            self.timeout =
+                worst_one_way(&self.link) + worst_one_way(&reverse) + SimDuration::from_millis(1);
+        }
+        self.reverse = Some(reverse);
+        self
     }
 
     /// Overrides the per-step timeout (the instant at which a step whose
@@ -344,6 +375,7 @@ where
             "a zero step timeout cannot make progress"
         );
         self.timeout = timeout;
+        self.timeout_overridden = true;
         self
     }
 
@@ -355,9 +387,14 @@ where
         self
     }
 
-    /// The link configuration packets cross.
+    /// The forward (client→server) link configuration.
     pub fn link(&self) -> LinkConfig {
         self.link
+    }
+
+    /// The reverse (server→client) link configuration.
+    pub fn reverse_link(&self) -> LinkConfig {
+        self.reverse.unwrap_or(self.link)
     }
 
     /// The per-step timeout.
@@ -384,6 +421,13 @@ where
                 guard
                     .set_noise_seed(server, seed ^ SERVER_NOISE_SALT)
                     .expect("just bound");
+                if let Some(reverse) = self.reverse {
+                    // Direction-specific links on this session's endpoint
+                    // pair; the network default (the forward config) keeps
+                    // covering spoofed-source sends.
+                    guard.set_link(client, server, self.link);
+                    guard.set_link(server, client, reverse);
+                }
                 drop(guard);
                 NetworkedSession {
                     sul: self.inner.create(),
@@ -393,7 +437,7 @@ where
                     server,
                     server_port,
                     timeout: self.timeout,
-                    impaired: self.link.is_impaired(),
+                    impaired: self.link.is_impaired() || self.reverse_link().is_impaired(),
                     state: StepState::Idle,
                 }
             })
@@ -679,6 +723,123 @@ mod tests {
         let done = scheduler.run_to_idle();
         let expected: OutputWord = word.iter().map(|_| Symbol::new("NIL")).collect();
         assert_eq!(done[0].1, expected);
+    }
+
+    #[test]
+    fn asymmetric_links_apply_per_direction() {
+        // Requests cross an ideal uplink; responses pay 400µs downlink
+        // latency.  Answers match the in-process path, the virtual time is
+        // downlink-only, and the capture shows every request delivered.
+        let factory = NetworkedSessionFactory::new(TcpSulFactory::default(), LinkConfig::ideal())
+            .with_reverse_link(LinkConfig::with_latency(SimDuration::from_micros(400)));
+        assert_eq!(factory.link().latency, SimDuration::ZERO);
+        assert_eq!(
+            factory.reverse_link().latency,
+            SimDuration::from_micros(400)
+        );
+        let word = InputWord::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)"]);
+        let (sessions, clock) = factory.create_worker_sessions(1);
+        let mut scheduler = SessionScheduler::with_clock(sessions, clock);
+        scheduler.submit(0, word.clone());
+        let done = scheduler.run_to_idle();
+        assert_eq!(done[0].1, replay_query(&mut TcpSul::with_defaults(), &word));
+        // The SYN's response pays the 400µs downlink leg; the ACK step
+        // elicits no response packet, so it costs (almost) nothing — the
+        // elapsed time is the downlink latency, not a full symmetric RTT.
+        let elapsed = scheduler.stats().virtual_elapsed_micros;
+        assert!(
+            (400..800).contains(&elapsed),
+            "only responses pay the downlink leg (elapsed {elapsed}µs)"
+        );
+    }
+
+    #[test]
+    fn reverse_only_loss_times_out_after_the_server_was_reached() {
+        use prognosis_netsim::capture::Fate;
+        // Uplink ideal, downlink drops everything: every step resolves to
+        // the timeout symbol, yet the capture shows the requests were
+        // *delivered* — the loss is genuinely direction-specific.
+        let factory = NetworkedSessionFactory::new(TcpSulFactory::default(), LinkConfig::ideal())
+            .with_reverse_link(LinkConfig::ideal().loss(1.0));
+        let word = InputWord::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)"]);
+        let (sessions, clock) = factory.create_worker_sessions(1);
+        let (client_port, server_port) = (sessions[0].client_port(), sessions[0].server_port());
+        let net = Arc::clone(sessions[0].network());
+        let mut scheduler = SessionScheduler::with_clock(sessions, clock);
+        scheduler.submit(0, word.clone());
+        let done = scheduler.run_to_idle();
+        let expected: OutputWord = word.iter().map(|_| Symbol::new("NIL")).collect();
+        assert_eq!(done[0].1, expected, "lost responses must time out");
+        let guard = net.lock().unwrap();
+        let to_server: Vec<Fate> = guard
+            .capture()
+            .records()
+            .iter()
+            .filter(|r| r.destination_port == server_port)
+            .map(|r| r.fate)
+            .collect();
+        let to_client: Vec<Fate> = guard
+            .capture()
+            .records()
+            .iter()
+            .filter(|r| r.destination_port == client_port)
+            .map(|r| r.fate)
+            .collect();
+        assert!(
+            !to_server.is_empty() && to_server.iter().all(|f| *f == Fate::Delivered),
+            "uplink must deliver every request: {to_server:?}"
+        );
+        assert!(
+            !to_client.is_empty() && to_client.iter().all(|f| *f == Fate::Lost),
+            "downlink must lose every response: {to_client:?}"
+        );
+    }
+
+    #[test]
+    fn asymmetric_impairment_is_deterministic_across_engine_shapes() {
+        let factory = NetworkedSessionFactory::new(
+            TcpSulFactory::default(),
+            LinkConfig::with_latency(SimDuration::from_micros(100)),
+        )
+        .with_reverse_link(
+            LinkConfig::with_latency(SimDuration::from_micros(300))
+                .loss(0.3)
+                .jitter(SimDuration::from_micros(200)),
+        )
+        .with_noise_seed(17);
+        let batch = words();
+        let grouped = run_multiplexed(&factory, &batch);
+        // One session at a time must see the exact same answers.
+        let (sessions, clock) = factory.create_worker_sessions(1);
+        let mut serial = SessionScheduler::with_clock(sessions, clock);
+        let mut serial_out = Vec::new();
+        for (i, word) in batch.iter().enumerate() {
+            serial.submit(i, word.clone());
+            serial_out.extend(serial.run_to_idle().into_iter().map(|(_, o)| o));
+        }
+        assert_eq!(grouped, serial_out, "group size must not change answers");
+        // An impaired reverse direction alone must disable caching.
+        let session = factory.create_session();
+        assert_eq!(session.cache_key(), None);
+    }
+
+    #[test]
+    fn explicit_timeouts_survive_with_reverse_link_in_any_order() {
+        let reverse = LinkConfig::with_latency(SimDuration::from_millis(3));
+        // Explicit timeout, then asymmetric link: the override must stick.
+        let factory = NetworkedSessionFactory::new(TcpSulFactory::default(), LinkConfig::ideal())
+            .with_timeout(SimDuration::from_micros(10))
+            .with_reverse_link(reverse);
+        assert_eq!(factory.timeout(), SimDuration::from_micros(10));
+        // Asymmetric link, then explicit timeout: same outcome.
+        let factory = NetworkedSessionFactory::new(TcpSulFactory::default(), LinkConfig::ideal())
+            .with_reverse_link(reverse)
+            .with_timeout(SimDuration::from_micros(10));
+        assert_eq!(factory.timeout(), SimDuration::from_micros(10));
+        // Without an override, the derived timeout covers both directions.
+        let factory = NetworkedSessionFactory::new(TcpSulFactory::default(), LinkConfig::ideal())
+            .with_reverse_link(reverse);
+        assert!(factory.timeout() >= SimDuration::from_millis(4));
     }
 
     #[test]

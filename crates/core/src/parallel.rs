@@ -17,8 +17,8 @@
 
 use crate::pipeline::{panic_message, LearnError};
 use crate::session::{
-    add_stats, EngineStats, SchedulerStats, SessionScheduler, SessionSul, SessionSulFactory,
-    SimTime,
+    add_stats, EngineStats, QueryPhase, SchedulerStats, SessionScheduler, SessionSul,
+    SessionSulFactory, SimTime,
 };
 use crate::sul::SulStats;
 use prognosis_automata::word::{InputWord, OutputWord};
@@ -59,16 +59,25 @@ impl Shared {
     /// What a worker should do next given its free capacity and whether it
     /// still has queries in flight.  Blocks only when the worker is
     /// completely idle (an in-flight scheduler must keep driving its
-    /// virtual clock instead of sleeping on the queue).
+    /// virtual clock instead of sleeping on the queue).  The returned
+    /// `more` flag reports whether the queue still held work after the
+    /// pull — the adaptive scheduler's growth signal.
     fn next_jobs(&self, capacity: usize, idle: bool) -> WorkerCommand {
         let mut q = self.queue.lock().expect("work queue poisoned");
         loop {
             if capacity > 0 && !q.jobs.is_empty() {
                 let take = capacity.min(q.jobs.len());
-                return WorkerCommand::Jobs(q.jobs.drain(..take).collect());
+                let jobs = q.jobs.drain(..take).collect();
+                return WorkerCommand::Jobs {
+                    jobs,
+                    more: !q.jobs.is_empty(),
+                };
             }
             if !idle {
-                return WorkerCommand::Jobs(Vec::new());
+                return WorkerCommand::Jobs {
+                    jobs: Vec::new(),
+                    more: !q.jobs.is_empty(),
+                };
             }
             if q.shutdown {
                 return WorkerCommand::Exit;
@@ -79,7 +88,7 @@ impl Shared {
 }
 
 enum WorkerCommand {
-    Jobs(Vec<Job>),
+    Jobs { jobs: Vec<Job>, more: bool },
     Exit,
 }
 
@@ -104,6 +113,13 @@ pub struct ParallelSulOracle<Sn: SessionSul> {
     max_inflight: usize,
     queries: u64,
     batches: u64,
+    /// Phase the learner last announced via
+    /// [`MembershipOracle::note_phase`]; dispatches are attributed to it.
+    current_phase: QueryPhase,
+    /// Dispatcher-side accumulators (batch-size histogram, occupancy
+    /// timeline, per-phase stats) that [`ParallelSulOracle::engine_stats`]
+    /// folds into the reported [`EngineStats`].
+    telemetry: EngineStats,
 }
 
 /// The result of shutting the engine down: the session SULs (adapter-side
@@ -158,7 +174,11 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
                 let snapshot = Arc::new(Mutex::new(WorkerSnapshot::default()));
                 let published = Arc::clone(&snapshot);
                 let handle = std::thread::spawn(move || {
-                    let mut scheduler = SessionScheduler::with_clock(sessions, clock);
+                    // Adaptive pool: start with one active slot, grow while
+                    // demand saturates the pool, shrink when a work window
+                    // cannot fill it.  `max_inflight` is the cap.
+                    let mut scheduler =
+                        SessionScheduler::with_clock(sessions, clock).with_adaptive_inflight(1);
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                         worker_loop(&shared, &mut scheduler, &reply_tx, &published);
                     }));
@@ -182,6 +202,8 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
             max_inflight,
             queries: 0,
             batches: 0,
+            current_phase: QueryPhase::default(),
+            telemetry: EngineStats::default(),
         }
     }
 
@@ -212,15 +234,25 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
     /// Aggregated engine statistics, as of the most recently answered
     /// batch (final numbers come from [`ParallelSulOracle::shutdown`]).
     pub fn engine_stats(&self) -> EngineStats {
-        let mut engine = EngineStats {
-            workers: self.workers.len() as u64,
-            max_inflight: self.max_inflight as u64,
-            ..EngineStats::default()
-        };
+        let mut engine = self.telemetry.clone();
+        engine.workers = self.workers.len() as u64;
+        engine.max_inflight = self.max_inflight as u64;
         for w in &self.workers {
             engine.absorb(&w.snapshot.lock().expect("snapshot poisoned").scheduler);
         }
         engine
+    }
+
+    /// Summed (busy session-µs, worker virtual-µs) across the workers'
+    /// published snapshots — the delta basis for per-dispatch attribution.
+    fn busy_virtual_snapshot(&self) -> (u64, u64) {
+        self.workers
+            .iter()
+            .map(|w| {
+                let snap = w.snapshot.lock().expect("snapshot poisoned").scheduler;
+                (snap.busy_session_micros, snap.virtual_elapsed_micros)
+            })
+            .fold((0, 0), |(b, v), (sb, sv)| (b + sb, v + sv))
     }
 
     /// Shuts the workers down, flushes every session (a final reset pushes
@@ -234,11 +266,9 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
             q.shutdown = true;
         }
         self.shared.available.notify_all();
-        let mut engine = EngineStats {
-            workers: self.workers.len() as u64,
-            max_inflight: self.max_inflight as u64,
-            ..EngineStats::default()
-        };
+        let mut engine = self.telemetry.clone();
+        engine.workers = self.workers.len() as u64;
+        engine.max_inflight = self.max_inflight as u64;
         let mut suls = Vec::with_capacity(self.workers.len() * self.max_inflight);
         for (worker_id, worker) in std::mem::take(&mut self.workers).into_iter().enumerate() {
             let (sessions, stats) =
@@ -267,6 +297,7 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
     fn dispatch(&mut self, inputs: &[InputWord]) -> Vec<OutputWord> {
         self.batches += 1;
         self.queries += inputs.len() as u64;
+        let (busy_before, virtual_before) = self.busy_virtual_snapshot();
         {
             let mut q = self.shared.queue.lock().expect("work queue poisoned");
             q.jobs.extend(inputs.iter().cloned().enumerate());
@@ -293,6 +324,13 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
                 }
             }
         }
+        let (busy_after, virtual_after) = self.busy_virtual_snapshot();
+        self.telemetry.record_dispatch(
+            self.current_phase,
+            inputs.len() as u64,
+            busy_after.saturating_sub(busy_before),
+            virtual_after.saturating_sub(virtual_before),
+        );
         results
             .into_iter()
             .map(|out| out.expect("every query index answered"))
@@ -325,12 +363,15 @@ fn worker_loop<Sn: SessionSul>(
     snapshot: &Arc<Mutex<WorkerSnapshot>>,
 ) {
     loop {
-        match shared.next_jobs(scheduler.capacity(), scheduler.is_idle()) {
+        let was_idle = scheduler.is_idle();
+        match shared.next_jobs(scheduler.capacity(), was_idle) {
             WorkerCommand::Exit => return,
-            WorkerCommand::Jobs(jobs) => {
+            WorkerCommand::Jobs { jobs, more } => {
+                let pulled = jobs.len();
                 for (index, input) in jobs {
                     scheduler.submit(index, input);
                 }
+                scheduler.note_pull(pulled, more, was_idle);
             }
         }
         if scheduler.is_idle() {
@@ -371,6 +412,10 @@ impl<Sn: SessionSul + Send + 'static> MembershipOracle for ParallelSulOracle<Sn>
 
     fn queries_answered(&self) -> u64 {
         self.queries
+    }
+
+    fn note_phase(&mut self, phase: QueryPhase) {
+        self.current_phase = phase;
     }
 }
 
@@ -482,6 +527,39 @@ mod tests {
         let mut parallel = ParallelSulOracle::spawn(&factory, 3);
         assert!(parallel.query_batch(&[]).is_empty());
         assert_eq!(parallel.batches_dispatched(), 0);
+    }
+
+    #[test]
+    fn dispatches_are_attributed_to_the_announced_phase() {
+        let machine = known::counter(4);
+        let factory = session_factory(machine.clone());
+        let mut parallel = ParallelSulOracle::spawn_with(&factory, 1, 4);
+        let batch = words(&machine, 8);
+        parallel.note_phase(QueryPhase::Construction);
+        parallel.query_batch(&batch[..5]);
+        parallel.note_phase(QueryPhase::Equivalence);
+        parallel.query_batch(&batch[5..]);
+        let engine = parallel.engine_stats();
+        assert_eq!(engine.construction.batches, 1);
+        assert_eq!(engine.construction.queries, 5);
+        assert_eq!(engine.equivalence.batches, 1);
+        assert_eq!(engine.equivalence.queries, 3);
+        assert_eq!(engine.counterexample.batches, 0);
+        // Bucket 2 holds sizes 4..=7, bucket 1 sizes 2..=3.
+        assert_eq!(engine.batch_size_histogram[2], 1);
+        assert_eq!(engine.batch_size_histogram[1], 1);
+        assert_eq!(engine.occupancy_timeline.len(), 2);
+        assert_eq!(engine.occupancy_timeline[0].phase, QueryPhase::Construction);
+        assert_eq!(engine.occupancy_timeline[1].batch_size, 3);
+        // The 5-word batch saturated the 1-slot initial pool, so the
+        // adaptive limit grew toward the 4-session cap.
+        assert!(
+            engine.limit_grows >= 1,
+            "a batch larger than the initial limit must grow the pool"
+        );
+        let shutdown = parallel.shutdown().expect("clean shutdown");
+        assert_eq!(shutdown.engine.construction.queries, 5);
+        assert_eq!(shutdown.engine.queries_completed, 8);
     }
 
     #[test]

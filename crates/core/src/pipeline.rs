@@ -27,6 +27,8 @@ use prognosis_learner::{DTreeLearner, Learner};
 use serde::{Deserialize, Serialize};
 use std::panic::AssertUnwindSafe;
 
+pub use prognosis_learner::dtree::SiftStrategy;
+
 /// The session-SUL type a [`SessionSulFactory`] ultimately hands back —
 /// what [`ParallelLearnOutcome::suls`] contains.
 pub type FactorySul<F> = <<F as SessionSulFactory>::Session as SessionSul>::Sul;
@@ -101,6 +103,14 @@ pub struct LearnConfig {
     /// queries exactly as the (deterministic) SUL would.  When `false` the
     /// run learns cold but still persists its observations afterwards.
     pub warm_start: bool,
+    /// How the learner drives sift queries: [`SiftStrategy::Wavefront`]
+    /// (default) advances every pending word one discrimination-tree level
+    /// per membership batch, so the session engine sees batches of
+    /// `O(states × |Σ|)` during hypothesis construction;
+    /// [`SiftStrategy::Serial`] is the one-query-at-a-time reference path.
+    /// Results are bit-identical either way; the wavefront reports
+    /// `membership_queries` ≤ serial.
+    pub sift: SiftStrategy,
 }
 
 impl Default for LearnConfig {
@@ -115,6 +125,7 @@ impl Default for LearnConfig {
             eq_batch_size: DEFAULT_EQ_BATCH_SIZE,
             cache_path: None,
             warm_start: true,
+            sift: SiftStrategy::default(),
         }
     }
 }
@@ -140,6 +151,12 @@ impl LearnConfig {
     /// `path`.
     pub fn with_cache_path(mut self, path: impl Into<String>) -> Self {
         self.cache_path = Some(path.into());
+        self
+    }
+
+    /// Returns the configuration with the given sift strategy.
+    pub fn with_sift(mut self, sift: SiftStrategy) -> Self {
+        self.sift = sift;
         self
     }
 }
@@ -248,7 +265,7 @@ fn run_learner<M: MembershipOracle>(
     config: &LearnConfig,
     mut membership: CacheOracle<M>,
 ) -> (LearnedModel, M, PrefixTrie) {
-    let mut learner = DTreeLearner::new(alphabet.clone());
+    let mut learner = DTreeLearner::with_strategy(alphabet.clone(), config.sift);
     let mut equivalence = equivalence_oracle(config);
     let result = learner.learn(&mut membership, &mut equivalence);
     let mut stats = result.stats;

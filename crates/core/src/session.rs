@@ -24,6 +24,7 @@ use prognosis_automata::alphabet::Symbol;
 use prognosis_automata::word::{InputWord, OutputWord};
 use serde::{Deserialize, Serialize};
 
+pub use prognosis_learner::oracle::QueryPhase;
 pub use prognosis_netsim::time::{SharedClock, SimDuration, SimTime};
 
 /// The result of polling an in-flight session step.
@@ -259,10 +260,74 @@ pub struct SchedulerStats {
     pub peak_inflight: u64,
     /// Virtual time elapsed on this scheduler's clock since construction.
     pub virtual_elapsed_micros: u64,
+    /// Times the adaptive in-flight limit grew (saturated pulls).
+    pub limit_grows: u64,
+    /// Times the adaptive in-flight limit shrank (underfilled windows).
+    pub limit_shrinks: u64,
 }
 
-/// Aggregated engine statistics across all workers of a parallel oracle.
+/// Per-learning-phase slice of the engine's dispatch accounting: how many
+/// batches/queries the phase issued and how much session time it kept in
+/// flight.  This is what makes the sift wavefront measurable — before it,
+/// the construction phase dispatched batches of 1 and its occupancy sat
+/// at ~`1/max_inflight`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Membership batches dispatched during this phase.
+    pub batches: u64,
+    /// Queries dispatched during this phase.
+    pub queries: u64,
+    /// In-flight session-microseconds accrued during this phase.
+    pub busy_micros: u64,
+    /// Summed worker virtual-time advance during this phase (the phase's
+    /// occupancy denominator before multiplying by `max_inflight`; for a
+    /// single-worker engine this is the phase's virtual elapsed time).
+    pub worker_micros: u64,
+}
+
+impl PhaseStats {
+    /// Mean slot occupancy during this phase for the given slot cap.
+    pub fn occupancy(&self, max_inflight: u64) -> f64 {
+        let capacity = self.worker_micros.saturating_mul(max_inflight.max(1));
+        if capacity == 0 {
+            0.0
+        } else {
+            self.busy_micros as f64 / capacity as f64
+        }
+    }
+
+    /// Mean dispatched batch size during this phase.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.queries as f64 / self.batches as f64
+        }
+    }
+}
+
+/// One dispatched batch in [`EngineStats::occupancy_timeline`]: which
+/// phase issued it, how large it was, and the busy/elapsed deltas it
+/// produced — enough to plot occupancy over the run and see the wavefront
+/// fill the pool round by round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OccupancySample {
+    /// Learning phase the batch belonged to.
+    pub phase: QueryPhase,
+    /// Number of queries in the dispatched batch.
+    pub batch_size: u64,
+    /// In-flight session-microseconds accrued while the batch ran.
+    pub busy_micros: u64,
+    /// Summed worker virtual-time advance while the batch ran.
+    pub worker_micros: u64,
+}
+
+/// Samples beyond this count are dropped from the timeline (exact
+/// aggregates continue in the per-phase [`PhaseStats`]).
+pub const OCCUPANCY_TIMELINE_CAP: usize = 4096;
+
+/// Aggregated engine statistics across all workers of a parallel oracle.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Worker threads (schedulers).
     pub workers: u64,
@@ -281,6 +346,23 @@ pub struct EngineStats {
     pub virtual_elapsed_micros: u64,
     /// Sum of all workers' virtual elapsed times (occupancy denominator).
     pub worker_virtual_micros: u64,
+    /// Adaptive in-flight limit growth events across all workers.
+    pub limit_grows: u64,
+    /// Adaptive in-flight limit shrink events across all workers.
+    pub limit_shrinks: u64,
+    /// Histogram of dispatched batch sizes: bucket `i` counts batches of
+    /// `2^i ..= 2^(i+1)-1` queries.
+    pub batch_size_histogram: Vec<u64>,
+    /// Per-dispatch occupancy samples in dispatch order (capped at
+    /// [`OCCUPANCY_TIMELINE_CAP`]; aggregates in the phase stats are
+    /// always exact).
+    pub occupancy_timeline: Vec<OccupancySample>,
+    /// Dispatch accounting for hypothesis-construction queries.
+    pub construction: PhaseStats,
+    /// Dispatch accounting for counterexample-decomposition probes.
+    pub counterexample: PhaseStats,
+    /// Dispatch accounting for equivalence-suite queries.
+    pub equivalence: PhaseStats,
 }
 
 impl EngineStats {
@@ -292,6 +374,54 @@ impl EngineStats {
         self.peak_inflight = self.peak_inflight.max(s.peak_inflight);
         self.virtual_elapsed_micros = self.virtual_elapsed_micros.max(s.virtual_elapsed_micros);
         self.worker_virtual_micros += s.virtual_elapsed_micros;
+        self.limit_grows += s.limit_grows;
+        self.limit_shrinks += s.limit_shrinks;
+    }
+
+    /// Records one dispatched batch: histogram bucket, timeline sample and
+    /// per-phase aggregates.
+    pub fn record_dispatch(
+        &mut self,
+        phase: QueryPhase,
+        batch_size: u64,
+        busy_micros: u64,
+        worker_micros: u64,
+    ) {
+        let bucket = (u64::BITS - 1 - batch_size.max(1).leading_zeros()) as usize;
+        if self.batch_size_histogram.len() <= bucket {
+            self.batch_size_histogram.resize(bucket + 1, 0);
+        }
+        self.batch_size_histogram[bucket] += 1;
+        if self.occupancy_timeline.len() < OCCUPANCY_TIMELINE_CAP {
+            self.occupancy_timeline.push(OccupancySample {
+                phase,
+                batch_size,
+                busy_micros,
+                worker_micros,
+            });
+        }
+        let stats = self.phase_mut(phase);
+        stats.batches += 1;
+        stats.queries += batch_size;
+        stats.busy_micros += busy_micros;
+        stats.worker_micros += worker_micros;
+    }
+
+    /// The dispatch accounting of one learning phase.
+    pub fn phase(&self, phase: QueryPhase) -> &PhaseStats {
+        match phase {
+            QueryPhase::Construction => &self.construction,
+            QueryPhase::Counterexample => &self.counterexample,
+            QueryPhase::Equivalence => &self.equivalence,
+        }
+    }
+
+    fn phase_mut(&mut self, phase: QueryPhase) -> &mut PhaseStats {
+        match phase {
+            QueryPhase::Construction => &mut self.construction,
+            QueryPhase::Counterexample => &mut self.counterexample,
+            QueryPhase::Equivalence => &mut self.equivalence,
+        }
     }
 
     /// The virtual makespan of the run.
@@ -351,6 +481,12 @@ pub struct SessionScheduler<Sn> {
     clock: SharedClock,
     started_at: SimTime,
     stats: SchedulerStats,
+    /// Session slots currently eligible for new work.  Equal to
+    /// `slots.len()` unless adaptation is enabled, in which case it grows
+    /// while demand keeps every active slot occupied and shrinks when a
+    /// work window cannot fill the pool.
+    active_limit: usize,
+    adaptive: bool,
 }
 
 impl<Sn: SessionSul> SessionScheduler<Sn> {
@@ -371,6 +507,7 @@ impl<Sn: SessionSul> SessionScheduler<Sn> {
             "a scheduler needs at least one session"
         );
         let started_at = clock.now();
+        let active_limit = sessions.len();
         SessionScheduler {
             slots: sessions
                 .into_iter()
@@ -383,6 +520,65 @@ impl<Sn: SessionSul> SessionScheduler<Sn> {
             clock,
             started_at,
             stats: SchedulerStats::default(),
+            active_limit,
+            adaptive: false,
+        }
+    }
+
+    /// Enables adaptive in-flight limiting: the scheduler starts with
+    /// `initial` eligible slots and **doubles** the limit whenever a work
+    /// pull fills every active slot with demand left over (instantaneous
+    /// occupancy 1.0 — the pool is the bottleneck), up to the session-count
+    /// cap; it shrinks the limit to the pulled size when a fresh work
+    /// window cannot fill the pool (batches smaller than the limit gain
+    /// nothing from extra active slots).  The total session count —
+    /// `LearnConfig::max_inflight` — becomes the *cap*, not the constant.
+    /// Adaptation changes which slots are polled, never what they answer.
+    ///
+    /// # Panics
+    /// Panics when `initial` is zero.
+    pub fn with_adaptive_inflight(mut self, initial: usize) -> Self {
+        assert!(initial >= 1, "at least one slot must stay active");
+        self.active_limit = initial.min(self.slots.len());
+        self.adaptive = true;
+        self
+    }
+
+    /// The current adaptive in-flight limit (= total slots when
+    /// adaptation is disabled).
+    pub fn inflight_limit(&self) -> usize {
+        self.active_limit
+    }
+
+    /// Feedback from the work queue after a pull of `pulled` jobs
+    /// (already submitted): `more_available` says the queue still held
+    /// work, `was_idle` that the pull opened a fresh work window.
+    pub fn note_pull(&mut self, pulled: usize, more_available: bool, was_idle: bool) {
+        if !self.adaptive {
+            return;
+        }
+        if more_available && self.capacity() == 0 {
+            // Every active slot is occupied and demand remains: grow.
+            let next = (self.active_limit * 2).min(self.slots.len());
+            if next > self.active_limit {
+                self.active_limit = next;
+                self.stats.limit_grows += 1;
+            }
+        } else if was_idle && pulled > 0 && pulled < self.active_limit {
+            // A fresh window opened with too little work to fill the
+            // pool: halve toward what the window actually needs.  (Gentle
+            // shrink keeps the limit warm across alternating small and
+            // large windows instead of re-ramping from scratch each time.
+            // With several workers this can also fire when peers drained a
+            // large batch before this worker woke — indistinguishable at
+            // the queue from a genuinely small window — but halving bounds
+            // the damage to one lost doubling, regained on the next
+            // saturated pull.)
+            let next = pulled.max(self.active_limit / 2).max(1);
+            if next < self.active_limit {
+                self.active_limit = next;
+                self.stats.limit_shrinks += 1;
+            }
         }
     }
 
@@ -404,9 +600,9 @@ impl<Sn: SessionSul> SessionScheduler<Sn> {
             .count()
     }
 
-    /// Free session slots.
+    /// Free session slots within the current in-flight limit.
     pub fn capacity(&self) -> usize {
-        self.num_sessions() - self.in_flight()
+        self.active_limit.saturating_sub(self.in_flight())
     }
 
     /// Whether at least one slot is free.
@@ -690,6 +886,7 @@ mod tests {
             busy_session_micros: 4_000,
             peak_inflight: 4,
             virtual_elapsed_micros: 1_000,
+            ..SchedulerStats::default()
         });
         engine.absorb(&SchedulerStats {
             queries_completed: 6,
@@ -697,6 +894,7 @@ mod tests {
             busy_session_micros: 1_000,
             peak_inflight: 2,
             virtual_elapsed_micros: 500,
+            ..SchedulerStats::default()
         });
         assert_eq!(engine.queries_completed, 16);
         assert_eq!(engine.virtual_elapsed_micros, 1_000, "makespan is the max");
@@ -705,6 +903,84 @@ mod tests {
         // 5_000 busy session-µs over 1_500 worker-µs × 4 slots.
         assert!((engine.occupancy() - 5_000.0 / 6_000.0).abs() < 1e-9);
         assert_eq!(engine.virtual_elapsed().as_micros(), 1_000);
+    }
+
+    #[test]
+    fn adaptive_limit_grows_on_saturation_and_shrinks_on_underfill() {
+        let sessions: Vec<_> = (0..8)
+            .map(|_| BlockingSession::new(TcpSul::with_defaults()))
+            .collect();
+        let mut scheduler = SessionScheduler::new(sessions).with_adaptive_inflight(1);
+        assert_eq!(scheduler.inflight_limit(), 1);
+        assert_eq!(scheduler.capacity(), 1);
+        // A saturated pull (pool full, demand left) doubles the limit.
+        scheduler.submit(0, InputWord::from_symbols(["SYN(?,?,0)"]));
+        scheduler.note_pull(1, true, true);
+        assert_eq!(scheduler.inflight_limit(), 2);
+        scheduler.submit(1, InputWord::from_symbols(["SYN(?,?,0)"]));
+        scheduler.note_pull(1, true, false);
+        assert_eq!(scheduler.inflight_limit(), 4);
+        scheduler.run_to_idle();
+        // A fresh window with too little work halves toward its size.
+        scheduler.submit(2, InputWord::from_symbols(["SYN(?,?,0)"]));
+        scheduler.note_pull(1, false, true);
+        assert_eq!(scheduler.inflight_limit(), 2);
+        let done = scheduler.run_to_idle();
+        assert_eq!(done.len(), 1);
+        let stats = scheduler.stats();
+        assert_eq!(stats.limit_grows, 2);
+        assert_eq!(stats.limit_shrinks, 1);
+        assert_eq!(stats.queries_completed, 3);
+    }
+
+    #[test]
+    fn adaptive_limit_caps_at_the_session_count_and_respects_capacity() {
+        let sessions: Vec<_> = (0..2)
+            .map(|_| BlockingSession::new(TcpSul::with_defaults()))
+            .collect();
+        let mut scheduler = SessionScheduler::new(sessions).with_adaptive_inflight(1);
+        scheduler.submit(0, InputWord::from_symbols(["SYN(?,?,0)"]));
+        scheduler.note_pull(1, true, true); // 1 → 2
+        scheduler.submit(1, InputWord::from_symbols(["SYN(?,?,0)"]));
+        scheduler.note_pull(1, true, false); // capped at 2
+        assert_eq!(scheduler.inflight_limit(), 2);
+        assert_eq!(scheduler.capacity(), 0);
+        assert_eq!(scheduler.stats().limit_grows, 1, "cap stops growth");
+        // Non-adaptive schedulers never move their limit.
+        let sessions: Vec<_> = (0..3)
+            .map(|_| BlockingSession::new(TcpSul::with_defaults()))
+            .collect();
+        let mut fixed = SessionScheduler::new(sessions);
+        fixed.note_pull(1, true, true);
+        assert_eq!(fixed.inflight_limit(), 3);
+        assert_eq!(fixed.stats().limit_grows, 0);
+    }
+
+    #[test]
+    fn engine_stats_record_dispatch_buckets_and_phases() {
+        let mut engine = EngineStats {
+            max_inflight: 8,
+            ..EngineStats::default()
+        };
+        engine.record_dispatch(QueryPhase::Construction, 1, 100, 200);
+        engine.record_dispatch(QueryPhase::Construction, 42, 1_500, 200);
+        engine.record_dispatch(QueryPhase::Equivalence, 512, 4_000, 500);
+        // Buckets: 1 → bucket 0, 42 → bucket 5 (32..63), 512 → bucket 9.
+        assert_eq!(engine.batch_size_histogram[0], 1);
+        assert_eq!(engine.batch_size_histogram[5], 1);
+        assert_eq!(engine.batch_size_histogram[9], 1);
+        assert_eq!(engine.batch_size_histogram.len(), 10);
+        assert_eq!(engine.occupancy_timeline.len(), 3);
+        assert_eq!(engine.occupancy_timeline[1].batch_size, 42);
+        assert_eq!(engine.occupancy_timeline[1].phase, QueryPhase::Construction);
+        let construction = engine.phase(QueryPhase::Construction);
+        assert_eq!(construction.batches, 2);
+        assert_eq!(construction.queries, 43);
+        assert!((construction.mean_batch_size() - 21.5).abs() < 1e-9);
+        // 1_600 busy µs over 400 worker-µs × 8 slots.
+        assert!((construction.occupancy(8) - 0.5).abs() < 1e-9);
+        assert_eq!(engine.phase(QueryPhase::Equivalence).queries, 512);
+        assert_eq!(engine.phase(QueryPhase::Counterexample).batches, 0);
     }
 
     #[test]

@@ -37,10 +37,10 @@ pub mod stats;
 pub mod trie;
 
 pub use cache::{CacheError, CacheStore, CACHE_FORMAT_VERSION};
-pub use dtree::DTreeLearner;
+pub use dtree::{DTreeLearner, SiftStrategy};
 pub use eq_oracles::{RandomWordOracle, SimulatorOracle, WMethodOracle};
 pub use lstar::LStarLearner;
-pub use oracle::{CacheOracle, EquivalenceOracle, MachineOracle, MembershipOracle};
+pub use oracle::{CacheOracle, EquivalenceOracle, MachineOracle, MembershipOracle, QueryPhase};
 pub use stats::LearningStats;
 pub use trie::PrefixTrie;
 

@@ -13,13 +13,13 @@
 //! [`crate::dtree`] is the one used by the experiment harness (it is the
 //! family TTT belongs to and asks far fewer queries).
 
-use crate::oracle::{EquivalenceOracle, MembershipOracle};
+use crate::oracle::{EquivalenceOracle, MembershipOracle, QueryPhase};
 use crate::stats::LearningStats;
 use crate::{Learner, LearningResult};
 use prognosis_automata::alphabet::{Alphabet, Symbol};
 use prognosis_automata::mealy::{MealyBuilder, MealyMachine};
 use prognosis_automata::word::{InputWord, OutputWord};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The L* learner.
 pub struct LStarLearner {
@@ -78,35 +78,53 @@ impl LStarLearner {
         cell
     }
 
-    /// Fills (and returns) a whole table row, batching every uncached cell
-    /// of the row into a single membership batch so a parallel oracle can
-    /// answer the independent queries concurrently.
+    /// Fills every uncached cell of the given prefixes' rows in **one**
+    /// deduplicated membership batch — the L* counterpart of the
+    /// discrimination-tree sift wavefront: the oracle stack sees one batch
+    /// of `O(|prefixes| × |E|)` instead of one batch per row.  Queries are
+    /// accounted per deduplicated batch entry
+    /// ([`LearningStats::record_batch`]); two cells whose full query words
+    /// coincide are charged once, exactly as the dtree path charges them.
+    fn fill_rows(&mut self, membership: &mut dyn MembershipOracle, prefixes: &[InputWord]) {
+        let mut seen: BTreeSet<(InputWord, usize)> = BTreeSet::new();
+        let mut missing: Vec<(InputWord, usize)> = Vec::new();
+        for prefix in prefixes {
+            for i in 0..self.suffixes.len() {
+                let key = (prefix.clone(), i);
+                if self.cells.contains_key(&key) || !seen.insert(key.clone()) {
+                    continue;
+                }
+                missing.push(key);
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        let queries: Vec<InputWord> = missing
+            .iter()
+            .map(|(prefix, i)| prefix.concat(&self.suffixes[*i]))
+            .collect();
+        self.stats.record_batch(&queries);
+        let outs = membership.query_batch(&queries);
+        assert_eq!(
+            outs.len(),
+            queries.len(),
+            "oracle must answer the whole batch"
+        );
+        for ((prefix, i), out) in missing.into_iter().zip(outs) {
+            let cell = out.suffix_from(prefix.len());
+            self.cells.insert((prefix, i), cell);
+        }
+    }
+
+    /// Fills (and returns) a whole table row; uncached cells are fetched
+    /// through [`LStarLearner::fill_rows`].
     fn row(
         &mut self,
         membership: &mut dyn MembershipOracle,
         prefix: &InputWord,
     ) -> Vec<OutputWord> {
-        let missing: Vec<usize> = (0..self.suffixes.len())
-            .filter(|i| !self.cells.contains_key(&(prefix.clone(), *i)))
-            .collect();
-        if !missing.is_empty() {
-            let queries: Vec<InputWord> = missing
-                .iter()
-                .map(|&i| prefix.concat(&self.suffixes[i]))
-                .collect();
-            let outs = membership.query_batch(&queries);
-            assert_eq!(
-                outs.len(),
-                queries.len(),
-                "oracle must answer the whole batch"
-            );
-            self.stats.membership_queries += queries.len() as u64;
-            self.stats.input_symbols += queries.iter().map(|q| q.len() as u64).sum::<u64>();
-            for (&i, out) in missing.iter().zip(outs) {
-                self.cells
-                    .insert((prefix.clone(), i), out.suffix_from(prefix.len()));
-            }
-        }
+        self.fill_rows(membership, std::slice::from_ref(prefix));
         (0..self.suffixes.len())
             .map(|i| self.cells[&(prefix.clone(), i)].clone())
             .collect()
@@ -115,8 +133,25 @@ impl LStarLearner {
     /// Ensures the table is closed: every one-symbol extension of a prefix in
     /// `S` has a row already represented in `S`; otherwise the extension is
     /// promoted into `S`.
+    ///
+    /// Each closure pass batches every missing cell of `S ∪ S·Σ` up front
+    /// (they are all needed by the time the hypothesis is built, so this
+    /// costs no extra distinct queries), then decides the promotion from
+    /// cached cells — the same first-unclosed-extension-in-scan-order
+    /// choice the row-at-a-time implementation made.
     fn close(&mut self, membership: &mut dyn MembershipOracle) {
+        membership.note_phase(QueryPhase::Construction);
         loop {
+            let mut scan: Vec<InputWord> = self.prefixes.clone();
+            for p in self.prefixes.clone() {
+                for a in self.alphabet.clone().iter() {
+                    let ext = p.append(a.clone());
+                    if !self.prefixes.contains(&ext) {
+                        scan.push(ext);
+                    }
+                }
+            }
+            self.fill_rows(membership, &scan);
             let mut known_rows: Vec<Vec<OutputWord>> = Vec::new();
             for p in self.prefixes.clone() {
                 known_rows.push(self.row(membership, &p));
@@ -147,6 +182,7 @@ impl LStarLearner {
 
     fn build_hypothesis(&mut self, membership: &mut dyn MembershipOracle) -> MealyMachine {
         self.stats.learning_rounds += 1;
+        membership.note_phase(QueryPhase::Construction);
         let rows: Vec<Vec<OutputWord>> = self
             .prefixes
             .clone()
@@ -211,6 +247,7 @@ impl Learner for LStarLearner {
             self.close(membership);
             let hypothesis = self.build_hypothesis(membership);
             self.stats.equivalence_queries += 1;
+            membership.note_phase(QueryPhase::Equivalence);
             match equivalence.find_counterexample(&hypothesis, membership) {
                 None => {
                     self.stats
@@ -295,5 +332,42 @@ mod tests {
     #[should_panic(expected = "non-empty input alphabet")]
     fn rejects_empty_alphabet() {
         let _ = LStarLearner::new(Alphabet::new());
+    }
+
+    /// Regression (wavefront dedup audit): a batch whose cells collapse to
+    /// the same full query word must be charged once, and the number of
+    /// membership queries must equal the number of *distinct* words the
+    /// learner put on the wire — the same rule the dtree path applies, so
+    /// the two learners' costs stay comparable.
+    #[test]
+    fn membership_queries_count_deduplicated_batch_entries() {
+        use crate::oracle::CacheOracle;
+
+        let target = known::counter(3);
+        let mut learner = LStarLearner::new(target.input_alphabet().clone());
+        // Force colliding cells: with suffixes [inc] and [inc, inc], the
+        // cells (ε·"inc·inc") and ("inc"·"inc") both reduce to prefixes of
+        // the same concatenations once prefixes grow.
+        learner
+            .suffixes
+            .push(InputWord::from_symbols(["inc", "inc"]));
+        let mut membership = CacheOracle::new(MachineOracle::new(target.clone()));
+        let mut equivalence = SimulatorOracle::new(target);
+        let result = learner.learn(&mut membership, &mut equivalence);
+        // Every distinct word was forwarded at most once (the cache dedups
+        // too), so dedup-counted queries can never undercut the distinct
+        // words actually asked — and duplicates are never double-charged:
+        // each learner-side query is either a distinct word or a within-
+        // batch duplicate that record_batch collapsed.
+        assert!(
+            result.stats.membership_queries >= membership.misses(),
+            "counted {} queries but the oracle saw {} distinct fresh words",
+            result.stats.membership_queries,
+            membership.misses()
+        );
+        assert!(
+            result.stats.membership_queries <= (membership.hits() + membership.misses()),
+            "dedup counting must never exceed the words handed to the cache"
+        );
     }
 }

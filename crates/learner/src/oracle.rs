@@ -17,7 +17,37 @@ use crate::stats::LearningStats;
 use crate::trie::PrefixTrie;
 use prognosis_automata::mealy::MealyMachine;
 use prognosis_automata::word::{InputWord, IoTrace, OutputWord};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+
+/// Which learning phase the membership queries currently in flight belong
+/// to.  Learners announce the phase through
+/// [`MembershipOracle::note_phase`] so instrumented oracle stacks (e.g.
+/// `prognosis-core`'s `ParallelSulOracle`) can attribute scheduler
+/// occupancy and batch sizes per phase — the sift wavefront's whole point
+/// is raising the *construction*-phase batch size from 1 to
+/// `O(states × |Σ|)`, and per-phase accounting is what makes that visible.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum QueryPhase {
+    /// Hypothesis construction: transition-row outputs and sift queries.
+    #[default]
+    Construction,
+    /// Counterexample decomposition probes.
+    Counterexample,
+    /// Equivalence-oracle suite testing.
+    Equivalence,
+}
+
+impl QueryPhase {
+    /// Stable lowercase name (JSON/report key).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryPhase::Construction => "construction",
+            QueryPhase::Counterexample => "counterexample",
+            QueryPhase::Equivalence => "equivalence",
+        }
+    }
+}
 
 /// Answers membership queries.
 pub trait MembershipOracle {
@@ -40,6 +70,12 @@ pub trait MembershipOracle {
     fn queries_answered(&self) -> u64 {
         0
     }
+
+    /// Announces which learning phase subsequent queries belong to.  A
+    /// no-op by default; instrumented oracles use it to attribute batch
+    /// sizes and occupancy per phase.  Wrappers (e.g. [`CacheOracle`]) must
+    /// forward it to their inner oracle.
+    fn note_phase(&mut self, _phase: QueryPhase) {}
 }
 
 /// Answers equivalence queries with a counterexample trace, or `None` when
@@ -297,6 +333,10 @@ impl<O: MembershipOracle> MembershipOracle for CacheOracle<O> {
 
     fn queries_answered(&self) -> u64 {
         self.inner.queries_answered()
+    }
+
+    fn note_phase(&mut self, phase: QueryPhase) {
+        self.inner.note_phase(phase);
     }
 }
 

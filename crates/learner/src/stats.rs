@@ -5,7 +5,9 @@
 //! implementations) and model sizes.  [`LearningStats`] carries those
 //! numbers through the pipeline and into the experiment harness.
 
+use prognosis_automata::word::InputWord;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::ops::Add;
 
@@ -47,6 +49,18 @@ impl LearningStats {
     pub fn record_model(&mut self, states: usize, transitions: usize) {
         self.model_states = states as u64;
         self.model_transitions = transitions as u64;
+    }
+
+    /// Accounts one membership batch, counting **deduplicated** batch
+    /// entries: a word occurring twice in the same batch is one query (the
+    /// oracle stack answers it once and fans the answer out), so both the
+    /// L* and discrimination-tree paths charge identical costs for
+    /// identical batches.  Single queries (`MembershipOracle::query`) are
+    /// still counted per call — dedup applies within one batch only.
+    pub fn record_batch(&mut self, inputs: &[InputWord]) {
+        let distinct: BTreeSet<&InputWord> = inputs.iter().collect();
+        self.membership_queries += distinct.len() as u64;
+        self.input_symbols += distinct.iter().map(|i| i.len() as u64).sum::<u64>();
     }
 
     /// Average input symbols per membership query.
@@ -134,6 +148,21 @@ mod tests {
         };
         assert!((s.avg_query_length() - 2.5).abs() < 1e-9);
         assert_eq!(LearningStats::default().avg_query_length(), 0.0);
+    }
+
+    #[test]
+    fn record_batch_counts_deduplicated_entries() {
+        let mut s = LearningStats::new();
+        let w1 = InputWord::from_symbols(["a", "b"]);
+        let w2 = InputWord::from_symbols(["a"]);
+        s.record_batch(&[w1.clone(), w2.clone(), w1.clone()]);
+        assert_eq!(s.membership_queries, 2, "duplicate batch entries collapse");
+        assert_eq!(s.input_symbols, 3);
+        // A second batch repeating an earlier word is still charged: dedup
+        // is within one batch, not across batches.
+        s.record_batch(&[w2]);
+        assert_eq!(s.membership_queries, 3);
+        assert_eq!(s.input_symbols, 4);
     }
 
     #[test]
