@@ -499,7 +499,7 @@ where
 mod tests {
     use super::*;
     use crate::quic_adapter::{QuicSul, QuicSulFactory};
-    use crate::session::SessionScheduler;
+    use crate::session::{QueryPhase, SessionScheduler};
     use crate::sul::replay_query;
     use crate::tcp_adapter::{TcpSul, TcpSulFactory};
     use prognosis_automata::word::{InputWord, OutputWord};
@@ -522,7 +522,7 @@ mod tests {
         let (sessions, clock) = factory.create_worker_sessions(batch.len());
         let mut scheduler = SessionScheduler::with_clock(sessions, clock);
         for (i, word) in batch.iter().enumerate() {
-            scheduler.submit(i, word.clone());
+            scheduler.submit(i, word.clone(), QueryPhase::Construction);
         }
         let mut done = scheduler.run_to_idle();
         done.sort_by_key(|(i, _)| *i);
@@ -553,7 +553,7 @@ mod tests {
         let (sessions, clock) = factory.create_worker_sessions(batch.len());
         let mut scheduler = SessionScheduler::with_clock(sessions, clock);
         for (i, word) in batch.iter().enumerate() {
-            scheduler.submit(i, word.clone());
+            scheduler.submit(i, word.clone(), QueryPhase::Construction);
         }
         let mut done = scheduler.run_to_idle();
         done.sort_by_key(|(i, _)| *i);
@@ -605,7 +605,7 @@ mod tests {
         let mut serial = SessionScheduler::with_clock(sessions, clock);
         let mut serial_out = Vec::new();
         for (i, word) in batch.iter().enumerate() {
-            serial.submit(i, word.clone());
+            serial.submit(i, word.clone(), QueryPhase::Construction);
             serial_out.extend(serial.run_to_idle().into_iter().map(|(_, o)| o));
         }
         assert_eq!(first, serial_out, "group size must not change answers");
@@ -629,7 +629,7 @@ mod tests {
         ]);
         let (sessions, clock) = factory.create_worker_sessions(1);
         let mut scheduler = SessionScheduler::with_clock(sessions, clock);
-        scheduler.submit(0, word.clone());
+        scheduler.submit(0, word.clone(), QueryPhase::Construction);
         let done = scheduler.run_to_idle();
         let expected = replay_query(&mut QuicSul::new(ImplementationProfile::google(), 1), &word);
         assert_eq!(done[0].1, expected);
@@ -656,7 +656,7 @@ mod tests {
             let factory = NetworkedSessionFactory::new(inner, LinkConfig::ideal());
             let (sessions, clock) = factory.create_worker_sessions(1);
             let mut scheduler = SessionScheduler::with_clock(sessions, clock);
-            scheduler.submit(0, word.clone());
+            scheduler.submit(0, word.clone(), QueryPhase::Construction);
             let done = scheduler.run_to_idle();
             let second_step = done[0].1.as_slice()[1].to_string();
             if buggy {
@@ -699,7 +699,7 @@ mod tests {
         );
         let mut scheduler = SessionScheduler::new(vec![factory.create_session()]);
         let word = InputWord::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)"]);
-        scheduler.submit(0, word.clone());
+        scheduler.submit(0, word.clone(), QueryPhase::Construction);
         let done = scheduler.run_to_idle();
         assert_eq!(done[0].1, replay_query(&mut TcpSul::with_defaults(), &word));
         assert!(scheduler.stats().virtual_elapsed_micros >= 400);
@@ -719,7 +719,7 @@ mod tests {
         let word = InputWord::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)", "SYN(?,?,0)"]);
         let (sessions, clock) = factory.create_worker_sessions(1);
         let mut scheduler = SessionScheduler::with_clock(sessions, clock);
-        scheduler.submit(0, word.clone());
+        scheduler.submit(0, word.clone(), QueryPhase::Construction);
         let done = scheduler.run_to_idle();
         let expected: OutputWord = word.iter().map(|_| Symbol::new("NIL")).collect();
         assert_eq!(done[0].1, expected);
@@ -740,7 +740,7 @@ mod tests {
         let word = InputWord::from_symbols(["SYN(?,?,0)", "ACK(?,?,0)"]);
         let (sessions, clock) = factory.create_worker_sessions(1);
         let mut scheduler = SessionScheduler::with_clock(sessions, clock);
-        scheduler.submit(0, word.clone());
+        scheduler.submit(0, word.clone(), QueryPhase::Construction);
         let done = scheduler.run_to_idle();
         assert_eq!(done[0].1, replay_query(&mut TcpSul::with_defaults(), &word));
         // The SYN's response pays the 400µs downlink leg; the ACK step
@@ -766,7 +766,7 @@ mod tests {
         let (client_port, server_port) = (sessions[0].client_port(), sessions[0].server_port());
         let net = Arc::clone(sessions[0].network());
         let mut scheduler = SessionScheduler::with_clock(sessions, clock);
-        scheduler.submit(0, word.clone());
+        scheduler.submit(0, word.clone(), QueryPhase::Construction);
         let done = scheduler.run_to_idle();
         let expected: OutputWord = word.iter().map(|_| Symbol::new("NIL")).collect();
         assert_eq!(done[0].1, expected, "lost responses must time out");
@@ -814,7 +814,7 @@ mod tests {
         let mut serial = SessionScheduler::with_clock(sessions, clock);
         let mut serial_out = Vec::new();
         for (i, word) in batch.iter().enumerate() {
-            serial.submit(i, word.clone());
+            serial.submit(i, word.clone(), QueryPhase::Construction);
             serial_out.extend(serial.run_to_idle().into_iter().map(|(_, o)| o));
         }
         assert_eq!(grouped, serial_out, "group size must not change answers");

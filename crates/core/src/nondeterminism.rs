@@ -12,7 +12,7 @@
 //! answer.
 
 use crate::net_transport::{NetworkedSessionFactory, WireSul};
-use crate::session::SessionScheduler;
+use crate::session::{QueryPhase, SessionScheduler};
 use crate::sul::{Sul, SulFactory};
 use prognosis_automata::alphabet::Symbol;
 use prognosis_automata::word::{InputWord, OutputWord};
@@ -237,7 +237,7 @@ where
         let (sessions, clock) = factory.repetition_sessions(executions as u64, wanted);
         let mut scheduler = SessionScheduler::with_clock(sessions, clock);
         for index in 0..wanted {
-            scheduler.submit(index, input.clone());
+            scheduler.submit(index, input.clone(), QueryPhase::Construction);
         }
         for (_, output) in scheduler.run_to_idle() {
             *observations.entry(output).or_insert(0) += 1;

@@ -22,19 +22,31 @@ use crate::session::{
 };
 use crate::sul::SulStats;
 use prognosis_automata::word::{InputWord, OutputWord};
-use prognosis_learner::oracle::MembershipOracle;
-use std::collections::VecDeque;
+use prognosis_learner::oracle::{AsyncAnswer, AsyncQuery, CancelOutcome, MembershipOracle};
+use std::collections::{BTreeSet, VecDeque};
 use std::panic::AssertUnwindSafe;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-/// One queued query: `(original batch index, input word)`.
-type Job = (usize, InputWord);
+/// One queued query.  Blocking batch dispatches and asynchronous
+/// continuation submissions share one id space: batch jobs carry ids at or
+/// above [`BATCH_ID_BASE`], async tickets stay below it.
+struct Job {
+    id: u64,
+    input: InputWord,
+    /// Learning phase the query belongs to; carried with the dispatch so
+    /// virtual waits attribute correctly even when phases overlap.
+    phase: QueryPhase,
+}
+
+/// Ids at or above this value are blocking-batch jobs (`id - BATCH_ID_BASE`
+/// is the batch index); below it they are caller-assigned async tickets.
+const BATCH_ID_BASE: u64 = 1 << 62;
 
 enum Reply {
     Answer {
-        index: usize,
+        id: u64,
         output: OutputWord,
     },
     /// A worker's session panicked; the message is the panic payload.
@@ -45,8 +57,27 @@ enum Reply {
 }
 
 struct QueueState {
+    /// Committed work: blocking batches and non-speculative continuations.
     jobs: VecDeque<Job>,
+    /// Speculative work (equivalence words streamed ahead of their
+    /// hypothesis).  Drained only after `jobs`, so speculation fills idle
+    /// slots without ever queueing ahead of the construction critical path.
+    speculative: VecDeque<Job>,
+    /// Whether the learner thread is blocked waiting for an answer.  The
+    /// quiescence gate: while the learner is *active* it may be about to
+    /// submit more work, so a worker with free capacity must not advance
+    /// its virtual clock — a late-arriving continuation has to join the
+    /// current virtual instant, not one the pool already raced past.
+    /// Workers clear this before publishing answers (the learner is about
+    /// to react); the learner re-sets it before every blocking receive.
+    learner_waiting: bool,
     shutdown: bool,
+}
+
+impl QueueState {
+    fn is_empty(&self) -> bool {
+        self.jobs.is_empty() && self.speculative.is_empty()
+    }
 }
 
 /// The shared dispatcher ⇄ worker state: a work queue plus its condvar.
@@ -57,30 +88,54 @@ struct Shared {
 
 impl Shared {
     /// What a worker should do next given its free capacity and whether it
-    /// still has queries in flight.  Blocks only when the worker is
-    /// completely idle (an in-flight scheduler must keep driving its
-    /// virtual clock instead of sleeping on the queue).  The returned
-    /// `more` flag reports whether the queue still held work after the
-    /// pull — the adaptive scheduler's growth signal.
+    /// still has queries in flight.  An empty job list tells the worker to
+    /// drive its virtual clock instead; that is only allowed once nothing
+    /// more could join the current virtual instant — the pool is full, the
+    /// learner is blocked waiting for answers, or the engine is shutting
+    /// down.  Otherwise the worker sleeps on the queue (in real time; the
+    /// virtual clock holds still) so late-arriving continuations and
+    /// speculative words overlap the queries already in flight.  The
+    /// returned `more` flag reports whether the queue still held work
+    /// after the pull — the adaptive scheduler's growth signal.
     fn next_jobs(&self, capacity: usize, idle: bool) -> WorkerCommand {
         let mut q = self.queue.lock().expect("work queue poisoned");
         loop {
-            if capacity > 0 && !q.jobs.is_empty() {
-                let take = capacity.min(q.jobs.len());
-                let jobs = q.jobs.drain(..take).collect();
+            if capacity > 0 && !q.is_empty() {
+                let mut jobs: Vec<Job> = Vec::with_capacity(capacity.min(16));
+                while jobs.len() < capacity {
+                    if let Some(job) = q.jobs.pop_front() {
+                        jobs.push(job);
+                    } else if let Some(job) = q.speculative.pop_front() {
+                        jobs.push(job);
+                    } else {
+                        break;
+                    }
+                }
                 return WorkerCommand::Jobs {
                     jobs,
-                    more: !q.jobs.is_empty(),
-                };
-            }
-            if !idle {
-                return WorkerCommand::Jobs {
-                    jobs: Vec::new(),
-                    more: !q.jobs.is_empty(),
+                    more: !q.is_empty(),
                 };
             }
             if q.shutdown {
-                return WorkerCommand::Exit;
+                if idle {
+                    return WorkerCommand::Exit;
+                }
+                return WorkerCommand::Jobs {
+                    jobs: Vec::new(),
+                    more: !q.is_empty(),
+                };
+            }
+            if !idle && q.learner_waiting {
+                // The learner has quiesced (blocked on an answer), so no
+                // further work can join this virtual instant: advancing the
+                // clock is the only way forward.  A full pool with work
+                // still queued does NOT license an advance by itself — the
+                // learner may be mid-computation, about to add this
+                // instant's construction continuations behind the backlog.
+                return WorkerCommand::Jobs {
+                    jobs: Vec::new(),
+                    more: !q.is_empty(),
+                };
             }
             q = self.available.wait(q).expect("work queue poisoned");
         }
@@ -114,12 +169,24 @@ pub struct ParallelSulOracle<Sn: SessionSul> {
     queries: u64,
     batches: u64,
     /// Phase the learner last announced via
-    /// [`MembershipOracle::note_phase`]; dispatches are attributed to it.
+    /// [`MembershipOracle::note_phase`]; blocking dispatches are attributed
+    /// to it (async submissions carry their own per-query tag instead).
     current_phase: QueryPhase,
     /// Dispatcher-side accumulators (batch-size histogram, occupancy
     /// timeline, per-phase stats) that [`ParallelSulOracle::engine_stats`]
     /// folds into the reported [`EngineStats`].
     telemetry: EngineStats,
+    /// Async tickets submitted but not yet answered (or cancelled).
+    outstanding: BTreeSet<u64>,
+    /// Cancelled tickets whose query was already executing; their answers
+    /// are dropped on arrival.
+    discard: BTreeSet<u64>,
+    /// Async answers received (e.g. while a blocking batch was draining)
+    /// but not yet handed to the caller.
+    async_ready: Vec<AsyncAnswer>,
+    /// (busy, virtual) totals at the previous telemetry sample — the delta
+    /// basis for async timeline samples.
+    last_busy_virtual: (u64, u64),
 }
 
 /// The result of shutting the engine down: the session SULs (adapter-side
@@ -159,6 +226,8 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
+                speculative: VecDeque::new(),
+                learner_waiting: false,
                 shutdown: false,
             }),
             available: Condvar::new(),
@@ -204,6 +273,10 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
             batches: 0,
             current_phase: QueryPhase::default(),
             telemetry: EngineStats::default(),
+            outstanding: BTreeSet::new(),
+            discard: BTreeSet::new(),
+            async_ready: Vec::new(),
+            last_busy_virtual: (0, 0),
         }
     }
 
@@ -298,19 +371,31 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
         self.batches += 1;
         self.queries += inputs.len() as u64;
         let (busy_before, virtual_before) = self.busy_virtual_snapshot();
+        let phase = self.current_phase;
         {
             let mut q = self.shared.queue.lock().expect("work queue poisoned");
-            q.jobs.extend(inputs.iter().cloned().enumerate());
+            q.jobs
+                .extend(inputs.iter().cloned().enumerate().map(|(i, input)| Job {
+                    id: BATCH_ID_BASE + i as u64,
+                    input,
+                    phase,
+                }));
         }
         self.shared.available.notify_all();
         let mut results: Vec<Option<OutputWord>> = vec![None; inputs.len()];
         let mut received = 0;
         while received < inputs.len() {
-            match self.reply_rx.recv() {
-                Ok(Reply::Answer { index, output }) => {
+            match self.recv_reply() {
+                Ok(Reply::Answer { id, output }) if id >= BATCH_ID_BASE => {
+                    let index = (id - BATCH_ID_BASE) as usize;
                     debug_assert!(results[index].is_none(), "query answered twice");
                     results[index] = Some(output);
                     received += 1;
+                }
+                Ok(Reply::Answer { id, output }) => {
+                    // An async continuation's answer landing mid-batch:
+                    // buffer it for the next poll.
+                    self.route_async_answer(id, output);
                 }
                 Ok(Reply::Dead { worker, message }) => {
                     // Relay the worker's death up through the learning loop;
@@ -325,6 +410,7 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
             }
         }
         let (busy_after, virtual_after) = self.busy_virtual_snapshot();
+        self.last_busy_virtual = (busy_after, virtual_after);
         self.telemetry.record_dispatch(
             self.current_phase,
             inputs.len() as u64,
@@ -335,6 +421,80 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
             .into_iter()
             .map(|out| out.expect("every query index answered"))
             .collect()
+    }
+
+    /// Blocks for the next worker reply, with the quiescence gate raised:
+    /// the learner announces it is out of work to submit *before* parking,
+    /// which is what licenses the workers to advance their virtual clocks.
+    /// The flag is lowered again on wake (the worker also lowers it before
+    /// sending, but this learner-side clear closes the race where the
+    /// answer is consumed before the worker's clear lands).
+    fn recv_reply(&mut self) -> Result<Reply, std::sync::mpsc::RecvError> {
+        {
+            let mut q = self.shared.queue.lock().expect("work queue poisoned");
+            q.learner_waiting = true;
+        }
+        self.shared.available.notify_all();
+        let reply = self.reply_rx.recv();
+        {
+            let mut q = self.shared.queue.lock().expect("work queue poisoned");
+            q.learner_waiting = false;
+        }
+        reply
+    }
+
+    /// Buffers or discards one async answer.
+    fn route_async_answer(&mut self, id: u64, output: OutputWord) {
+        if self.discard.remove(&id) {
+            return; // Cancelled while executing; the answer is waste.
+        }
+        if self.outstanding.remove(&id) {
+            self.async_ready.push(AsyncAnswer { ticket: id, output });
+        }
+    }
+
+    /// Drains every reply currently available; with `wait` set and no
+    /// answer buffered yet, blocks for the first one (only while tickets
+    /// are actually outstanding).
+    fn drain_ready(&mut self, wait: bool) -> Vec<AsyncAnswer> {
+        loop {
+            loop {
+                match self.reply_rx.try_recv() {
+                    Ok(Reply::Answer { id, output }) => {
+                        debug_assert!(id < BATCH_ID_BASE, "batch reply outside dispatch");
+                        self.route_async_answer(id, output);
+                    }
+                    Ok(Reply::Dead { worker, message }) => {
+                        std::panic::panic_any(LearnError::WorkerPanicked { worker, message });
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        if self.outstanding.is_empty() {
+                            break;
+                        }
+                        std::panic::panic_any(LearnError::EnginePanicked {
+                            message: "all session workers exited with queries outstanding"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+            if !wait || !self.async_ready.is_empty() || self.outstanding.is_empty() {
+                break;
+            }
+            match self.recv_reply() {
+                Ok(Reply::Answer { id, output }) => self.route_async_answer(id, output),
+                Ok(Reply::Dead { worker, message }) => {
+                    std::panic::panic_any(LearnError::WorkerPanicked { worker, message });
+                }
+                Err(_) => {
+                    std::panic::panic_any(LearnError::EnginePanicked {
+                        message: "all session workers exited with queries outstanding".to_string(),
+                    });
+                }
+            }
+        }
+        std::mem::take(&mut self.async_ready)
     }
 }
 
@@ -348,6 +508,7 @@ impl<Sn: SessionSul> Drop for ParallelSulOracle<Sn> {
         if let Ok(mut q) = self.shared.queue.lock() {
             q.shutdown = true;
             q.jobs.clear();
+            q.speculative.clear();
         }
         self.shared.available.notify_all();
         for worker in std::mem::take(&mut self.workers) {
@@ -364,22 +525,44 @@ fn worker_loop<Sn: SessionSul>(
 ) {
     loop {
         let was_idle = scheduler.is_idle();
+        let pulled;
         match shared.next_jobs(scheduler.capacity(), was_idle) {
             WorkerCommand::Exit => return,
             WorkerCommand::Jobs { jobs, more } => {
-                let pulled = jobs.len();
-                for (index, input) in jobs {
-                    scheduler.submit(index, input);
+                pulled = jobs.len();
+                for job in jobs {
+                    scheduler.submit(job.id as usize, job.input, job.phase);
                 }
                 scheduler.note_pull(pulled, more, was_idle);
+                if more && scheduler.has_capacity() {
+                    // The adaptive limit just grew (or peers refilled the
+                    // queue): keep pulling at this virtual instant instead
+                    // of advancing the clock under a half-filled pool.
+                    continue;
+                }
             }
         }
         if scheduler.is_idle() {
             continue; // Woken without work; re-check the queue.
         }
-        let completed = scheduler.drive();
+        // Only an *empty* pull licenses a clock advance: `next_jobs`
+        // returns no jobs exactly when advancing is the only way forward
+        // (pool full with work queued, or the learner has quiesced).  A
+        // non-empty pull means more continuations may still join this
+        // virtual instant, so harvest instant progress and loop back to
+        // the gate instead of stepping time under a part-filled pool.
+        let completed = scheduler.drive_gated(pulled == 0);
         if completed.is_empty() {
             continue;
+        }
+        // The learner is about to receive these answers and react — from
+        // here on it counts as active again, so clock advances pause until
+        // it either submits follow-up work or blocks on the next answer.
+        // (Cleared *before* the send: clearing after could race a learner
+        // that already consumed the answer and re-entered its wait.)
+        {
+            let mut q = shared.queue.lock().expect("work queue poisoned");
+            q.learner_waiting = false;
         }
         // Publish counters *before* the answers so `stats()` reads taken
         // after a batch returns always cover that batch.
@@ -389,7 +572,11 @@ fn worker_loop<Sn: SessionSul>(
             snap.scheduler = scheduler.stats();
         }
         for (index, output) in completed {
-            if reply_tx.send(Reply::Answer { index, output }).is_err() {
+            let reply = Reply::Answer {
+                id: index as u64,
+                output,
+            };
+            if reply_tx.send(reply).is_err() {
                 return; // Dispatcher is gone; shut down quietly.
             }
         }
@@ -416,6 +603,97 @@ impl<Sn: SessionSul + Send + 'static> MembershipOracle for ParallelSulOracle<Sn>
 
     fn note_phase(&mut self, phase: QueryPhase) {
         self.current_phase = phase;
+    }
+
+    fn submit_queries(&mut self, queries: Vec<AsyncQuery>) -> Vec<AsyncAnswer> {
+        if queries.is_empty() {
+            return self.drain_ready(false);
+        }
+        self.queries += queries.len() as u64;
+        // Telemetry: one sample per (phase, speculative-class) group; the
+        // busy/virtual delta since the last sample goes to the first group
+        // (the exact per-phase integrals come from the scheduler tags).
+        let (busy_now, virtual_now) = self.busy_virtual_snapshot();
+        let (busy_last, virtual_last) = self.last_busy_virtual;
+        self.last_busy_virtual = (busy_now, virtual_now);
+        let mut delta = (
+            busy_now.saturating_sub(busy_last),
+            virtual_now.saturating_sub(virtual_last),
+        );
+        for phase in crate::session::ALL_PHASES {
+            let count = queries.iter().filter(|q| q.phase == phase).count() as u64;
+            if count > 0 {
+                self.batches += 1;
+                self.telemetry
+                    .record_dispatch(phase, count, delta.0, delta.1);
+                delta = (0, 0);
+            }
+        }
+        {
+            let mut q = self.shared.queue.lock().expect("work queue poisoned");
+            for query in queries {
+                assert!(
+                    query.ticket < BATCH_ID_BASE,
+                    "async tickets must stay below the batch id base"
+                );
+                debug_assert!(
+                    !self.outstanding.contains(&query.ticket),
+                    "ticket reused while outstanding"
+                );
+                self.outstanding.insert(query.ticket);
+                let job = Job {
+                    id: query.ticket,
+                    input: query.input,
+                    phase: query.phase,
+                };
+                if query.speculative {
+                    q.speculative.push_back(job);
+                } else {
+                    q.jobs.push_back(job);
+                }
+            }
+        }
+        self.shared.available.notify_all();
+        self.drain_ready(false)
+    }
+
+    fn poll_answers(&mut self, wait: bool) -> Vec<AsyncAnswer> {
+        self.drain_ready(wait)
+    }
+
+    fn cancel_queries(&mut self, tickets: &[u64]) -> CancelOutcome {
+        let mut outcome = CancelOutcome::default();
+        let wanted: BTreeSet<u64> = tickets.iter().copied().collect();
+        {
+            let mut q = self.shared.queue.lock().expect("work queue poisoned");
+            let q = &mut *q;
+            for deque in [&mut q.jobs, &mut q.speculative] {
+                deque.retain(|job| {
+                    if wanted.contains(&job.id) {
+                        outcome.unsent += 1;
+                        self.outstanding.remove(&job.id);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+        for &ticket in tickets {
+            if self.outstanding.remove(&ticket) {
+                // Already pulled by a worker: let it finish, drop the answer.
+                self.discard.insert(ticket);
+                outcome.discarded += 1;
+            } else if let Some(pos) = self.async_ready.iter().position(|a| a.ticket == ticket) {
+                self.async_ready.remove(pos);
+                outcome.discarded += 1;
+            }
+        }
+        outcome
+    }
+
+    fn outstanding_queries(&self) -> u64 {
+        (self.outstanding.len() + self.async_ready.len()) as u64
     }
 }
 
@@ -560,6 +838,74 @@ mod tests {
         let shutdown = parallel.shutdown().expect("clean shutdown");
         assert_eq!(shutdown.engine.construction.queries, 5);
         assert_eq!(shutdown.engine.queries_completed, 8);
+    }
+
+    #[test]
+    fn async_submissions_answer_out_of_band_and_match_sequential() {
+        let machine = known::counter(5);
+        let factory = session_factory(machine.clone());
+        let batch = words(&machine, 17);
+        let mut sequential = SulMembershipOracle::new(MachineSulFactory(machine.clone()).create());
+        let expected = sequential.query_batch(&batch);
+        let mut parallel = ParallelSulOracle::spawn_with(&factory, 2, 4);
+        let queries: Vec<AsyncQuery> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, input)| AsyncQuery {
+                ticket: i as u64,
+                input: input.clone(),
+                phase: QueryPhase::Construction,
+                speculative: i % 3 == 0,
+            })
+            .collect();
+        let mut answers = parallel.submit_queries(queries);
+        while answers.len() < batch.len() {
+            let more = parallel.poll_answers(true);
+            assert!(!more.is_empty(), "waiting poll must make progress");
+            answers.extend(more);
+        }
+        answers.sort_by_key(|a| a.ticket);
+        let got: Vec<OutputWord> = answers.into_iter().map(|a| a.output).collect();
+        assert_eq!(got, expected);
+        assert_eq!(parallel.outstanding_queries(), 0);
+        assert_eq!(parallel.queries_answered(), batch.len() as u64);
+    }
+
+    #[test]
+    fn cancelled_speculation_never_surfaces_answers() {
+        let machine = known::counter(5);
+        let factory = session_factory(machine.clone());
+        let batch = words(&machine, 40);
+        let mut parallel = ParallelSulOracle::spawn_with(&factory, 1, 2);
+        let queries: Vec<AsyncQuery> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, input)| AsyncQuery {
+                ticket: i as u64,
+                input: input.clone(),
+                phase: QueryPhase::Equivalence,
+                speculative: true,
+            })
+            .collect();
+        let delivered = parallel.submit_queries(queries);
+        let tickets: Vec<u64> = (0..batch.len() as u64).collect();
+        let outcome = parallel.cancel_queries(&tickets);
+        assert_eq!(
+            outcome.unsent + outcome.discarded + delivered.len() as u64,
+            batch.len() as u64,
+            "every ticket is delivered, unsent, or discarded exactly once"
+        );
+        assert_eq!(parallel.outstanding_queries(), 0);
+        assert!(
+            parallel.poll_answers(false).is_empty(),
+            "cancelled tickets must never surface answers"
+        );
+        // The pool stays usable for blocking work after a rollback.
+        let mut sequential = SulMembershipOracle::new(MachineSulFactory(machine).create());
+        assert_eq!(
+            parallel.query_batch(&batch[..5]),
+            sequential.query_batch(&batch[..5])
+        );
     }
 
     #[test]

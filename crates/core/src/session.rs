@@ -244,6 +244,29 @@ impl<F: SulFactory> SessionSulFactory for BlockingSessionFactory<F> {
     }
 }
 
+/// Per-phase slice of one scheduler's in-flight integral.  Attribution is
+/// **per query**, from the [`QueryPhase`] tag each job carries: when the
+/// clock jumps by Δ, every in-flight job adds Δ to its own phase's
+/// `busy_micros`, every phase with at least one job in flight adds Δ to its
+/// `active_micros`, and — for those active phases — the *whole pool's*
+/// in-flight count × Δ accrues to `pool_busy_micros`.  This stays correct
+/// when two phases are in flight at once (speculative equivalence words
+/// overlapping construction), which a single global "current phase" flag
+/// cannot be.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseFlight {
+    /// In-flight session-microseconds of this phase's own queries.
+    pub busy_micros: u64,
+    /// Virtual microseconds during which at least one query of this phase
+    /// was in flight (the phase's own occupancy denominator).
+    pub active_micros: u64,
+    /// In-flight session-microseconds of the *whole pool* (any phase)
+    /// during this phase's active windows — the numerator of
+    /// [`PhaseStats::window_occupancy`], which asks "while this phase was
+    /// ongoing, did the pool stay full?".
+    pub pool_busy_micros: u64,
+}
+
 /// Occupancy and progress counters of one [`SessionScheduler`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SchedulerStats {
@@ -264,7 +287,39 @@ pub struct SchedulerStats {
     pub limit_grows: u64,
     /// Times the adaptive in-flight limit shrank (underfilled windows).
     pub limit_shrinks: u64,
+    /// Per-query-tag flight integral for hypothesis-construction queries.
+    pub construction_flight: PhaseFlight,
+    /// Per-query-tag flight integral for counterexample probes.
+    pub counterexample_flight: PhaseFlight,
+    /// Per-query-tag flight integral for equivalence-suite queries.
+    pub equivalence_flight: PhaseFlight,
 }
+
+impl SchedulerStats {
+    /// The flight integral of one learning phase.
+    pub fn flight(&self, phase: QueryPhase) -> &PhaseFlight {
+        match phase {
+            QueryPhase::Construction => &self.construction_flight,
+            QueryPhase::Counterexample => &self.counterexample_flight,
+            QueryPhase::Equivalence => &self.equivalence_flight,
+        }
+    }
+
+    fn flight_mut(&mut self, phase: QueryPhase) -> &mut PhaseFlight {
+        match phase {
+            QueryPhase::Construction => &mut self.construction_flight,
+            QueryPhase::Counterexample => &mut self.counterexample_flight,
+            QueryPhase::Equivalence => &mut self.equivalence_flight,
+        }
+    }
+}
+
+/// The three learning phases, in a fixed order for iteration.
+pub const ALL_PHASES: [QueryPhase; 3] = [
+    QueryPhase::Construction,
+    QueryPhase::Counterexample,
+    QueryPhase::Equivalence,
+];
 
 /// Per-learning-phase slice of the engine's dispatch accounting: how many
 /// batches/queries the phase issued and how much session time it kept in
@@ -277,22 +332,47 @@ pub struct PhaseStats {
     pub batches: u64,
     /// Queries dispatched during this phase.
     pub queries: u64,
-    /// In-flight session-microseconds accrued during this phase.
+    /// In-flight session-microseconds accrued by this phase's own queries
+    /// (attributed per query from its dispatch tag).
     pub busy_micros: u64,
-    /// Summed worker virtual-time advance during this phase (the phase's
-    /// occupancy denominator before multiplying by `max_inflight`; for a
-    /// single-worker engine this is the phase's virtual elapsed time).
+    /// Summed worker virtual-time advance during which this phase had at
+    /// least one query in flight (the phase's occupancy denominator before
+    /// multiplying by `max_inflight`; for a single-worker engine this is
+    /// the phase's virtual elapsed time).
     pub worker_micros: u64,
+    /// In-flight session-microseconds of the whole pool — any phase —
+    /// during this phase's active windows.  See
+    /// [`PhaseStats::window_occupancy`].
+    pub pool_busy_micros: u64,
 }
 
 impl PhaseStats {
-    /// Mean slot occupancy during this phase for the given slot cap.
+    /// Mean slot occupancy of **this phase's own queries** during its
+    /// active windows, for the given slot cap.  Under overlapped execution
+    /// the phases share the pool, so the per-phase occupancies no longer
+    /// sum to the pool occupancy — see [`PhaseStats::window_occupancy`]
+    /// for the "did the pool stay full while this phase ran" question.
     pub fn occupancy(&self, max_inflight: u64) -> f64 {
         let capacity = self.worker_micros.saturating_mul(max_inflight.max(1));
         if capacity == 0 {
             0.0
         } else {
             self.busy_micros as f64 / capacity as f64
+        }
+    }
+
+    /// Mean slot occupancy of the **whole pool** during this phase's
+    /// active windows: 1.0 means every slot was busy (with work of any
+    /// phase) whenever this phase had a query in flight.  This is the
+    /// dataflow learner's headline metric — overlapping phases exists
+    /// precisely so the pool never drains while construction is ongoing,
+    /// even when construction alone cannot fill it.
+    pub fn window_occupancy(&self, max_inflight: u64) -> f64 {
+        let capacity = self.worker_micros.saturating_mul(max_inflight.max(1));
+        if capacity == 0 {
+            0.0
+        } else {
+            self.pool_busy_micros as f64 / capacity as f64
         }
     }
 
@@ -322,8 +402,12 @@ pub struct OccupancySample {
     pub worker_micros: u64,
 }
 
-/// Samples beyond this count are dropped from the timeline (exact
-/// aggregates continue in the per-phase [`PhaseStats`]).
+/// Retained-sample budget for the occupancy timeline.  When a run
+/// produces more dispatches than this, the timeline is halved (every
+/// second retained sample dropped) and the sampling stride doubled, so
+/// long runs keep an approximately uniform **full-span** timeline instead
+/// of silently truncating the tail.  Exact aggregates always continue in
+/// the per-phase [`PhaseStats`].
 pub const OCCUPANCY_TIMELINE_CAP: usize = 4096;
 
 /// Aggregated engine statistics across all workers of a parallel oracle.
@@ -353,10 +437,18 @@ pub struct EngineStats {
     /// Histogram of dispatched batch sizes: bucket `i` counts batches of
     /// `2^i ..= 2^(i+1)-1` queries.
     pub batch_size_histogram: Vec<u64>,
-    /// Per-dispatch occupancy samples in dispatch order (capped at
-    /// [`OCCUPANCY_TIMELINE_CAP`]; aggregates in the phase stats are
-    /// always exact).
+    /// Occupancy samples in dispatch order, one every
+    /// [`EngineStats::timeline_stride`] dispatches.  The retained count is
+    /// bounded by [`OCCUPANCY_TIMELINE_CAP`] via halve-and-downsample, so
+    /// the timeline always spans the whole run; aggregates in the phase
+    /// stats are always exact.
     pub occupancy_timeline: Vec<OccupancySample>,
+    /// Current timeline sampling stride in dispatches (1 until the cap is
+    /// first hit, then doubled at each halving).
+    pub timeline_stride: u64,
+    /// Total dispatches seen by the timeline sampler (including ones that
+    /// fell between strides).
+    pub timeline_dispatches: u64,
     /// Dispatch accounting for hypothesis-construction queries.
     pub construction: PhaseStats,
     /// Dispatch accounting for counterexample-decomposition probes.
@@ -366,7 +458,9 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// Folds one worker's scheduler counters into the aggregate.
+    /// Folds one worker's scheduler counters into the aggregate, including
+    /// the per-query-tag phase flight integrals (which become the phases'
+    /// busy/worker/pool aggregates — exact even when phases overlap).
     pub fn absorb(&mut self, s: &SchedulerStats) {
         self.queries_completed += s.queries_completed;
         self.clock_advances += s.clock_advances;
@@ -376,10 +470,20 @@ impl EngineStats {
         self.worker_virtual_micros += s.virtual_elapsed_micros;
         self.limit_grows += s.limit_grows;
         self.limit_shrinks += s.limit_shrinks;
+        for phase in ALL_PHASES {
+            let flight = s.flight(phase);
+            let stats = self.phase_mut(phase);
+            stats.busy_micros += flight.busy_micros;
+            stats.worker_micros += flight.active_micros;
+            stats.pool_busy_micros += flight.pool_busy_micros;
+        }
     }
 
     /// Records one dispatched batch: histogram bucket, timeline sample and
-    /// per-phase aggregates.
+    /// per-phase batch/query counts.  The busy/worker deltas feed only the
+    /// timeline sample (a plotting aid); the exact per-phase busy/worker
+    /// aggregates come from the scheduler-side [`PhaseFlight`] integrals
+    /// folded in by [`EngineStats::absorb`].
     pub fn record_dispatch(
         &mut self,
         phase: QueryPhase,
@@ -392,19 +496,29 @@ impl EngineStats {
             self.batch_size_histogram.resize(bucket + 1, 0);
         }
         self.batch_size_histogram[bucket] += 1;
-        if self.occupancy_timeline.len() < OCCUPANCY_TIMELINE_CAP {
+        self.timeline_dispatches += 1;
+        let stride = self.timeline_stride.max(1);
+        if (self.timeline_dispatches - 1).is_multiple_of(stride) {
             self.occupancy_timeline.push(OccupancySample {
                 phase,
                 batch_size,
                 busy_micros,
                 worker_micros,
             });
+            if self.occupancy_timeline.len() >= OCCUPANCY_TIMELINE_CAP {
+                // Halve-and-downsample: keep every second sample and double
+                // the stride, preserving a full-span timeline.
+                let mut keep = false;
+                self.occupancy_timeline.retain(|_| {
+                    keep = !keep;
+                    keep
+                });
+                self.timeline_stride = stride * 2;
+            }
         }
         let stats = self.phase_mut(phase);
         stats.batches += 1;
         stats.queries += batch_size;
-        stats.busy_micros += busy_micros;
-        stats.worker_micros += worker_micros;
     }
 
     /// The dispatch accounting of one learning phase.
@@ -450,6 +564,9 @@ struct ActiveJob {
     input: InputWord,
     position: usize,
     output: OutputWord,
+    /// Learning phase the query was dispatched under; virtual waits are
+    /// attributed to this tag, not to any global phase flag.
+    phase: QueryPhase,
 }
 
 enum SlotState {
@@ -630,11 +747,12 @@ impl<Sn: SessionSul> SessionScheduler<Sn> {
             .fold(SulStats::default(), add_stats)
     }
 
-    /// Starts executing `input` as query number `index` on a free slot.
+    /// Starts executing `input` as query number `index` on a free slot,
+    /// attributing its virtual waits to `phase`.
     ///
     /// # Panics
     /// Panics when no slot is free ([`SessionScheduler::has_capacity`]).
-    pub fn submit(&mut self, index: usize, input: InputWord) {
+    pub fn submit(&mut self, index: usize, input: InputWord, phase: QueryPhase) {
         let now = self.clock.now();
         let slot = self
             .slots
@@ -648,6 +766,7 @@ impl<Sn: SessionSul> SessionScheduler<Sn> {
             input,
             position: 0,
             output: OutputWord::empty(),
+            phase,
         });
         self.stats.peak_inflight = self.stats.peak_inflight.max(self.in_flight() as u64);
     }
@@ -657,6 +776,17 @@ impl<Sn: SessionSul> SessionScheduler<Sn> {
     /// `(submit index, output)` pairs).  If nothing could progress, jumps
     /// the clock to the earliest deadline so the next pass will.
     pub fn drive(&mut self) -> Vec<(usize, OutputWord)> {
+        self.drive_gated(true)
+    }
+
+    /// [`SessionScheduler::drive`] with the clock advance made optional:
+    /// with `advance` false the pass only harvests progress possible at
+    /// the current instant.  The parallel engine passes false while more
+    /// work could still join this virtual instant (the learner is active
+    /// or the queue holds pullable jobs), so late-arriving continuations
+    /// overlap the queries already in flight instead of starting one
+    /// round-trip behind them.
+    pub fn drive_gated(&mut self, advance: bool) -> Vec<(usize, OutputWord)> {
         let now = self.clock.now();
         let mut completed = Vec::new();
         let mut progressed = false;
@@ -701,12 +831,32 @@ impl<Sn: SessionSul> SessionScheduler<Sn> {
                 }
             }
         }
-        if !progressed {
+        if !progressed && advance {
             if let Some(wake) = min_wake {
                 // Event-driven wait: every in-flight session pays this
                 // virtual wait concurrently — that is the multiplexing win.
-                let waiting = self.in_flight() as u64;
-                self.stats.busy_session_micros += waiting * wake.since(now).as_micros();
+                let delta = wake.since(now).as_micros();
+                let mut waiting = 0u64;
+                let mut by_phase = [0u64; 3];
+                for slot in &self.slots {
+                    if let Some(job) = &slot.job {
+                        waiting += 1;
+                        by_phase[match job.phase {
+                            QueryPhase::Construction => 0,
+                            QueryPhase::Counterexample => 1,
+                            QueryPhase::Equivalence => 2,
+                        }] += 1;
+                    }
+                }
+                self.stats.busy_session_micros += waiting * delta;
+                for (i, phase) in ALL_PHASES.into_iter().enumerate() {
+                    if by_phase[i] > 0 {
+                        let flight = self.stats.flight_mut(phase);
+                        flight.busy_micros += by_phase[i] * delta;
+                        flight.active_micros += delta;
+                        flight.pool_busy_micros += waiting * delta;
+                    }
+                }
                 self.stats.clock_advances += 1;
                 self.clock.advance_to(wake);
             }
@@ -782,7 +932,7 @@ mod tests {
             .collect();
         let mut scheduler = SessionScheduler::new(sessions);
         for (i, w) in words().into_iter().take(2).enumerate() {
-            scheduler.submit(i, w);
+            scheduler.submit(i, w, QueryPhase::Construction);
         }
         let mut done = scheduler.run_to_idle();
         done.sort_by_key(|(i, _)| *i);
@@ -803,7 +953,7 @@ mod tests {
         let mut serial = SessionScheduler::new(vec![make()]);
         let mut serial_done = Vec::new();
         for (i, w) in words().into_iter().enumerate() {
-            serial.submit(i, w);
+            serial.submit(i, w, QueryPhase::Construction);
             serial_done.extend(serial.run_to_idle());
         }
         let serial_elapsed = serial.stats().virtual_elapsed_micros;
@@ -812,7 +962,7 @@ mod tests {
         let sessions: Vec<_> = (0..5).map(|_| make()).collect();
         let mut multi = SessionScheduler::new(sessions);
         for (i, w) in words().into_iter().enumerate() {
-            multi.submit(i, w);
+            multi.submit(i, w, QueryPhase::Construction);
         }
         let mut multi_done = multi.run_to_idle();
 
@@ -858,7 +1008,7 @@ mod tests {
         while done.len() < batch.len() {
             while scheduler.has_capacity() {
                 match pending.pop_front() {
-                    Some((i, w)) => scheduler.submit(i, w),
+                    Some((i, w)) => scheduler.submit(i, w, QueryPhase::Construction),
                     None => break,
                 }
             }
@@ -914,15 +1064,27 @@ mod tests {
         assert_eq!(scheduler.inflight_limit(), 1);
         assert_eq!(scheduler.capacity(), 1);
         // A saturated pull (pool full, demand left) doubles the limit.
-        scheduler.submit(0, InputWord::from_symbols(["SYN(?,?,0)"]));
+        scheduler.submit(
+            0,
+            InputWord::from_symbols(["SYN(?,?,0)"]),
+            QueryPhase::Construction,
+        );
         scheduler.note_pull(1, true, true);
         assert_eq!(scheduler.inflight_limit(), 2);
-        scheduler.submit(1, InputWord::from_symbols(["SYN(?,?,0)"]));
+        scheduler.submit(
+            1,
+            InputWord::from_symbols(["SYN(?,?,0)"]),
+            QueryPhase::Construction,
+        );
         scheduler.note_pull(1, true, false);
         assert_eq!(scheduler.inflight_limit(), 4);
         scheduler.run_to_idle();
         // A fresh window with too little work halves toward its size.
-        scheduler.submit(2, InputWord::from_symbols(["SYN(?,?,0)"]));
+        scheduler.submit(
+            2,
+            InputWord::from_symbols(["SYN(?,?,0)"]),
+            QueryPhase::Construction,
+        );
         scheduler.note_pull(1, false, true);
         assert_eq!(scheduler.inflight_limit(), 2);
         let done = scheduler.run_to_idle();
@@ -939,9 +1101,17 @@ mod tests {
             .map(|_| BlockingSession::new(TcpSul::with_defaults()))
             .collect();
         let mut scheduler = SessionScheduler::new(sessions).with_adaptive_inflight(1);
-        scheduler.submit(0, InputWord::from_symbols(["SYN(?,?,0)"]));
+        scheduler.submit(
+            0,
+            InputWord::from_symbols(["SYN(?,?,0)"]),
+            QueryPhase::Construction,
+        );
         scheduler.note_pull(1, true, true); // 1 → 2
-        scheduler.submit(1, InputWord::from_symbols(["SYN(?,?,0)"]));
+        scheduler.submit(
+            1,
+            InputWord::from_symbols(["SYN(?,?,0)"]),
+            QueryPhase::Construction,
+        );
         scheduler.note_pull(1, true, false); // capped at 2
         assert_eq!(scheduler.inflight_limit(), 2);
         assert_eq!(scheduler.capacity(), 0);
@@ -977,10 +1147,91 @@ mod tests {
         assert_eq!(construction.batches, 2);
         assert_eq!(construction.queries, 43);
         assert!((construction.mean_batch_size() - 21.5).abs() < 1e-9);
-        // 1_600 busy µs over 400 worker-µs × 8 slots.
-        assert!((construction.occupancy(8) - 0.5).abs() < 1e-9);
         assert_eq!(engine.phase(QueryPhase::Equivalence).queries, 512);
         assert_eq!(engine.phase(QueryPhase::Counterexample).batches, 0);
+        // Busy/worker phase aggregates come from the scheduler-side flight
+        // integrals, folded in by absorb.
+        engine.absorb(&SchedulerStats {
+            construction_flight: PhaseFlight {
+                busy_micros: 1_600,
+                active_micros: 400,
+                pool_busy_micros: 2_000,
+            },
+            ..SchedulerStats::default()
+        });
+        let construction = engine.phase(QueryPhase::Construction);
+        // 1_600 busy µs over 400 worker-µs × 8 slots.
+        assert!((construction.occupancy(8) - 0.5).abs() < 1e-9);
+        // 2_000 pool-busy µs over the same windows.
+        assert!((construction.window_occupancy(8) - 0.625).abs() < 1e-9);
+        assert_eq!(engine.phase(QueryPhase::Equivalence).busy_micros, 0);
+    }
+
+    #[test]
+    fn occupancy_timeline_downsamples_instead_of_truncating() {
+        let mut engine = EngineStats::default();
+        let total = (OCCUPANCY_TIMELINE_CAP * 5) as u64;
+        for i in 0..total {
+            engine.record_dispatch(QueryPhase::Construction, i + 1, 0, 0);
+        }
+        assert_eq!(engine.timeline_dispatches, total);
+        assert!(engine.timeline_stride > 1, "stride doubled at least once");
+        let len = engine.occupancy_timeline.len();
+        assert!(
+            (OCCUPANCY_TIMELINE_CAP / 2..OCCUPANCY_TIMELINE_CAP).contains(&len),
+            "halving keeps the timeline within (cap/2, cap), got {len}"
+        );
+        // The timeline spans the whole run: the first sample is the first
+        // dispatch and the last retained sample lies in the final stride
+        // window instead of at the pre-fix hard cutoff of 4096.
+        assert_eq!(engine.occupancy_timeline[0].batch_size, 1);
+        let last = engine.occupancy_timeline[len - 1].batch_size;
+        assert!(
+            last > total - 2 * engine.timeline_stride,
+            "tail is retained (last sample {last} of {total})"
+        );
+        // Exact aggregates are unaffected by downsampling.
+        assert_eq!(engine.phase(QueryPhase::Construction).batches, total);
+    }
+
+    #[test]
+    fn phase_flight_attributes_overlapped_waits_per_query_tag() {
+        let step = SimDuration::from_micros(50);
+        let make = || {
+            TimedSession::new(LatencySul::new(
+                TcpSul::with_defaults(),
+                step,
+                SimDuration::ZERO,
+            ))
+        };
+        let mut scheduler = SessionScheduler::new(vec![make(), make(), make()]);
+        // Two construction queries and one equivalence query in flight at
+        // once: waits must attribute per tag, not to a global phase.
+        let w = || InputWord::from_symbols(["SYN(?,?,0)"]);
+        scheduler.submit(0, w(), QueryPhase::Construction);
+        scheduler.submit(1, w(), QueryPhase::Construction);
+        scheduler.submit(2, w(), QueryPhase::Equivalence);
+        let done = scheduler.run_to_idle();
+        assert_eq!(done.len(), 3);
+        let stats = scheduler.stats();
+        let con = stats.flight(QueryPhase::Construction);
+        let eq = stats.flight(QueryPhase::Equivalence);
+        assert_eq!(con.busy_micros, 2 * step.as_micros());
+        assert_eq!(eq.busy_micros, step.as_micros());
+        assert_eq!(con.active_micros, step.as_micros());
+        assert_eq!(eq.active_micros, step.as_micros());
+        // Both phases were active while all three sessions waited.
+        assert_eq!(con.pool_busy_micros, 3 * step.as_micros());
+        assert_eq!(eq.pool_busy_micros, 3 * step.as_micros());
+        assert_eq!(
+            stats.busy_session_micros,
+            con.busy_micros + eq.busy_micros,
+            "pool total equals the sum of per-phase busy integrals"
+        );
+        assert_eq!(
+            stats.flight(QueryPhase::Counterexample),
+            &PhaseFlight::default()
+        );
     }
 
     #[test]
