@@ -6,6 +6,10 @@
 //! * [`comparison`] — cross-implementation equivalence checking and
 //!   behavioural diffing with concrete distinguishing traces (the technique
 //!   behind Issues 1 and 3);
+//! * [`model_diff`] — the labelled diff API layered on [`comparison`]:
+//!   one [`model_diff::ModelDiff`] value shared by the examples and the
+//!   campaign runner's `Diff` tasks, rendering and serializing identically
+//!   everywhere;
 //! * [`properties`] — safety-property checking over learned Mealy machines
 //!   ("after a CONNECTION_CLOSE output the server never sends STREAM data"),
 //!   with witness traces for violations;
@@ -18,11 +22,13 @@
 #![warn(missing_docs)]
 
 pub mod comparison;
+pub mod model_diff;
 pub mod properties;
 pub mod report;
 pub mod trace_count;
 
 pub use comparison::{behavioural_diff, compare_models, DiffEntry, ModelComparison};
+pub use model_diff::{diff_models, ModelDiff};
 pub use properties::{PropertyCheck, SafetyProperty};
 pub use report::Report;
 pub use trace_count::TraceReduction;

@@ -1,0 +1,22 @@
+//! E21: DAG-scheduled differential-learning campaign over the shared
+//! engine pool and versioned observation cache.
+//!
+//! Runs the 6-cell {TCP, QUIC} × {profile, version, impairment} matrix as
+//! one campaign — cross-version priming google-v1 → google-v2, impaired
+//! points learned through `netsim` links, diffs and property checks fanning
+//! out as learns complete — then re-runs it on a differently shaped runner
+//! (engine threads, task workers, schedule seed all changed) and asserts
+//! the canonical reports are byte-identical.  Appends the `campaign`
+//! scenario to `BENCH_learning.json` (in the current directory), creating
+//! the file when E15 has not run yet.  A live one-line progress indicator
+//! paints on interactive terminals only.  Pass `--quick` for the reduced
+//! equivalence-testing CI smoke configuration.
+fn main() {
+    let quick = std::env::args().any(|arg| arg == "--quick");
+    let (report, scenario) = prognosis_bench::exp_campaign(quick);
+    println!("{report}");
+    let existing = std::fs::read_to_string("BENCH_learning.json").ok();
+    let merged = prognosis_bench::merge_scenario(existing.as_deref(), "campaign", scenario);
+    std::fs::write("BENCH_learning.json", merged).expect("write BENCH_learning.json");
+    println!("appended campaign scenario to BENCH_learning.json");
+}

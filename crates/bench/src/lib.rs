@@ -17,6 +17,9 @@ use prognosis_automata::alphabet::{Alphabet, Symbol};
 use prognosis_automata::dot::{to_dot, DotOptions};
 use prognosis_automata::mealy::MealyMachine;
 use prognosis_automata::word::InputWord;
+use prognosis_campaign::{
+    run_campaign, CampaignSpec, CellSpec, Impairment, Progress, RunnerConfig,
+};
 use prognosis_core::latency::{LatencySul, LatencySulFactory};
 use prognosis_core::net_transport::{LinkConfig, NetworkedSessionFactory};
 use prognosis_core::nondeterminism::{
@@ -1771,7 +1774,13 @@ pub fn exp_noise_sweep(quick: bool) -> (Report, serde_json::Value) {
          1 worker × 16 in-flight sessions)",
     );
     let mut points: Vec<(String, serde_json::Value)> = Vec::new();
-    for &(loss, jitter_us) in sweep {
+    let progress = Progress::stdout();
+    for (point, &(loss, jitter_us)) in sweep.iter().enumerate() {
+        progress.update(&format!(
+            "noise sweep: point {}/{} (loss {loss:.2}, jitter {jitter_us}µs)",
+            point + 1,
+            sweep.len()
+        ));
         let link = LinkConfig::with_latency(base_latency)
             .loss(loss)
             .jitter(SimDuration::from_micros(jitter_us));
@@ -1850,6 +1859,8 @@ pub fn exp_noise_sweep(quick: bool) -> (Report, serde_json::Value) {
             ]),
         ));
     }
+
+    progress.update("noise sweep: asymmetric link row");
 
     // Asymmetric row: ideal-loss uplink, lossy+jittery downlink — real
     // access networks impair the two directions differently, and
@@ -1931,6 +1942,8 @@ pub fn exp_noise_sweep(quick: bool) -> (Report, serde_json::Value) {
         ));
     }
 
+    progress.finish();
+
     // The §5 mechanism under multiplexing: concurrent repetitions of one
     // query over a 10%-loss link show the ~80/20 answer split.
     let lossy = LinkConfig::with_latency(base_latency).loss(0.10);
@@ -2002,6 +2015,251 @@ pub fn exp_noise_sweep(quick: bool) -> (Report, serde_json::Value) {
                 ),
             ]),
         ),
+    ]);
+    (report, scenario)
+}
+
+/// E21: a small differential-learning campaign over the shared engine pool
+/// and versioned observation cache.
+///
+/// Runs a 6-cell {TCP, QUIC} × {profile, version, impairment} matrix as one
+/// DAG-scheduled campaign: two TCP points (clean and impaired), Google's
+/// profile at two "versions" (v2 raises the flow-control window so the
+/// model stops blocking, and is primed from v1's observations across the
+/// version axis of the cache), and Quiche clean and impaired.  Diffs and property checks fan out as the
+/// learns complete.  The campaign is then re-run on a differently shaped
+/// runner (engine threads, task workers, schedule seed all changed) and the
+/// two canonical reports are asserted byte-identical — the determinism
+/// contract of the orchestrator.  `quick` shrinks the equivalence-testing
+/// effort for the CI smoke run; the matrix itself stays intact.
+pub fn exp_campaign(quick: bool) -> (Report, serde_json::Value) {
+    let tcp_symbols = ["SYN(?,?,0)", "ACK(?,?,0)", "FIN+ACK(?,?,0)"];
+    let data_symbols: Vec<String> = quic_data_alphabet()
+        .iter()
+        .map(|s| s.as_str().to_string())
+        .collect();
+    // "v2" of the Google profile: the same implementation after raising
+    // the server's initial flow-control window so responses never block.
+    // Unlike the Issue-4 constant-zero defect (a concrete-field bug only
+    // synthesis can see, E8), this change is visible at the abstract
+    // alphabet level — `STREAM_DATA_BLOCKED` vanishes from the model — so
+    // the campaign's cross-version divergences and model diff catch it.
+    let google_v2 = ImplementationProfile {
+        initial_peer_max_stream_data: 1_000_000,
+        ..ImplementationProfile::google()
+    };
+    let learn = LearnConfig {
+        seed: 7,
+        random_tests: if quick { 150 } else { 400 },
+        min_word_len: 2,
+        max_word_len: if quick { 6 } else { 8 },
+        eq_batch_size: 64,
+        workers: 2,
+        ..LearnConfig::default()
+    };
+    let spec = CampaignSpec::new("e21-matrix")
+        .cell(CellSpec::tcp("tcp-v1", "v1").with_alphabet(tcp_symbols))
+        .cell(
+            CellSpec::tcp("tcp-v1-loss", "v1")
+                .with_alphabet(tcp_symbols)
+                .with_impairment(Impairment::latency(100).with_loss(0.02))
+                .with_baseline("tcp-v1"),
+        )
+        .cell(
+            CellSpec::quic("google-v1", "v1", ImplementationProfile::google(), 11)
+                .with_alphabet(data_symbols.clone()),
+        )
+        .cell(
+            CellSpec::quic("google-v2", "v2", google_v2, 11)
+                .with_alphabet(data_symbols.clone())
+                .with_baseline("google-v1"),
+        )
+        .cell(
+            CellSpec::quic("quiche-v1", "v1", ImplementationProfile::quiche(), 3)
+                .with_alphabet(data_symbols.clone()),
+        )
+        .cell(
+            CellSpec::quic("quiche-v1-loss", "v1", ImplementationProfile::quiche(), 3)
+                .with_alphabet(data_symbols)
+                .with_impairment(Impairment::latency(150).with_jitter(50)),
+        )
+        .diff("tcp-v1", "tcp-v1-loss")
+        .diff("google-v1", "google-v2")
+        .diff("google-v1", "quiche-v1")
+        .check(
+            "google-v1",
+            SafetyProperty::never_output("STREAM_DATA_BLOCKED"),
+        )
+        .check(
+            "google-v2",
+            SafetyProperty::never_output("STREAM_DATA_BLOCKED"),
+        )
+        .with_learn(learn);
+
+    let start = std::time::Instant::now();
+    let primary = run_campaign(
+        &spec,
+        &RunnerConfig {
+            engine_threads: 4,
+            task_workers: 3,
+            schedule_seed: 1,
+            progress: true,
+        },
+    )
+    .expect("campaign runs");
+    let seconds = start.elapsed().as_secs_f64();
+    // Re-run with every scheduling knob changed: smaller pool, serial task
+    // worker, different ready-pick permutation.  Bit-identical or bust.
+    let cross = run_campaign(
+        &spec,
+        &RunnerConfig {
+            engine_threads: 2,
+            task_workers: 1,
+            schedule_seed: 42,
+            progress: false,
+        },
+    )
+    .expect("campaign re-runs");
+    assert_eq!(
+        primary.canonical_json(),
+        cross.canonical_json(),
+        "runner shape or schedule seed changed the campaign report"
+    );
+
+    let google_v2_cell = &primary.cells[3];
+    assert!(
+        google_v2_cell.primed_words > 0,
+        "google-v2 must be primed from google-v1 across the version axis"
+    );
+    assert!(
+        !google_v2_cell.divergences.is_empty(),
+        "the raised flow-control window must surface as cross-version divergences"
+    );
+    let google_versions = &primary.diffs[1];
+    assert!(
+        !google_versions.equivalent,
+        "google v1 and v2 must not be model-equivalent"
+    );
+    assert!(
+        !primary.diffs[2].equivalent,
+        "Google and Quiche profiles must not be model-equivalent"
+    );
+    assert!(
+        !primary.checks[0].check.holds && primary.checks[1].check.holds,
+        "STREAM_DATA_BLOCKED reaches google-v1's model but never google-v2's"
+    );
+
+    let mut report = Report::new(
+        "E21 — DAG-scheduled differential-learning campaign \
+         (6-cell {TCP, QUIC} matrix, shared engine pool, versioned cache)",
+    );
+    report
+        .row("cells learned", primary.cells.len())
+        .row(
+            "makespan",
+            format!(
+                "{seconds:.2} wall s, {:.4} virtual s critical cell",
+                primary.max_virtual_elapsed_micros() as f64 / 1e6
+            ),
+        )
+        .row(
+            "cross-version priming (google-v1 → google-v2)",
+            format!(
+                "{} words primed, hit rate {:.2}, {} divergences",
+                google_v2_cell.primed_words,
+                google_v2_cell.cache_hit_rate,
+                google_v2_cell.divergences.len()
+            ),
+        )
+        .row(
+            "diff findings",
+            format!(
+                "{} distinguishing traces across {} diffs",
+                primary.diff_findings(),
+                primary.diffs.len()
+            ),
+        )
+        .row(
+            "property checks",
+            format!(
+                "{} of {} violated (STREAM_DATA_BLOCKED reaches google-v1, never google-v2)",
+                primary.violated_checks(),
+                primary.checks.len()
+            ),
+        )
+        .finding(
+            "re-running at (2 engine threads, 1 task worker, seed 42) instead of \
+             (4, 3, seed 1) reproduced the canonical report byte for byte",
+        );
+    if let Some(d) = google_v2_cell.divergences.first() {
+        report.finding(format!(
+            "shortest cross-version regression witness: {} → v1 {}, v2 {}",
+            d.input, d.left_output, d.right_output
+        ));
+    }
+
+    let cells = primary
+        .cells
+        .iter()
+        .map(|c| {
+            (
+                c.id.clone(),
+                serde_json::Value::Map(vec![
+                    (
+                        "states".to_string(),
+                        serde_json::Value::U64(c.states as u64),
+                    ),
+                    (
+                        "cache_hit_rate".to_string(),
+                        serde_json::Value::F64(c.cache_hit_rate),
+                    ),
+                    (
+                        "divergences".to_string(),
+                        serde_json::Value::U64(c.divergences.len() as u64),
+                    ),
+                    (
+                        "cacheable".to_string(),
+                        serde_json::Value::Bool(c.cacheable),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+    let scenario = serde_json::Value::Map(vec![
+        (
+            "cells".to_string(),
+            serde_json::Value::U64(primary.cells.len() as u64),
+        ),
+        ("seconds".to_string(), serde_json::Value::F64(seconds)),
+        (
+            "max_virtual_elapsed_micros".to_string(),
+            serde_json::Value::U64(primary.max_virtual_elapsed_micros()),
+        ),
+        (
+            "cross_version_hit_rate".to_string(),
+            serde_json::Value::F64(google_v2_cell.cache_hit_rate),
+        ),
+        (
+            "primed_words".to_string(),
+            serde_json::Value::U64(google_v2_cell.primed_words),
+        ),
+        (
+            "diff_findings".to_string(),
+            serde_json::Value::U64(primary.diff_findings() as u64),
+        ),
+        (
+            "divergence_findings".to_string(),
+            serde_json::Value::U64(primary.divergence_findings() as u64),
+        ),
+        (
+            "violated_checks".to_string(),
+            serde_json::Value::U64(primary.violated_checks() as u64),
+        ),
+        (
+            "schedule_independent".to_string(),
+            serde_json::Value::Bool(true),
+        ),
+        ("cell_detail".to_string(), serde_json::Value::Map(cells)),
     ]);
     (report, scenario)
 }

@@ -1,0 +1,231 @@
+//! The campaign's dependency layer: a generic task DAG with validation.
+//!
+//! A campaign is a set of named tasks (learn this cell, diff those two
+//! models, check that property) connected by `needs` edges.  [`TaskGraph`]
+//! stores the tasks, [`TaskGraph::validate`] rejects malformed specs
+//! (duplicate ids, dangling or self dependencies, cycles) *before* any
+//! engine time is spent, and the runner consumes the validated graph as a
+//! ready-set scheduler: a task becomes runnable the moment its last
+//! dependency completes — there is no global barrier between stages.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// One node of the campaign DAG.
+#[derive(Clone, Debug)]
+pub struct TaskNode<T> {
+    /// Unique task id (e.g. `learn:quiche-v2`).
+    pub id: String,
+    /// Ids of the tasks that must complete before this one may start.
+    pub needs: Vec<String>,
+    /// What the task actually does — opaque to the graph layer.
+    pub payload: T,
+}
+
+/// Why a task graph failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// Two tasks share an id.
+    DuplicateId(String),
+    /// A task depends on an id that names no task.
+    MissingDependency {
+        /// The depending task.
+        task: String,
+        /// The id it needs but which does not exist.
+        needs: String,
+    },
+    /// A task depends on itself.
+    SelfDependency(String),
+    /// The `needs` edges contain a cycle; the listed tasks form it (or sit
+    /// on it).
+    Cycle(Vec<String>),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateId(id) => write!(f, "duplicate task id {id:?}"),
+            GraphError::MissingDependency { task, needs } => {
+                write!(f, "task {task:?} needs {needs:?}, which does not exist")
+            }
+            GraphError::SelfDependency(id) => write!(f, "task {id:?} depends on itself"),
+            GraphError::Cycle(ids) => write!(f, "dependency cycle through {ids:?}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A dependency DAG of campaign tasks.
+#[derive(Clone, Debug, Default)]
+pub struct TaskGraph<T> {
+    nodes: Vec<TaskNode<T>>,
+}
+
+impl<T> TaskGraph<T> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        TaskGraph { nodes: Vec::new() }
+    }
+
+    /// Appends a task.  Ids and edges are checked by
+    /// [`TaskGraph::validate`], not at insertion, so specs can be built in
+    /// any order.
+    pub fn add(
+        &mut self,
+        id: impl Into<String>,
+        needs: impl IntoIterator<Item = String>,
+        payload: T,
+    ) {
+        self.nodes.push(TaskNode {
+            id: id.into(),
+            needs: needs.into_iter().collect(),
+            payload,
+        });
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The tasks, in insertion order.
+    pub fn nodes(&self) -> &[TaskNode<T>] {
+        &self.nodes
+    }
+
+    /// Index of the task with this id, if present.
+    pub fn index_of(&self, id: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.id == id)
+    }
+
+    /// Checks the graph is well-formed: ids unique, every dependency names
+    /// an existing task, no task depends on itself, and the edges are
+    /// acyclic.  Returns the dependency edges as index pairs
+    /// `(task, needed)` for the scheduler.
+    pub fn validate(&self) -> Result<Vec<(usize, usize)>, GraphError> {
+        let mut index: HashMap<&str, usize> = HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if index.insert(node.id.as_str(), i).is_some() {
+                return Err(GraphError::DuplicateId(node.id.clone()));
+            }
+        }
+        let mut edges = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for need in &node.needs {
+                if need == &node.id {
+                    return Err(GraphError::SelfDependency(node.id.clone()));
+                }
+                match index.get(need.as_str()) {
+                    Some(&j) => edges.push((i, j)),
+                    None => {
+                        return Err(GraphError::MissingDependency {
+                            task: node.id.clone(),
+                            needs: need.clone(),
+                        })
+                    }
+                }
+            }
+        }
+        // Kahn's algorithm: whatever survives peeling sits on a cycle.
+        let mut in_degree = vec![0usize; self.nodes.len()];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for &(task, needed) in &edges {
+            in_degree[task] += 1;
+            dependents[needed].push(task);
+        }
+        let mut queue: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| in_degree[i] == 0)
+            .collect();
+        let mut peeled = 0usize;
+        while let Some(i) = queue.pop() {
+            peeled += 1;
+            for &dep in &dependents[i] {
+                in_degree[dep] -= 1;
+                if in_degree[dep] == 0 {
+                    queue.push(dep);
+                }
+            }
+        }
+        if peeled != self.nodes.len() {
+            let cycle: Vec<String> = (0..self.nodes.len())
+                .filter(|&i| in_degree[i] > 0)
+                .map(|i| self.nodes[i].id.clone())
+                .collect();
+            return Err(GraphError::Cycle(cycle));
+        }
+        Ok(edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(specs: &[(&str, &[&str])]) -> TaskGraph<()> {
+        let mut g = TaskGraph::new();
+        for (id, needs) in specs {
+            g.add(*id, needs.iter().map(|s| s.to_string()), ());
+        }
+        g
+    }
+
+    #[test]
+    fn a_well_formed_dag_validates_and_reports_its_edges() {
+        let g = graph(&[
+            ("learn:a", &[]),
+            ("learn:b", &["learn:a"]),
+            ("diff:ab", &["learn:a", "learn:b"]),
+        ]);
+        let edges = g.validate().unwrap();
+        assert_eq!(edges, vec![(1, 0), (2, 0), (2, 1)]);
+        assert_eq!(g.index_of("diff:ab"), Some(2));
+        assert_eq!(g.index_of("nope"), None);
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let g = graph(&[("a", &[]), ("a", &[])]);
+        assert_eq!(g.validate(), Err(GraphError::DuplicateId("a".into())));
+    }
+
+    #[test]
+    fn missing_dependencies_are_rejected() {
+        let g = graph(&[("a", &["ghost"])]);
+        assert_eq!(
+            g.validate(),
+            Err(GraphError::MissingDependency {
+                task: "a".into(),
+                needs: "ghost".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn self_dependencies_are_rejected() {
+        let g = graph(&[("a", &["a"])]);
+        assert_eq!(g.validate(), Err(GraphError::SelfDependency("a".into())));
+    }
+
+    #[test]
+    fn cycles_are_rejected_with_their_members() {
+        let g = graph(&[("a", &["c"]), ("b", &["a"]), ("c", &["b"]), ("d", &[])]);
+        match g.validate() {
+            Err(GraphError::Cycle(mut ids)) => {
+                ids.sort();
+                assert_eq!(ids, vec!["a", "b", "c"], "d is off-cycle");
+            }
+            other => panic!("expected a cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_graphs_are_trivially_valid() {
+        assert!(graph(&[]).validate().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,614 @@
+//! The campaign executor: one shared engine pool, one shared versioned
+//! observation cache, and a pool of task workers draining the DAG's ready
+//! set.
+//!
+//! Learn tasks lease session-worker slots from the shared
+//! [`EnginePool`] (several cells learn concurrently on one set of engine
+//! threads); diff and property-check tasks fan out the moment their
+//! upstream learns complete — there is no global barrier between "all
+//! learns" and "all diffs".  Determinism: every task's *inputs* are fixed
+//! by the spec (a cell's warm observations come from a snapshot of the
+//! shared store taken at campaign start plus its declared baseline's
+//! finished trie — never from whichever unrelated cell happened to finish
+//! first), every task's *outputs* are schedule-independent (the learning
+//! pipeline's worker-count invariance), and the report is assembled in
+//! spec order.  Re-running the same spec at any engine size, task-worker
+//! count or schedule seed yields byte-identical models, diffs and stats.
+
+use crate::progress::Progress;
+use crate::report::{model_digest, CampaignReport, CellReport, CheckReport};
+use crate::spec::{CampaignSpec, CellSpec, Protocol, SpecError, TaskKind};
+use prognosis_analysis::model_diff::{diff_models, ModelDiff};
+use prognosis_analysis::properties::check_property;
+use prognosis_automata::mealy::MealyMachine;
+use prognosis_automata::word::InputWord;
+use prognosis_core::engine::EnginePool;
+use prognosis_core::net_transport::{LinkConfig, NetworkedSessionFactory};
+use prognosis_core::pipeline::{
+    learn_model_parallel_seeded, LearnConfig, LearnError, SeededLearnOutcome,
+};
+use prognosis_core::quic_adapter::{QuicSul, QuicSulFactory};
+use prognosis_core::session::{SessionSulFactory, SimDuration};
+use prognosis_core::sul::Sul;
+use prognosis_core::tcp_adapter::{TcpSul, TcpSulFactory};
+use prognosis_learner::cache::SharedCacheStore;
+use prognosis_learner::trie::PrefixTrie;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+
+/// How the campaign executes (orthogonal to *what* it computes: none of
+/// these knobs may change the report).
+#[derive(Clone, Copy, Debug)]
+pub struct RunnerConfig {
+    /// Threads in the shared engine pool.  Clamped up to the per-cell
+    /// `learn.workers` so a single learn task can always assemble a lease.
+    pub engine_threads: usize,
+    /// Concurrent campaign tasks (each learn task additionally leases
+    /// `learn.workers` engine slots while it runs).
+    pub task_workers: usize,
+    /// Seed permuting which ready task a free worker picks next — the
+    /// schedule-independence proptest varies this to shake out ordering
+    /// dependencies.
+    pub schedule_seed: u64,
+    /// Whether to drive the live progress line (still suppressed when
+    /// stdout is not a TTY).
+    pub progress: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            engine_threads: 4,
+            task_workers: 2,
+            schedule_seed: 0,
+            progress: true,
+        }
+    }
+}
+
+/// Why a campaign run failed.
+#[derive(Clone, Debug)]
+pub enum CampaignError {
+    /// The spec did not validate.
+    Spec(SpecError),
+    /// A learn task failed.
+    Learn {
+        /// The failing task id (`learn:<cell>`).
+        task: String,
+        /// The underlying engine error.
+        error: LearnError,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Spec(e) => write!(f, "invalid campaign spec: {e}"),
+            CampaignError::Learn { task, error } => write!(f, "task {task} failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<SpecError> for CampaignError {
+    fn from(e: SpecError) -> Self {
+        CampaignError::Spec(e)
+    }
+}
+
+/// sebastiano vigna's splitmix64 — the schedule permutation source.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A finished cell: its report row plus the artifacts downstream tasks
+/// read (the model for diffs/checks, the trie for cross-version priming).
+struct CellDone {
+    report: CellReport,
+    model: MealyMachine,
+    trie: PrefixTrie,
+}
+
+/// The monomorphization boundary: everything the runner needs out of a
+/// [`SeededLearnOutcome`], with the session-SUL type erased.
+struct LearnBits {
+    model: MealyMachine,
+    membership_queries: u64,
+    equivalence_tests: u64,
+    fresh_symbols: u64,
+    distinct_queries: u64,
+    virtual_elapsed_micros: u64,
+    trie: PrefixTrie,
+    primed_words: u64,
+    prime_misses: u64,
+    learn_misses: u64,
+}
+
+fn extract_bits<S>(outcome: SeededLearnOutcome<S>) -> LearnBits {
+    let learned = &outcome.outcome.learned;
+    LearnBits {
+        model: learned.model.clone(),
+        membership_queries: learned.stats.membership_queries,
+        equivalence_tests: learned.stats.equivalence_tests,
+        fresh_symbols: learned.stats.fresh_symbols,
+        distinct_queries: learned.distinct_queries as u64,
+        virtual_elapsed_micros: outcome.outcome.engine.virtual_elapsed_micros,
+        trie: outcome.trie,
+        primed_words: outcome.primed_words,
+        prime_misses: outcome.prime_misses,
+        learn_misses: outcome.learn_misses,
+    }
+}
+
+/// The cell's shared-cache identity: the SUL's own cache key, or `None`
+/// for uncacheable cells (impaired links, probabilistic profiles) which
+/// learn cold and stay out of the store.
+fn cell_cache_key(cell: &CellSpec) -> Option<String> {
+    if cell.impairment.is_some() {
+        return None;
+    }
+    match cell.protocol {
+        Protocol::Tcp => TcpSul::with_defaults().cache_key(),
+        Protocol::Quic => {
+            let profile = cell
+                .profile
+                .clone()
+                .expect("validated: QUIC cell has profile");
+            let mut sul = QuicSul::new(profile, cell.seed);
+            if cell.buggy_retry_client {
+                sul = sul.with_buggy_retry_client();
+            }
+            sul.cache_key()
+        }
+    }
+}
+
+fn link_config(imp: &crate::spec::Impairment) -> LinkConfig {
+    LinkConfig::with_latency(SimDuration::from_micros(imp.latency_us))
+        .jitter(SimDuration::from_micros(imp.jitter_us))
+        .loss(imp.loss)
+}
+
+/// Dispatches one cell's learn to the right monomorphized pipeline call.
+fn learn_cell(
+    pool: &EnginePool,
+    learn: &LearnConfig,
+    cell: &CellSpec,
+    warm: PrefixTrie,
+    prime: &[InputWord],
+) -> Result<LearnBits, LearnError> {
+    let alphabet = cell.effective_alphabet();
+    fn go<F>(
+        pool: &EnginePool,
+        factory: &F,
+        alphabet: &prognosis_automata::alphabet::Alphabet,
+        learn: &LearnConfig,
+        warm: PrefixTrie,
+        prime: &[InputWord],
+    ) -> Result<LearnBits, LearnError>
+    where
+        F: SessionSulFactory,
+        F::Session: Send + 'static,
+    {
+        learn_model_parallel_seeded(pool, factory, alphabet, learn, warm, prime).map(extract_bits)
+    }
+    match (cell.protocol, &cell.impairment) {
+        (Protocol::Tcp, None) => go(
+            pool,
+            &TcpSulFactory::default(),
+            &alphabet,
+            learn,
+            warm,
+            prime,
+        ),
+        (Protocol::Tcp, Some(imp)) => {
+            let factory = NetworkedSessionFactory::new(TcpSulFactory::default(), link_config(imp))
+                .with_noise_seed(imp.noise_seed);
+            go(pool, &factory, &alphabet, learn, warm, prime)
+        }
+        (Protocol::Quic, impairment) => {
+            let profile = cell
+                .profile
+                .clone()
+                .expect("validated: QUIC cell has profile");
+            let mut factory = QuicSulFactory::new(profile, cell.seed);
+            if cell.buggy_retry_client {
+                factory = factory.with_buggy_retry_client();
+            }
+            match impairment {
+                None => go(pool, &factory, &alphabet, learn, warm, prime),
+                Some(imp) => {
+                    let factory = NetworkedSessionFactory::new(factory, link_config(imp))
+                        .with_noise_seed(imp.noise_seed);
+                    go(pool, &factory, &alphabet, learn, warm, prime)
+                }
+            }
+        }
+    }
+}
+
+/// The baseline's terminal query words, in a deterministic replay order
+/// (shortest first, then lexicographic).
+fn prime_words(baseline_trie: &PrefixTrie) -> Vec<InputWord> {
+    let mut words: Vec<InputWord> = baseline_trie
+        .paths()
+        .into_iter()
+        .filter_map(|(input, _, terminal)| terminal.then_some(input))
+        .collect();
+    words.sort_by_key(|w| (w.len(), w.to_string()));
+    words
+}
+
+/// Scheduler state shared by the task workers.
+struct Sched {
+    ready: Vec<usize>,
+    remaining_deps: Vec<usize>,
+    in_flight: usize,
+    completed: usize,
+    failed: Option<CampaignError>,
+    picks: u64,
+}
+
+/// Runs a validated campaign spec to completion over one shared engine
+/// pool and one shared versioned observation cache, returning the
+/// spec-ordered report.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    runner: &RunnerConfig,
+) -> Result<CampaignReport, CampaignError> {
+    spec.validate()?;
+    let graph = spec.build_graph();
+    let edges = graph.validate().expect("spec validation covered the graph");
+    let total = graph.len();
+
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); total];
+    let mut remaining_deps = vec![0usize; total];
+    for &(task, needed) in &edges {
+        remaining_deps[task] += 1;
+        dependents[needed].push(task);
+    }
+    let ready: Vec<usize> = (0..total).filter(|&i| remaining_deps[i] == 0).collect();
+
+    // Every learn task leases `learn.workers` slots at once; the pool must
+    // be at least that deep or the first lease would wait forever.
+    let pool = EnginePool::new(runner.engine_threads.max(spec.learn.workers.max(1)));
+    let progress = Progress::forced(runner.progress && Progress::stdout().enabled());
+
+    // The warm-start snapshot: cells read *this*, never the live store, so
+    // what a cell learns cannot depend on which unrelated cell finished
+    // first.  Cross-cell reuse within a run flows only along declared
+    // baseline edges.
+    let initial_store = match &spec.cache_path {
+        Some(path) => SharedCacheStore::load_or_empty(path),
+        None => SharedCacheStore::new(),
+    };
+
+    let state = Mutex::new(Sched {
+        ready,
+        remaining_deps,
+        in_flight: 0,
+        completed: 0,
+        failed: None,
+        picks: 0,
+    });
+    let ready_cv = Condvar::new();
+    let cells_done: Mutex<HashMap<usize, CellDone>> = Mutex::new(HashMap::new());
+    let diffs_done: Mutex<Vec<Option<ModelDiff>>> = Mutex::new(vec![None; spec.diffs.len()]);
+    let checks_done: Mutex<Vec<Option<CheckReport>>> = Mutex::new(vec![None; spec.checks.len()]);
+    let final_report: Mutex<Option<CampaignReport>> = Mutex::new(None);
+
+    let paint = |s: &Sched| {
+        let busy = pool.total_slots().saturating_sub(pool.free_slots());
+        progress.update_campaign(
+            s.completed,
+            total,
+            s.in_flight,
+            total - s.completed - s.in_flight,
+            busy,
+            pool.total_slots(),
+        );
+    };
+
+    let execute = |task: usize| -> Result<(), CampaignError> {
+        match graph.nodes()[task].payload {
+            TaskKind::Learn(i) => {
+                let cell = &spec.cells[i];
+                let key = cell_cache_key(cell);
+                let alphabet = cell.effective_alphabet();
+                let warm = key
+                    .as_deref()
+                    .and_then(|k| initial_store.lookup(k, &cell.version, &alphabet))
+                    .cloned()
+                    .unwrap_or_default();
+                let (prime, baseline_trie) = match &cell.baseline {
+                    Some(baseline) => {
+                        let b = spec
+                            .cells
+                            .iter()
+                            .position(|c| &c.id == baseline)
+                            .expect("validated: baseline exists");
+                        let done = cells_done.lock().expect("cell results poisoned");
+                        let trie = done
+                            .get(&b)
+                            .expect("DAG: baseline learn completed first")
+                            .trie
+                            .clone();
+                        (prime_words(&trie), Some(trie))
+                    }
+                    None => (Vec::new(), None),
+                };
+                let bits = learn_cell(&pool, &spec.learn, cell, warm, &prime).map_err(|error| {
+                    CampaignError::Learn {
+                        task: graph.nodes()[task].id.clone(),
+                        error,
+                    }
+                })?;
+                // Divergent cached answers between the baseline's trie and
+                // this cell's own answers are the cross-version regression
+                // findings (left = baseline, right = this cell).
+                let divergences = match &baseline_trie {
+                    Some(b) => b.divergences(&bits.trie, 0),
+                    None => Vec::new(),
+                };
+                if let (Some(path), Some(k)) = (&spec.cache_path, key.as_deref()) {
+                    if let Err(e) = SharedCacheStore::save_entry_merged(
+                        path,
+                        k,
+                        &cell.version,
+                        &alphabet,
+                        &bits.trie,
+                    ) {
+                        eprintln!("warning: failed to persist shared cache to {path}: {e}");
+                    }
+                }
+                let report = CellReport {
+                    id: cell.id.clone(),
+                    protocol: cell.protocol.to_string(),
+                    profile: cell
+                        .profile
+                        .as_ref()
+                        .map(|p| p.name.clone())
+                        .unwrap_or_default(),
+                    version: cell.version.clone(),
+                    impairment: cell
+                        .impairment
+                        .as_ref()
+                        .map(|i| i.label())
+                        .unwrap_or_default(),
+                    states: bits.model.num_states(),
+                    transitions: bits.model.num_transitions(),
+                    model_digest: model_digest(&bits.model),
+                    membership_queries: bits.membership_queries,
+                    equivalence_tests: bits.equivalence_tests,
+                    fresh_symbols: bits.fresh_symbols,
+                    distinct_queries: bits.distinct_queries,
+                    primed_words: bits.primed_words,
+                    prime_misses: bits.prime_misses,
+                    learn_misses: bits.learn_misses,
+                    cache_hit_rate: if bits.distinct_queries == 0 {
+                        1.0
+                    } else {
+                        1.0 - bits.learn_misses as f64 / bits.distinct_queries as f64
+                    },
+                    virtual_elapsed_micros: bits.virtual_elapsed_micros,
+                    cacheable: key.is_some(),
+                    divergences,
+                };
+                cells_done.lock().expect("cell results poisoned").insert(
+                    i,
+                    CellDone {
+                        report,
+                        model: bits.model,
+                        trie: bits.trie,
+                    },
+                );
+                Ok(())
+            }
+            TaskKind::Diff(i) => {
+                let diff = &spec.diffs[i];
+                let (l, r) = (
+                    spec.cells.iter().position(|c| c.id == diff.left).unwrap(),
+                    spec.cells.iter().position(|c| c.id == diff.right).unwrap(),
+                );
+                let (left_model, right_model) = {
+                    let done = cells_done.lock().expect("cell results poisoned");
+                    (
+                        done.get(&l).expect("DAG: left learn done").model.clone(),
+                        done.get(&r).expect("DAG: right learn done").model.clone(),
+                    )
+                };
+                let result = diff_models(
+                    diff.left.clone(),
+                    &left_model,
+                    diff.right.clone(),
+                    &right_model,
+                    spec.max_diffs,
+                );
+                diffs_done.lock().expect("diff results poisoned")[i] = Some(result);
+                Ok(())
+            }
+            TaskKind::Check(i) => {
+                let check = &spec.checks[i];
+                let c = spec.cells.iter().position(|x| x.id == check.cell).unwrap();
+                let model = {
+                    let done = cells_done.lock().expect("cell results poisoned");
+                    done.get(&c).expect("DAG: learn done").model.clone()
+                };
+                let result = check_property(&model, &check.property);
+                checks_done.lock().expect("check results poisoned")[i] = Some(CheckReport {
+                    cell: check.cell.clone(),
+                    check: result,
+                });
+                Ok(())
+            }
+            TaskKind::Report => {
+                let cells = {
+                    let done = cells_done.lock().expect("cell results poisoned");
+                    (0..spec.cells.len())
+                        .map(|i| done.get(&i).expect("DAG: all learns done").report.clone())
+                        .collect()
+                };
+                let diffs = diffs_done
+                    .lock()
+                    .expect("diff results poisoned")
+                    .iter()
+                    .map(|d| d.clone().expect("DAG: all diffs done"))
+                    .collect();
+                let checks = checks_done
+                    .lock()
+                    .expect("check results poisoned")
+                    .iter()
+                    .map(|c| c.clone().expect("DAG: all checks done"))
+                    .collect();
+                *final_report.lock().expect("report poisoned") = Some(CampaignReport {
+                    name: spec.name.clone(),
+                    cells,
+                    diffs,
+                    checks,
+                });
+                Ok(())
+            }
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..runner.task_workers.max(1).min(total) {
+            scope.spawn(|| loop {
+                let task = {
+                    let mut s = state.lock().expect("scheduler poisoned");
+                    loop {
+                        if s.failed.is_some() || s.completed == total {
+                            return;
+                        }
+                        if !s.ready.is_empty() {
+                            let idx = (splitmix64(runner.schedule_seed ^ s.picks) as usize)
+                                % s.ready.len();
+                            s.picks += 1;
+                            let task = s.ready.remove(idx);
+                            s.in_flight += 1;
+                            paint(&s);
+                            break task;
+                        }
+                        s = ready_cv.wait(s).expect("scheduler poisoned");
+                    }
+                };
+                let result = execute(task);
+                let mut s = state.lock().expect("scheduler poisoned");
+                s.in_flight -= 1;
+                match result {
+                    Ok(()) => {
+                        s.completed += 1;
+                        for &dep in &dependents[task] {
+                            s.remaining_deps[dep] -= 1;
+                            if s.remaining_deps[dep] == 0 {
+                                s.ready.push(dep);
+                            }
+                        }
+                    }
+                    Err(e) => s.failed = Some(e),
+                }
+                paint(&s);
+                drop(s);
+                ready_cv.notify_all();
+            });
+        }
+    });
+    progress.finish();
+
+    let mut s = state.into_inner().expect("scheduler poisoned");
+    if let Some(error) = s.failed.take() {
+        return Err(error);
+    }
+    Ok(final_report
+        .into_inner()
+        .expect("report poisoned")
+        .expect("the report task runs last and always"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CellSpec, Impairment};
+    use prognosis_analysis::properties::SafetyProperty;
+
+    /// A 3-symbol TCP alphabet keeps unit-test campaigns fast.
+    fn small_tcp_cell(id: &str, version: &str) -> CellSpec {
+        CellSpec::tcp(id, version).with_alphabet(["SYN(?,?,0)", "ACK(?,?,0)", "FIN+ACK(?,?,0)"])
+    }
+
+    fn small_learn() -> LearnConfig {
+        LearnConfig {
+            random_tests: 150,
+            min_word_len: 2,
+            max_word_len: 6,
+            eq_batch_size: 64,
+            ..LearnConfig::default()
+        }
+    }
+
+    #[test]
+    fn a_small_campaign_runs_and_reports_in_spec_order() {
+        let spec = CampaignSpec::new("unit")
+            .cell(small_tcp_cell("a", "v1"))
+            .cell(small_tcp_cell("b", "v1").with_baseline("a"))
+            .cell(
+                small_tcp_cell("c", "v1").with_impairment(Impairment::latency(100).with_loss(0.02)),
+            )
+            .diff("a", "b")
+            .check("a", SafetyProperty::never_output("NEVER-EMITTED"))
+            .with_learn(small_learn());
+        let report = run_campaign(
+            &spec,
+            &RunnerConfig {
+                engine_threads: 2,
+                task_workers: 2,
+                schedule_seed: 1,
+                progress: false,
+            },
+        )
+        .expect("campaign succeeds");
+        assert_eq!(
+            report
+                .cells
+                .iter()
+                .map(|c| c.id.as_str())
+                .collect::<Vec<_>>(),
+            vec!["a", "b", "c"],
+            "spec order, not completion order"
+        );
+        // Same SUL behind both versions: b is fully primed by a and
+        // diverges nowhere.
+        let b = &report.cells[1];
+        assert!(b.primed_words > 0);
+        assert_eq!(b.learn_misses, 0, "a's observations cover b entirely");
+        assert!(b.divergences.is_empty());
+        assert!((b.cache_hit_rate - 1.0).abs() < 1e-12);
+        assert_eq!(report.diffs.len(), 1);
+        assert!(report.diffs[0].equivalent, "same SUL ⇒ equivalent models");
+        assert!(report.checks[0].check.holds);
+        // The impaired cell is uncacheable but still learned.
+        let c = &report.cells[2];
+        assert!(!c.cacheable);
+        assert!(c.states >= 2);
+        // Canonical JSON renders.
+        assert!(report.canonical_json().contains("\"campaign\""));
+    }
+
+    #[test]
+    fn learn_failures_surface_as_campaign_errors() {
+        // An impaired QUIC mvfst cell is fine, but an invalid spec fails
+        // fast: here, a diff across protocols.
+        let spec = CampaignSpec::new("bad")
+            .cell(small_tcp_cell("a", "v1"))
+            .diff("a", "ghost");
+        match run_campaign(&spec, &RunnerConfig::default()) {
+            Err(CampaignError::Spec(_)) => {}
+            other => panic!("expected a spec error, got {other:?}"),
+        }
+    }
+}

@@ -27,6 +27,10 @@
 //!   loss, jitter, reordering and duplication apply to in-flight learning
 //!   queries; lost packets resolve to the adapter's timeout symbol at the
 //!   step deadline.
+//! * [`engine`] — the shared engine pool: a standalone, reusable pool of
+//!   worker threads ([`engine::EnginePool`]) that concurrent learn tasks
+//!   lease session-worker slots from, so an entire campaign of
+//!   heterogeneous SULs runs over one set of engine threads.
 //! * [`parallel`] — the parallel membership-query engine: a
 //!   [`session::SessionSulFactory`] mints independent query sessions and
 //!   [`parallel::ParallelSulOracle`] runs a per-worker session scheduler
@@ -40,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod latency;
 pub mod net_transport;
 pub mod nondeterminism;
@@ -51,6 +56,7 @@ pub mod session;
 pub mod sul;
 pub mod tcp_adapter;
 
+pub use engine::{EngineLease, EnginePool};
 pub use latency::{LatencySul, LatencySulFactory};
 pub use net_transport::{
     LinkConfig, Network, NetworkedSession, NetworkedSessionFactory, WireRequest, WireSul,
@@ -59,7 +65,8 @@ pub use nondeterminism::{check_multiplexed, NondeterminismChecker, Nondeterminis
 pub use oracle_table::{HasOracleTable, OracleTable};
 pub use parallel::{EngineShutdown, ParallelSulOracle};
 pub use pipeline::{
-    learn_model, learn_model_parallel, LearnConfig, LearnError, LearnedModel, ParallelLearnOutcome,
+    learn_model, learn_model_parallel, learn_model_parallel_on, learn_model_parallel_seeded,
+    LearnConfig, LearnError, LearnedModel, ParallelLearnOutcome, SeededLearnOutcome,
 };
 pub use quic_adapter::{quic_alphabet, quic_data_alphabet, QuicSul, QuicSulFactory};
 pub use session::{

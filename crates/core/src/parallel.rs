@@ -15,6 +15,7 @@
 //! statistics — are bit-identical to a sequential run, regardless of
 //! `(workers, max_inflight)` or which worker happens to grab which query.
 
+use crate::engine::EnginePool;
 use crate::pipeline::{panic_message, LearnError};
 use crate::session::{
     add_stats, EngineStats, QueryPhase, SchedulerStats, SessionScheduler, SessionSul,
@@ -27,7 +28,6 @@ use std::collections::{BTreeSet, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 
 /// One queued query.  Blocking batch dispatches and asynchronous
 /// continuation submissions share one id space: batch jobs carry ids at or
@@ -154,17 +154,32 @@ struct WorkerSnapshot {
     scheduler: SchedulerStats,
 }
 
+/// What a finished worker loop reports back: its sessions and final stats,
+/// or the panic payload that killed it.
+type WorkerResult<Sn> = std::thread::Result<(Vec<Sn>, SchedulerStats)>;
+
 struct Worker<Sn> {
-    handle: JoinHandle<(Vec<Sn>, SchedulerStats)>,
+    result_rx: Receiver<WorkerResult<Sn>>,
     snapshot: Arc<Mutex<WorkerSnapshot>>,
 }
 
 /// A membership oracle that fans query batches out to worker threads, each
 /// multiplexing `max_inflight` concurrent SUL sessions on virtual time.
+///
+/// The workers run on an [`EnginePool`]: either a private pool this oracle
+/// constructed for itself ([`ParallelSulOracle::spawn_with`], the classic
+/// one-oracle-per-pool shape) or a shared pool several concurrent learn
+/// tasks lease slots from ([`ParallelSulOracle::spawn_on_pool`], the
+/// campaign shape).  Which pool hosts the workers never affects answers or
+/// statistics — everything observable runs on virtual time.
 pub struct ParallelSulOracle<Sn: SessionSul> {
     shared: Arc<Shared>,
     reply_rx: Receiver<Reply>,
     workers: Vec<Worker<Sn>>,
+    /// The pool backing `spawn_with`-style oracles; `None` when the workers
+    /// are leased from a caller-owned shared pool.  Dropped (joining its
+    /// threads) after the workers have been drained.
+    owned_pool: Option<EnginePool>,
     max_inflight: usize,
     queries: u64,
     batches: u64,
@@ -213,11 +228,40 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
     }
 
     /// Spawns `workers` threads, each multiplexing `max_inflight` sessions
-    /// minted by `factory` over one shared virtual clock.
+    /// minted by `factory` over one shared virtual clock.  The oracle owns
+    /// a private [`EnginePool`] sized to exactly these workers; use
+    /// [`ParallelSulOracle::spawn_on_pool`] to lease slots from a shared
+    /// pool instead.
     ///
     /// # Panics
     /// Panics when `workers` or `max_inflight` is zero.
     pub fn spawn_with<F>(factory: &F, workers: usize, max_inflight: usize) -> Self
+    where
+        F: SessionSulFactory<Session = Sn>,
+    {
+        assert!(workers >= 1, "a parallel oracle needs at least one worker");
+        let pool = EnginePool::new(workers);
+        let mut oracle = Self::spawn_on_pool(&pool, factory, workers, max_inflight);
+        oracle.owned_pool = Some(pool);
+        oracle
+    }
+
+    /// Spawns the oracle's `workers` worker loops on slots leased from
+    /// `pool`, blocking until that many slots are free.  This is how
+    /// several concurrent learn tasks — possibly with different SUL types —
+    /// share one engine: each task's oracle holds its lease for the
+    /// oracle's lifetime and the slots return to the pool on shutdown (or
+    /// drop).
+    ///
+    /// # Panics
+    /// Panics when `workers` or `max_inflight` is zero, or when `workers`
+    /// exceeds the pool size.
+    pub fn spawn_on_pool<F>(
+        pool: &EnginePool,
+        factory: &F,
+        workers: usize,
+        max_inflight: usize,
+    ) -> Self
     where
         F: SessionSulFactory<Session = Sn>,
     {
@@ -233,6 +277,7 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
             available: Condvar::new(),
         });
         let (reply_tx, reply_rx) = channel::<Reply>();
+        let mut lease = pool.lease(workers);
         let workers = (0..workers)
             .map(|worker_id| {
                 // One session group (and, for networked transports, one
@@ -242,7 +287,8 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
                 let reply_tx = reply_tx.clone();
                 let snapshot = Arc::new(Mutex::new(WorkerSnapshot::default()));
                 let published = Arc::clone(&snapshot);
-                let handle = std::thread::spawn(move || {
+                let (result_tx, result_rx) = channel::<WorkerResult<Sn>>();
+                lease.submit_worker(move || {
                     // Adaptive pool: start with one active slot, grow while
                     // demand saturates the pool, shrink when a work window
                     // cannot fill it.  `max_inflight` is the cap.
@@ -251,23 +297,37 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                         worker_loop(&shared, &mut scheduler, &reply_tx, &published);
                     }));
-                    if let Err(payload) = outcome {
-                        let _ = reply_tx.send(Reply::Dead {
-                            worker: worker_id,
-                            message: panic_message(payload.as_ref()),
-                        });
-                        std::panic::resume_unwind(payload);
-                    }
-                    let stats = scheduler.stats();
-                    (scheduler.into_sessions(), stats)
+                    let result = match outcome {
+                        Ok(()) => {
+                            let stats = scheduler.stats();
+                            Ok((scheduler.into_sessions(), stats))
+                        }
+                        Err(payload) => {
+                            // Report the death both on the reply path (so a
+                            // dispatcher blocked mid-batch wakes up) and as
+                            // this worker's final result.  The panic is NOT
+                            // re-raised: the hosting pool thread survives to
+                            // serve later leases.
+                            let _ = reply_tx.send(Reply::Dead {
+                                worker: worker_id,
+                                message: panic_message(payload.as_ref()),
+                            });
+                            Err(payload)
+                        }
+                    };
+                    let _ = result_tx.send(result);
                 });
-                Worker { handle, snapshot }
+                Worker {
+                    result_rx,
+                    snapshot,
+                }
             })
             .collect();
         ParallelSulOracle {
             shared,
             reply_rx,
             workers,
+            owned_pool: None,
             max_inflight,
             queries: 0,
             batches: 0,
@@ -344,14 +404,16 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
         engine.max_inflight = self.max_inflight as u64;
         let mut suls = Vec::with_capacity(self.workers.len() * self.max_inflight);
         for (worker_id, worker) in std::mem::take(&mut self.workers).into_iter().enumerate() {
-            let (sessions, stats) =
-                worker
-                    .handle
-                    .join()
-                    .map_err(|payload| LearnError::WorkerPanicked {
-                        worker: worker_id,
-                        message: panic_message(payload.as_ref()),
-                    })?;
+            let (sessions, stats) = worker
+                .result_rx
+                .recv()
+                .map_err(|_| LearnError::EnginePanicked {
+                    message: format!("session worker {worker_id} vanished without reporting"),
+                })?
+                .map_err(|payload| LearnError::WorkerPanicked {
+                    worker: worker_id,
+                    message: panic_message(payload.as_ref()),
+                })?;
             engine.absorb(&stats);
             for mut session in sessions {
                 session.start_reset(SimTime::ZERO);
@@ -501,7 +563,10 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
 impl<Sn: SessionSul> Drop for ParallelSulOracle<Sn> {
     fn drop(&mut self) {
         // A dropped oracle (e.g. during a panic unwind) must not leak
-        // blocked worker threads.
+        // blocked — or still-running — worker loops: their leased slots
+        // only return to the pool once the loops finish, so wait for each
+        // worker's final report before releasing the lease (and, for owned
+        // pools, before the pool's own Drop joins its threads).
         if self.workers.is_empty() {
             return;
         }
@@ -512,7 +577,7 @@ impl<Sn: SessionSul> Drop for ParallelSulOracle<Sn> {
         }
         self.shared.available.notify_all();
         for worker in std::mem::take(&mut self.workers) {
-            let _ = worker.handle.join();
+            let _ = worker.result_rx.recv();
         }
     }
 }

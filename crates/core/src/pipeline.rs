@@ -12,12 +12,14 @@
 //! stream depends only on the seed, and each SUL instance answers each word
 //! the same way (§3.2 property 3).
 
+use crate::engine::EnginePool;
 use crate::oracle_table::{HasOracleTable, OracleTable};
 use crate::parallel::{EngineShutdown, ParallelSulOracle};
-use crate::session::{EngineStats, SessionSul, SessionSulFactory};
+use crate::session::{EngineStats, QueryPhase, SessionSul, SessionSulFactory};
 use crate::sul::{Sul, SulMembershipOracle, SulStats};
 use prognosis_automata::alphabet::Alphabet;
 use prognosis_automata::mealy::MealyMachine;
+use prognosis_automata::word::InputWord;
 use prognosis_learner::cache::CacheStore;
 use prognosis_learner::eq_oracles::{RandomWordOracle, DEFAULT_EQ_BATCH_SIZE};
 use prognosis_learner::oracle::{CacheOracle, MembershipOracle};
@@ -267,7 +269,22 @@ fn run_learner<M: MembershipOracle>(
     alphabet: &Alphabet,
     config: &LearnConfig,
     mut membership: CacheOracle<M>,
-) -> (LearnedModel, M, PrefixTrie) {
+    prime: &[InputWord],
+) -> (LearnedModel, M, PrefixTrie, u64) {
+    // Cross-version cache priming: replay the seed words (typically the
+    // terminal words of a sibling implementation version's cache entry) as
+    // one batch before the learner starts.  The answers come from *this*
+    // SUL, so soundness is untouched; the learner's subsequent queries hit
+    // the primed trie, and the batch saturates the session engine.  Because
+    // the cache answers exactly as the deterministic SUL would, priming
+    // never changes the learned model.
+    let prime_misses = if prime.is_empty() {
+        0
+    } else {
+        membership.note_phase(QueryPhase::Construction);
+        let _ = membership.query_batch(prime);
+        membership.misses()
+    };
     let mut learner = DTreeLearner::with_strategy(alphabet.clone(), config.sift);
     let mut equivalence = equivalence_oracle(config);
     let result = learner.learn(&mut membership, &mut equivalence);
@@ -281,7 +298,7 @@ fn run_learner<M: MembershipOracle>(
         speculation: learner.speculation(),
     };
     let (inner, trie) = membership.into_parts();
-    (learned, inner, trie)
+    (learned, inner, trie, prime_misses)
 }
 
 /// Learns a Mealy model of `sul` over `alphabet`, sequentially.
@@ -298,7 +315,7 @@ pub fn learn_model<S: Sul>(sul: &mut S, alphabet: &Alphabet, config: LearnConfig
     let cache_key = sul.cache_key();
     let (warm, covers_disk) = warm_trie(&config, cache_key.as_deref(), alphabet);
     let membership = CacheOracle::with_trie(SulMembershipOracle::new(sul), warm);
-    let (learned, _oracle, trie) = run_learner(alphabet, &config, membership);
+    let (learned, _oracle, trie, _) = run_learner(alphabet, &config, membership, &[]);
     persist_trie(&config, cache_key.as_deref(), alphabet, &trie, covers_disk);
     learned
 }
@@ -326,20 +343,58 @@ where
     F: SessionSulFactory,
     F::Session: Send + 'static,
 {
+    let parallel =
+        ParallelSulOracle::spawn_with(factory, config.workers.max(1), config.max_inflight.max(1));
+    learn_on_oracle(parallel, factory, alphabet, &config)
+}
+
+/// [`learn_model_parallel`] over a *shared* [`EnginePool`]: the run's
+/// `config.workers` worker loops are leased from `pool` (blocking until
+/// that many slots are free) instead of spawning private threads, so
+/// several concurrent learning runs — a campaign's matrix cells — share
+/// one set of engine threads.  Results are identical to
+/// [`learn_model_parallel`] with the same configuration.
+pub fn learn_model_parallel_on<F>(
+    pool: &EnginePool,
+    factory: &F,
+    alphabet: &Alphabet,
+    config: LearnConfig,
+) -> Result<ParallelLearnOutcome<FactorySul<F>>, LearnError>
+where
+    F: SessionSulFactory,
+    F::Session: Send + 'static,
+{
+    let parallel = ParallelSulOracle::spawn_on_pool(
+        pool,
+        factory,
+        config.workers.max(1),
+        config.max_inflight.max(1),
+    );
+    learn_on_oracle(parallel, factory, alphabet, &config)
+}
+
+fn learn_on_oracle<F>(
+    parallel: ParallelSulOracle<F::Session>,
+    factory: &F,
+    alphabet: &Alphabet,
+    config: &LearnConfig,
+) -> Result<ParallelLearnOutcome<FactorySul<F>>, LearnError>
+where
+    F: SessionSulFactory,
+    F::Session: Send + 'static,
+{
     // A throwaway session reports the cache key; every session from the
     // same factory shares it (the determinism property of §3.2).
     let cache_key = factory.create_session().cache_key();
-    let (warm, covers_disk) = warm_trie(&config, cache_key.as_deref(), alphabet);
-    let parallel =
-        ParallelSulOracle::spawn_with(factory, config.workers.max(1), config.max_inflight.max(1));
+    let (warm, covers_disk) = warm_trie(config, cache_key.as_deref(), alphabet);
     let membership = CacheOracle::with_trie(parallel, warm);
-    let (learned, parallel, trie) = match std::panic::catch_unwind(AssertUnwindSafe(|| {
-        run_learner(alphabet, &config, membership)
+    let (learned, parallel, trie, _) = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+        run_learner(alphabet, config, membership, &[])
     })) {
         Ok(parts) => parts,
         Err(payload) => return Err(learn_error_from_panic(payload)),
     };
-    persist_trie(&config, cache_key.as_deref(), alphabet, &trie, covers_disk);
+    persist_trie(config, cache_key.as_deref(), alphabet, &trie, covers_disk);
     let sul_stats = parallel.stats();
     let EngineShutdown { suls, engine } = parallel.shutdown()?;
     Ok(ParallelLearnOutcome {
@@ -347,6 +402,82 @@ where
         suls,
         sul_stats,
         engine,
+    })
+}
+
+/// The result of a seeded learning run ([`learn_model_parallel_seeded`]):
+/// the regular parallel outcome plus the final observation trie and the
+/// cache-priming accounting the campaign's versioned store needs.
+pub struct SeededLearnOutcome<S> {
+    /// The regular parallel learning outcome.
+    pub outcome: ParallelLearnOutcome<S>,
+    /// The full observation trie at the end of the run (warm seed ∪ primed
+    /// answers ∪ the learner's own queries) — what the caller persists into
+    /// its shared store.
+    pub trie: PrefixTrie,
+    /// Number of seed words replayed before learning started.
+    pub primed_words: u64,
+    /// Distinct queries the SUL answered *during priming* (0 when the warm
+    /// trie already covered every seed word).
+    pub prime_misses: u64,
+    /// Distinct queries the SUL answered *after* priming — the learner
+    /// queries the primed cache did not cover.  `1 − learn_misses /
+    /// distinct_queries` is the cross-version cache hit rate.
+    pub learn_misses: u64,
+}
+
+/// Campaign-shape learning: runs on a shared [`EnginePool`] with a
+/// caller-supplied warm trie and an explicit set of *priming* words, and
+/// hands the final trie back instead of persisting it — the caller (the
+/// campaign runner's versioned shared cache) owns persistence.
+///
+/// `warm` must answer queries exactly as this factory's SULs would (same
+/// cache key — the usual warm-start soundness rule).  `prime` may be any
+/// word list; the words are replayed against this run's own SULs as one
+/// batch before the learner starts, so a *sibling version's* query set can
+/// seed this version's cache soundly: shared behaviour becomes warm
+/// entries, divergent behaviour shows up as differing answers the caller
+/// diffs into regression findings.
+pub fn learn_model_parallel_seeded<F>(
+    pool: &EnginePool,
+    factory: &F,
+    alphabet: &Alphabet,
+    config: &LearnConfig,
+    warm: PrefixTrie,
+    prime: &[InputWord],
+) -> Result<SeededLearnOutcome<FactorySul<F>>, LearnError>
+where
+    F: SessionSulFactory,
+    F::Session: Send + 'static,
+{
+    let parallel = ParallelSulOracle::spawn_on_pool(
+        pool,
+        factory,
+        config.workers.max(1),
+        config.max_inflight.max(1),
+    );
+    let membership = CacheOracle::with_trie(parallel, warm);
+    let (learned, parallel, trie, prime_misses) =
+        match std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_learner(alphabet, config, membership, prime)
+        })) {
+            Ok(parts) => parts,
+            Err(payload) => return Err(learn_error_from_panic(payload)),
+        };
+    let sul_stats = parallel.stats();
+    let EngineShutdown { suls, engine } = parallel.shutdown()?;
+    let learn_misses = (learned.distinct_queries as u64).saturating_sub(prime_misses);
+    Ok(SeededLearnOutcome {
+        outcome: ParallelLearnOutcome {
+            learned,
+            suls,
+            sul_stats,
+            engine,
+        },
+        trie,
+        primed_words: prime.len() as u64,
+        prime_misses,
+        learn_misses,
     })
 }
 

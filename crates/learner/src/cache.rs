@@ -12,16 +12,47 @@
 //! against a different SUL configuration or alphabet finds a key mismatch
 //! and starts cold, so a stale cache can never corrupt learning.
 
-use crate::trie::PrefixTrie;
+use crate::trie::{PrefixTrie, TrieDivergence};
 use prognosis_automata::alphabet::Alphabet;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// On-disk format version; bump when the serialized layout changes.
 /// Loading a file with a different version fails soundly (treated as a
 /// cache miss by [`CacheStore::load_matching`]).
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+///
+/// Version history: 1 = single-entry store keyed by (SUL id, alphabet);
+/// 2 = adds the implementation-version axis (`impl_version`) to the key
+/// and the multi-entry [`SharedCacheStore`] campaign format.  v1 files are
+/// rejected on load — a sound cold start, never a silent mis-merge.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
+
+/// Serializes same-path cache writes within this process.  Campaign tasks
+/// share one store path; without a writer guard two concurrent
+/// load-merge-save sequences interleave and the slower writer silently
+/// drops the faster one's observations.  The registry hands out one mutex
+/// per (absolutized) path; [`CacheStore::save_merged`] and every
+/// [`SharedCacheStore`] write path hold it across their whole
+/// read-merge-write critical section.
+fn path_write_lock(path: &Path) -> Arc<Mutex<()>> {
+    static LOCKS: OnceLock<Mutex<HashMap<PathBuf, Arc<Mutex<()>>>>> = OnceLock::new();
+    let key = std::path::absolute(path).unwrap_or_else(|_| path.to_path_buf());
+    let mut registry = LOCKS
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("cache path-lock registry poisoned");
+    Arc::clone(registry.entry(key).or_default())
+}
+
+/// Acquires the per-path writer guard, riding out a poisoned mutex (a
+/// panicking writer leaves no partial state behind thanks to the atomic
+/// temp-file rename, so the lock itself is safe to reuse).
+fn hold_path_lock(lock: &Mutex<()>) -> MutexGuard<'_, ()> {
+    lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// FNV-1a over the alphabet's symbols (length-prefixed, so `["ab","c"]`
 /// and `["a","bc"]` hash differently).  Stable across runs and platforms —
@@ -88,6 +119,11 @@ pub struct CacheStore {
     version: u32,
     /// Stable identifier of the SUL configuration the answers came from.
     sul_id: String,
+    /// Implementation version the answers came from — the third key axis.
+    /// Two versions of one implementation share a store file but never a
+    /// trie: a cached answer is only replayed for the exact version that
+    /// produced it.  Empty means "unversioned" (the pre-campaign default).
+    impl_version: String,
     /// The learning alphabet, spelled out for human inspection.
     alphabet: Vec<String>,
     /// FNV-1a hash of the alphabet — the machine-checked half of the key.
@@ -97,11 +133,23 @@ pub struct CacheStore {
 }
 
 impl CacheStore {
-    /// Wraps a trie with the key it is valid for.
+    /// Wraps a trie with the key it is valid for (unversioned).
     pub fn new(sul_id: impl Into<String>, alphabet: &Alphabet, trie: PrefixTrie) -> Self {
+        CacheStore::with_version(sul_id, "", alphabet, trie)
+    }
+
+    /// Wraps a trie with a fully versioned key: (SUL id, implementation
+    /// version, alphabet).
+    pub fn with_version(
+        sul_id: impl Into<String>,
+        impl_version: impl Into<String>,
+        alphabet: &Alphabet,
+        trie: PrefixTrie,
+    ) -> Self {
         CacheStore {
             version: CACHE_FORMAT_VERSION,
             sul_id: sul_id.into(),
+            impl_version: impl_version.into(),
             alphabet: alphabet.iter().map(|s| s.to_string()).collect(),
             alphabet_hash: alphabet_hash(alphabet),
             trie,
@@ -113,11 +161,29 @@ impl CacheStore {
         &self.sul_id
     }
 
+    /// The implementation version this cache is keyed by ("" = unversioned).
+    pub fn impl_version(&self) -> &str {
+        &self.impl_version
+    }
+
     /// Whether this store's observations are valid for the given SUL and
-    /// alphabet.  Both the spelled-out alphabet and its hash must match, so
-    /// a hand-edited file cannot silently pass.
+    /// alphabet, ignoring the version axis only in the unversioned case.
+    /// Equivalent to [`CacheStore::key_matches_version`] with version `""`.
     pub fn key_matches(&self, sul_id: &str, alphabet: &Alphabet) -> bool {
+        self.key_matches_version(sul_id, "", alphabet)
+    }
+
+    /// Whether this store's observations are valid for the given SUL,
+    /// implementation version and alphabet.  Both the spelled-out alphabet
+    /// and its hash must match, so a hand-edited file cannot silently pass.
+    pub fn key_matches_version(
+        &self,
+        sul_id: &str,
+        impl_version: &str,
+        alphabet: &Alphabet,
+    ) -> bool {
         self.sul_id == sul_id
+            && self.impl_version == impl_version
             && self.alphabet_hash == alphabet_hash(alphabet)
             && self.alphabet.len() == alphabet.len()
             && self
@@ -182,9 +248,22 @@ impl CacheStore {
         sul_id: &str,
         alphabet: &Alphabet,
     ) -> Option<PrefixTrie> {
+        CacheStore::load_matching_version(path, sul_id, "", alphabet)
+    }
+
+    /// Version-aware warm-start read path: like
+    /// [`CacheStore::load_matching`] but the stored implementation version
+    /// must also match, so v2 of an implementation never replays v1's
+    /// answers as its own.
+    pub fn load_matching_version(
+        path: impl AsRef<Path>,
+        sul_id: &str,
+        impl_version: &str,
+        alphabet: &Alphabet,
+    ) -> Option<PrefixTrie> {
         let store = CacheStore::load(path).ok()?;
         store
-            .key_matches(sul_id, alphabet)
+            .key_matches_version(sul_id, impl_version, alphabet)
             .then(|| store.into_trie())
     }
 
@@ -195,22 +274,242 @@ impl CacheStore {
     /// is a same-keyed file that *contradicts* the live observations (a
     /// stale cache from before the implementation changed behaviour): the
     /// run's own trie is authoritative, persisting never panics.
+    ///
+    /// The whole load-merge-save sequence holds this path's process-wide
+    /// writer guard, so two tasks persisting to the same file interleave as
+    /// two complete merges instead of clobbering each other.
     pub fn save_merged(
         path: impl AsRef<Path>,
         sul_id: &str,
         alphabet: &Alphabet,
         trie: &PrefixTrie,
     ) -> Result<(), CacheError> {
+        CacheStore::save_merged_version(path, sul_id, "", alphabet, trie)
+    }
+
+    /// Version-aware persistence write path: [`CacheStore::save_merged`]
+    /// keyed by (SUL id, implementation version, alphabet).
+    pub fn save_merged_version(
+        path: impl AsRef<Path>,
+        sul_id: &str,
+        impl_version: &str,
+        alphabet: &Alphabet,
+        trie: &PrefixTrie,
+    ) -> Result<(), CacheError> {
         let path = path.as_ref();
+        let lock = path_write_lock(path);
+        let _guard = hold_path_lock(&lock);
         let mut merged = trie.clone();
-        if let Some(existing) = CacheStore::load_matching(path, sul_id, alphabet) {
+        if let Some(existing) =
+            CacheStore::load_matching_version(path, sul_id, impl_version, alphabet)
+        {
             if merged.try_merge_from(&existing).is_err() {
                 // The disk cache disagrees with what the SUL just answered;
                 // drop it wholesale rather than persist a mixture.
                 merged = trie.clone();
             }
         }
-        CacheStore::new(sul_id, alphabet, merged).save(path)
+        CacheStore::with_version(sul_id, impl_version, alphabet, merged).save(path)
+    }
+}
+
+/// A multi-entry observation store for campaigns: one file holding one
+/// [`CacheStore`] entry per (SUL id, implementation version, alphabet)
+/// key.  This is the "shared observation cache" of a differential-learning
+/// campaign — every cell of the {implementation} × {version} matrix
+/// persists into the same file, warm entries survive across versions
+/// side-by-side, and [`SharedCacheStore::cross_version_divergences`]
+/// surfaces the cached answers on which two versions disagree as
+/// regression findings.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SharedCacheStore {
+    /// Format version the file was written with.
+    version: u32,
+    /// One entry per distinct cache key, kept sorted by
+    /// (sul_id, impl_version, alphabet) so saves are byte-deterministic
+    /// regardless of task completion order.
+    entries: Vec<CacheStore>,
+}
+
+impl Default for SharedCacheStore {
+    fn default() -> Self {
+        SharedCacheStore::new()
+    }
+}
+
+impl SharedCacheStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        SharedCacheStore {
+            version: CACHE_FORMAT_VERSION,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of keyed entries held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries, in their deterministic key order.
+    pub fn entries(&self) -> &[CacheStore] {
+        &self.entries
+    }
+
+    /// Looks up the trie cached for exactly this key, if any.
+    pub fn lookup(
+        &self,
+        sul_id: &str,
+        impl_version: &str,
+        alphabet: &Alphabet,
+    ) -> Option<&PrefixTrie> {
+        self.entries
+            .iter()
+            .find(|e| e.key_matches_version(sul_id, impl_version, alphabet))
+            .map(|e| e.trie())
+    }
+
+    /// Merges `trie` into the entry for this key, creating it if absent.
+    /// A contradictory existing entry (stale observations from before the
+    /// implementation's behaviour changed) is replaced wholesale by the
+    /// live trie — same policy as [`CacheStore::save_merged`].  Entries
+    /// stay sorted by key, so the serialized form is independent of the
+    /// order in which campaign tasks complete.
+    pub fn upsert(
+        &mut self,
+        sul_id: &str,
+        impl_version: &str,
+        alphabet: &Alphabet,
+        trie: &PrefixTrie,
+    ) {
+        match self
+            .entries
+            .iter_mut()
+            .find(|e| e.key_matches_version(sul_id, impl_version, alphabet))
+        {
+            Some(entry) => {
+                let mut merged = trie.clone();
+                if merged.try_merge_from(&entry.trie).is_err() {
+                    merged = trie.clone();
+                }
+                entry.trie = merged;
+            }
+            None => {
+                self.entries.push(CacheStore::with_version(
+                    sul_id,
+                    impl_version,
+                    alphabet,
+                    trie.clone(),
+                ));
+                self.entries.sort_by(|a, b| {
+                    (&a.sul_id, &a.impl_version, &a.alphabet).cmp(&(
+                        &b.sul_id,
+                        &b.impl_version,
+                        &b.alphabet,
+                    ))
+                });
+            }
+        }
+    }
+
+    /// The shortest cached inputs on which two implementation versions of
+    /// the same SUL give different answers — the cross-version regression
+    /// surface, computed entirely from the cache with zero fresh queries.
+    /// `limit` caps the result (0 = unlimited).  Either version missing
+    /// from the store yields an empty list.
+    pub fn cross_version_divergences(
+        &self,
+        sul_id: &str,
+        left_version: &str,
+        right_version: &str,
+        alphabet: &Alphabet,
+        limit: usize,
+    ) -> Vec<TrieDivergence> {
+        match (
+            self.lookup(sul_id, left_version, alphabet),
+            self.lookup(sul_id, right_version, alphabet),
+        ) {
+            (Some(left), Some(right)) => left.divergences(right, limit),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Reads a store back, verifying the format version.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CacheError> {
+        let text = std::fs::read_to_string(path)?;
+        let store: SharedCacheStore =
+            serde_json::from_str(&text).map_err(|e| CacheError::Format(e.to_string()))?;
+        if store.version != CACHE_FORMAT_VERSION {
+            return Err(CacheError::Version {
+                found: store.version,
+            });
+        }
+        Ok(store)
+    }
+
+    /// Loads the store at `path`, or an empty one if the file is missing,
+    /// unreadable, or version-skewed — a shared cache must only ever
+    /// accelerate a campaign, never abort one.
+    pub fn load_or_empty(path: impl AsRef<Path>) -> Self {
+        SharedCacheStore::load(path).unwrap_or_default()
+    }
+
+    /// Writes the store as JSON via the same temp-file + atomic-rename
+    /// dance as [`CacheStore::save`], holding this path's process-wide
+    /// writer guard.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CacheError> {
+        let path = path.as_ref();
+        let lock = path_write_lock(path);
+        let _guard = hold_path_lock(&lock);
+        self.save_locked(path)
+    }
+
+    fn save_locked(&self, path: &Path) -> Result<(), CacheError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let json =
+            serde_json::to_string_pretty(self).map_err(|e| CacheError::Format(e.to_string()))?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(
+            ".tmp.{}.{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })?;
+        Ok(())
+    }
+
+    /// The campaign persistence write path: re-reads the file under the
+    /// writer guard, merges one task's finished trie into its keyed entry,
+    /// and atomically rewrites the file.  Because load-merge-save is one
+    /// critical section per path, any interleaving of concurrent tasks —
+    /// same key or different keys — leaves the union of all their
+    /// observations on disk.
+    pub fn save_entry_merged(
+        path: impl AsRef<Path>,
+        sul_id: &str,
+        impl_version: &str,
+        alphabet: &Alphabet,
+        trie: &PrefixTrie,
+    ) -> Result<(), CacheError> {
+        let path = path.as_ref();
+        let lock = path_write_lock(path);
+        let _guard = hold_path_lock(&lock);
+        let mut store = SharedCacheStore::load_or_empty(path);
+        store.upsert(sul_id, impl_version, alphabet, trie);
+        store.save_locked(path)
     }
 }
 
@@ -286,9 +585,10 @@ mod tests {
         CacheStore::new("sul-1", &alphabet, sample_trie())
             .save(&path)
             .unwrap();
-        let bumped = std::fs::read_to_string(&path)
-            .unwrap()
-            .replace("\"version\": 1", "\"version\": 999");
+        let bumped = std::fs::read_to_string(&path).unwrap().replace(
+            &format!("\"version\": {CACHE_FORMAT_VERSION}"),
+            "\"version\": 999",
+        );
         std::fs::write(&path, bumped).unwrap();
         assert!(matches!(
             CacheStore::load(&path),
@@ -343,6 +643,121 @@ mod tests {
             Some(OutputWord::from_symbols(["9", "2"]))
         );
         assert_eq!(loaded.terminal_words(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_axis_separates_same_sul_caches() {
+        let alphabet = Alphabet::from_symbols(["a", "b"]);
+        let path = tmp_path("versioned.json");
+        CacheStore::with_version("sul-1", "v2", &alphabet, sample_trie())
+            .save(&path)
+            .unwrap();
+        // The unversioned and wrong-version reads miss; the exact version hits.
+        assert!(CacheStore::load_matching(&path, "sul-1", &alphabet).is_none());
+        assert!(CacheStore::load_matching_version(&path, "sul-1", "v1", &alphabet).is_none());
+        assert!(CacheStore::load_matching_version(&path, "sul-1", "v2", &alphabet).is_some());
+        // An unversioned store is exactly version "".
+        CacheStore::new("sul-1", &alphabet, sample_trie())
+            .save(&path)
+            .unwrap();
+        assert!(CacheStore::load_matching(&path, "sul-1", &alphabet).is_some());
+        assert!(CacheStore::load_matching_version(&path, "sul-1", "v2", &alphabet).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shared_store_keeps_versions_side_by_side_and_diffs_them() {
+        let alphabet = Alphabet::from_symbols(["a", "b"]);
+        let path = tmp_path("shared.json");
+        std::fs::remove_file(&path).ok();
+
+        // v1 answers a·b → 1·2, v2 answers a·b → 1·9.
+        SharedCacheStore::save_entry_merged(&path, "sul-1", "v1", &alphabet, &sample_trie())
+            .unwrap();
+        let mut v2 = PrefixTrie::new();
+        v2.insert(
+            &InputWord::from_symbols(["a", "b"]),
+            &OutputWord::from_symbols(["1", "9"]),
+        );
+        v2.mark_terminal(&InputWord::from_symbols(["a", "b"]));
+        SharedCacheStore::save_entry_merged(&path, "sul-1", "v2", &alphabet, &v2).unwrap();
+
+        let store = SharedCacheStore::load(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert!(store.lookup("sul-1", "v1", &alphabet).is_some());
+        assert!(store.lookup("sul-1", "v2", &alphabet).is_some());
+        let diffs = store.cross_version_divergences("sul-1", "v1", "v2", &alphabet, 0);
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].input, InputWord::from_symbols(["a", "b"]));
+        // A version absent from the store diffs to nothing.
+        assert!(store
+            .cross_version_divergences("sul-1", "v1", "v3", &alphabet, 0)
+            .is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shared_store_serialization_is_completion_order_independent() {
+        let alphabet = Alphabet::from_symbols(["a", "b"]);
+        let one = tmp_path("order-1.json");
+        let two = tmp_path("order-2.json");
+        std::fs::remove_file(&one).ok();
+        std::fs::remove_file(&two).ok();
+        let mut other = PrefixTrie::new();
+        other.insert(
+            &InputWord::from_symbols(["b"]),
+            &OutputWord::from_symbols(["3"]),
+        );
+        other.mark_terminal(&InputWord::from_symbols(["b"]));
+
+        SharedCacheStore::save_entry_merged(&one, "sul-1", "v1", &alphabet, &sample_trie())
+            .unwrap();
+        SharedCacheStore::save_entry_merged(&one, "sul-1", "v2", &alphabet, &other).unwrap();
+        SharedCacheStore::save_entry_merged(&two, "sul-1", "v2", &alphabet, &other).unwrap();
+        SharedCacheStore::save_entry_merged(&two, "sul-1", "v1", &alphabet, &sample_trie())
+            .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&one).unwrap(),
+            std::fs::read_to_string(&two).unwrap()
+        );
+        std::fs::remove_file(&one).ok();
+        std::fs::remove_file(&two).ok();
+    }
+
+    #[test]
+    fn concurrent_interleaved_saves_lose_no_observations() {
+        // Satellite regression test: many tasks in one process persisting
+        // interleaved saves to one shared path must leave the union of all
+        // their observations on disk — the writer guard makes each
+        // load-merge-save atomic with respect to the others.
+        let alphabet = Alphabet::from_symbols(["a", "b"]);
+        let path = tmp_path("concurrent.json");
+        std::fs::remove_file(&path).ok();
+        let tasks = 8;
+        std::thread::scope(|scope| {
+            for task in 0..tasks {
+                let path = &path;
+                let alphabet = &alphabet;
+                scope.spawn(move || {
+                    let word = InputWord::from_symbols([if task % 2 == 0 { "a" } else { "b" }]);
+                    let mut trie = PrefixTrie::new();
+                    trie.insert(&word, &OutputWord::from_symbols([format!("out-{task}")]));
+                    trie.mark_terminal(&word);
+                    let version = format!("v{task}");
+                    SharedCacheStore::save_entry_merged(path, "sul-1", &version, alphabet, &trie)
+                        .unwrap();
+                });
+            }
+        });
+        let store = SharedCacheStore::load(&path).unwrap();
+        assert_eq!(store.len(), tasks);
+        for task in 0..tasks {
+            let trie = store
+                .lookup("sul-1", &format!("v{task}"), &alphabet)
+                .unwrap_or_else(|| panic!("task {task}'s entry was clobbered"));
+            assert_eq!(trie.terminal_words(), 1);
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -36,13 +36,13 @@ pub mod oracle;
 pub mod stats;
 pub mod trie;
 
-pub use cache::{CacheError, CacheStore, CACHE_FORMAT_VERSION};
+pub use cache::{CacheError, CacheStore, SharedCacheStore, CACHE_FORMAT_VERSION};
 pub use dtree::{DTreeLearner, SiftStrategy};
 pub use eq_oracles::{RandomWordOracle, SimulatorOracle, WMethodOracle};
 pub use lstar::LStarLearner;
 pub use oracle::{CacheOracle, EquivalenceOracle, MachineOracle, MembershipOracle, QueryPhase};
 pub use stats::LearningStats;
-pub use trie::PrefixTrie;
+pub use trie::{PrefixTrie, TrieDivergence};
 
 use prognosis_automata::mealy::MealyMachine;
 

@@ -43,6 +43,19 @@ pub struct PrefixTrie {
     terminal_words: usize,
 }
 
+/// One shortest conflicting prefix between two tries' cached answers (see
+/// [`PrefixTrie::divergences`]): both tries answered `input`, with
+/// different final output symbols.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrieDivergence {
+    /// The shortest input word on which the cached answers disagree.
+    pub input: InputWord,
+    /// Final output symbol recorded by the left (`self`) trie.
+    pub left_output: Symbol,
+    /// Final output symbol recorded by the right (`other`) trie.
+    pub right_output: Symbol,
+}
+
 impl Default for PrefixTrie {
     fn default() -> Self {
         PrefixTrie::new()
@@ -203,6 +216,57 @@ impl PrefixTrie {
             input.pop();
             output.pop();
         }
+    }
+
+    /// Compares two tries' cached answers and returns every *shortest
+    /// conflicting prefix*: an input word both tries have an answer for,
+    /// whose final output symbols disagree.  Exploration stops at the first
+    /// divergence on each branch (everything below it differs trivially),
+    /// and words are returned in breadth-first order — shortest first, ties
+    /// broken by input-symbol order — so the listing is deterministic and
+    /// leads with the most actionable regressions.  `limit` caps the count
+    /// (0 = unlimited).
+    ///
+    /// This is the regression-detection mode of the versioned observation
+    /// cache: diffing the cache entries of two *versions* of the same
+    /// implementation surfaces exactly the queries on which the new version
+    /// changed behaviour, without re-learning either model.
+    pub fn divergences(&self, other: &PrefixTrie, limit: usize) -> Vec<TrieDivergence> {
+        let mut found = Vec::new();
+        let mut queue: std::collections::VecDeque<(usize, usize, Vec<Symbol>)> =
+            std::collections::VecDeque::new();
+        queue.push_back((0, 0, Vec::new()));
+        while let Some((left, right, word)) = queue.pop_front() {
+            if limit > 0 && found.len() >= limit {
+                break;
+            }
+            let mut shared: Vec<&Symbol> = self.nodes[left]
+                .children
+                .keys()
+                .filter(|s| other.nodes[right].children.contains_key(*s))
+                .collect();
+            shared.sort();
+            for symbol in shared {
+                let lc = self.nodes[left].children[symbol];
+                let rc = other.nodes[right].children[symbol];
+                let lo = self.nodes[lc].output.clone().expect("non-root output");
+                let ro = other.nodes[rc].output.clone().expect("non-root output");
+                let mut next = word.clone();
+                next.push(symbol.clone());
+                if lo != ro {
+                    if limit == 0 || found.len() < limit {
+                        found.push(TrieDivergence {
+                            input: next.iter().cloned().collect(),
+                            left_output: lo,
+                            right_output: ro,
+                        });
+                    }
+                } else {
+                    queue.push_back((lc, rc, next));
+                }
+            }
+        }
+        found
     }
 
     /// A lossless, layout-independent dump of the trie: every terminal node
@@ -418,6 +482,35 @@ mod tests {
         assert_eq!(a.terminal_words(), 2);
         assert_eq!(a.lookup(&w(&["a", "c"])), Some(o(&["1", "3"])));
         assert_eq!(a.lookup(&w(&["a", "b"])), Some(o(&["1", "2"])));
+    }
+
+    #[test]
+    fn divergences_report_shortest_conflicting_prefixes_only() {
+        // Version A answers a·b → 1·2 and c → 5; version B changed the
+        // output after a·b and also everything under c.
+        let mut a = PrefixTrie::new();
+        a.insert(&w(&["a", "b", "x"]), &o(&["1", "2", "7"]));
+        a.insert(&w(&["c", "d"]), &o(&["5", "6"]));
+        let mut b = PrefixTrie::new();
+        b.insert(&w(&["a", "b", "x"]), &o(&["1", "9", "7"]));
+        b.insert(&w(&["c", "d"]), &o(&["8", "6"]));
+        let diffs = a.divergences(&b, 0);
+        // c (length 1) precedes a·b (length 2); the conflicts *below* each
+        // divergence (x after a·b, d after c) are suppressed.
+        assert_eq!(diffs.len(), 2);
+        assert_eq!(diffs[0].input, w(&["c"]));
+        assert_eq!(diffs[0].left_output.as_str(), "5");
+        assert_eq!(diffs[0].right_output.as_str(), "8");
+        assert_eq!(diffs[1].input, w(&["a", "b"]));
+        assert_eq!(diffs[1].left_output.as_str(), "2");
+        assert_eq!(diffs[1].right_output.as_str(), "9");
+        // Identical tries (or disjoint word sets) report nothing.
+        assert!(a.divergences(&a.clone(), 0).is_empty());
+        let mut disjoint = PrefixTrie::new();
+        disjoint.insert(&w(&["z"]), &o(&["0"]));
+        assert!(a.divergences(&disjoint, 0).is_empty());
+        // The limit caps the listing.
+        assert_eq!(a.divergences(&b, 1).len(), 1);
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! cargo run --example bug_hunt
 //! ```
 
+use prognosis::analysis::model_diff::diff_models;
 use prognosis::automata::word::InputWord;
 use prognosis::core::nondeterminism::{NondeterminismChecker, NondeterminismConfig};
 use prognosis::core::pipeline::{learn_model, LearnConfig};
-use prognosis::core::quic_adapter::{quic_data_alphabet, QuicSul};
+use prognosis::core::quic_adapter::{quic_alphabet, quic_data_alphabet, QuicSul};
 use prognosis::core::sul::Sul;
 use prognosis::quic_sim::profile::ImplementationProfile;
 
@@ -63,6 +64,24 @@ fn issue3_retry_port() {
         println!("    2nd INITIAL  → {second}");
         println!("    HANDSHAKE    → {third}");
     }
+
+    // The same evidence, Prognosis-style: learn a model of each client and
+    // diff them — the distinguishing traces are exactly where the buggy
+    // client's handshake stalls.
+    let config = LearnConfig {
+        random_tests: 500,
+        max_word_len: 8,
+        ..LearnConfig::default()
+    };
+    let mut buggy_sul = QuicSul::new(ImplementationProfile::tracker(), 5).with_buggy_retry_client();
+    let buggy = learn_model(&mut buggy_sul, &quic_alphabet(), config.clone());
+    let mut fixed_sul = QuicSul::new(ImplementationProfile::tracker(), 5);
+    let fixed = learn_model(&mut fixed_sul, &quic_alphabet(), config);
+    println!("  learned-model diff:");
+    print!(
+        "{}",
+        diff_models("buggy", &buggy.model, "fixed", &fixed.model, 3)
+    );
     println!();
 }
 

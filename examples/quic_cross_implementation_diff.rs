@@ -6,7 +6,7 @@
 //! cargo run --example quic_cross_implementation_diff
 //! ```
 
-use prognosis::analysis::comparison::{behavioural_diff, compare_models};
+use prognosis::analysis::model_diff::diff_models;
 use prognosis::analysis::report::Report;
 use prognosis::core::pipeline::{learn_model, LearnConfig};
 use prognosis::core::quic_adapter::{quic_alphabet, QuicSul};
@@ -24,22 +24,17 @@ fn main() {
     let mut quiche_sul = QuicSul::new(ImplementationProfile::quiche(), 3);
     let quiche = learn_model(&mut quiche_sul, &quic_alphabet(), config);
 
-    let cmp = compare_models(&google.model, &quiche.model);
+    let diff = diff_models("google", &google.model, "quiche", &quiche.model, 5);
     let mut report = Report::new("Cross-implementation comparison (google vs quiche profiles)");
     report
-        .row("google states (minimized)", cmp.left_states)
-        .row("quiche states (minimized)", cmp.right_states)
-        .row("equivalent", cmp.equivalent);
-    if let Some(ce) = &cmp.counterexample {
+        .row("google states (minimized)", diff.left_states)
+        .row("quiche states (minimized)", diff.right_states)
+        .row("equivalent", diff.equivalent);
+    if let Some(ce) = diff.shortest() {
         report.finding(format!("shortest distinguishing input: {}", ce.input));
     }
     println!("{report}");
 
     println!("First distinguishing traces (shortest first):");
-    for diff in behavioural_diff(&google.model, &quiche.model, 5) {
-        println!("  input : {}", diff.input);
-        println!("  google: {:?}", diff.left_output);
-        println!("  quiche: {:?}", diff.right_output);
-        println!();
-    }
+    println!("{diff}");
 }

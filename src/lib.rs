@@ -17,6 +17,8 @@
 //! * [`core`] — the Prognosis framework itself: SUL, Adapter, Oracle Table,
 //!   nondeterminism check, protocol bindings and the learning pipeline.
 //! * [`analysis`] — model diffing, property checking and reports.
+//! * [`campaign`] — DAG-scheduled differential-learning campaigns over a
+//!   shared engine pool and versioned observation cache.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -24,6 +26,7 @@
 
 pub use prognosis_analysis as analysis;
 pub use prognosis_automata as automata;
+pub use prognosis_campaign as campaign;
 pub use prognosis_core as core;
 pub use prognosis_learner as learner;
 pub use prognosis_netsim as netsim;
