@@ -1,0 +1,19 @@
+//! E22: legacy JSON blob vs journaled observation store at campaign scale.
+//!
+//! Persists a synthetic trie of ≥100k completed queries through both cache
+//! backends, times the save and warm-load halves of each, and asserts the
+//! journal warm load is at least 5× faster than the JSON parse while
+//! replaying a bit-identical trie.  A churned second store demonstrates
+//! that compaction reclaims superseded records without changing the
+//! replay.  Appends the `store_format` scenario to `BENCH_learning.json`
+//! (in the current directory).  Pass `--quick` for the reduced CI smoke
+//! configuration (20k observations, no speedup floor).
+fn main() {
+    let quick = std::env::args().any(|arg| arg == "--quick");
+    let (report, scenario) = prognosis_bench::exp_store_format(quick);
+    println!("{report}");
+    let existing = std::fs::read_to_string("BENCH_learning.json").ok();
+    let merged = prognosis_bench::merge_scenario(existing.as_deref(), "store_format", scenario);
+    std::fs::write("BENCH_learning.json", merged).expect("write BENCH_learning.json");
+    println!("appended store_format scenario to BENCH_learning.json");
+}

@@ -2264,6 +2264,279 @@ pub fn exp_campaign(quick: bool) -> (Report, serde_json::Value) {
     (report, scenario)
 }
 
+/// Builds the E22 synthetic observation trie: `n` distinct terminal words
+/// of length 6 over an 8-symbol alphabet, enumerated least-significant
+/// symbol first so the words branch maximally near the root (the shape a
+/// breadth-first learner produces).  Outputs are a deterministic hash of
+/// the input prefix, so every word set is mutually consistent.
+fn store_bench_trie(
+    n: usize,
+    word_len: usize,
+    alphabet: &Alphabet,
+) -> prognosis_learner::trie::PrefixTrie {
+    let symbols: Vec<Symbol> = alphabet.as_slice().to_vec();
+    let mut trie = prognosis_learner::trie::PrefixTrie::new();
+    for idx in 0..n {
+        let digits: Vec<usize> = (0..word_len).map(|k| (idx >> (3 * k)) & 7).collect();
+        let input: InputWord = digits.iter().map(|&d| symbols[d].clone()).collect();
+        let output: prognosis_automata::word::OutputWord = (1..=word_len)
+            .map(|len| {
+                let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+                for &d in &digits[..len] {
+                    hash ^= d as u64 + 1;
+                    hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                format!("o{}", hash % 32)
+            })
+            .collect();
+        trie.insert(&input, &output);
+        trie.mark_terminal(&input);
+    }
+    trie
+}
+
+/// E22 — JSON blob vs journaled observation store at campaign scale.
+///
+/// Builds a synthetic trie of ≥100k distinct completed queries (20k in
+/// `--quick` mode), persists it through both backends — the legacy v2
+/// JSON blob ([`prognosis_learner::cache::CacheStore`]) and the journaled
+/// store ([`prognosis_learner::journal::JournalStore`]) — and times the
+/// save and warm-load halves of each, asserting the two loads replay
+/// bit-identical tries.  The full-size run asserts the journal warm load
+/// is at least 5× faster than the JSON parse.  A second, churned store
+/// (each word appended as a short prefix first, then extended) then
+/// demonstrates threshold compaction: `compact()` must shrink the file
+/// while replaying to the identical trie.
+pub fn exp_store_format(quick: bool) -> (Report, serde_json::Value) {
+    use prognosis_learner::cache::{CacheStore, StoreKey};
+    use prognosis_learner::journal::{JournalStore, RetainPolicy};
+
+    let n: usize = if quick { 20_000 } else { 120_000 };
+    let word_len = 6;
+    let symbols: Vec<String> = (0..8).map(|i| format!("i{i}")).collect();
+    let alphabet = Alphabet::from_symbols(symbols.iter().map(String::as_str));
+    let trie = store_bench_trie(n, word_len, &alphabet);
+    let observations = trie.paths().len() as u64;
+    assert_eq!(observations, n as u64, "every enumerated word is distinct");
+
+    let tag = std::process::id();
+    let json_path = std::env::temp_dir().join(format!("prognosis-store-bench-{tag}.json"));
+    let journal_path = std::env::temp_dir().join(format!("prognosis-store-bench-{tag}.journal"));
+    let churn_path = std::env::temp_dir().join(format!("prognosis-store-bench-{tag}.churn"));
+    for path in [&json_path, &journal_path, &churn_path] {
+        let _ = std::fs::remove_file(path);
+    }
+
+    // Legacy v2 JSON blob: serialize + fsync + rename on save, full-file
+    // parse on load.
+    let start = std::time::Instant::now();
+    CacheStore::new("store-bench", &alphabet, trie.clone())
+        .save(&json_path)
+        .expect("JSON save succeeds");
+    let json_save_seconds = start.elapsed().as_secs_f64();
+    let json_bytes = std::fs::metadata(&json_path)
+        .expect("JSON store exists")
+        .len();
+    let start = std::time::Instant::now();
+    let json_loaded = CacheStore::load_matching(&json_path, "store-bench", &alphabet)
+        .expect("JSON warm load hits");
+    let json_load_seconds = start.elapsed().as_secs_f64();
+
+    // Journaled store: framed binary records, replayed on load.
+    let key = StoreKey::new("store-bench", "", &alphabet);
+    let start = std::time::Instant::now();
+    JournalStore::save_merged_at(&journal_path, &key, &trie, RetainPolicy::All)
+        .expect("journal save succeeds");
+    let journal_save_seconds = start.elapsed().as_secs_f64();
+    let journal_bytes = std::fs::metadata(&journal_path)
+        .expect("journal store exists")
+        .len();
+    let start = std::time::Instant::now();
+    let journal_loaded =
+        JournalStore::load_matching(&journal_path, &key).expect("journal warm load hits");
+    let journal_load_seconds = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        json_loaded.paths(),
+        trie.paths(),
+        "the JSON store must replay the saved observations bit-identically"
+    );
+    assert_eq!(
+        journal_loaded.paths(),
+        trie.paths(),
+        "the journal must replay the saved observations bit-identically"
+    );
+    let warm_load_speedup = json_load_seconds / journal_load_seconds.max(1e-9);
+    if !quick {
+        assert!(
+            warm_load_speedup >= 5.0,
+            "journal warm load must be at least 5x faster than the JSON parse \
+             at {n} observations (json {json_load_seconds:.3}s / journal \
+             {journal_load_seconds:.3}s = {warm_load_speedup:.1}x)"
+        );
+    }
+
+    // Compaction: append each word as a 3-symbol non-terminal prefix
+    // first, then as the full query — every short record is superseded, so
+    // compaction must shrink the file while replaying identically.  The
+    // churn is sized below the auto-compaction threshold so the manual
+    // `compact()` is what reclaims the space.
+    let churn_n = if quick { 300 } else { 900 };
+    let churn_full = store_bench_trie(churn_n, word_len, &alphabet);
+    let churn_short = store_bench_trie_prefixes(churn_n, 3, &alphabet);
+    JournalStore::save_merged_at(&churn_path, &key, &churn_short, RetainPolicy::All)
+        .expect("churn prefix round succeeds");
+    JournalStore::save_merged_at(&churn_path, &key, &churn_full, RetainPolicy::All)
+        .expect("churn full round succeeds");
+    let before_replay =
+        JournalStore::load_matching(&churn_path, &key).expect("churned store loads");
+    let churn_store = JournalStore::open(&churn_path).expect("churned store opens");
+    let outcome = churn_store.compact().expect("compaction succeeds");
+    assert!(
+        outcome.after_bytes < outcome.before_bytes,
+        "compaction must reclaim the superseded prefix records \
+         ({} -> {} bytes)",
+        outcome.before_bytes,
+        outcome.after_bytes
+    );
+    assert!(
+        outcome.after_records < outcome.before_records,
+        "compaction must drop superseded record frames ({} -> {})",
+        outcome.before_records,
+        outcome.after_records
+    );
+    let after_replay =
+        JournalStore::load_matching(&churn_path, &key).expect("compacted store loads");
+    assert_eq!(
+        after_replay.paths(),
+        before_replay.paths(),
+        "compaction must preserve the replayed observations bit-identically"
+    );
+    assert_eq!(
+        after_replay.paths(),
+        churn_full.paths(),
+        "the compacted store replays exactly the live (full-length) queries"
+    );
+
+    for path in [&json_path, &journal_path, &churn_path] {
+        let _ = std::fs::remove_file(path);
+    }
+
+    let mut report =
+        Report::new("E22 — observation store formats: legacy JSON blob vs journaled segment log");
+    report
+        .row("observations (completed queries)", observations.to_string())
+        .row(
+            "JSON blob: save / load / size",
+            format!("{json_save_seconds:.3}s / {json_load_seconds:.3}s / {json_bytes} B"),
+        )
+        .row(
+            "journal: save / load / size",
+            format!("{journal_save_seconds:.3}s / {journal_load_seconds:.3}s / {journal_bytes} B"),
+        )
+        .row(
+            "warm-load speedup (JSON / journal)",
+            format!("{warm_load_speedup:.1}x"),
+        )
+        .row("loads bit-identical", "yes".to_string())
+        .row(
+            "compaction: bytes / records",
+            format!(
+                "{} -> {} B / {} -> {} frames (replay identical)",
+                outcome.before_bytes,
+                outcome.after_bytes,
+                outcome.before_records,
+                outcome.after_records
+            ),
+        );
+
+    let backend_json = |save: f64, load: f64, bytes: u64| {
+        serde_json::Value::Map(vec![
+            ("save_seconds".to_string(), serde_json::Value::F64(save)),
+            ("load_seconds".to_string(), serde_json::Value::F64(load)),
+            ("file_bytes".to_string(), serde_json::Value::U64(bytes)),
+        ])
+    };
+    let scenario = serde_json::Value::Map(vec![
+        (
+            "observations".to_string(),
+            serde_json::Value::U64(observations),
+        ),
+        (
+            "json".to_string(),
+            backend_json(json_save_seconds, json_load_seconds, json_bytes),
+        ),
+        (
+            "journal".to_string(),
+            backend_json(journal_save_seconds, journal_load_seconds, journal_bytes),
+        ),
+        (
+            "warm_load_speedup".to_string(),
+            serde_json::Value::F64(warm_load_speedup),
+        ),
+        (
+            "loads_bit_identical".to_string(),
+            serde_json::Value::Bool(true),
+        ),
+        (
+            "compaction".to_string(),
+            serde_json::Value::Map(vec![
+                (
+                    "before_bytes".to_string(),
+                    serde_json::Value::U64(outcome.before_bytes),
+                ),
+                (
+                    "after_bytes".to_string(),
+                    serde_json::Value::U64(outcome.after_bytes),
+                ),
+                (
+                    "before_records".to_string(),
+                    serde_json::Value::U64(outcome.before_records as u64),
+                ),
+                (
+                    "after_records".to_string(),
+                    serde_json::Value::U64(outcome.after_records as u64),
+                ),
+                (
+                    "replay_identical".to_string(),
+                    serde_json::Value::Bool(true),
+                ),
+            ]),
+        ),
+        ("quick".to_string(), serde_json::Value::Bool(quick)),
+    ]);
+    (report, scenario)
+}
+
+/// The churn round's short observations: the first `prefix_len` symbols of
+/// each E22 word, recorded as incomplete (non-terminal) queries — exactly
+/// what a learner's partially-answered prefixes look like before the full
+/// query lands.
+fn store_bench_trie_prefixes(
+    n: usize,
+    prefix_len: usize,
+    alphabet: &Alphabet,
+) -> prognosis_learner::trie::PrefixTrie {
+    let symbols: Vec<Symbol> = alphabet.as_slice().to_vec();
+    let mut trie = prognosis_learner::trie::PrefixTrie::new();
+    for idx in 0..n {
+        let digits: Vec<usize> = (0..prefix_len).map(|k| (idx >> (3 * k)) & 7).collect();
+        let input: InputWord = digits.iter().map(|&d| symbols[d].clone()).collect();
+        let output: prognosis_automata::word::OutputWord = (1..=prefix_len)
+            .map(|len| {
+                let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+                for &d in &digits[..len] {
+                    hash ^= d as u64 + 1;
+                    hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                format!("o{}", hash % 32)
+            })
+            .collect();
+        trie.insert(&input, &output);
+    }
+    trie
+}
+
 /// Merges one named scenario into an existing `BENCH_learning.json`
 /// document (or builds a fresh one), returning the rendered file contents.
 pub fn merge_scenario(existing: Option<&str>, name: &str, scenario: serde_json::Value) -> String {

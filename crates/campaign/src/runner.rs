@@ -31,10 +31,12 @@ use prognosis_core::quic_adapter::{QuicSul, QuicSulFactory};
 use prognosis_core::session::{SessionSulFactory, SimDuration};
 use prognosis_core::sul::Sul;
 use prognosis_core::tcp_adapter::{TcpSul, TcpSulFactory};
-use prognosis_learner::cache::SharedCacheStore;
+use prognosis_learner::cache::StoreKey;
+use prognosis_learner::journal::{JournalStore, RetainPolicy};
 use prognosis_learner::trie::PrefixTrie;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 use std::sync::{Condvar, Mutex};
 
 /// How the campaign executes (orthogonal to *what* it computes: none of
@@ -279,14 +281,17 @@ pub fn run_campaign(
     let pool = EnginePool::new(runner.engine_threads.max(spec.learn.workers.max(1)));
     let progress = Progress::forced(runner.progress && Progress::stdout().enabled());
 
-    // The warm-start snapshot: cells read *this*, never the live store, so
-    // what a cell learns cannot depend on which unrelated cell finished
-    // first.  Cross-cell reuse within a run flows only along declared
-    // baseline edges.
-    let initial_store = match &spec.cache_path {
-        Some(path) => SharedCacheStore::load_or_empty(path),
-        None => SharedCacheStore::new(),
-    };
+    // The shared journaled store and its warm-start snapshot: cells read
+    // the *snapshot* taken here, never the live store, so what a cell
+    // learns cannot depend on which unrelated cell finished first.
+    // Cross-cell reuse within a run flows only along declared baseline
+    // edges.  Finished cells append their observation deltas through the
+    // shared handle.
+    let store = spec.cache_path.as_ref().map(JournalStore::open_or_empty);
+    let initial_entries: BTreeMap<StoreKey, Arc<PrefixTrie>> = store
+        .as_ref()
+        .map(|s| s.snapshot_entries())
+        .unwrap_or_default();
 
     let state = Mutex::new(Sched {
         ready,
@@ -320,10 +325,16 @@ pub fn run_campaign(
                 let cell = &spec.cells[i];
                 let key = cell_cache_key(cell);
                 let alphabet = cell.effective_alphabet();
-                let warm = key
+                // One fully resolved store key per cell: the alphabet is
+                // hashed here, once, and threaded through both the warm
+                // lookup and the save below.
+                let store_key = key
                     .as_deref()
-                    .and_then(|k| initial_store.lookup(k, &cell.version, &alphabet))
-                    .cloned()
+                    .map(|k| StoreKey::new(k, &cell.version, &alphabet));
+                let warm = store_key
+                    .as_ref()
+                    .and_then(|k| initial_entries.get(k))
+                    .map(|trie| (**trie).clone())
                     .unwrap_or_default();
                 let (prime, baseline_trie) = match &cell.baseline {
                     Some(baseline) => {
@@ -355,15 +366,12 @@ pub fn run_campaign(
                     Some(b) => b.divergences(&bits.trie, 0),
                     None => Vec::new(),
                 };
-                if let (Some(path), Some(k)) = (&spec.cache_path, key.as_deref()) {
-                    if let Err(e) = SharedCacheStore::save_entry_merged(
-                        path,
-                        k,
-                        &cell.version,
-                        &alphabet,
-                        &bits.trie,
-                    ) {
-                        eprintln!("warning: failed to persist shared cache to {path}: {e}");
+                if let (Some(store), Some(k)) = (&store, &store_key) {
+                    if let Err(e) = store.save_merged(k, &bits.trie, RetainPolicy::All) {
+                        eprintln!(
+                            "warning: failed to persist shared cache to {}: {e}",
+                            store.path().display()
+                        );
                     }
                 }
                 let report = CellReport {

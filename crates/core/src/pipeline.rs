@@ -20,8 +20,9 @@ use crate::sul::{Sul, SulMembershipOracle, SulStats};
 use prognosis_automata::alphabet::Alphabet;
 use prognosis_automata::mealy::MealyMachine;
 use prognosis_automata::word::InputWord;
-use prognosis_learner::cache::CacheStore;
+use prognosis_learner::cache::StoreKey;
 use prognosis_learner::eq_oracles::{RandomWordOracle, DEFAULT_EQ_BATCH_SIZE};
+use prognosis_learner::journal::{JournalStore, RetainPolicy};
 use prognosis_learner::oracle::{CacheOracle, MembershipOracle};
 use prognosis_learner::stats::LearningStats;
 use prognosis_learner::trie::PrefixTrie;
@@ -221,45 +222,34 @@ fn equivalence_oracle(config: &LearnConfig) -> RandomWordOracle {
     .with_batch_size(config.eq_batch_size)
 }
 
-/// Loads the persisted observation trie for this (SUL, alphabet) pair.
-/// Returns the trie plus whether it actually came from the file — an empty
-/// trie (and `false`) when persistence is off, warm start is disabled, the
-/// SUL is uncacheable, or the file does not match.
-fn warm_trie(
-    config: &LearnConfig,
-    cache_key: Option<&str>,
-    alphabet: &Alphabet,
-) -> (PrefixTrie, bool) {
+/// Loads the persisted observation trie for this (SUL, alphabet) pair
+/// from the journaled store.  Returns an empty trie when persistence is
+/// off, warm start is disabled, the SUL is uncacheable, or the store has
+/// no entry for the key.
+fn warm_trie(config: &LearnConfig, cache_key: Option<&str>, alphabet: &Alphabet) -> PrefixTrie {
     match (&config.cache_path, cache_key) {
         (Some(path), Some(key)) if config.warm_start => {
-            match CacheStore::load_matching(path, key, alphabet) {
-                Some(trie) => (trie, true),
-                None => (PrefixTrie::new(), false),
-            }
+            let key = StoreKey::new(key, "", alphabet);
+            JournalStore::load_matching(path, &key).unwrap_or_default()
         }
-        _ => (PrefixTrie::new(), false),
+        _ => PrefixTrie::new(),
     }
 }
 
-/// Persists the run's observation trie.  When this run warm-loaded the
-/// same file (`covers_disk`), the trie is already a superset of what is on
-/// disk and is saved directly; otherwise same-keyed disk observations are
-/// merged in first.  Persistence failures are reported but never fail the
-/// learning run itself.
+/// Persists the run's observation trie into the journaled store: only the
+/// paths the file does not already cover are appended (a fully warm run
+/// writes zero bytes), and a differently-keyed file is replaced — a cache
+/// file follows its run's key.  Persistence failures are reported but
+/// never fail the learning run itself.
 fn persist_trie(
     config: &LearnConfig,
     cache_key: Option<&str>,
     alphabet: &Alphabet,
     trie: &PrefixTrie,
-    covers_disk: bool,
 ) {
     if let (Some(path), Some(key)) = (&config.cache_path, cache_key) {
-        let result = if covers_disk {
-            CacheStore::new(key, alphabet, trie.clone()).save(path)
-        } else {
-            CacheStore::save_merged(path, key, alphabet, trie)
-        };
-        if let Err(e) = result {
+        let key = StoreKey::new(key, "", alphabet);
+        if let Err(e) = JournalStore::save_merged_at(path, &key, trie, RetainPolicy::OnlyThisKey) {
             eprintln!("warning: failed to persist observation cache to {path}: {e}");
         }
     }
@@ -313,10 +303,10 @@ fn run_learner<M: MembershipOracle>(
 /// learning a bit-identical model.
 pub fn learn_model<S: Sul>(sul: &mut S, alphabet: &Alphabet, config: LearnConfig) -> LearnedModel {
     let cache_key = sul.cache_key();
-    let (warm, covers_disk) = warm_trie(&config, cache_key.as_deref(), alphabet);
+    let warm = warm_trie(&config, cache_key.as_deref(), alphabet);
     let membership = CacheOracle::with_trie(SulMembershipOracle::new(sul), warm);
     let (learned, _oracle, trie, _) = run_learner(alphabet, &config, membership, &[]);
-    persist_trie(&config, cache_key.as_deref(), alphabet, &trie, covers_disk);
+    persist_trie(&config, cache_key.as_deref(), alphabet, &trie);
     learned
 }
 
@@ -386,7 +376,7 @@ where
     // A throwaway session reports the cache key; every session from the
     // same factory shares it (the determinism property of §3.2).
     let cache_key = factory.create_session().cache_key();
-    let (warm, covers_disk) = warm_trie(config, cache_key.as_deref(), alphabet);
+    let warm = warm_trie(config, cache_key.as_deref(), alphabet);
     let membership = CacheOracle::with_trie(parallel, warm);
     let (learned, parallel, trie, _) = match std::panic::catch_unwind(AssertUnwindSafe(|| {
         run_learner(alphabet, config, membership, &[])
@@ -394,7 +384,7 @@ where
         Ok(parts) => parts,
         Err(payload) => return Err(learn_error_from_panic(payload)),
     };
-    persist_trie(config, cache_key.as_deref(), alphabet, &trie, covers_disk);
+    persist_trie(config, cache_key.as_deref(), alphabet, &trie);
     let sul_stats = parallel.stats();
     let EngineShutdown { suls, engine } = parallel.shutdown()?;
     Ok(ParallelLearnOutcome {

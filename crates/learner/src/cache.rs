@@ -37,7 +37,7 @@ pub const CACHE_FORMAT_VERSION: u32 = 2;
 /// per (absolutized) path; [`CacheStore::save_merged`] and every
 /// [`SharedCacheStore`] write path hold it across their whole
 /// read-merge-write critical section.
-fn path_write_lock(path: &Path) -> Arc<Mutex<()>> {
+pub(crate) fn path_write_lock(path: &Path) -> Arc<Mutex<()>> {
     static LOCKS: OnceLock<Mutex<HashMap<PathBuf, Arc<Mutex<()>>>>> = OnceLock::new();
     let key = std::path::absolute(path).unwrap_or_else(|_| path.to_path_buf());
     let mut registry = LOCKS
@@ -50,8 +50,139 @@ fn path_write_lock(path: &Path) -> Arc<Mutex<()>> {
 /// Acquires the per-path writer guard, riding out a poisoned mutex (a
 /// panicking writer leaves no partial state behind thanks to the atomic
 /// temp-file rename, so the lock itself is safe to reuse).
-fn hold_path_lock(lock: &Mutex<()>) -> MutexGuard<'_, ()> {
+pub(crate) fn hold_path_lock(lock: &Mutex<()>) -> MutexGuard<'_, ()> {
     lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Crash-durable atomic file replacement: writes `bytes` to a sibling temp
+/// file (named uniquely per process *and* thread, so two same-process
+/// savers can't collide mid-rename), fsyncs it, renames it over `path`,
+/// then fsyncs the parent directory so the rename itself survives a power
+/// loss.  Creates parent directories as needed.  Every persistence path in
+/// this crate — JSON stores and the binary journal alike — funnels through
+/// here.
+pub(crate) fn atomic_write_durable(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => {
+            std::fs::create_dir_all(p)?;
+            Some(p)
+        }
+        _ => None,
+    };
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(
+        ".tmp.{}.{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let tmp = PathBuf::from(tmp);
+    let write_and_sync = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if let Err(e) = write_and_sync {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Some(parent) = parent {
+        // Directory fsync persists the rename's directory entry.  Some
+        // filesystems refuse to open a directory for writing; a failure
+        // here only weakens durability, never correctness, so ignore it.
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// A fully resolved observation-store key: the `(SUL id, implementation
+/// version, alphabet)` triple with its alphabet hash computed once.
+/// Campaign runners build one per cell and thread it through every
+/// lookup/upsert instead of re-hashing the alphabet on each call; the
+/// journal store uses it directly as its entry key.  Ordering is the same
+/// deterministic `(sul_id, impl_version, alphabet)` order the JSON
+/// [`SharedCacheStore`] sorts its entries by.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StoreKey {
+    sul_id: String,
+    impl_version: String,
+    alphabet: Vec<String>,
+    alphabet_hash: u64,
+}
+
+impl StoreKey {
+    /// Builds a key, hashing the alphabet exactly once.
+    pub fn new(
+        sul_id: impl Into<String>,
+        impl_version: impl Into<String>,
+        alphabet: &Alphabet,
+    ) -> Self {
+        StoreKey {
+            sul_id: sul_id.into(),
+            impl_version: impl_version.into(),
+            alphabet: alphabet.iter().map(|s| s.to_string()).collect(),
+            alphabet_hash: alphabet_hash(alphabet),
+        }
+    }
+
+    /// Rehydrates a key from its stored parts, trusting `alphabet_hash`
+    /// (used when replaying a journal segment header; the verify path
+    /// recomputes and checks).
+    pub(crate) fn from_parts(
+        sul_id: String,
+        impl_version: String,
+        alphabet: Vec<String>,
+        alphabet_hash: u64,
+    ) -> Self {
+        StoreKey {
+            sul_id,
+            impl_version,
+            alphabet,
+            alphabet_hash,
+        }
+    }
+
+    /// The SUL identifier axis.
+    pub fn sul_id(&self) -> &str {
+        &self.sul_id
+    }
+
+    /// The implementation-version axis ("" = unversioned).
+    pub fn impl_version(&self) -> &str {
+        &self.impl_version
+    }
+
+    /// The spelled-out alphabet symbols.
+    pub fn alphabet(&self) -> &[String] {
+        &self.alphabet
+    }
+
+    /// The precomputed FNV-1a alphabet hash.
+    pub fn alphabet_hash(&self) -> u64 {
+        self.alphabet_hash
+    }
+
+    /// Whether the stored hash matches a fresh hash of the spelled-out
+    /// symbols — false only for a corrupt or hand-edited store.
+    pub fn hash_consistent(&self) -> bool {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for symbol in &self.alphabet {
+            eat(&(symbol.len() as u64).to_le_bytes());
+            eat(symbol.as_bytes());
+        }
+        hash == self.alphabet_hash
+    }
 }
 
 /// FNV-1a over the alphabet's symbols (length-prefixed, so `["ab","c"]`
@@ -193,6 +324,26 @@ impl CacheStore {
                 .all(|(a, b)| a == b.as_str())
     }
 
+    /// Whether this store's observations are valid for a pre-resolved
+    /// [`StoreKey`].  Compares the precomputed alphabet hash first — no
+    /// per-call re-hashing of the alphabet.
+    pub fn key_matches_store_key(&self, key: &StoreKey) -> bool {
+        self.alphabet_hash == key.alphabet_hash
+            && self.sul_id == key.sul_id
+            && self.impl_version == key.impl_version
+            && self.alphabet == key.alphabet
+    }
+
+    /// This entry's key as a [`StoreKey`] (reuses the stored hash).
+    pub fn store_key(&self) -> StoreKey {
+        StoreKey::from_parts(
+            self.sul_id.clone(),
+            self.impl_version.clone(),
+            self.alphabet.clone(),
+            self.alphabet_hash,
+        )
+    }
+
     /// The cached trie.
     pub fn trie(&self) -> &PrefixTrie {
         &self.trie
@@ -204,25 +355,15 @@ impl CacheStore {
     }
 
     /// Writes the store as JSON, creating parent directories as needed.
-    /// The write goes through a sibling temp file and an atomic rename, so
-    /// an interrupted save never leaves a truncated cache behind — the old
-    /// file survives intact or the new one appears whole.
+    /// The write goes through a per-thread-unique sibling temp file that is
+    /// fsynced before an atomic rename (and the directory fsynced after),
+    /// so an interrupted save never leaves a truncated cache behind and a
+    /// completed save survives a crash — the old file stays intact or the
+    /// new one appears whole and durable.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CacheError> {
-        let path = path.as_ref();
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
         let json =
             serde_json::to_string_pretty(self).map_err(|e| CacheError::Format(e.to_string()))?;
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(format!(".tmp.{}", std::process::id()));
-        let tmp = std::path::PathBuf::from(tmp);
-        std::fs::write(&tmp, json)?;
-        std::fs::rename(&tmp, path).inspect_err(|_| {
-            let _ = std::fs::remove_file(&tmp);
-        })?;
+        atomic_write_durable(path.as_ref(), json.as_bytes())?;
         Ok(())
     }
 
@@ -368,9 +509,17 @@ impl SharedCacheStore {
         impl_version: &str,
         alphabet: &Alphabet,
     ) -> Option<&PrefixTrie> {
+        self.lookup_key(&StoreKey::new(sul_id, impl_version, alphabet))
+    }
+
+    /// [`SharedCacheStore::lookup`] with a pre-resolved key: the alphabet
+    /// hash is computed once when the [`StoreKey`] is built, not once per
+    /// entry per call — campaign runners with hundreds of cells against a
+    /// many-entry store call this in their warm-start hot path.
+    pub fn lookup_key(&self, key: &StoreKey) -> Option<&PrefixTrie> {
         self.entries
             .iter()
-            .find(|e| e.key_matches_version(sul_id, impl_version, alphabet))
+            .find(|e| e.key_matches_store_key(key))
             .map(|e| e.trie())
     }
 
@@ -387,10 +536,16 @@ impl SharedCacheStore {
         alphabet: &Alphabet,
         trie: &PrefixTrie,
     ) {
+        self.upsert_key(&StoreKey::new(sul_id, impl_version, alphabet), trie)
+    }
+
+    /// [`SharedCacheStore::upsert`] with a pre-resolved key — the write
+    /// half of the hash-once-per-cell campaign path.
+    pub fn upsert_key(&mut self, key: &StoreKey, trie: &PrefixTrie) {
         match self
             .entries
             .iter_mut()
-            .find(|e| e.key_matches_version(sul_id, impl_version, alphabet))
+            .find(|e| e.key_matches_store_key(key))
         {
             Some(entry) => {
                 let mut merged = trie.clone();
@@ -400,12 +555,14 @@ impl SharedCacheStore {
                 entry.trie = merged;
             }
             None => {
-                self.entries.push(CacheStore::with_version(
-                    sul_id,
-                    impl_version,
-                    alphabet,
-                    trie.clone(),
-                ));
+                self.entries.push(CacheStore {
+                    version: CACHE_FORMAT_VERSION,
+                    sul_id: key.sul_id.clone(),
+                    impl_version: key.impl_version.clone(),
+                    alphabet: key.alphabet.clone(),
+                    alphabet_hash: key.alphabet_hash,
+                    trie: trie.clone(),
+                });
                 self.entries.sort_by(|a, b| {
                     (&a.sul_id, &a.impl_version, &a.alphabet).cmp(&(
                         &b.sul_id,
@@ -470,24 +627,9 @@ impl SharedCacheStore {
     }
 
     fn save_locked(&self, path: &Path) -> Result<(), CacheError> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
         let json =
             serde_json::to_string_pretty(self).map_err(|e| CacheError::Format(e.to_string()))?;
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(format!(
-            ".tmp.{}.{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let tmp = PathBuf::from(tmp);
-        std::fs::write(&tmp, json)?;
-        std::fs::rename(&tmp, path).inspect_err(|_| {
-            let _ = std::fs::remove_file(&tmp);
-        })?;
+        atomic_write_durable(path, json.as_bytes())?;
         Ok(())
     }
 

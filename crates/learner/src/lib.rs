@@ -31,18 +31,20 @@
 pub mod cache;
 pub mod dtree;
 pub mod eq_oracles;
+pub mod journal;
 pub mod lstar;
 pub mod oracle;
 pub mod stats;
 pub mod trie;
 
-pub use cache::{CacheError, CacheStore, SharedCacheStore, CACHE_FORMAT_VERSION};
+pub use cache::{CacheError, CacheStore, SharedCacheStore, StoreKey, CACHE_FORMAT_VERSION};
 pub use dtree::{DTreeLearner, SiftStrategy};
 pub use eq_oracles::{RandomWordOracle, SimulatorOracle, WMethodOracle};
+pub use journal::{JournalStore, RetainPolicy, StoreFormat};
 pub use lstar::LStarLearner;
 pub use oracle::{CacheOracle, EquivalenceOracle, MachineOracle, MembershipOracle, QueryPhase};
 pub use stats::LearningStats;
-pub use trie::{PrefixTrie, TrieDivergence};
+pub use trie::{PathCoverage, PrefixTrie, TrieDivergence};
 
 use prognosis_automata::mealy::MealyMachine;
 

@@ -43,6 +43,24 @@ pub struct PrefixTrie {
     terminal_words: usize,
 }
 
+/// How a `(input, output, terminal)` path relates to the answers a trie
+/// already holds (see [`PrefixTrie::coverage`]) — the decision the
+/// journaled observation store makes per path when computing the delta an
+/// append must write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathCoverage {
+    /// Every step of the path is cached with the same outputs, and the
+    /// terminal marker (if requested) is already set: appending this path
+    /// would add nothing.
+    Covered,
+    /// The path is consistent with the cached answers but extends them
+    /// (fresh suffix symbols and/or a new terminal marker).
+    Fresh,
+    /// A cached step answers differently: the trie and the path describe
+    /// different SUL behaviour.
+    Contradicts,
+}
+
 /// One shortest conflicting prefix between two tries' cached answers (see
 /// [`PrefixTrie::divergences`]): both tries answered `input`, with
 /// different final output symbols.
@@ -276,37 +294,100 @@ impl PrefixTrie {
     /// node lies on the path to some leaf and every terminal is flagged.
     pub fn paths(&self) -> Vec<(InputWord, OutputWord, bool)> {
         let mut result = Vec::new();
-        let mut input = Vec::new();
-        let mut output = Vec::new();
-        self.collect_paths(0, &mut input, &mut output, &mut result);
+        self.for_each_path(|input, output, terminal| {
+            result.push((
+                input.iter().cloned().collect(),
+                output.iter().cloned().collect(),
+                terminal,
+            ));
+        });
         result
     }
 
-    fn collect_paths(
+    /// Streaming form of [`PrefixTrie::paths`]: visits every maximal path
+    /// as borrowed symbol slices, in the same deterministic depth-first
+    /// order, without materializing the path list.  The journaled
+    /// observation store encodes records straight out of this visitor, so
+    /// serializing a million-entry trie allocates no intermediate words.
+    pub fn for_each_path<F: FnMut(&[Symbol], &[Symbol], bool)>(&self, mut f: F) {
+        let mut input = Vec::new();
+        let mut output = Vec::new();
+        self.visit_paths(0, &mut input, &mut output, &mut f);
+    }
+
+    fn visit_paths<F: FnMut(&[Symbol], &[Symbol], bool)>(
         &self,
         node: usize,
         input: &mut Vec<Symbol>,
         output: &mut Vec<Symbol>,
-        result: &mut Vec<(InputWord, OutputWord, bool)>,
+        f: &mut F,
     ) {
         let is_leaf = self.nodes[node].children.is_empty();
         // The root is emitted only when marked terminal (an ε query was
         // asked); an empty trie dumps to an empty list.
         if self.nodes[node].terminal || (is_leaf && node != 0) {
-            result.push((
-                input.iter().cloned().collect(),
-                output.iter().cloned().collect(),
-                self.nodes[node].terminal,
-            ));
+            f(input, output, self.nodes[node].terminal);
         }
         let mut children: Vec<(&Symbol, &usize)> = self.nodes[node].children.iter().collect();
         children.sort_by(|a, b| a.0.cmp(b.0));
         for (symbol, &child) in children {
             input.push(symbol.clone());
             output.push(self.nodes[child].output.clone().expect("non-root output"));
-            self.collect_paths(child, input, output, result);
+            self.visit_paths(child, input, output, f);
             input.pop();
             output.pop();
+        }
+    }
+
+    /// Number of maximal paths [`PrefixTrie::for_each_path`] would visit —
+    /// the live-record count of a fully compacted journal segment holding
+    /// this trie.  Counts terminal nodes plus non-terminal leaves.
+    pub fn path_count(&self) -> usize {
+        let mut terminals_or_leaves = 0;
+        for (index, node) in self.nodes.iter().enumerate() {
+            if node.terminal || (node.children.is_empty() && index != 0) {
+                terminals_or_leaves += 1;
+            }
+        }
+        terminals_or_leaves
+    }
+
+    /// Whether `input` is fully cached *and* marked as a full query.
+    pub fn is_terminal(&self, input: &InputWord) -> bool {
+        let mut node = 0;
+        for symbol in input.iter() {
+            match self.nodes[node].children.get(symbol) {
+                Some(&child) => node = child,
+                None => return false,
+            }
+        }
+        self.nodes[node].terminal
+    }
+
+    /// Classifies a `(input, output, terminal)` path against this trie's
+    /// cached answers without mutating anything: [`PathCoverage::Covered`]
+    /// when appending it would change nothing, [`PathCoverage::Fresh`] when
+    /// it extends the cache consistently, [`PathCoverage::Contradicts`]
+    /// when a cached step answers differently.  This is the per-path
+    /// decision procedure of the journal store's delta appends.
+    pub fn coverage(&self, input: &[Symbol], output: &[Symbol], terminal: bool) -> PathCoverage {
+        debug_assert_eq!(input.len(), output.len());
+        let mut node = 0;
+        for (symbol, out) in input.iter().zip(output.iter()) {
+            match self.nodes[node].children.get(symbol) {
+                Some(&child) => {
+                    if self.nodes[child].output.as_ref() != Some(out) {
+                        return PathCoverage::Contradicts;
+                    }
+                    node = child;
+                }
+                None => return PathCoverage::Fresh,
+            }
+        }
+        if terminal && !self.nodes[node].terminal {
+            PathCoverage::Fresh
+        } else {
+            PathCoverage::Covered
         }
     }
 
