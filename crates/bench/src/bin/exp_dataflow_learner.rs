@@ -4,18 +4,28 @@
 //! Runs the latency-modelled TCP scenario at 1 worker × 64 in-flight
 //! sessions with the dataflow, wavefront and serial sift strategies
 //! (`--quick` trims the random-word budget for the CI smoke step; the pool
-//! shape stays at 64).  The library asserts the headline claims —
-//! bit-identical models, `membership_queries` ≤ serial, identical
-//! `fresh_symbols` and equivalence-test counts, exact speculation-word
-//! accounting, pool-window occupancy ≥ 0.9 through hypothesis
-//! construction, and an end-to-end virtual-time win over the
-//! phase-barriered wavefront — so this binary doubles as the CI smoke
-//! test.  Appends the `dataflow_learner` scenario (per-strategy runs,
-//! speculation waste, occupancy, speedups) to `BENCH_learning.json` in the
-//! current directory.
+//! shape stays at 64).  While it grinds, a one-line status repaints per
+//! strategy, driven by `bench:stage` events through the shared event sink
+//! (TTY only).  The library asserts the headline claims — bit-identical
+//! models, `membership_queries` ≤ serial, identical `fresh_symbols` and
+//! equivalence-test counts, exact speculation-word accounting, pool-window
+//! occupancy ≥ 0.9 through hypothesis construction, and an end-to-end
+//! virtual-time win over the phase-barriered wavefront — so this binary
+//! doubles as the CI smoke test.  Appends the `dataflow_learner` scenario
+//! (per-strategy runs, speculation waste, occupancy, speedups) to
+//! `BENCH_learning.json` in the current directory.
+use prognosis_campaign::{Progress, ProgressSink};
+use prognosis_events::EventSink;
+use std::sync::Arc;
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (report, scenario) = prognosis_bench::exp_dataflow_learner(quick);
+    let progress = Arc::new(ProgressSink::stages(Progress::stdout()));
+    let (report, scenario) = prognosis_bench::exp_dataflow_learner_with_events(
+        quick,
+        Some(Arc::clone(&progress) as Arc<dyn EventSink>),
+    );
+    progress.finish();
     println!("{report}");
     let existing = std::fs::read_to_string("BENCH_learning.json").ok();
     let merged = prognosis_bench::merge_scenario(existing.as_deref(), "dataflow_learner", scenario);

@@ -1,0 +1,22 @@
+//! E23: event-log sink overhead on the E17 session-engine scenario.
+//!
+//! Learns the latency-modelled TCP scenario (1 worker × 64 in-flight
+//! dataflow sessions) with and without the rotating JSONL event sink
+//! attached, asserts the learned model is bit-identical and — in the full
+//! configuration — that the sink costs < 5% wall time, and leaves the
+//! instrumented run's log at `event_log.jsonl` in the current directory
+//! for the `prognosis-events` analyzer (CI runs `verify` and `timeline`
+//! on it).  Appends the `event_log` scenario to `BENCH_learning.json`.
+//! Pass `--quick` for the reduced CI smoke configuration (one round, no
+//! overhead floor).
+fn main() {
+    let quick = std::env::args().any(|arg| arg == "--quick");
+    let log_path = std::path::Path::new("event_log.jsonl");
+    let (report, scenario) = prognosis_bench::exp_event_log(quick, log_path);
+    println!("{report}");
+    let existing = std::fs::read_to_string("BENCH_learning.json").ok();
+    let merged = prognosis_bench::merge_scenario(existing.as_deref(), "event_log", scenario);
+    std::fs::write("BENCH_learning.json", merged).expect("write BENCH_learning.json");
+    println!("appended event_log scenario to BENCH_learning.json");
+    println!("event log written to {}", log_path.display());
+}

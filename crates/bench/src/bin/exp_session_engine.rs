@@ -4,12 +4,23 @@
 //! worker, 4 blocking workers, 1 worker × {16, 64} in-flight sessions),
 //! prints the comparison report — including scheduler occupancy — and
 //! appends the `session_engine` scenario to `BENCH_learning.json` (in the
-//! current directory), creating the file when E15 has not run yet.  The
+//! current directory), creating the file when E15 has not run yet.  While
+//! it grinds, a one-line status repaints per engine shape, driven by
+//! `bench:stage` events through the shared event sink (TTY only).  The
 //! library asserts the headline numbers (64 in-flight ≥ 8× one blocking
 //! worker, and faster than 4 blocking workers), so this binary doubles as
 //! the CI smoke test for the session engine.
+use prognosis_campaign::{Progress, ProgressSink};
+use prognosis_events::EventSink;
+use std::sync::Arc;
+
 fn main() {
-    let (report, scenario) = prognosis_bench::exp_session_engine();
+    let progress = Arc::new(ProgressSink::stages(Progress::stdout()));
+    let (report, scenario) = prognosis_bench::exp_session_engine_with_events(Some(Arc::clone(
+        &progress,
+    )
+        as Arc<dyn EventSink>));
+    progress.finish();
     println!("{report}");
     let existing = std::fs::read_to_string("BENCH_learning.json").ok();
     let merged = prognosis_bench::merge_session_engine_scenario(existing.as_deref(), scenario);

@@ -5,12 +5,23 @@
 //! journal warm load is at least 5× faster than the JSON parse while
 //! replaying a bit-identical trie.  A churned second store demonstrates
 //! that compaction reclaims superseded records without changing the
-//! replay.  Appends the `store_format` scenario to `BENCH_learning.json`
-//! (in the current directory).  Pass `--quick` for the reduced CI smoke
+//! replay.  While it grinds, a one-line status repaints per stage, driven
+//! by `bench:stage` events through the shared event sink (TTY only).
+//! Appends the `store_format` scenario to `BENCH_learning.json` (in the
+//! current directory).  Pass `--quick` for the reduced CI smoke
 //! configuration (20k observations, no speedup floor).
+use prognosis_campaign::{Progress, ProgressSink};
+use prognosis_events::EventSink;
+use std::sync::Arc;
+
 fn main() {
     let quick = std::env::args().any(|arg| arg == "--quick");
-    let (report, scenario) = prognosis_bench::exp_store_format(quick);
+    let progress = Arc::new(ProgressSink::stages(Progress::stdout()));
+    let (report, scenario) = prognosis_bench::exp_store_format_with_events(
+        quick,
+        Some(Arc::clone(&progress) as Arc<dyn EventSink>),
+    );
+    progress.finish();
     println!("{report}");
     let existing = std::fs::read_to_string("BENCH_learning.json").ok();
     let merged = prognosis_bench::merge_scenario(existing.as_deref(), "store_format", scenario);

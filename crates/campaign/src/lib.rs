@@ -38,7 +38,7 @@ pub mod runner;
 pub mod spec;
 
 pub use dag::{GraphError, TaskGraph, TaskNode};
-pub use progress::Progress;
+pub use progress::{Progress, ProgressSink};
 pub use report::{model_digest, CampaignReport, CellReport, CheckReport};
 pub use runner::{run_campaign, CampaignError, RunnerConfig};
 pub use spec::{

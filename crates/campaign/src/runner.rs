@@ -15,7 +15,7 @@
 //! spec order.  Re-running the same spec at any engine size, task-worker
 //! count or schedule seed yields byte-identical models, diffs and stats.
 
-use crate::progress::Progress;
+use crate::progress::{Progress, ProgressSink};
 use crate::report::{model_digest, CampaignReport, CellReport, CheckReport};
 use crate::spec::{CampaignSpec, CellSpec, Protocol, SpecError, TaskKind};
 use prognosis_analysis::model_diff::{diff_models, ModelDiff};
@@ -25,12 +25,13 @@ use prognosis_automata::word::InputWord;
 use prognosis_core::engine::EnginePool;
 use prognosis_core::net_transport::{LinkConfig, NetworkedSessionFactory};
 use prognosis_core::pipeline::{
-    learn_model_parallel_seeded, LearnConfig, LearnError, SeededLearnOutcome,
+    learn_model_parallel_seeded_with_events, LearnConfig, LearnError, SeededLearnOutcome,
 };
 use prognosis_core::quic_adapter::{QuicSul, QuicSulFactory};
 use prognosis_core::session::{SessionSulFactory, SimDuration};
 use prognosis_core::sul::Sul;
 use prognosis_core::tcp_adapter::{TcpSul, TcpSulFactory};
+use prognosis_events::{Event, EventSink, Tee};
 use prognosis_learner::cache::StoreKey;
 use prognosis_learner::journal::{JournalStore, RetainPolicy};
 use prognosis_learner::trie::PrefixTrie;
@@ -41,7 +42,7 @@ use std::sync::{Condvar, Mutex};
 
 /// How the campaign executes (orthogonal to *what* it computes: none of
 /// these knobs may change the report).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone)]
 pub struct RunnerConfig {
     /// Threads in the shared engine pool.  Clamped up to the per-cell
     /// `learn.workers` so a single learn task can always assemble a lease.
@@ -56,6 +57,24 @@ pub struct RunnerConfig {
     /// Whether to drive the live progress line (still suppressed when
     /// stdout is not a TTY).
     pub progress: bool,
+    /// Structured event sink for the whole campaign: task lifecycle and
+    /// engine-lease diagnostics plus every learn task's full event
+    /// stream (sessions, phases, wire fates, speculation).  Concurrent
+    /// cells share the sink; their deterministic events stay separable
+    /// because each learn wraps it in its own scope staging.
+    pub events: Option<Arc<dyn EventSink>>,
+}
+
+impl fmt::Debug for RunnerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunnerConfig")
+            .field("engine_threads", &self.engine_threads)
+            .field("task_workers", &self.task_workers)
+            .field("schedule_seed", &self.schedule_seed)
+            .field("progress", &self.progress)
+            .field("events", &self.events.is_some())
+            .finish()
+    }
 }
 
 impl Default for RunnerConfig {
@@ -65,6 +84,7 @@ impl Default for RunnerConfig {
             task_workers: 2,
             schedule_seed: 0,
             progress: true,
+            events: None,
         }
     }
 }
@@ -183,6 +203,7 @@ fn learn_cell(
     cell: &CellSpec,
     warm: PrefixTrie,
     prime: &[InputWord],
+    events: Option<Arc<dyn EventSink>>,
 ) -> Result<LearnBits, LearnError> {
     let alphabet = cell.effective_alphabet();
     fn go<F>(
@@ -192,12 +213,14 @@ fn learn_cell(
         learn: &LearnConfig,
         warm: PrefixTrie,
         prime: &[InputWord],
+        events: Option<Arc<dyn EventSink>>,
     ) -> Result<LearnBits, LearnError>
     where
         F: SessionSulFactory,
         F::Session: Send + 'static,
     {
-        learn_model_parallel_seeded(pool, factory, alphabet, learn, warm, prime).map(extract_bits)
+        learn_model_parallel_seeded_with_events(pool, factory, alphabet, learn, warm, prime, events)
+            .map(extract_bits)
     }
     match (cell.protocol, &cell.impairment) {
         (Protocol::Tcp, None) => go(
@@ -207,11 +230,12 @@ fn learn_cell(
             learn,
             warm,
             prime,
+            events,
         ),
         (Protocol::Tcp, Some(imp)) => {
             let factory = NetworkedSessionFactory::new(TcpSulFactory::default(), link_config(imp))
                 .with_noise_seed(imp.noise_seed);
-            go(pool, &factory, &alphabet, learn, warm, prime)
+            go(pool, &factory, &alphabet, learn, warm, prime, events)
         }
         (Protocol::Quic, impairment) => {
             let profile = cell
@@ -223,11 +247,11 @@ fn learn_cell(
                 factory = factory.with_buggy_retry_client();
             }
             match impairment {
-                None => go(pool, &factory, &alphabet, learn, warm, prime),
+                None => go(pool, &factory, &alphabet, learn, warm, prime, events),
                 Some(imp) => {
                     let factory = NetworkedSessionFactory::new(factory, link_config(imp))
                         .with_noise_seed(imp.noise_seed);
-                    go(pool, &factory, &alphabet, learn, warm, prime)
+                    go(pool, &factory, &alphabet, learn, warm, prime, events)
                 }
             }
         }
@@ -279,7 +303,32 @@ pub fn run_campaign(
     // Every learn task leases `learn.workers` slots at once; the pool must
     // be at least that deep or the first lease would wait forever.
     let pool = EnginePool::new(runner.engine_threads.max(spec.learn.workers.max(1)));
-    let progress = Progress::forced(runner.progress && Progress::stdout().enabled());
+
+    // Observability spine: the caller's sink (if any) and the live
+    // progress line both consume one event stream.  The progress line is
+    // itself just another sink — the runner no longer paints directly.
+    let progress = Arc::new(ProgressSink::new(
+        Progress::forced(runner.progress && Progress::stdout().enabled()),
+        total,
+        pool.total_slots(),
+    ));
+    let events: Option<Arc<dyn EventSink>> = {
+        let mut sinks: Vec<Arc<dyn EventSink>> = Vec::new();
+        if let Some(sink) = &runner.events {
+            sinks.push(Arc::clone(sink));
+        }
+        if progress.enabled() {
+            sinks.push(Arc::clone(&progress) as Arc<dyn EventSink>);
+        }
+        match sinks.len() {
+            0 => None,
+            1 => sinks.pop(),
+            _ => Some(Arc::new(Tee::new(sinks))),
+        }
+    };
+    if let Some(sink) = &events {
+        pool.set_event_sink(Arc::clone(sink));
+    }
 
     // The shared journaled store and its warm-start snapshot: cells read
     // the *snapshot* taken here, never the live store, so what a cell
@@ -306,18 +355,6 @@ pub fn run_campaign(
     let diffs_done: Mutex<Vec<Option<ModelDiff>>> = Mutex::new(vec![None; spec.diffs.len()]);
     let checks_done: Mutex<Vec<Option<CheckReport>>> = Mutex::new(vec![None; spec.checks.len()]);
     let final_report: Mutex<Option<CampaignReport>> = Mutex::new(None);
-
-    let paint = |s: &Sched| {
-        let busy = pool.total_slots().saturating_sub(pool.free_slots());
-        progress.update_campaign(
-            s.completed,
-            total,
-            s.in_flight,
-            total - s.completed - s.in_flight,
-            busy,
-            pool.total_slots(),
-        );
-    };
 
     let execute = |task: usize| -> Result<(), CampaignError> {
         match graph.nodes()[task].payload {
@@ -353,12 +390,11 @@ pub fn run_campaign(
                     }
                     None => (Vec::new(), None),
                 };
-                let bits = learn_cell(&pool, &spec.learn, cell, warm, &prime).map_err(|error| {
-                    CampaignError::Learn {
+                let bits = learn_cell(&pool, &spec.learn, cell, warm, &prime, events.clone())
+                    .map_err(|error| CampaignError::Learn {
                         task: graph.nodes()[task].id.clone(),
                         error,
-                    }
-                })?;
+                    })?;
                 // Divergent cached answers between the baseline's trie and
                 // this cell's own answers are the cross-version regression
                 // findings (left = baseline, right = this cell).
@@ -499,13 +535,23 @@ pub fn run_campaign(
                             s.picks += 1;
                             let task = s.ready.remove(idx);
                             s.in_flight += 1;
-                            paint(&s);
                             break task;
                         }
                         s = ready_cv.wait(s).expect("scheduler poisoned");
                     }
                 };
+                if let Some(sink) = &events {
+                    sink.emit(&Event::TaskStart {
+                        id: graph.nodes()[task].id.clone(),
+                    });
+                }
                 let result = execute(task);
+                if let Some(sink) = &events {
+                    sink.emit(&Event::TaskDone {
+                        id: graph.nodes()[task].id.clone(),
+                        ok: result.is_ok(),
+                    });
+                }
                 let mut s = state.lock().expect("scheduler poisoned");
                 s.in_flight -= 1;
                 match result {
@@ -520,12 +566,14 @@ pub fn run_campaign(
                     }
                     Err(e) => s.failed = Some(e),
                 }
-                paint(&s);
                 drop(s);
                 ready_cv.notify_all();
             });
         }
     });
+    if let Some(sink) = &events {
+        sink.flush();
+    }
     progress.finish();
 
     let mut s = state.into_inner().expect("scheduler poisoned");
@@ -577,6 +625,7 @@ mod tests {
                 task_workers: 2,
                 schedule_seed: 1,
                 progress: false,
+                events: None,
             },
         )
         .expect("campaign succeeds");

@@ -52,6 +52,7 @@ fn canonical(engine_threads: usize, task_workers: usize, schedule_seed: u64) -> 
             task_workers,
             schedule_seed,
             progress: false,
+            events: None,
         },
     )
     .expect("campaign succeeds")
@@ -86,6 +87,7 @@ fn reference_run_is_reproducible_and_primes() {
             task_workers: 1,
             schedule_seed: 0,
             progress: false,
+            events: None,
         },
     )
     .expect("campaign succeeds");

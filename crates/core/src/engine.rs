@@ -18,6 +18,7 @@
 //! what lets a TCP learn task and a QUIC learn task share one pool at the
 //! same time.
 
+use prognosis_events::{Event, EventSink};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -39,6 +40,10 @@ struct PoolShared {
     jobs_ready: Condvar,
     slots: Mutex<SlotLedger>,
     slots_ready: Condvar,
+    /// Diagnostic sink for lease traffic (`lease:acquire` /
+    /// `lease:release`); lives here because slot returns happen on pool
+    /// threads, not through the [`EnginePool`] handle.
+    events: Mutex<Option<Arc<dyn EventSink>>>,
 }
 
 /// A pool of engine threads that session workers run on.  Each thread hosts
@@ -70,6 +75,7 @@ impl EnginePool {
                 total: threads,
             }),
             slots_ready: Condvar::new(),
+            events: Mutex::new(None),
         });
         let threads = (0..threads)
             .map(|_| {
@@ -98,6 +104,13 @@ impl EnginePool {
             })
             .collect();
         EnginePool { shared, threads }
+    }
+
+    /// Attaches a sink for the pool's diagnostic lease events
+    /// (`lease:acquire` on grant, `lease:release` per returned slot).
+    /// Replaces any previous sink.
+    pub fn set_event_sink(&self, sink: Arc<dyn EventSink>) {
+        *self.shared.events.lock().expect("pool sink poisoned") = Some(sink);
     }
 
     /// Total worker slots (= pool threads).
@@ -140,6 +153,15 @@ impl EnginePool {
                 .expect("slot ledger poisoned");
         }
         slots.free -= workers;
+        let free = slots.free;
+        drop(slots);
+        emit_pool_event(
+            &self.shared,
+            Event::LeaseAcquire {
+                slots: workers as u64,
+                free: free as u64,
+            },
+        );
         EngineLease {
             shared: Arc::clone(&self.shared),
             unspent: workers,
@@ -224,9 +246,17 @@ impl Drop for EngineLease {
 fn release_slots(shared: &PoolShared, count: usize) {
     let mut slots = shared.slots.lock().expect("slot ledger poisoned");
     slots.free += count;
+    let free = slots.free;
     debug_assert!(slots.free <= slots.total, "slot over-release");
     drop(slots);
+    emit_pool_event(shared, Event::LeaseRelease { free: free as u64 });
     shared.slots_ready.notify_all();
+}
+
+fn emit_pool_event(shared: &PoolShared, event: Event) {
+    if let Some(sink) = &*shared.events.lock().expect("pool sink poisoned") {
+        sink.emit(&event);
+    }
 }
 
 /// Returns `count` slots to the pool on drop.

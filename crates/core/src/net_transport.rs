@@ -121,6 +121,11 @@ pub struct NetworkedSession<S: WireSul> {
     timeout: SimDuration,
     impaired: bool,
     state: StepState,
+    /// Event scope announced for the next query (see
+    /// [`SessionSul::begin_event_scope`]); consumed by `start_reset`,
+    /// which registers it as the wire scope of this session's endpoint
+    /// pair.
+    pending_scope: Option<u64>,
 }
 
 impl<S: WireSul> NetworkedSession<S> {
@@ -150,6 +155,7 @@ impl<S: WireSul> SessionSul for NetworkedSession<S> {
     fn start_reset(&mut self, now: SimTime) -> SimTime {
         self.sul.reset();
         self.state = StepState::Idle;
+        let pending_scope = self.pending_scope.take();
         let mut net = self.lock();
         net.advance_to(now);
         // One query's stragglers — late jittered deliveries, duplicates in
@@ -167,6 +173,11 @@ impl<S: WireSul> SessionSul for NetworkedSession<S> {
             .expect("client endpoint bound");
         net.rewind_noise(self.server)
             .expect("server endpoint bound");
+        if let Some(scope) = pending_scope {
+            // The network clock just advanced to `now`, so wire events of
+            // this query get timestamps relative to its reset instant.
+            net.set_wire_scope(self.client, self.server, scope);
+        }
         now
     }
 
@@ -295,6 +306,16 @@ impl<S: WireSul> SessionSul for NetworkedSession<S> {
         } else {
             self.sul.cache_key()
         }
+    }
+
+    fn attach_event_sink(&mut self, sink: std::sync::Arc<prognosis_events::ScopedSink>) {
+        // All sessions of a worker group share one network; attaching is
+        // idempotent, the last sink wins.
+        self.lock().attach_event_sink(sink);
+    }
+
+    fn begin_event_scope(&mut self, scope: u64) {
+        self.pending_scope = Some(scope);
     }
 
     fn into_sul(self) -> S {
@@ -439,6 +460,7 @@ where
                     timeout: self.timeout,
                     impaired: self.link.is_impaired() || self.reverse_link().is_impaired(),
                     state: StepState::Idle,
+                    pending_scope: None,
                 }
             })
             .collect();

@@ -18,11 +18,12 @@
 use crate::engine::EnginePool;
 use crate::pipeline::{panic_message, LearnError};
 use crate::session::{
-    add_stats, EngineStats, QueryPhase, SchedulerStats, SessionScheduler, SessionSul,
+    add_stats, phase_name, EngineStats, QueryPhase, SchedulerStats, SessionScheduler, SessionSul,
     SessionSulFactory, SimTime,
 };
 use crate::sul::SulStats;
 use prognosis_automata::word::{InputWord, OutputWord};
+use prognosis_events::{Event, EventSink, ScopedSink};
 use prognosis_learner::oracle::{AsyncAnswer, AsyncQuery, CancelOutcome, MembershipOracle};
 use std::collections::{BTreeSet, VecDeque};
 use std::panic::AssertUnwindSafe;
@@ -191,17 +192,96 @@ pub struct ParallelSulOracle<Sn: SessionSul> {
     /// timeline, per-phase stats) that [`ParallelSulOracle::engine_stats`]
     /// folds into the reported [`EngineStats`].
     telemetry: EngineStats,
-    /// Async tickets submitted but not yet answered (or cancelled).
-    outstanding: BTreeSet<u64>,
+    /// Async tickets submitted but not yet answered (or cancelled), with
+    /// their speculative flag.
+    outstanding: std::collections::HashMap<u64, bool>,
     /// Cancelled tickets whose query was already executing; their answers
     /// are dropped on arrival.
     discard: BTreeSet<u64>,
     /// Async answers received (e.g. while a blocking batch was draining)
     /// but not yet handed to the caller.
     async_ready: Vec<AsyncAnswer>,
+    /// Answered non-speculative tickets not yet handed to the learner.
+    /// Delivery is strictly in submission order
+    /// ([`ParallelSulOracle::delivery_queue`]) and at most one
+    /// non-speculative answer per poll — always, not just while a sink is
+    /// attached — so the learner's continuation submissions (and with them
+    /// the deterministic event stream) are independent of wall-clock
+    /// completion order, and attaching a sink never perturbs the query
+    /// schedule it observes.
+    ready_answers: std::collections::HashMap<u64, OutputWord>,
+    /// Non-speculative async tickets in submission order, awaiting their
+    /// delivery turn.
+    delivery_queue: VecDeque<u64>,
     /// (busy, virtual) totals at the previous telemetry sample — the delta
     /// basis for async timeline samples.
     last_busy_virtual: (u64, u64),
+    /// Query scopes flushed to the event stream so far (batch commits plus
+    /// frontier flushes) — the logical clock [`PhaseEnter`] stamps.  Issued
+    /// counts would leak the engine shape through rolled-back speculation;
+    /// flushed counts are a pure function of the stream itself.
+    ///
+    /// [`PhaseEnter`]: Event::PhaseEnter
+    flushed_queries: u64,
+    /// The staging event sink: workers stage each query's events under its
+    /// job id, and this dispatcher thread commits scopes in learner order
+    /// (batch-index order for blocking dispatch, submission order through
+    /// the [`ParallelSulOracle::pump_scopes`] frontier for async tickets)
+    /// — which is what makes the deterministic stream byte-identical
+    /// across engine shapes.
+    events: Option<Arc<ScopedSink>>,
+    /// The deterministic-stream frontier: every deterministic emission —
+    /// async query scopes, blocking-batch scopes, phase transitions,
+    /// speculation-commit markers — queues here in learner order and
+    /// reaches the inner sink strictly front-to-back (maintained only
+    /// while an event sink is attached).
+    scope_queue: VecDeque<FrontierItem>,
+    /// Flush state per queued async ticket.
+    scope_state: std::collections::HashMap<u64, ScopeState>,
+    /// Next unused blocking-batch scope id offset; every dispatch claims a
+    /// fresh id range so an earlier batch's scope can still sit unflushed
+    /// in the frontier when the next batch starts staging.
+    batch_cursor: u64,
+}
+
+/// One slot in the ordered deterministic-stream frontier.  Everything the
+/// deterministic stream carries flows through this queue in learner
+/// order, so the serialized log is a pure function of the learner's call
+/// sequence — never of wall-clock completion order.
+enum FrontierItem {
+    /// An async ticket's staged scope; flushes per its [`ScopeState`].
+    Scope(u64),
+    /// A blocking-batch query scope; fully staged when enqueued (the
+    /// dispatch that created it drained every answer first).
+    Batch(u64),
+    /// A phase-transition marker; emits [`Event::PhaseEnter`] stamped with
+    /// the flushed-scope count at its queue position.
+    Phase(QueryPhase),
+    /// A speculation-commit marker, enqueued behind the scopes it commits.
+    Commit(u64),
+}
+
+/// Where one async ticket's staged event scope stands in the ordered
+/// flush.  A non-speculative ticket's answer is final the moment the
+/// learner consumes it (the dataflow learner never rolls sift
+/// continuations back), so its scope queues at submission and flushes on
+/// arrival.  A speculative ticket's scope stays *out* of the frontier
+/// until the learner's explicit `commit_queries`: how far speculation has
+/// been submitted when construction work interleaves follows the engine
+/// shape, so a submission-time slot would leak it — the commit is the
+/// first point where the scope's place in the stream is learner-determined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ScopeState {
+    /// Non-speculative: queued at submission, flushes when its answer
+    /// arrives.
+    Auto,
+    /// Speculative: not yet queued; waits for an explicit commit.
+    Spec,
+    /// Answered (non-speculative) or committed (speculative): flushes as
+    /// soon as every earlier-queued slot has flushed or died.
+    Ready,
+    /// Cancelled; the scope was discarded and the slot pops silently.
+    Dead,
 }
 
 /// The result of shutting the engine down: the session SULs (adapter-side
@@ -239,9 +319,35 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
     where
         F: SessionSulFactory<Session = Sn>,
     {
+        Self::spawn_with_events(factory, workers, max_inflight, None, false)
+    }
+
+    /// [`ParallelSulOracle::spawn_with`] plus an event sink: the engine's
+    /// telemetry flows into `sink` ([`prognosis_events`]), with diagnostic
+    /// events gated by `diagnostics`.
+    ///
+    /// # Panics
+    /// Panics when `workers` or `max_inflight` is zero.
+    pub fn spawn_with_events<F>(
+        factory: &F,
+        workers: usize,
+        max_inflight: usize,
+        sink: Option<Arc<dyn EventSink>>,
+        diagnostics: bool,
+    ) -> Self
+    where
+        F: SessionSulFactory<Session = Sn>,
+    {
         assert!(workers >= 1, "a parallel oracle needs at least one worker");
         let pool = EnginePool::new(workers);
-        let mut oracle = Self::spawn_on_pool(&pool, factory, workers, max_inflight);
+        let mut oracle = Self::spawn_on_pool_with_events(
+            &pool,
+            factory,
+            workers,
+            max_inflight,
+            sink,
+            diagnostics,
+        );
         oracle.owned_pool = Some(pool);
         oracle
     }
@@ -265,8 +371,29 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
     where
         F: SessionSulFactory<Session = Sn>,
     {
+        Self::spawn_on_pool_with_events(pool, factory, workers, max_inflight, None, false)
+    }
+
+    /// [`ParallelSulOracle::spawn_on_pool`] plus an event sink (see
+    /// [`ParallelSulOracle::spawn_with_events`]).
+    ///
+    /// # Panics
+    /// Panics when `workers` or `max_inflight` is zero, or when `workers`
+    /// exceeds the pool size.
+    pub fn spawn_on_pool_with_events<F>(
+        pool: &EnginePool,
+        factory: &F,
+        workers: usize,
+        max_inflight: usize,
+        sink: Option<Arc<dyn EventSink>>,
+        diagnostics: bool,
+    ) -> Self
+    where
+        F: SessionSulFactory<Session = Sn>,
+    {
         assert!(workers >= 1, "a parallel oracle needs at least one worker");
         assert!(max_inflight >= 1, "each worker needs at least one session");
+        let events = sink.map(|sink| ScopedSink::new(sink, diagnostics));
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -287,6 +414,7 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
                 let reply_tx = reply_tx.clone();
                 let snapshot = Arc::new(Mutex::new(WorkerSnapshot::default()));
                 let published = Arc::clone(&snapshot);
+                let worker_events = events.clone();
                 let (result_tx, result_rx) = channel::<WorkerResult<Sn>>();
                 lease.submit_worker(move || {
                     // Adaptive pool: start with one active slot, grow while
@@ -294,6 +422,9 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
                     // cannot fill it.  `max_inflight` is the cap.
                     let mut scheduler =
                         SessionScheduler::with_clock(sessions, clock).with_adaptive_inflight(1);
+                    if let Some(sink) = worker_events {
+                        scheduler = scheduler.with_event_sink(sink);
+                    }
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                         worker_loop(&shared, &mut scheduler, &reply_tx, &published);
                     }));
@@ -333,11 +464,23 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
             batches: 0,
             current_phase: QueryPhase::default(),
             telemetry: EngineStats::default(),
-            outstanding: BTreeSet::new(),
+            outstanding: std::collections::HashMap::new(),
             discard: BTreeSet::new(),
             async_ready: Vec::new(),
+            ready_answers: std::collections::HashMap::new(),
+            delivery_queue: VecDeque::new(),
             last_busy_virtual: (0, 0),
+            flushed_queries: 0,
+            events,
+            scope_queue: VecDeque::new(),
+            scope_state: std::collections::HashMap::new(),
+            batch_cursor: 0,
         }
+    }
+
+    /// The oracle's staging event sink, when one was attached at spawn.
+    pub fn event_sink(&self) -> Option<Arc<ScopedSink>> {
+        self.events.clone()
     }
 
     /// Number of worker threads.
@@ -420,6 +563,12 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
                 suls.push(session.into_sul());
             }
         }
+        if let Some(events) = &self.events {
+            // Never-committed scopes (uncommitted continuations, torn-off
+            // speculation) die with the engine; flush what was committed.
+            events.clear();
+            events.flush();
+        }
         Ok(EngineShutdown { suls, engine })
     }
 
@@ -434,11 +583,16 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
         self.queries += inputs.len() as u64;
         let (busy_before, virtual_before) = self.busy_virtual_snapshot();
         let phase = self.current_phase;
+        // A fresh id range per dispatch: the previous batch's scopes may
+        // still be queued behind an unanswered async scope in the frontier,
+        // so their staging ids must not be reused.
+        let base = BATCH_ID_BASE + self.batch_cursor;
+        self.batch_cursor += inputs.len() as u64;
         {
             let mut q = self.shared.queue.lock().expect("work queue poisoned");
             q.jobs
                 .extend(inputs.iter().cloned().enumerate().map(|(i, input)| Job {
-                    id: BATCH_ID_BASE + i as u64,
+                    id: base + i as u64,
                     input,
                     phase,
                 }));
@@ -449,7 +603,7 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
         while received < inputs.len() {
             match self.recv_reply() {
                 Ok(Reply::Answer { id, output }) if id >= BATCH_ID_BASE => {
-                    let index = (id - BATCH_ID_BASE) as usize;
+                    let index = (id - base) as usize;
                     debug_assert!(results[index].is_none(), "query answered twice");
                     results[index] = Some(output);
                     received += 1;
@@ -471,6 +625,16 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
                 }
             }
         }
+        if self.events.is_some() {
+            // The whole batch has answered, so every scope is fully
+            // staged — but earlier-submitted async scopes may still be
+            // pending, so the batch queues behind them in the frontier
+            // instead of jumping the stream.
+            for i in 0..inputs.len() as u64 {
+                self.scope_queue.push_back(FrontierItem::Batch(base + i));
+            }
+            self.pump_scopes();
+        }
         let (busy_after, virtual_after) = self.busy_virtual_snapshot();
         self.last_busy_virtual = (busy_after, virtual_after);
         self.telemetry.record_dispatch(
@@ -479,6 +643,15 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
             busy_after.saturating_sub(busy_before),
             virtual_after.saturating_sub(virtual_before),
         );
+        if let Some(events) = &self.events {
+            events.diagnostic(Event::Occupancy {
+                time: virtual_after,
+                phase: phase_name(self.current_phase),
+                batch: inputs.len() as u64,
+                busy: busy_after.saturating_sub(busy_before),
+                worker: virtual_after.saturating_sub(virtual_before),
+            });
+        }
         results
             .into_iter()
             .map(|out| out.expect("every query index answered"))
@@ -508,10 +681,79 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
     /// Buffers or discards one async answer.
     fn route_async_answer(&mut self, id: u64, output: OutputWord) {
         if self.discard.remove(&id) {
-            return; // Cancelled while executing; the answer is waste.
+            // Cancelled while executing; the answer is waste, and so is
+            // anything the in-flight query staged after the cancel-time
+            // discard.
+            if let Some(events) = &self.events {
+                events.discard(id);
+            }
+            return;
         }
-        if self.outstanding.remove(&id) {
-            self.async_ready.push(AsyncAnswer { ticket: id, output });
+        match self.outstanding.remove(&id) {
+            Some(false) => {
+                // Non-speculative: held back for in-submission-order
+                // delivery, and its event scope (if a sink is attached)
+                // becomes flushable now.
+                self.ready_answers.insert(id, output);
+                if self.events.is_some() {
+                    if let Some(state @ &mut ScopeState::Auto) = self.scope_state.get_mut(&id) {
+                        *state = ScopeState::Ready;
+                        self.pump_scopes();
+                    }
+                }
+            }
+            Some(true) => {
+                // Speculative answers surface in arrival order: the
+                // learner stores them by suite index, so delivery order
+                // cannot reach the stream, and holding them back would
+                // stall resolve walks behind unrelated construction work.
+                self.async_ready.push(AsyncAnswer { ticket: id, output });
+            }
+            None => {}
+        }
+    }
+
+    /// Flushes frontier slots whose turn has come: strictly front to back,
+    /// stopping at the first scope still awaiting its answer or commit.
+    /// The flush *order* is therefore learner-determined even though the
+    /// flush *times* follow wall-clock completions, which is what keeps
+    /// the deterministic stream byte-identical across engine shapes.
+    fn pump_scopes(&mut self) {
+        let Some(events) = &self.events else {
+            return;
+        };
+        while let Some(front) = self.scope_queue.front() {
+            match front {
+                FrontierItem::Scope(id) => match self.scope_state.get(id) {
+                    Some(ScopeState::Ready) => {
+                        events.commit(*id);
+                        self.flushed_queries += 1;
+                        self.scope_state.remove(id);
+                    }
+                    Some(ScopeState::Dead) => {
+                        self.scope_state.remove(id);
+                    }
+                    _ => break,
+                },
+                FrontierItem::Batch(id) => {
+                    events.commit(*id);
+                    self.flushed_queries += 1;
+                }
+                FrontierItem::Phase(phase) => {
+                    // `seq` is the flushed-scope count at this queue
+                    // position — a logical clock recomputable from the
+                    // stream itself, immune to how far speculation
+                    // happened to run ahead.
+                    events.deterministic(Event::PhaseEnter {
+                        phase: phase_name(*phase),
+                        seq: self.flushed_queries,
+                    });
+                }
+                FrontierItem::Commit(words) => {
+                    events.deterministic(Event::SpeculationCommit { words: *words });
+                }
+            }
+            self.scope_queue.pop_front();
         }
     }
 
@@ -541,7 +783,11 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
                     }
                 }
             }
-            if !wait || !self.async_ready.is_empty() || self.outstanding.is_empty() {
+            self.promote_ready();
+            if !wait
+                || !self.async_ready.is_empty()
+                || (self.outstanding.is_empty() && self.ready_answers.is_empty())
+            {
                 break;
             }
             match self.recv_reply() {
@@ -557,6 +803,28 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
             }
         }
         std::mem::take(&mut self.async_ready)
+    }
+
+    /// Moves at most one held-back non-speculative answer into the
+    /// surfacing buffer — the one whose submission-order turn it is.
+    /// Delivering one at a time keeps the learner's reaction windows (and
+    /// so the batches it submits next, and the cache's prefix-subsumption
+    /// groups inside them) identical across engine shapes.
+    fn promote_ready(&mut self) {
+        while let Some(&front) = self.delivery_queue.front() {
+            if let Some(output) = self.ready_answers.remove(&front) {
+                self.delivery_queue.pop_front();
+                self.async_ready.push(AsyncAnswer {
+                    ticket: front,
+                    output,
+                });
+                break;
+            }
+            if self.outstanding.contains_key(&front) {
+                break; // Still executing; later answers wait their turn.
+            }
+            self.delivery_queue.pop_front(); // Cancelled; slot pops silently.
+        }
     }
 }
 
@@ -578,6 +846,10 @@ impl<Sn: SessionSul> Drop for ParallelSulOracle<Sn> {
         self.shared.available.notify_all();
         for worker in std::mem::take(&mut self.workers) {
             let _ = worker.result_rx.recv();
+        }
+        if let Some(events) = &self.events {
+            events.clear();
+            events.flush();
         }
     }
 }
@@ -667,6 +939,13 @@ impl<Sn: SessionSul + Send + 'static> MembershipOracle for ParallelSulOracle<Sn>
     }
 
     fn note_phase(&mut self, phase: QueryPhase) {
+        if phase != self.current_phase && self.events.is_some() {
+            // Queued, not emitted: the marker takes the stream position of
+            // this call relative to every scope submitted before it, even
+            // when some of those scopes are still awaiting answers.
+            self.scope_queue.push_back(FrontierItem::Phase(phase));
+            self.pump_scopes();
+        }
         self.current_phase = phase;
     }
 
@@ -702,10 +981,26 @@ impl<Sn: SessionSul + Send + 'static> MembershipOracle for ParallelSulOracle<Sn>
                     "async tickets must stay below the batch id base"
                 );
                 debug_assert!(
-                    !self.outstanding.contains(&query.ticket),
+                    !self.outstanding.contains_key(&query.ticket),
                     "ticket reused while outstanding"
                 );
-                self.outstanding.insert(query.ticket);
+                self.outstanding.insert(query.ticket, query.speculative);
+                if !query.speculative {
+                    self.delivery_queue.push_back(query.ticket);
+                }
+                if self.events.is_some() {
+                    if query.speculative {
+                        // No frontier slot yet: where speculation has run
+                        // ahead to when other work interleaves follows the
+                        // engine shape, so the scope's stream position is
+                        // only fixed at commit time.
+                        self.scope_state.insert(query.ticket, ScopeState::Spec);
+                    } else {
+                        self.scope_state.insert(query.ticket, ScopeState::Auto);
+                        self.scope_queue
+                            .push_back(FrontierItem::Scope(query.ticket));
+                    }
+                }
                 let job = Job {
                     id: query.ticket,
                     input: query.input,
@@ -737,7 +1032,7 @@ impl<Sn: SessionSul + Send + 'static> MembershipOracle for ParallelSulOracle<Sn>
                     if wanted.contains(&job.id) {
                         outcome.unsent += 1;
                         self.outstanding.remove(&job.id);
-                        false
+                        false // delivery_queue slot (if any) pops lazily
                     } else {
                         true
                     }
@@ -745,20 +1040,70 @@ impl<Sn: SessionSul + Send + 'static> MembershipOracle for ParallelSulOracle<Sn>
             }
         }
         for &ticket in tickets {
-            if self.outstanding.remove(&ticket) {
+            if self.outstanding.remove(&ticket).is_some() {
                 // Already pulled by a worker: let it finish, drop the answer.
                 self.discard.insert(ticket);
                 outcome.discarded += 1;
             } else if let Some(pos) = self.async_ready.iter().position(|a| a.ticket == ticket) {
                 self.async_ready.remove(pos);
                 outcome.discarded += 1;
+            } else if self.ready_answers.remove(&ticket).is_some() {
+                outcome.discarded += 1;
+            }
+        }
+        if self.events.is_some() {
+            for &ticket in tickets {
+                if let Some(events) = &self.events {
+                    events.discard(ticket);
+                }
+                match self.scope_state.get_mut(&ticket) {
+                    // Never queued: a cancelled speculation leaves no
+                    // frontier slot to pop.
+                    Some(&mut ScopeState::Spec) => {
+                        self.scope_state.remove(&ticket);
+                    }
+                    Some(state) => *state = ScopeState::Dead,
+                    None => {}
+                }
+            }
+            self.pump_scopes();
+            if let Some(events) = &self.events {
+                if !tickets.is_empty() {
+                    // Diagnostic: how many tickets the rollback reaches
+                    // depends on how far speculation ran ahead of the
+                    // resolve frontier, which follows the engine shape.
+                    events.diagnostic(Event::SpeculationRollback {
+                        cancelled: tickets.len() as u64,
+                    });
+                }
             }
         }
         outcome
     }
 
+    fn commit_queries(&mut self, tickets: &[u64]) {
+        if self.events.is_some() {
+            // The learner (or the cache layer on its behalf) commits
+            // speculative tickets in suite order after consuming their
+            // answers, so every scope is fully staged; the commit is where
+            // they enter the frontier, followed by the commit marker.
+            let mut committed = 0u64;
+            for &ticket in tickets {
+                if let Some(state @ &mut ScopeState::Spec) = self.scope_state.get_mut(&ticket) {
+                    *state = ScopeState::Ready;
+                    self.scope_queue.push_back(FrontierItem::Scope(ticket));
+                    committed += 1;
+                }
+            }
+            if committed > 0 {
+                self.scope_queue.push_back(FrontierItem::Commit(committed));
+            }
+            self.pump_scopes();
+        }
+    }
+
     fn outstanding_queries(&self) -> u64 {
-        (self.outstanding.len() + self.async_ready.len()) as u64
+        (self.outstanding.len() + self.async_ready.len() + self.ready_answers.len()) as u64
     }
 }
 

@@ -20,6 +20,7 @@ use crate::sul::{Sul, SulMembershipOracle, SulStats};
 use prognosis_automata::alphabet::Alphabet;
 use prognosis_automata::mealy::MealyMachine;
 use prognosis_automata::word::InputWord;
+use prognosis_events::EventSink;
 use prognosis_learner::cache::StoreKey;
 use prognosis_learner::eq_oracles::{RandomWordOracle, DEFAULT_EQ_BATCH_SIZE};
 use prognosis_learner::journal::{JournalStore, RetainPolicy};
@@ -29,6 +30,7 @@ use prognosis_learner::trie::PrefixTrie;
 use prognosis_learner::{DTreeLearner, Learner};
 use serde::{Deserialize, Serialize};
 use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
 
 pub use prognosis_learner::dtree::{SiftStrategy, SpeculationStats};
 
@@ -338,6 +340,32 @@ where
     learn_on_oracle(parallel, factory, alphabet, &config)
 }
 
+/// [`learn_model_parallel`] with a structured event sink attached: wire,
+/// session, phase and speculation events flow into `sink` as the run
+/// executes (see [`prognosis_events`]).  With `diagnostics` false the sink
+/// receives only the deterministic stream, which is byte-identical across
+/// `(workers, max_inflight)` configurations for a fixed scenario.
+pub fn learn_model_parallel_with_events<F>(
+    factory: &F,
+    alphabet: &Alphabet,
+    config: LearnConfig,
+    sink: Arc<dyn EventSink>,
+    diagnostics: bool,
+) -> Result<ParallelLearnOutcome<FactorySul<F>>, LearnError>
+where
+    F: SessionSulFactory,
+    F::Session: Send + 'static,
+{
+    let parallel = ParallelSulOracle::spawn_with_events(
+        factory,
+        config.workers.max(1),
+        config.max_inflight.max(1),
+        Some(sink),
+        diagnostics,
+    );
+    learn_on_oracle(parallel, factory, alphabet, &config)
+}
+
 /// [`learn_model_parallel`] over a *shared* [`EnginePool`]: the run's
 /// `config.workers` worker loops are leased from `pool` (blocking until
 /// that many slots are free) instead of spawning private threads, so
@@ -440,11 +468,33 @@ where
     F: SessionSulFactory,
     F::Session: Send + 'static,
 {
-    let parallel = ParallelSulOracle::spawn_on_pool(
+    learn_model_parallel_seeded_with_events(pool, factory, alphabet, config, warm, prime, None)
+}
+
+/// [`learn_model_parallel_seeded`] with an optional structured event sink:
+/// the campaign runner threads its shared sink (diagnostics enabled)
+/// through here so every cell's engine traffic lands in one log.
+#[allow(clippy::too_many_arguments)]
+pub fn learn_model_parallel_seeded_with_events<F>(
+    pool: &EnginePool,
+    factory: &F,
+    alphabet: &Alphabet,
+    config: &LearnConfig,
+    warm: PrefixTrie,
+    prime: &[InputWord],
+    sink: Option<Arc<dyn EventSink>>,
+) -> Result<SeededLearnOutcome<FactorySul<F>>, LearnError>
+where
+    F: SessionSulFactory,
+    F::Session: Send + 'static,
+{
+    let parallel = ParallelSulOracle::spawn_on_pool_with_events(
         pool,
         factory,
         config.workers.max(1),
         config.max_inflight.max(1),
+        sink,
+        true,
     );
     let membership = CacheOracle::with_trie(parallel, warm);
     let (learned, parallel, trie, prime_misses) =

@@ -22,7 +22,9 @@
 use crate::sul::{Sul, SulFactory, SulStats};
 use prognosis_automata::alphabet::Symbol;
 use prognosis_automata::word::{InputWord, OutputWord};
+use prognosis_events::{Event, ScopedSink, CLOCK_SAMPLE_EVERY};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 pub use prognosis_learner::oracle::QueryPhase;
 pub use prognosis_netsim::time::{SharedClock, SimDuration, SimTime};
@@ -68,6 +70,16 @@ pub trait SessionSul {
 
     /// The underlying SUL's cross-run cache key (see [`Sul::cache_key`]).
     fn cache_key(&self) -> Option<String>;
+
+    /// Attaches the engine's event sink.  A no-op by default; sessions
+    /// that own instrumentable substrate (e.g. a simulated network)
+    /// forward it so wire-level events join the same stream.
+    fn attach_event_sink(&mut self, _sink: Arc<ScopedSink>) {}
+
+    /// Announces that the query begun by the next
+    /// [`SessionSul::start_reset`] stages its events under `scope`.  A
+    /// no-op by default.
+    fn begin_event_scope(&mut self, _scope: u64) {}
 
     /// Tears the session down, returning the underlying SUL.  Callers
     /// should [`SessionSul::start_reset`] first so any pending adapter-side
@@ -321,6 +333,15 @@ pub const ALL_PHASES: [QueryPhase; 3] = [
     QueryPhase::Equivalence,
 ];
 
+/// The phase's stable name in the structured event stream.
+pub fn phase_name(phase: QueryPhase) -> &'static str {
+    match phase {
+        QueryPhase::Construction => "construction",
+        QueryPhase::Counterexample => "counterexample",
+        QueryPhase::Equivalence => "equivalence",
+    }
+}
+
 /// Per-learning-phase slice of the engine's dispatch accounting: how many
 /// batches/queries the phase issued and how much session time it kept in
 /// flight.  This is what makes the sift wavefront measurable — before it,
@@ -567,6 +588,10 @@ struct ActiveJob {
     /// Learning phase the query was dispatched under; virtual waits are
     /// attributed to this tag, not to any global phase flag.
     phase: QueryPhase,
+    /// Event-staging scope (= submit index) and the query's reset instant,
+    /// so `session:done` can carry a query-relative timestamp.
+    scope: u64,
+    begun_at: SimTime,
 }
 
 enum SlotState {
@@ -604,6 +629,7 @@ pub struct SessionScheduler<Sn> {
     /// work window cannot fill the pool.
     active_limit: usize,
     adaptive: bool,
+    sink: Option<Arc<ScopedSink>>,
 }
 
 impl<Sn: SessionSul> SessionScheduler<Sn> {
@@ -639,7 +665,20 @@ impl<Sn: SessionSul> SessionScheduler<Sn> {
             stats: SchedulerStats::default(),
             active_limit,
             adaptive: false,
+            sink: None,
         }
+    }
+
+    /// Attaches an event sink: session lifecycle events are staged under
+    /// each query's scope (= submit index), scheduler diagnostics are
+    /// emitted immediately.  The sink is also forwarded to every session
+    /// so deeper layers (e.g. the simulated network) join the stream.
+    pub fn with_event_sink(mut self, sink: Arc<ScopedSink>) -> Self {
+        for slot in &mut self.slots {
+            slot.session.attach_event_sink(sink.clone());
+        }
+        self.sink = Some(sink);
+        self
     }
 
     /// Enables adaptive in-flight limiting: the scheduler starts with
@@ -680,6 +719,12 @@ impl<Sn: SessionSul> SessionScheduler<Sn> {
             if next > self.active_limit {
                 self.active_limit = next;
                 self.stats.limit_grows += 1;
+                if let Some(sink) = &self.sink {
+                    sink.diagnostic(Event::LimitGrow {
+                        time: self.clock.now().as_micros(),
+                        limit: self.active_limit as u64,
+                    });
+                }
             }
         } else if was_idle && pulled > 0 && pulled < self.active_limit {
             // A fresh window opened with too little work to fill the
@@ -695,6 +740,12 @@ impl<Sn: SessionSul> SessionScheduler<Sn> {
             if next < self.active_limit {
                 self.active_limit = next;
                 self.stats.limit_shrinks += 1;
+                if let Some(sink) = &self.sink {
+                    sink.diagnostic(Event::LimitShrink {
+                        time: self.clock.now().as_micros(),
+                        limit: self.active_limit as u64,
+                    });
+                }
             }
         }
     }
@@ -759,7 +810,20 @@ impl<Sn: SessionSul> SessionScheduler<Sn> {
             .iter_mut()
             .find(|s| matches!(s.state, SlotState::Idle))
             .expect("submit on a scheduler without capacity");
+        let scope = index as u64;
+        if self.sink.is_some() {
+            slot.session.begin_event_scope(scope);
+        }
         let ready_at = slot.session.start_reset(now);
+        if let Some(sink) = &self.sink {
+            sink.stage(
+                scope,
+                Event::SessionStart {
+                    phase: phase_name(phase),
+                    symbols: input.len() as u64,
+                },
+            );
+        }
         slot.state = SlotState::Resetting { ready_at };
         slot.job = Some(ActiveJob {
             index,
@@ -767,6 +831,8 @@ impl<Sn: SessionSul> SessionScheduler<Sn> {
             position: 0,
             output: OutputWord::empty(),
             phase,
+            scope,
+            begun_at: now,
         });
         self.stats.peak_inflight = self.stats.peak_inflight.max(self.in_flight() as u64);
     }
@@ -803,7 +869,7 @@ impl<Sn: SessionSul> SessionScheduler<Sn> {
                         progressed = true;
                         let job = slot.job.as_ref().expect("active slot has a job");
                         if job.input.is_empty() {
-                            finish(slot, &mut completed, &mut self.stats);
+                            finish(slot, &mut completed, &mut self.stats, &self.sink, now);
                             break;
                         }
                         let symbol = job.input.as_slice()[0].clone();
@@ -821,7 +887,7 @@ impl<Sn: SessionSul> SessionScheduler<Sn> {
                             job.output.push(output);
                             job.position += 1;
                             if job.position == job.input.len() {
-                                finish(slot, &mut completed, &mut self.stats);
+                                finish(slot, &mut completed, &mut self.stats, &self.sink, now);
                                 break;
                             }
                             let symbol = job.input.as_slice()[job.position].clone();
@@ -858,6 +924,14 @@ impl<Sn: SessionSul> SessionScheduler<Sn> {
                     }
                 }
                 self.stats.clock_advances += 1;
+                if let Some(sink) = &self.sink {
+                    if self.stats.clock_advances % CLOCK_SAMPLE_EVERY == 1 {
+                        sink.diagnostic(Event::ClockAdvance {
+                            time: wake.as_micros(),
+                            advances: self.stats.clock_advances,
+                        });
+                    }
+                }
                 self.clock.advance_to(wake);
             }
         }
@@ -884,8 +958,20 @@ fn finish<Sn>(
     slot: &mut Slot<Sn>,
     completed: &mut Vec<(usize, OutputWord)>,
     stats: &mut SchedulerStats,
+    sink: &Option<Arc<ScopedSink>>,
+    now: SimTime,
 ) {
     let job = slot.job.take().expect("finishing slot has a job");
+    if let Some(sink) = sink {
+        sink.stage(
+            job.scope,
+            Event::SessionDone {
+                phase: phase_name(job.phase),
+                symbols: job.input.len() as u64,
+                rel: now.since(job.begun_at).as_micros(),
+            },
+        );
+    }
     completed.push((job.index, job.output));
     slot.state = SlotState::Idle;
     stats.queries_completed += 1;

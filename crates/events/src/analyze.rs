@@ -1,0 +1,529 @@
+//! Reading side of the event log: soundness verification, counts, and
+//! the per-phase occupancy timeline rendered by the `prognosis-events`
+//! binary.
+//!
+//! A log is the concatenation of its rotated files oldest-first
+//! (`path.N`, …, `path.1`) followed by the live file.  Every line must
+//! be a JSON object whose `name` is a known event; the only tolerated
+//! damage is a torn final line in the live file (a crash mid-append),
+//! mirroring the journal store's torn-tail recovery.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::rotate::{rotated_indices, rotated_path};
+
+/// One parsed log line.
+#[derive(Clone, Debug)]
+pub struct ParsedEvent {
+    /// The event name (`wire:send`, `occupancy`, …).
+    pub name: String,
+    /// Absolute virtual micros (diagnostic events).
+    pub time: Option<u64>,
+    /// Query-relative virtual micros (deterministic scoped events).
+    pub rel: Option<u64>,
+    /// Logical sequence number (stream events).
+    pub seq: Option<u64>,
+    /// The `data` payload, if present.
+    pub data: serde_json::Value,
+}
+
+/// A verified read of a whole log sequence.
+#[derive(Debug)]
+pub struct LogScan {
+    /// Files read (rotated + live), oldest first.
+    pub files: Vec<String>,
+    /// Total bytes across the sequence.
+    pub bytes: u64,
+    /// Every event, oldest first.
+    pub events: Vec<ParsedEvent>,
+    /// Whether the live file ended in a torn (dropped) final line.
+    pub torn_tail: bool,
+}
+
+/// Why a log failed verification.
+#[derive(Debug)]
+pub enum LogError {
+    /// The live log file does not exist or could not be read.
+    Io(String),
+    /// A line failed to parse or named an unknown event.
+    Unsound {
+        /// File the bad line is in.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "io error: {e}"),
+            LogError::Unsound { file, line, reason } => {
+                write!(f, "unsound log: {file}:{line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// Every event name the writer can produce (see [`crate::Event::name`]).
+pub const KNOWN_EVENTS: &[&str] = &[
+    "wire:send",
+    "wire:deliver",
+    "wire:drop",
+    "wire:duplicate",
+    "session:start",
+    "session:done",
+    "phase:enter",
+    "speculation:commit",
+    "speculation:rollback",
+    "clock:advance",
+    "limit:grow",
+    "limit:shrink",
+    "occupancy",
+    "task:start",
+    "task:done",
+    "lease:acquire",
+    "lease:release",
+    "bench:stage",
+];
+
+/// Parses a raw JSON value through the vendored shim.
+struct RawValue(serde_json::Value);
+
+impl<'de> serde::Deserialize<'de> for RawValue {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.into_value().map(RawValue)
+    }
+}
+
+fn field<'a>(map: &'a [(String, serde_json::Value)], key: &str) -> Option<&'a serde_json::Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_u64(value: &serde_json::Value) -> Option<u64> {
+    match value {
+        serde_json::Value::U64(n) => Some(*n),
+        serde_json::Value::I64(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn parse_line(line: &str) -> Result<ParsedEvent, String> {
+    let value: RawValue = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let fields = match value.0 {
+        serde_json::Value::Map(fields) => fields,
+        _ => return Err("line is not a JSON object".to_string()),
+    };
+    let name = match field(&fields, "name") {
+        Some(serde_json::Value::Str(s)) => s.clone(),
+        _ => return Err("missing string `name` field".to_string()),
+    };
+    if !KNOWN_EVENTS.contains(&name.as_str()) {
+        return Err(format!("unknown event name `{name}`"));
+    }
+    let numeric = |key: &str| -> Result<Option<u64>, String> {
+        match field(&fields, key) {
+            None => Ok(None),
+            Some(v) => as_u64(v)
+                .map(Some)
+                .ok_or_else(|| format!("`{key}` is not an unsigned integer")),
+        }
+    };
+    Ok(ParsedEvent {
+        name,
+        time: numeric("time")?,
+        rel: numeric("rel")?,
+        seq: numeric("seq")?,
+        data: field(&fields, "data")
+            .cloned()
+            .unwrap_or(serde_json::Value::Null),
+    })
+}
+
+/// Reads and verifies the whole log sequence for the live file at
+/// `path`.  Returns the parsed events or the first soundness violation.
+pub fn scan_log(path: &Path) -> Result<LogScan, LogError> {
+    let mut files: Vec<(String, String, bool)> = Vec::new();
+    for &index in rotated_indices(path).iter().rev() {
+        let rotated = rotated_path(path, index);
+        let text = std::fs::read_to_string(&rotated)
+            .map_err(|e| LogError::Io(format!("{}: {e}", rotated.display())))?;
+        files.push((rotated.display().to_string(), text, false));
+    }
+    let live = std::fs::read_to_string(path)
+        .map_err(|e| LogError::Io(format!("{}: {e}", path.display())))?;
+    files.push((path.display().to_string(), live, true));
+
+    let mut scan = LogScan {
+        files: files.iter().map(|(name, _, _)| name.clone()).collect(),
+        bytes: files.iter().map(|(_, text, _)| text.len() as u64).sum(),
+        events: Vec::new(),
+        torn_tail: false,
+    };
+    for (file, text, is_live) in &files {
+        let lines: Vec<&str> = text.split('\n').collect();
+        let count = lines.len();
+        for (i, line) in lines.into_iter().enumerate() {
+            if line.is_empty() {
+                // The trailing empty segment after a final newline, or a
+                // blank line — both harmless.
+                continue;
+            }
+            match parse_line(line) {
+                Ok(event) => scan.events.push(event),
+                Err(reason) => {
+                    // The final line of the live file may be a torn
+                    // append; anything else is corruption.
+                    if *is_live && i + 1 == count && !text.ends_with('\n') {
+                        scan.torn_tail = true;
+                    } else {
+                        return Err(LogError::Unsound {
+                            file: file.clone(),
+                            line: i + 1,
+                            reason,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(scan)
+}
+
+/// Renders the `stats` view: file/byte/event totals and per-name counts.
+pub fn stats_text(scan: &LogScan) -> String {
+    let mut by_name: BTreeMap<&str, u64> = BTreeMap::new();
+    for event in &scan.events {
+        *by_name.entry(event.name.as_str()).or_default() += 1;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "files: {}", scan.files.len());
+    for file in &scan.files {
+        let _ = writeln!(out, "  {file}");
+    }
+    let _ = writeln!(out, "bytes: {}", scan.bytes);
+    let _ = writeln!(out, "events: {}", scan.events.len());
+    let _ = writeln!(
+        out,
+        "torn tail: {}",
+        if scan.torn_tail {
+            "yes (tolerated)"
+        } else {
+            "no"
+        }
+    );
+    for (name, count) in by_name {
+        let _ = writeln!(out, "  {name:<22} {count}");
+    }
+    out
+}
+
+/// The learner phases in canonical order.
+const PHASES: [&str; 3] = ["construction", "counterexample", "equivalence"];
+
+fn data_str<'a>(data: &'a serde_json::Value, key: &str) -> Option<&'a str> {
+    match data {
+        serde_json::Value::Map(fields) => match field(fields, key) {
+            Some(serde_json::Value::Str(s)) => Some(s),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn data_u64(data: &serde_json::Value, key: &str) -> Option<u64> {
+    match data {
+        serde_json::Value::Map(fields) => field(fields, key).and_then(as_u64),
+        _ => None,
+    }
+}
+
+/// Buckets `samples` into at most `width` columns and renders one ASCII
+/// bar character per column scaled to the series maximum.
+fn sparkline(samples: &[f64], width: usize) -> String {
+    const LEVELS: &[u8] = b" .:-=+*#%@";
+    if samples.is_empty() {
+        return String::new();
+    }
+    let buckets = width.min(samples.len()).max(1);
+    let mut means = Vec::with_capacity(buckets);
+    for b in 0..buckets {
+        let lo = b * samples.len() / buckets;
+        let hi = ((b + 1) * samples.len() / buckets).max(lo + 1);
+        let slice = &samples[lo..hi.min(samples.len())];
+        means.push(slice.iter().sum::<f64>() / slice.len() as f64);
+    }
+    let max = means.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+    means
+        .iter()
+        .map(|&m| {
+            let idx = ((m / max) * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[idx.min(LEVELS.len() - 1)] as char
+        })
+        .collect()
+}
+
+/// Renders the `timeline` view: a per-phase occupancy timeline (from
+/// diagnostic `occupancy` samples when present, session volume
+/// otherwise) plus the wire-loss summary.
+pub fn timeline_text(scan: &LogScan) -> String {
+    let mut out = String::new();
+    let width = 60;
+
+    // Per-phase occupancy over the diagnostic samples, in sample order.
+    let mut occupancy: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for event in &scan.events {
+        if event.name == "occupancy" {
+            if let (Some(phase), Some(busy), Some(worker)) = (
+                data_str(&event.data, "phase"),
+                data_u64(&event.data, "busy"),
+                data_u64(&event.data, "worker"),
+            ) {
+                let ratio = (busy as f64 / worker.max(1) as f64).min(1.0);
+                occupancy.entry(phase_key(phase)).or_default().push(ratio);
+            }
+        }
+    }
+    if !occupancy.is_empty() {
+        let _ = writeln!(
+            out,
+            "per-phase occupancy (dispatch-window samples → right):"
+        );
+        for phase in PHASES {
+            if let Some(samples) = occupancy.get(phase) {
+                let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+                let _ = writeln!(
+                    out,
+                    "  {phase:<14} |{}| mean {mean:.2} over {} windows",
+                    sparkline(samples, width),
+                    samples.len()
+                );
+            }
+        }
+    }
+
+    // Session volume per phase (deterministic stream), as a fallback
+    // timeline and a per-phase cost summary.
+    let mut sessions: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    let mut volume: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for event in &scan.events {
+        if event.name == "session:done" {
+            if let Some(phase) = data_str(&event.data, "phase") {
+                let entry = sessions.entry(phase_key(phase)).or_default();
+                entry.0 += 1;
+                entry.1 += event.rel.unwrap_or(0);
+            }
+        }
+    }
+    if occupancy.is_empty() && !sessions.is_empty() {
+        for event in &scan.events {
+            for phase in PHASES {
+                let is_done =
+                    event.name == "session:done" && data_str(&event.data, "phase") == Some(phase);
+                volume
+                    .entry(phase)
+                    .or_default()
+                    .push(if is_done { 1.0 } else { 0.0 });
+            }
+        }
+        let _ = writeln!(out, "per-phase session volume (committed order → right):");
+        for phase in PHASES {
+            if let Some(samples) = volume.get(phase) {
+                if sessions.contains_key(phase) {
+                    let _ = writeln!(out, "  {phase:<14} |{}|", sparkline(samples, width));
+                }
+            }
+        }
+    }
+    if !sessions.is_empty() {
+        let _ = writeln!(out, "sessions by phase:");
+        for phase in PHASES {
+            if let Some(&(count, rel_total)) = sessions.get(phase) {
+                let _ = writeln!(
+                    out,
+                    "  {phase:<14} {count} queries, mean {:.1}µs in-slot",
+                    rel_total as f64 / count.max(1) as f64
+                );
+            }
+        }
+    }
+
+    // Wire fate summary.
+    let mut sends = 0u64;
+    let mut delivers = 0u64;
+    let mut drops = 0u64;
+    let mut duplicates = 0u64;
+    for event in &scan.events {
+        match event.name.as_str() {
+            "wire:send" => sends += 1,
+            "wire:deliver" => delivers += 1,
+            "wire:drop" => drops += 1,
+            "wire:duplicate" => duplicates += 1,
+            _ => {}
+        }
+    }
+    if sends > 0 {
+        let _ = writeln!(
+            out,
+            "wire: {sends} sent, {delivers} delivered, {drops} dropped ({:.2}% loss), {duplicates} duplicated",
+            drops as f64 * 100.0 / sends as f64
+        );
+    }
+    if out.is_empty() {
+        out.push_str("no timeline-relevant events in the log\n");
+    }
+    out
+}
+
+/// Maps a phase string from a log onto the canonical static name (so
+/// the `BTreeMap<&str, _>` keys borrow from `PHASES`, not the scan).
+fn phase_key(phase: &str) -> &'static str {
+    PHASES
+        .iter()
+        .find(|&&p| p == phase)
+        .copied()
+        .unwrap_or("construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotate::{EventLog, EventLogConfig};
+    use crate::{Event, EventSink};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "prognosis-analyze-{tag}-{}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_file(path);
+        for index in 1..16 {
+            let _ = std::fs::remove_file(rotated_path(path, index));
+        }
+    }
+
+    fn sample_log(path: &Path, per_file: u64) -> EventLog {
+        EventLog::open(
+            EventLogConfig::new(path)
+                .with_max_file_bytes(per_file)
+                .with_max_total_bytes(1 << 20),
+        )
+        .expect("open log")
+    }
+
+    #[test]
+    fn scan_reassembles_rotated_files_oldest_first() {
+        let path = temp_path("scan");
+        cleanup(&path);
+        let log = sample_log(&path, 500);
+        for packet in 0..40 {
+            log.emit(&Event::WireSend {
+                rel: packet,
+                dir: "up",
+                packet,
+                bytes: 40,
+            });
+        }
+        log.flush();
+        let scan = scan_log(&path).expect("sound log");
+        assert!(scan.files.len() > 1, "rotation expected");
+        assert_eq!(scan.events.len(), 40);
+        let packets: Vec<u64> = scan
+            .events
+            .iter()
+            .map(|e| data_u64(&e.data, "packet").expect("packet"))
+            .collect();
+        assert_eq!(packets, (0..40).collect::<Vec<_>>());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_but_midfile_damage_is_not() {
+        let path = temp_path("torn");
+        cleanup(&path);
+        let log = sample_log(&path, 1 << 20);
+        for packet in 0..5 {
+            log.emit(&Event::WireDeliver {
+                rel: 1,
+                dir: "down",
+                packet,
+                bytes: 8,
+            });
+        }
+        log.flush();
+        drop(log);
+        // Truncate mid-final-line: still verifies, flagged as torn.
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &text[..text.len() - 7]).expect("truncate");
+        let scan = scan_log(&path).expect("torn tail tolerated");
+        assert!(scan.torn_tail);
+        assert_eq!(scan.events.len(), 4);
+        // Corrupt a middle line: unsound.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[1] = "{\"name\":\"wire:deliver\",garbage";
+        std::fs::write(&path, lines.join("\n")).expect("corrupt");
+        assert!(matches!(
+            scan_log(&path),
+            Err(LogError::Unsound { line: 2, .. })
+        ));
+        // Unknown event names are unsound too.
+        std::fs::write(&path, "{\"name\":\"wat\"}\n").expect("unknown");
+        assert!(matches!(scan_log(&path), Err(LogError::Unsound { .. })));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn timeline_renders_phases_and_wire_summary() {
+        let path = temp_path("timeline");
+        cleanup(&path);
+        let log = sample_log(&path, 1 << 20);
+        for i in 0..8u64 {
+            log.emit(&Event::Occupancy {
+                time: i * 100,
+                phase: "construction",
+                batch: 4,
+                busy: 50 + i * 5,
+                worker: 100,
+            });
+        }
+        log.emit(&Event::SessionDone {
+            phase: "construction",
+            symbols: 3,
+            rel: 150,
+        });
+        log.emit(&Event::WireSend {
+            rel: 0,
+            dir: "up",
+            packet: 0,
+            bytes: 40,
+        });
+        log.emit(&Event::WireDrop {
+            rel: 0,
+            dir: "up",
+            packet: 0,
+            bytes: 40,
+        });
+        log.flush();
+        let scan = scan_log(&path).expect("sound");
+        let text = timeline_text(&scan);
+        assert!(text.contains("construction"), "{text}");
+        assert!(text.contains("per-phase occupancy"), "{text}");
+        assert!(text.contains("100.00% loss"), "{text}");
+        let stats = stats_text(&scan);
+        assert!(stats.contains("occupancy"), "{stats}");
+        cleanup(&path);
+    }
+}

@@ -300,6 +300,19 @@ struct InflightWord {
     requesters: Vec<u64>,
 }
 
+/// An answered all-speculative word whose inner-oracle ticket still awaits
+/// its fate: the inner oracle holds resources (most importantly the
+/// query's staged event scope) until it hears a commit or cancel, so the
+/// cache forwards the **first** requester commit as the inner commit and,
+/// when every requester resolves without one, a cancel.
+struct StagedInner {
+    inner_ticket: u64,
+    /// Speculative requesters of this word not yet committed or cancelled.
+    live: Vec<u64>,
+    /// Whether a requester commit was already forwarded.
+    committed: bool,
+}
+
 #[derive(Default)]
 struct AsyncCacheState {
     next_inner: u64,
@@ -312,6 +325,9 @@ struct AsyncCacheState {
     /// `fresh_symbols` and every warm-start run — bit-identical to a
     /// serial execution that never issued the speculative words.
     staged: BTreeMap<InputWord, OutputWord>,
+    /// Inner tickets of answered all-speculative words, keyed by word,
+    /// awaiting the learner's commit/cancel of their requesters.
+    staged_inner: BTreeMap<InputWord, StagedInner>,
     ready: Vec<AsyncAnswer>,
 }
 
@@ -334,6 +350,32 @@ impl AsyncCacheState {
         let tickets = &self.tickets;
         self.staged
             .retain(|word, _| tickets.values().any(|st| covers(word, &st.word)));
+    }
+
+    /// Resolves `ticket`'s stake in an answered all-speculative word.
+    /// Returns the word's inner ticket exactly when this resolution
+    /// settles the inner oracle's scope: the first commit among the
+    /// word's requesters (`commit`), or the last cancel of a word no
+    /// requester committed (`!commit`).
+    fn resolve_staged_inner(&mut self, ticket: u64, commit: bool) -> Option<u64> {
+        let word = self
+            .staged_inner
+            .iter()
+            .find_map(|(w, e)| e.live.contains(&ticket).then(|| w.clone()))?;
+        let entry = self.staged_inner.get_mut(&word).expect("entry just found");
+        entry.live.retain(|&t| t != ticket);
+        let settle = if commit {
+            (!entry.committed).then(|| {
+                entry.committed = true;
+                entry.inner_ticket
+            })
+        } else {
+            (entry.live.is_empty() && !entry.committed).then_some(entry.inner_ticket)
+        };
+        if entry.live.is_empty() {
+            self.staged_inner.remove(&word);
+        }
+        settle
     }
 }
 
@@ -456,6 +498,22 @@ impl<O: MembershipOracle> CacheOracle<O> {
                 self.async_state
                     .staged
                     .insert(word.clone(), answer.output.clone());
+            }
+            if requesters
+                .iter()
+                .all(|t| self.async_state.tickets[t].speculative)
+            {
+                // The forwarded query was speculative end to end: the inner
+                // oracle keeps its scope staged until the learner's verdict
+                // on these requesters is relayed down.
+                self.async_state.staged_inner.insert(
+                    word.clone(),
+                    StagedInner {
+                        inner_ticket: answer.ticket,
+                        live: requesters.clone(),
+                        committed: false,
+                    },
+                );
             }
             let mut inserted = false;
             for ticket in requesters {
@@ -737,6 +795,11 @@ impl<O: MembershipOracle> MembershipOracle for CacheOracle<O> {
             if state.answered {
                 if state.executed {
                     outcome.discarded += 1;
+                    // The last cancel of a never-committed word releases
+                    // the inner oracle's staged scope.
+                    if let Some(inner) = self.async_state.resolve_staged_inner(ticket, false) {
+                        inner_cancel.push(inner);
+                    }
                 } else {
                     outcome.unsent += 1; // Trie hit: no SUL work to waste.
                 }
@@ -777,6 +840,7 @@ impl<O: MembershipOracle> MembershipOracle for CacheOracle<O> {
     }
 
     fn commit_queries(&mut self, tickets: &[u64]) {
+        let mut inner_commit: Vec<u64> = Vec::new();
         for &ticket in tickets {
             let Some(state) = self.async_state.tickets.remove(&ticket) else {
                 continue;
@@ -794,6 +858,14 @@ impl<O: MembershipOracle> MembershipOracle for CacheOracle<O> {
             } else {
                 panic!("commit of a ticket with no staged answer");
             }
+            // The first requester commit confirms the inner oracle's
+            // speculative work — relay it so the inner scope can flush.
+            if let Some(inner) = self.async_state.resolve_staged_inner(ticket, true) {
+                inner_commit.push(inner);
+            }
+        }
+        if !inner_commit.is_empty() {
+            self.inner.commit_queries(&inner_commit);
         }
         self.async_state.prune_staged();
     }

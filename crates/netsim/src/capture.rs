@@ -5,6 +5,13 @@
 //! [`TraceCapture`].  This is the in-simulator analogue of running `tcpdump`
 //! next to the reference implementation and is handy both for debugging
 //! adapters and for the experiment reports.
+//!
+//! The capture is a size-capped ring: once `capacity` records are held,
+//! recording another evicts the oldest half in one amortized-O(1) drain and
+//! counts the evictions in [`TraceCapture::dropped`], so a campaign-scale
+//! run holds at most `capacity` records instead of growing without bound.
+//! Streaming consumers that need every packet should attach an event sink
+//! to the network instead (`Network::attach_event_sink`).
 
 use crate::endpoint::EndpointId;
 use crate::time::SimTime;
@@ -40,29 +47,69 @@ pub struct CaptureRecord {
     pub fate: Fate,
 }
 
-/// An append-only capture of all traffic through a network.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// The default record cap: high enough that every existing single-learn
+/// consumer sees the complete trace, low enough to bound campaign-scale
+/// memory.
+pub const DEFAULT_CAPTURE_CAPACITY: usize = 1 << 16;
+
+/// A size-capped capture of the traffic through a network, oldest records
+/// evicted first.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceCapture {
     records: Vec<CaptureRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for TraceCapture {
+    fn default() -> Self {
+        TraceCapture::new()
+    }
 }
 
 impl TraceCapture {
-    /// An empty capture.
+    /// An empty capture with the default cap.
     pub fn new() -> Self {
-        TraceCapture::default()
+        TraceCapture::with_capacity(DEFAULT_CAPTURE_CAPACITY)
     }
 
-    /// Appends a record.
+    /// An empty capture holding at most `capacity` records (min 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceCapture {
+            records: Vec::new(),
+            capacity: capacity.max(2),
+            dropped: 0,
+        }
+    }
+
+    /// The record cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a record, evicting the oldest half of the buffer when the
+    /// cap is reached.
     pub fn record(&mut self, record: CaptureRecord) {
+        if self.records.len() >= self.capacity {
+            let evict = self.capacity / 2;
+            self.records.drain(..evict);
+            self.dropped += evict as u64;
+        }
         self.records.push(record);
     }
 
-    /// All records in send order.
+    /// Retained records in send order (oldest may have been evicted; see
+    /// [`TraceCapture::dropped`]).
     pub fn records(&self) -> &[CaptureRecord] {
         &self.records
     }
 
-    /// Number of records.
+    /// Records evicted to honour the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained records.
     pub fn len(&self) -> usize {
         self.records.len()
     }
@@ -72,19 +119,21 @@ impl TraceCapture {
         self.records.is_empty()
     }
 
-    /// Total payload bytes accepted for transmission.
+    /// Total payload bytes of the retained records.
     pub fn total_bytes(&self) -> usize {
         self.records.iter().map(|r| r.length).sum()
     }
 
-    /// Number of datagrams lost in transit.
+    /// Number of retained datagrams lost in transit.
     pub fn lost(&self) -> usize {
         self.records.iter().filter(|r| r.fate == Fate::Lost).count()
     }
 
-    /// Clears the capture (e.g. between learner queries).
+    /// Clears the capture (e.g. between learner queries), including the
+    /// dropped-record counter.
     pub fn clear(&mut self) {
         self.records.clear();
+        self.dropped = 0;
     }
 }
 
@@ -115,7 +164,31 @@ mod tests {
         assert_eq!(c.total_bytes(), 175);
         assert_eq!(c.lost(), 1);
         assert_eq!(c.records()[1].fate, Fate::Lost);
+        assert_eq!(c.dropped(), 0);
         c.clear();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn cap_evicts_oldest_and_counts_drops() {
+        let mut c = TraceCapture::with_capacity(8);
+        for i in 0..13 {
+            c.record(record(Fate::Delivered, i));
+        }
+        // The 9th and 13th records each evicted the oldest 4; memory
+        // stays bounded.
+        assert_eq!(c.dropped(), 8);
+        assert_eq!(c.len(), 5);
+        assert!(c.len() <= c.capacity());
+        assert_eq!(c.records()[0].length, 8, "oldest retained is record 8");
+        assert_eq!(c.records().last().expect("nonempty").length, 12);
+        c.clear();
+        assert_eq!(c.dropped(), 0);
+    }
+
+    #[test]
+    fn default_cap_is_high_enough_for_single_learn_traces() {
+        assert_eq!(TraceCapture::new().capacity(), DEFAULT_CAPTURE_CAPACITY);
+        const { assert!(DEFAULT_CAPTURE_CAPACITY >= 1 << 16) };
     }
 }

@@ -19,6 +19,8 @@
 //! * [`analysis`] — model diffing, property checking and reports.
 //! * [`campaign`] — DAG-scheduled differential-learning campaigns over a
 //!   shared engine pool and versioned observation cache.
+//! * [`events`] — the streaming event-log spine: `EventSink`, rotating
+//!   JSONL `EventLog` writer, and log analysis.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -28,6 +30,7 @@ pub use prognosis_analysis as analysis;
 pub use prognosis_automata as automata;
 pub use prognosis_campaign as campaign;
 pub use prognosis_core as core;
+pub use prognosis_events as events;
 pub use prognosis_learner as learner;
 pub use prognosis_netsim as netsim;
 pub use prognosis_quic_sim as quic_sim;
