@@ -24,6 +24,7 @@ pub mod alphabet;
 pub mod dfa;
 pub mod dot;
 pub mod equivalence;
+pub mod interner;
 pub mod known;
 pub mod mealy;
 pub mod minimize;
@@ -32,5 +33,6 @@ pub mod word;
 pub use alphabet::{Alphabet, Symbol};
 pub use dfa::Dfa;
 pub use equivalence::{find_counterexample, machines_equivalent};
+pub use interner::{IWord, Interner, SymbolId};
 pub use mealy::{MealyBuilder, MealyMachine, StateId};
 pub use word::{InputWord, IoTrace, OutputWord};

@@ -291,6 +291,105 @@ fn bench_wire_codec(c: &mut Criterion) {
     group.finish();
 }
 
+/// The interning tentpole's micro-benchmarks: the three innermost loops the
+/// symbol-id rewrite targets, so regressions show up here before they show
+/// up as E24 wall-clock collapse.  `trie_lookup` pits the string entry
+/// point (one hash per step) against the pre-encoded id path (one array
+/// index per step); `batch_dedup` is the cache's sorted-dedup + prefix-
+/// subsumption pass over a heavily overlapping batch; `queue_round_trip`
+/// drives a real one-worker engine through dispatch → chunked pull →
+/// banked reply for a whole batch.
+fn bench_symbol_hot_path(c: &mut Criterion) {
+    use prognosis_learner::oracle::{CacheOracle, MachineOracle, MembershipOracle};
+    use prognosis_learner::trie::PrefixTrie;
+
+    let mut group = c.benchmark_group("symbol_hot_path");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    // A trie of every ≤4-symbol word over the 7-symbol TCP alphabet
+    // (2800 paths), probed with the 4-symbol layer.
+    let alphabet = tcp_alphabet();
+    let symbols: Vec<_> = alphabet.iter().cloned().collect();
+    let mut words: Vec<InputWord> = Vec::new();
+    let mut layer: Vec<Vec<usize>> = vec![Vec::new()];
+    for _ in 0..4 {
+        layer = layer
+            .iter()
+            .flat_map(|w| {
+                symbols.iter().enumerate().map(move |(i, _)| {
+                    let mut next = w.clone();
+                    next.push(i);
+                    next
+                })
+            })
+            .collect();
+        words.extend(
+            layer
+                .iter()
+                .map(|w| w.iter().map(|&i| symbols[i].clone()).collect::<InputWord>()),
+        );
+    }
+    let output_for = |word: &InputWord| -> OutputWord {
+        (1..=word.len()).map(|n| format!("out-{}", n % 3)).collect()
+    };
+    let mut trie = PrefixTrie::new();
+    for word in &words {
+        trie.insert(word, &output_for(word));
+    }
+    let probes: Vec<InputWord> = words.iter().rev().take(512).cloned().collect();
+    group.bench_function("trie_lookup_strings", |b| {
+        b.iter(|| {
+            for probe in &probes {
+                assert!(trie.lookup(probe).is_some());
+            }
+        })
+    });
+    let id_probes: Vec<_> = probes.iter().map(|p| trie.encode_input(p)).collect();
+    group.bench_function("trie_lookup_ids", |b| {
+        b.iter(|| {
+            for probe in &id_probes {
+                assert!(trie.lookup_ids(probe.as_slice()).is_some());
+            }
+        })
+    });
+
+    // Batch dedup over a batch where every word shares long prefixes with
+    // its neighbours — the shape sifting produces.
+    let machine = known::counter(6);
+    let dedup_batch: Vec<InputWord> = {
+        let alphabet: Vec<_> = machine.input_alphabet().iter().cloned().collect();
+        (0..512usize)
+            .map(|i| {
+                (0..=(i % 6))
+                    .map(|d| alphabet[(i + d) % alphabet.len()].clone())
+                    .collect()
+            })
+            .collect()
+    };
+    group.bench_function("batch_dedup", |b| {
+        b.iter(|| {
+            let mut oracle = CacheOracle::new(MachineOracle::new(machine.clone()));
+            let answers = oracle.query_batch(&dedup_batch);
+            assert_eq!(answers.len(), dedup_batch.len());
+        })
+    });
+
+    // A real engine round trip: dispatch → chunked queue pull → banked
+    // reply, one worker, one in-flight session.
+    let mut engine =
+        prognosis_core::parallel::ParallelSulOracle::spawn_with(&TcpSulFactory::default(), 1, 1);
+    let engine_batch: Vec<InputWord> = words.iter().step_by(11).take(64).cloned().collect();
+    group.bench_function("queue_round_trip", |b| {
+        b.iter(|| {
+            let answers = engine.query_batch(&engine_batch);
+            assert_eq!(answers.len(), engine_batch.len());
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_tcp_learning,
@@ -299,6 +398,7 @@ criterion_group!(
     bench_register_synthesis,
     bench_equivalence_checking,
     bench_nondeterminism_check,
-    bench_wire_codec
+    bench_wire_codec,
+    bench_symbol_hot_path
 );
 criterion_main!(benches);

@@ -1095,6 +1095,252 @@ pub fn exp_parallel_learning(workers: usize) -> (Report, String) {
     (report, json)
 }
 
+/// One protocol row of [`exp_cpu_scaling`]: best-of-`repeats` sequential
+/// wall clock, then best-of-`repeats` parallel wall clock per worker count,
+/// asserting the learned model is **bit-identical** (`==`, not just
+/// behaviourally equivalent) across every mode.  Returns the scenario JSON
+/// plus `(workers, speedup)` pairs for the scaling gate.
+#[allow(clippy::too_many_arguments)]
+fn cpu_scaling_scenario<S, F>(
+    report: &mut Report,
+    name: &str,
+    mut fresh_sul: impl FnMut() -> S,
+    factory: &F,
+    alphabet: &Alphabet,
+    config: &LearnConfig,
+    grid: &[usize],
+    repeats: usize,
+) -> (serde_json::Value, Vec<ScalePoint>)
+where
+    S: Sul,
+    F: prognosis_core::session::SessionSulFactory,
+    F::Session: Send + 'static,
+{
+    let mut best_sequential: Option<(ThroughputSample, MealyMachine)> = None;
+    for _ in 0..repeats {
+        let (sample, model) = time_sequential(&mut fresh_sul(), alphabet, config.clone());
+        if let Some((best, reference)) = &best_sequential {
+            assert!(
+                *reference == model,
+                "{name}: sequential re-runs must learn bit-identical models"
+            );
+            if sample.seconds >= best.seconds {
+                continue;
+            }
+        }
+        best_sequential = Some((sample, model));
+    }
+    let (seq, seq_model) = best_sequential.expect("at least one repeat");
+    report.row(
+        format!("{name}: sequential"),
+        format!(
+            "{:.3}s, {} queries, {} symbols, {:.0} symbols/s",
+            seq.seconds, seq.membership_queries, seq.symbols_sent, seq.symbols_per_sec
+        ),
+    );
+    let mut fields = vec![("sequential".to_string(), sample_json(&seq))];
+    let mut measures = Vec::new();
+    for &workers in grid {
+        let mut best: Option<(ThroughputSample, EngineStats)> = None;
+        for _ in 0..repeats {
+            let (sample, model, engine) = time_parallel(
+                factory,
+                alphabet,
+                config.clone().with_workers(workers),
+                false,
+            );
+            assert!(
+                seq_model == model,
+                "{name}: {workers}-worker learning must produce a bit-identical model"
+            );
+            if best
+                .as_ref()
+                .is_none_or(|(b, _)| sample.seconds < b.seconds)
+            {
+                best = Some((sample, engine));
+            }
+        }
+        let (par, engine) = best.expect("at least one repeat");
+        let speedup = seq.seconds / par.seconds.max(1e-9);
+        // The host-independent face of the batched return path: how many
+        // answers each learner wake-up carried (1.0 = the old one-message-
+        // per-answer regime).
+        let answers_per_reply =
+            engine.queries_completed as f64 / (engine.reply_messages.max(1) as f64);
+        report
+            .row(
+                format!("{name}: {workers} workers"),
+                format!(
+                    "{:.3}s, {} queries, {} symbols, {:.0} symbols/s",
+                    par.seconds, par.membership_queries, par.symbols_sent, par.symbols_per_sec
+                ),
+            )
+            .row(
+                format!("{name}: {workers}-worker speedup"),
+                format!("{speedup:.2}x"),
+            )
+            .row(
+                format!("{name}: {workers}-worker answers/reply"),
+                format!("{answers_per_reply:.1}"),
+            );
+        fields.push((format!("parallel_{workers}"), sample_json(&par)));
+        fields.push((
+            format!("speedup_{workers}"),
+            serde_json::Value::F64(speedup),
+        ));
+        fields.push((
+            format!("answers_per_reply_{workers}"),
+            serde_json::Value::F64(answers_per_reply),
+        ));
+        measures.push(ScalePoint {
+            workers,
+            speedup,
+            answers_per_reply,
+        });
+    }
+    report.row(format!("{name}: models bit-identical"), true);
+    (serde_json::Value::Map(fields), measures)
+}
+
+/// One worker-count measurement of [`cpu_scaling_scenario`].
+struct ScalePoint {
+    workers: usize,
+    speedup: f64,
+    answers_per_reply: f64,
+}
+
+/// E24 — CPU-bound worker-count scaling of the interned, reply-batched
+/// engine.
+///
+/// Pins the grid the interning tentpole exists to move: the raw in-process
+/// TCP and google-profile QUIC simulators (no modelled round-trip latency,
+/// so the engine's own locking and allocation are the only overheads)
+/// learned sequentially and at 1/2/4 workers.  Every run is repeated and
+/// the fastest wall clock kept (the repeat least disturbed by the host);
+/// every mode must learn a **bit-identical** model.  The scaling gate
+/// adapts to the host, and the row records the host's parallelism so
+/// trajectory readers can interpret the numbers:
+///
+/// - `available_parallelism() >= 4`: the 4-worker run must beat sequential
+///   by at least 2× wall clock (the acceptance bar for this perf PR).
+/// - fewer hardware threads (CI smoke runners are often 1–2 cores): real
+///   speedup is physically impossible, so the gate degrades to a
+///   no-collapse floor — 4 workers must stay above 0.50× of sequential,
+///   i.e. the pre-interning lock-convoy collapse (0.51× and falling on one
+///   core) stays dead.  Either way the batched return path must prove
+///   itself host-independently: every 4-worker learner wake-up must carry
+///   at least 4 answers on average (measured 15–30; 1.0 is the old
+///   per-answer regime).
+///
+/// `quick` shrinks the equivalence-testing volume for CI smoke runs; the
+/// scenario JSON (merged into `BENCH_learning.json` under `cpu_scaling` by
+/// the `exp_cpu_scaling` binary) records which mode produced the numbers.
+pub fn exp_cpu_scaling(quick: bool) -> (Report, serde_json::Value) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let grid = [1usize, 2, 4];
+    let repeats = if quick { 1 } else { 3 };
+    // Same CPU-bound configuration as E15's `*_cpu_bound` rows, so the two
+    // experiments' sequential baselines are directly comparable.
+    let cpu_config = LearnConfig {
+        seed: 7,
+        random_tests: if quick { 600 } else { 4_000 },
+        min_word_len: 2,
+        max_word_len: 12,
+        eq_batch_size: 512,
+        ..LearnConfig::default()
+    };
+    let mut report = Report::new(format!(
+        "E24 — CPU-bound worker scaling, host parallelism {cores}{}",
+        if quick { " (quick)" } else { "" }
+    ));
+    let mut scenario_fields = vec![
+        (
+            "parallelism".to_string(),
+            serde_json::Value::U64(cores as u64),
+        ),
+        (
+            "repeats".to_string(),
+            serde_json::Value::U64(repeats as u64),
+        ),
+        ("quick".to_string(), serde_json::Value::Bool(quick)),
+    ];
+    let mut gates: Vec<(&str, Vec<ScalePoint>)> = Vec::new();
+
+    let (tcp_json, tcp_speedups) = cpu_scaling_scenario(
+        &mut report,
+        "tcp_cpu_bound",
+        TcpSul::with_defaults,
+        &TcpSulFactory::default(),
+        &tcp_alphabet(),
+        &cpu_config,
+        &grid,
+        repeats,
+    );
+    scenario_fields.push(("tcp_cpu_bound".to_string(), tcp_json));
+    gates.push(("tcp_cpu_bound", tcp_speedups));
+
+    let (quic_json, quic_speedups) = cpu_scaling_scenario(
+        &mut report,
+        "quic_google_cpu_bound",
+        || QuicSul::new(ImplementationProfile::google(), 3),
+        &QuicSulFactory::new(ImplementationProfile::google(), 3),
+        &quic_data_alphabet(),
+        &cpu_config,
+        &grid,
+        repeats,
+    );
+    scenario_fields.push(("quic_google_cpu_bound".to_string(), quic_json));
+    gates.push(("quic_google_cpu_bound", quic_speedups));
+
+    for (name, points) in &gates {
+        let four = points
+            .iter()
+            .find(|p| p.workers == 4)
+            .expect("grid includes 4 workers");
+        if cores >= 4 {
+            assert!(
+                four.speedup >= 2.0,
+                "{name}: 4-worker speedup {:.2}x below the 2x acceptance bar \
+                 on a {cores}-thread host",
+                four.speedup
+            );
+        } else {
+            // A time-shared single core cannot speed anything up — the
+            // cross-thread tax (two context switches per dispatch round
+            // trip) puts the healthy range around 0.6–0.9x.  0.50x is the
+            // collapse line the pre-interning engine sat on (0.51x and
+            // falling with contention).
+            assert!(
+                four.speedup >= 0.50,
+                "{name}: 4-worker wall clock collapsed to {:.2}x of sequential \
+                 on a {cores}-thread host — the lock convoy is back",
+                four.speedup
+            );
+        }
+        // Host-independent gate: wall clocks wobble with the runner, but
+        // the answer-banking economy is structural.  Measured 15–30
+        // answers per learner wake-up; 1.0 is the per-answer regime this
+        // PR removed, so anything under 4 means the banking regressed.
+        assert!(
+            four.answers_per_reply >= 4.0,
+            "{name}: 4-worker replies carried only {:.1} answers each — \
+             worker-side answer banking has regressed to per-answer sends",
+            four.answers_per_reply
+        );
+    }
+    report.finding(if cores >= 4 {
+        format!("4-worker wall-clock speedup gate: >= 2.00x (host has {cores} hardware threads)")
+    } else {
+        format!(
+            "host has only {cores} hardware thread(s): real speedup is impossible, \
+             wall-clock gate degrades to the >= 0.50x no-collapse floor"
+        )
+    });
+    (report, serde_json::Value::Map(scenario_fields))
+}
+
 /// E17 — in-flight-session scaling of the event-driven session engine.
 ///
 /// Runs the simulated-RTT TCP scenario (50µs per symbol, 100µs per reset on
@@ -2933,6 +3179,12 @@ pub fn exp_event_log(quick: bool, log_path: &std::path::Path) -> (Report, serde_
 
 /// Merges one named scenario into an existing `BENCH_learning.json`
 /// document (or builds a fresh one), returning the rendered file contents.
+///
+/// Every merge also re-scans the whole document for perf regressions: any
+/// object carrying a `speedup`/`speedup_*` number below 1.0 is flagged
+/// with `"regression": true`, and a stale flag is dropped once the number
+/// recovers — so the trajectory file itself says where parallelism is
+/// currently losing to sequential.
 pub fn merge_scenario(existing: Option<&str>, name: &str, scenario: serde_json::Value) -> String {
     let mut document = existing
         .and_then(|text| serde_json::from_str::<ValueDocIn>(text).ok())
@@ -2956,7 +3208,47 @@ pub fn merge_scenario(existing: Option<&str>, name: &str, scenario: serde_json::
             )),
         }
     }
+    flag_regressions(&mut document);
     serde_json::to_string_pretty(&ValueDoc(document)).expect("render BENCH json")
+}
+
+/// Walks a JSON tree and maintains the `"regression"` markers described on
+/// [`merge_scenario`].
+fn flag_regressions(value: &mut serde_json::Value) {
+    match value {
+        serde_json::Value::Map(fields) => {
+            let mut regressed = false;
+            let mut has_speedup = false;
+            for (key, entry) in fields.iter_mut() {
+                if key == "speedup" || key.starts_with("speedup_") {
+                    has_speedup = true;
+                    let number = match entry {
+                        serde_json::Value::F64(n) => Some(*n),
+                        serde_json::Value::U64(n) => Some(*n as f64),
+                        serde_json::Value::I64(n) => Some(*n as f64),
+                        _ => None,
+                    };
+                    if number.is_some_and(|n| n < 1.0) {
+                        regressed = true;
+                    }
+                } else {
+                    flag_regressions(entry);
+                }
+            }
+            if regressed {
+                fields.retain(|(k, _)| k != "regression");
+                fields.push(("regression".to_string(), serde_json::Value::Bool(true)));
+            } else if has_speedup {
+                fields.retain(|(k, _)| k != "regression");
+            }
+        }
+        serde_json::Value::Seq(items) => {
+            for item in items {
+                flag_regressions(item);
+            }
+        }
+        _ => {}
+    }
 }
 
 /// Merges the E17 scenario into an existing `BENCH_learning.json` document

@@ -216,23 +216,48 @@ impl EngineLease {
     /// # Panics
     /// Panics when the lease has no slots left.
     pub fn submit_worker<J: FnOnce() + Send + 'static>(&mut self, job: J) {
+        self.submit_worker_releasing(move |_slot| job());
+    }
+
+    /// Like [`EngineLease::submit_worker`], but hands the job its slot's
+    /// return guard so it can release the slot *before* its final effects
+    /// (dropping the handle mid-job returns the slot immediately).  Worker
+    /// loops use this to return the slot before sending their shutdown
+    /// report, so a learn task that has joined its workers observes the
+    /// pool as already reusable — without the early release, the ledger
+    /// update would race every observer of the finished run.  A job that
+    /// never drops the handle behaves exactly like `submit_worker`: the
+    /// slot returns when the closure finishes, normally or by unwind.
+    ///
+    /// # Panics
+    /// Panics when the lease has no slots left.
+    pub fn submit_worker_releasing<J>(&mut self, job: J)
+    where
+        J: FnOnce(SlotHandle) + Send + 'static,
+    {
         assert!(self.unspent > 0, "lease has no reserved slots left");
         self.unspent -= 1;
         let shared = Arc::clone(&self.shared);
         EnginePool::submit(
             &self.shared,
             Box::new(move || {
-                // Release the slot no matter how the job ends; a panic that
-                // escapes the job must not leak the slot (the guard's Drop
-                // runs during unwind).
-                let _guard = SlotReturn {
-                    shared: Arc::clone(&shared),
-                    count: 1,
-                };
-                job();
+                // The handle releases the slot no matter how the job ends;
+                // a panic that escapes the job must not leak the slot (the
+                // guard's Drop runs during unwind).
+                job(SlotHandle {
+                    _guard: SlotReturn { shared, count: 1 },
+                });
             }),
         );
     }
+}
+
+/// A leased slot's return guard, handed to jobs submitted through
+/// [`EngineLease::submit_worker_releasing`].  Dropping it returns the slot
+/// to the pool; holding it to the end of the job reproduces the default
+/// release-on-finish behaviour.
+pub struct SlotHandle {
+    _guard: SlotReturn,
 }
 
 impl Drop for EngineLease {

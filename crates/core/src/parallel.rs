@@ -35,7 +35,9 @@ use std::sync::{Arc, Condvar, Mutex};
 /// above [`BATCH_ID_BASE`], async tickets stay below it.
 struct Job {
     id: u64,
-    input: InputWord,
+    /// Shared handle to the input word: the learner's allocation travels
+    /// through the queue to a session slot without a per-query deep clone.
+    input: Arc<InputWord>,
     /// Learning phase the query belongs to; carried with the dispatch so
     /// virtual waits attribute correctly even when phases overlap.
     phase: QueryPhase,
@@ -46,15 +48,18 @@ struct Job {
 const BATCH_ID_BASE: u64 = 1 << 62;
 
 enum Reply {
-    Answer {
-        id: u64,
-        output: OutputWord,
+    /// One worker harvest: every query that completed in one drive cycle,
+    /// plus the worker's cumulative counters as of that harvest.  Batching
+    /// the returns means one channel send — and one snapshot publication —
+    /// per drive cycle instead of per answer, and the dispatcher never
+    /// locks a worker-side mutex to read stats.
+    Answers {
+        worker: usize,
+        answers: Vec<(u64, OutputWord)>,
+        snapshot: WorkerSnapshot,
     },
     /// A worker's session panicked; the message is the panic payload.
-    Dead {
-        worker: usize,
-        message: String,
-    },
+    Dead { worker: usize, message: String },
 }
 
 struct QueueState {
@@ -81,10 +86,39 @@ impl QueueState {
     }
 }
 
+impl Shared {
+    /// Wakes enough workers for `jobs` newly queued queries.  Construction
+    /// phases enqueue mostly single queries; waking the whole pool for one
+    /// job costs `workers - 1` futile wake-ups per query (painful on small
+    /// hosts, where every wake-up is a context switch off the one busy
+    /// core), so the wake fans out no wider than the work.
+    fn notify_work(&self, jobs: usize) {
+        if jobs >= self.workers {
+            self.available.notify_all();
+        } else {
+            for _ in 0..jobs {
+                self.available.notify_one();
+            }
+        }
+    }
+}
+
+/// Upper bound on the jobs a worker prefetches beyond its free session
+/// capacity in one queue lock, and the flush threshold for answers banked
+/// between queue visits.  The prefetched tail lands in a worker-local
+/// backlog that feeds slots as they free up, so a chunk of queries costs
+/// one lock acquisition and one learner wake-up instead of one of each per
+/// query.  Fair-share bounded in [`Shared::next_jobs`] so a chunk never
+/// starves peer workers of queued work.
+const PULL_AHEAD: usize = 64;
+
 /// The shared dispatcher ⇄ worker state: a work queue plus its condvar.
 struct Shared {
     queue: Mutex<QueueState>,
     available: Condvar,
+    /// Worker count, fixed at spawn: the fair-share divisor for chunked
+    /// pulls (see [`Shared::next_jobs`]).
+    workers: usize,
 }
 
 impl Shared {
@@ -98,47 +132,70 @@ impl Shared {
     /// speculative words overlap the queries already in flight.  The
     /// returned `more` flag reports whether the queue still held work
     /// after the pull — the adaptive scheduler's growth signal.
-    fn next_jobs(&self, capacity: usize, idle: bool) -> WorkerCommand {
+    fn next_jobs(&self, capacity: usize, idle: bool) -> Option<WorkerCommand> {
         let mut q = self.queue.lock().expect("work queue poisoned");
-        loop {
-            if capacity > 0 && !q.is_empty() {
-                let mut jobs: Vec<Job> = Vec::with_capacity(capacity.min(16));
-                while jobs.len() < capacity {
-                    if let Some(job) = q.jobs.pop_front() {
-                        jobs.push(job);
-                    } else if let Some(job) = q.speculative.pop_front() {
-                        jobs.push(job);
-                    } else {
-                        break;
-                    }
+        if capacity > 0 && !q.is_empty() {
+            // Chunked pull: take the free-capacity fill plus a
+            // fair-share prefetch for the worker-local backlog.  One
+            // lock acquisition moves a whole chunk of queries; the
+            // fair-share bound (an equal split of what is queued right
+            // now) keeps one worker from walking off with work its
+            // peers could be running.
+            let queued = q.jobs.len() + q.speculative.len();
+            let fair_share = queued.div_ceil(self.workers.max(1));
+            let want = capacity + fair_share.min(PULL_AHEAD);
+            let mut jobs: Vec<Job> = Vec::with_capacity(want.min(queued));
+            while jobs.len() < want {
+                if let Some(job) = q.jobs.pop_front() {
+                    jobs.push(job);
+                } else if let Some(job) = q.speculative.pop_front() {
+                    jobs.push(job);
+                } else {
+                    break;
                 }
-                return WorkerCommand::Jobs {
-                    jobs,
-                    more: !q.is_empty(),
-                };
             }
-            if q.shutdown {
-                if idle {
-                    return WorkerCommand::Exit;
-                }
-                return WorkerCommand::Jobs {
-                    jobs: Vec::new(),
-                    more: !q.is_empty(),
-                };
+            return Some(WorkerCommand::Jobs {
+                jobs,
+                more: !q.is_empty(),
+            });
+        }
+        if q.shutdown {
+            if idle {
+                return Some(WorkerCommand::Exit);
             }
-            if !idle && q.learner_waiting {
-                // The learner has quiesced (blocked on an answer), so no
-                // further work can join this virtual instant: advancing the
-                // clock is the only way forward.  A full pool with work
-                // still queued does NOT license an advance by itself — the
-                // learner may be mid-computation, about to add this
-                // instant's construction continuations behind the backlog.
-                return WorkerCommand::Jobs {
-                    jobs: Vec::new(),
-                    more: !q.is_empty(),
-                };
-            }
-            q = self.available.wait(q).expect("work queue poisoned");
+            return Some(WorkerCommand::Jobs {
+                jobs: Vec::new(),
+                more: !q.is_empty(),
+            });
+        }
+        if !idle && q.learner_waiting {
+            // The learner has quiesced (blocked on an answer), so no
+            // further work can join this virtual instant: advancing the
+            // clock is the only way forward.  A full pool with work
+            // still queued does NOT license an advance by itself — the
+            // learner may be mid-computation, about to add this
+            // instant's construction continuations behind the backlog.
+            return Some(WorkerCommand::Jobs {
+                jobs: Vec::new(),
+                more: !q.is_empty(),
+            });
+        }
+        None
+    }
+
+    /// Parks the worker on the queue condvar until something that could
+    /// change [`Shared::next_jobs`]'s answer arrives.  Re-checks the
+    /// predicate under the lock (the wake condition may have landed between
+    /// an unlocked poll and this call), waits at most one condvar round,
+    /// and lets the caller re-poll — spurious wake-ups are handled by the
+    /// poll loop, not here.
+    fn wait_for_work(&self, capacity: usize, idle: bool) {
+        let q = self.queue.lock().expect("work queue poisoned");
+        let ready = |q: &QueueState| {
+            (capacity > 0 && !q.is_empty()) || q.shutdown || (!idle && q.learner_waiting)
+        };
+        if !ready(&q) {
+            let _unused = self.available.wait(q).expect("work queue poisoned");
         }
     }
 }
@@ -148,7 +205,7 @@ enum WorkerCommand {
     Exit,
 }
 
-/// Live counters one worker publishes while running.
+/// Cumulative counters one worker ships with each answer harvest.
 #[derive(Clone, Copy, Default)]
 struct WorkerSnapshot {
     sul: SulStats,
@@ -161,7 +218,6 @@ type WorkerResult<Sn> = std::thread::Result<(Vec<Sn>, SchedulerStats)>;
 
 struct Worker<Sn> {
     result_rx: Receiver<WorkerResult<Sn>>,
-    snapshot: Arc<Mutex<WorkerSnapshot>>,
 }
 
 /// A membership oracle that fans query batches out to worker threads, each
@@ -177,6 +233,10 @@ pub struct ParallelSulOracle<Sn: SessionSul> {
     shared: Arc<Shared>,
     reply_rx: Receiver<Reply>,
     workers: Vec<Worker<Sn>>,
+    /// Most recent counters shipped by each worker (with its last answer
+    /// harvest).  Reading stats is a plain field access on the dispatcher
+    /// thread — no cross-thread lock on any stats path.
+    snapshots: Vec<WorkerSnapshot>,
     /// The pool backing `spawn_with`-style oracles; `None` when the workers
     /// are leased from a caller-owned shared pool.  Dropped (joining its
     /// threads) after the workers have been drained.
@@ -402,9 +462,11 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
                 shutdown: false,
             }),
             available: Condvar::new(),
+            workers,
         });
         let (reply_tx, reply_rx) = channel::<Reply>();
         let mut lease = pool.lease(workers);
+        let num_workers = workers;
         let workers = (0..workers)
             .map(|worker_id| {
                 // One session group (and, for networked transports, one
@@ -412,11 +474,9 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
                 let (sessions, clock) = factory.create_worker_sessions(max_inflight);
                 let shared = Arc::clone(&shared);
                 let reply_tx = reply_tx.clone();
-                let snapshot = Arc::new(Mutex::new(WorkerSnapshot::default()));
-                let published = Arc::clone(&snapshot);
                 let worker_events = events.clone();
                 let (result_tx, result_rx) = channel::<WorkerResult<Sn>>();
-                lease.submit_worker(move || {
+                lease.submit_worker_releasing(move |slot| {
                     // Adaptive pool: start with one active slot, grow while
                     // demand saturates the pool, shrink when a work window
                     // cannot fill it.  `max_inflight` is the cap.
@@ -426,7 +486,7 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
                         scheduler = scheduler.with_event_sink(sink);
                     }
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        worker_loop(&shared, &mut scheduler, &reply_tx, &published);
+                        worker_loop(&shared, &mut scheduler, &reply_tx, worker_id);
                     }));
                     let result = match outcome {
                         Ok(()) => {
@@ -446,18 +506,20 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
                             Err(payload)
                         }
                     };
+                    // Slot back first, report second: `shutdown()` returns
+                    // only after receiving every report, so callers that
+                    // joined a run observe its slots as already free.
+                    drop(slot);
                     let _ = result_tx.send(result);
                 });
-                Worker {
-                    result_rx,
-                    snapshot,
-                }
+                Worker { result_rx }
             })
             .collect();
         ParallelSulOracle {
             shared,
             reply_rx,
             workers,
+            snapshots: vec![WorkerSnapshot::default(); num_workers],
             owned_pool: None,
             max_inflight,
             queries: 0,
@@ -501,9 +563,9 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
     /// Aggregated interaction counters across all worker sessions, as of
     /// the most recently answered batch.
     pub fn stats(&self) -> SulStats {
-        self.workers
+        self.snapshots
             .iter()
-            .map(|w| w.snapshot.lock().expect("snapshot poisoned").sul)
+            .map(|s| s.sul)
             .fold(SulStats::default(), add_stats)
     }
 
@@ -513,20 +575,22 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
         let mut engine = self.telemetry.clone();
         engine.workers = self.workers.len() as u64;
         engine.max_inflight = self.max_inflight as u64;
-        for w in &self.workers {
-            engine.absorb(&w.snapshot.lock().expect("snapshot poisoned").scheduler);
+        for snapshot in &self.snapshots {
+            engine.absorb(&snapshot.scheduler);
         }
         engine
     }
 
     /// Summed (busy session-µs, worker virtual-µs) across the workers'
-    /// published snapshots — the delta basis for per-dispatch attribution.
+    /// shipped snapshots — the delta basis for per-dispatch attribution.
     fn busy_virtual_snapshot(&self) -> (u64, u64) {
-        self.workers
+        self.snapshots
             .iter()
-            .map(|w| {
-                let snap = w.snapshot.lock().expect("snapshot poisoned").scheduler;
-                (snap.busy_session_micros, snap.virtual_elapsed_micros)
+            .map(|s| {
+                (
+                    s.scheduler.busy_session_micros,
+                    s.scheduler.virtual_elapsed_micros,
+                )
             })
             .fold((0, 0), |(b, v), (sb, sv)| (b + sb, v + sv))
     }
@@ -578,7 +642,7 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
         self.shutdown().map(|s| s.suls)
     }
 
-    fn dispatch(&mut self, inputs: &[InputWord]) -> Vec<OutputWord> {
+    fn dispatch(&mut self, inputs: &[Arc<InputWord>]) -> Vec<OutputWord> {
         self.batches += 1;
         self.queries += inputs.len() as u64;
         let (busy_before, virtual_before) = self.busy_virtual_snapshot();
@@ -597,21 +661,30 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
                     phase,
                 }));
         }
-        self.shared.available.notify_all();
+        self.shared.notify_work(inputs.len());
         let mut results: Vec<Option<OutputWord>> = vec![None; inputs.len()];
         let mut received = 0;
         while received < inputs.len() {
             match self.recv_reply() {
-                Ok(Reply::Answer { id, output }) if id >= BATCH_ID_BASE => {
-                    let index = (id - base) as usize;
-                    debug_assert!(results[index].is_none(), "query answered twice");
-                    results[index] = Some(output);
-                    received += 1;
-                }
-                Ok(Reply::Answer { id, output }) => {
-                    // An async continuation's answer landing mid-batch:
-                    // buffer it for the next poll.
-                    self.route_async_answer(id, output);
+                Ok(Reply::Answers {
+                    worker,
+                    answers,
+                    snapshot,
+                }) => {
+                    self.telemetry.reply_messages += 1;
+                    self.snapshots[worker] = snapshot;
+                    for (id, output) in answers {
+                        if id >= BATCH_ID_BASE {
+                            let index = (id - base) as usize;
+                            debug_assert!(results[index].is_none(), "query answered twice");
+                            results[index] = Some(output);
+                            received += 1;
+                        } else {
+                            // An async continuation's answer landing
+                            // mid-batch: buffer it for the next poll.
+                            self.route_async_answer(id, output);
+                        }
+                    }
                 }
                 Ok(Reply::Dead { worker, message }) => {
                     // Relay the worker's death up through the learning loop;
@@ -764,9 +837,17 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
         loop {
             loop {
                 match self.reply_rx.try_recv() {
-                    Ok(Reply::Answer { id, output }) => {
-                        debug_assert!(id < BATCH_ID_BASE, "batch reply outside dispatch");
-                        self.route_async_answer(id, output);
+                    Ok(Reply::Answers {
+                        worker,
+                        answers,
+                        snapshot,
+                    }) => {
+                        self.telemetry.reply_messages += 1;
+                        self.snapshots[worker] = snapshot;
+                        for (id, output) in answers {
+                            debug_assert!(id < BATCH_ID_BASE, "batch reply outside dispatch");
+                            self.route_async_answer(id, output);
+                        }
                     }
                     Ok(Reply::Dead { worker, message }) => {
                         std::panic::panic_any(LearnError::WorkerPanicked { worker, message });
@@ -791,7 +872,17 @@ impl<Sn: SessionSul + Send + 'static> ParallelSulOracle<Sn> {
                 break;
             }
             match self.recv_reply() {
-                Ok(Reply::Answer { id, output }) => self.route_async_answer(id, output),
+                Ok(Reply::Answers {
+                    worker,
+                    answers,
+                    snapshot,
+                }) => {
+                    self.telemetry.reply_messages += 1;
+                    self.snapshots[worker] = snapshot;
+                    for (id, output) in answers {
+                        self.route_async_answer(id, output);
+                    }
+                }
                 Ok(Reply::Dead { worker, message }) => {
                     std::panic::panic_any(LearnError::WorkerPanicked { worker, message });
                 }
@@ -854,28 +945,116 @@ impl<Sn: SessionSul> Drop for ParallelSulOracle<Sn> {
     }
 }
 
+/// Delivers every banked answer in one [`Reply::Answers`] message together
+/// with the worker's current counters.  The learner is about to receive
+/// them and react — from here on it counts as active again, so the
+/// quiescence gate is cleared *before* the send (clearing after could race
+/// a learner that already consumed an answer and re-entered its wait).
+/// Returns `false` when the dispatcher is gone.
+fn flush_answers<Sn: SessionSul>(
+    shared: &Shared,
+    scheduler: &SessionScheduler<Sn>,
+    reply_tx: &Sender<Reply>,
+    worker_id: usize,
+    banked: &mut Vec<(u64, OutputWord)>,
+) -> bool {
+    {
+        let mut q = shared.queue.lock().expect("work queue poisoned");
+        q.learner_waiting = false;
+    }
+    let reply = Reply::Answers {
+        worker: worker_id,
+        answers: std::mem::take(banked),
+        snapshot: WorkerSnapshot {
+            sul: scheduler.sul_stats(),
+            scheduler: scheduler.stats(),
+        },
+    };
+    reply_tx.send(reply).is_ok()
+}
+
 fn worker_loop<Sn: SessionSul>(
     shared: &Shared,
     scheduler: &mut SessionScheduler<Sn>,
     reply_tx: &Sender<Reply>,
-    snapshot: &Arc<Mutex<WorkerSnapshot>>,
+    worker_id: usize,
 ) {
+    // Jobs pulled ahead of free session slots, and answers banked between
+    // queue visits: both amortise the shared-queue lock and the learner
+    // wake-up over whole chunks instead of paying one of each per query —
+    // with `max_inflight = 1` that is the difference between a lock convoy
+    // and a tight local loop.
+    let mut backlog: VecDeque<Job> = VecDeque::new();
+    let mut banked: Vec<(u64, OutputWord)> = Vec::new();
     loop {
         let was_idle = scheduler.is_idle();
         let pulled;
-        match shared.next_jobs(scheduler.capacity(), was_idle) {
-            WorkerCommand::Exit => return,
-            WorkerCommand::Jobs { jobs, more } => {
-                pulled = jobs.len();
-                for job in jobs {
-                    scheduler.submit(job.id as usize, job.input, job.phase);
+        if !backlog.is_empty() && scheduler.has_capacity() {
+            // Hot path: feed free slots straight from the local backlog —
+            // no shared-queue lock, and no advance license wanted (having
+            // submittable work at this virtual instant means the clock
+            // must hold still anyway).
+            let mut submitted = 0;
+            while scheduler.has_capacity() {
+                let Some(job) = backlog.pop_front() else {
+                    break;
+                };
+                scheduler.submit(job.id as usize, job.input, job.phase);
+                submitted += 1;
+            }
+            pulled = submitted;
+        } else {
+            // Consult the shared queue without flushing eagerly: with a
+            // chunk still in the backlog this path runs once per clock
+            // advance, and flushing here would deliver every answer
+            // individually — the exact per-query wake-up convoy the bank
+            // exists to avoid.  Only an actual condvar park demands a
+            // flush first (the learner must never sleep on answers a
+            // sleeping worker is sitting on); `next_jobs` returning `None`
+            // is that signal, and re-polling after the wait keeps the
+            // wake-condition check under the queue lock.
+            let command = loop {
+                match shared.next_jobs(scheduler.capacity(), was_idle) {
+                    Some(command) => break command,
+                    None => {
+                        if !banked.is_empty()
+                            && !flush_answers(shared, scheduler, reply_tx, worker_id, &mut banked)
+                        {
+                            return;
+                        }
+                        shared.wait_for_work(scheduler.capacity(), was_idle);
+                    }
                 }
-                scheduler.note_pull(pulled, more, was_idle);
-                if more && scheduler.has_capacity() {
-                    // The adaptive limit just grew (or peers refilled the
-                    // queue): keep pulling at this virtual instant instead
-                    // of advancing the clock under a half-filled pool.
-                    continue;
+            };
+            match command {
+                WorkerCommand::Exit => {
+                    if !banked.is_empty() {
+                        flush_answers(shared, scheduler, reply_tx, worker_id, &mut banked);
+                    }
+                    return;
+                }
+                WorkerCommand::Jobs { jobs, more } => {
+                    pulled = jobs.len();
+                    backlog.extend(jobs);
+                    let mut submitted = 0;
+                    while scheduler.has_capacity() {
+                        let Some(job) = backlog.pop_front() else {
+                            break;
+                        };
+                        scheduler.submit(job.id as usize, job.input, job.phase);
+                        submitted += 1;
+                    }
+                    // The local backlog counts as remaining demand: it
+                    // should grow the adaptive limit exactly like work
+                    // left on the shared queue.
+                    let demand = more || !backlog.is_empty();
+                    scheduler.note_pull(submitted, demand, was_idle);
+                    if demand && scheduler.has_capacity() {
+                        // The adaptive limit just grew (or peers refilled
+                        // the queue): keep feeding at this virtual instant
+                        // instead of advancing under a half-filled pool.
+                        continue;
+                    }
                 }
             }
         }
@@ -892,42 +1071,39 @@ fn worker_loop<Sn: SessionSul>(
         if completed.is_empty() {
             continue;
         }
-        // The learner is about to receive these answers and react — from
-        // here on it counts as active again, so clock advances pause until
-        // it either submits follow-up work or blocks on the next answer.
-        // (Cleared *before* the send: clearing after could race a learner
-        // that already consumed the answer and re-entered its wait.)
+        banked.extend(
+            completed
+                .into_iter()
+                .map(|(index, output)| (index as u64, output)),
+        );
+        // Deliver once the local chunk is exhausted (the learner gets the
+        // whole chunk in one wake-up); long backlogs also flush at the
+        // chunk size so the learner is never starved behind a full
+        // prefetch window.
+        if (backlog.is_empty() || banked.len() >= PULL_AHEAD)
+            && !flush_answers(shared, scheduler, reply_tx, worker_id, &mut banked)
         {
-            let mut q = shared.queue.lock().expect("work queue poisoned");
-            q.learner_waiting = false;
-        }
-        // Publish counters *before* the answers so `stats()` reads taken
-        // after a batch returns always cover that batch.
-        {
-            let mut snap = snapshot.lock().expect("snapshot poisoned");
-            snap.sul = scheduler.sul_stats();
-            snap.scheduler = scheduler.stats();
-        }
-        for (index, output) in completed {
-            let reply = Reply::Answer {
-                id: index as u64,
-                output,
-            };
-            if reply_tx.send(reply).is_err() {
-                return; // Dispatcher is gone; shut down quietly.
-            }
+            return;
         }
     }
 }
 
 impl<Sn: SessionSul + Send + 'static> MembershipOracle for ParallelSulOracle<Sn> {
     fn query(&mut self, input: &InputWord) -> OutputWord {
-        self.dispatch(std::slice::from_ref(input))
+        self.dispatch(&[Arc::new(input.clone())])
             .pop()
             .expect("single-query dispatch yields one answer")
     }
 
     fn query_batch(&mut self, inputs: &[InputWord]) -> Vec<OutputWord> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let shared: Vec<Arc<InputWord>> = inputs.iter().map(|w| Arc::new(w.clone())).collect();
+        self.dispatch(&shared)
+    }
+
+    fn query_batch_shared(&mut self, inputs: &[Arc<InputWord>]) -> Vec<OutputWord> {
         if inputs.is_empty() {
             return Vec::new();
         }
@@ -954,6 +1130,7 @@ impl<Sn: SessionSul + Send + 'static> MembershipOracle for ParallelSulOracle<Sn>
             return self.drain_ready(false);
         }
         self.queries += queries.len() as u64;
+        let enqueued = queries.len();
         // Telemetry: one sample per (phase, speculative-class) group; the
         // busy/virtual delta since the last sample goes to the first group
         // (the exact per-phase integrals come from the scheduler tags).
@@ -1003,7 +1180,7 @@ impl<Sn: SessionSul + Send + 'static> MembershipOracle for ParallelSulOracle<Sn>
                 }
                 let job = Job {
                     id: query.ticket,
-                    input: query.input,
+                    input: Arc::new(query.input),
                     phase: query.phase,
                 };
                 if query.speculative {
@@ -1013,7 +1190,7 @@ impl<Sn: SessionSul + Send + 'static> MembershipOracle for ParallelSulOracle<Sn>
                 }
             }
         }
-        self.shared.available.notify_all();
+        self.shared.notify_work(enqueued);
         self.drain_ready(false)
     }
 

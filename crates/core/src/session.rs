@@ -455,6 +455,12 @@ pub struct EngineStats {
     pub limit_grows: u64,
     /// Adaptive in-flight limit shrink events across all workers.
     pub limit_shrinks: u64,
+    /// Reply messages the dispatcher received from workers.  Each message
+    /// carries a whole answer chunk plus a stats snapshot, so
+    /// `queries_completed / reply_messages` is the answers-per-wake-up
+    /// economy of the batched return path (1.0 = one learner wake-up per
+    /// query, the old per-answer regime).
+    pub reply_messages: u64,
     /// Histogram of dispatched batch sizes: bucket `i` counts batches of
     /// `2^i ..= 2^(i+1)-1` queries.
     pub batch_size_histogram: Vec<u64>,
@@ -579,10 +585,12 @@ impl EngineStats {
     }
 }
 
-/// One query being executed by a session slot.
+/// One query being executed by a session slot.  The input arrives as a
+/// shared handle: the same allocation travels from the learner through the
+/// work queue to the slot without a per-query word clone.
 struct ActiveJob {
     index: usize,
-    input: InputWord,
+    input: Arc<InputWord>,
     position: usize,
     output: OutputWord,
     /// Learning phase the query was dispatched under; virtual waits are
@@ -799,11 +807,14 @@ impl<Sn: SessionSul> SessionScheduler<Sn> {
     }
 
     /// Starts executing `input` as query number `index` on a free slot,
-    /// attributing its virtual waits to `phase`.
+    /// attributing its virtual waits to `phase`.  The input is accepted as
+    /// a plain word or a shared `Arc` handle (the parallel engine hands the
+    /// queue's `Arc` straight through, clone-free).
     ///
     /// # Panics
     /// Panics when no slot is free ([`SessionScheduler::has_capacity`]).
-    pub fn submit(&mut self, index: usize, input: InputWord, phase: QueryPhase) {
+    pub fn submit(&mut self, index: usize, input: impl Into<Arc<InputWord>>, phase: QueryPhase) {
+        let input = input.into();
         let now = self.clock.now();
         let slot = self
             .slots

@@ -316,19 +316,17 @@ impl ReplayState {
                         return frame_start;
                     };
                     self.record_frames += 1;
-                    let trie = self.entries.entry(key).or_default();
-                    match trie.coverage(&input, &output, terminal) {
-                        PathCoverage::Contradicts => self.contradictions += 1,
-                        PathCoverage::Covered => {}
-                        PathCoverage::Fresh => {
-                            let trie = Arc::make_mut(trie);
-                            let input = InputWord::from(input);
-                            let output = OutputWord::from(output);
-                            trie.insert(&input, &output);
-                            if terminal {
-                                trie.mark_terminal(&input);
-                            }
-                        }
+                    // Single-pass apply: classify, insert the fresh suffix
+                    // and set the terminal marker in one trie walk (the old
+                    // coverage/insert/mark sequence walked thrice per
+                    // record).  `make_mut` is a plain deref while replay
+                    // owns the entry, which it does except when a caller
+                    // still holds a previously loaded snapshot.
+                    let trie = Arc::make_mut(self.entries.entry(key).or_default());
+                    match trie.apply_path(&input, &output, terminal) {
+                        Ok(PathCoverage::Contradicts) => self.contradictions += 1,
+                        Ok(_) => {}
+                        Err(_) => return frame_start,
                     }
                 }
                 _ => return frame_start,

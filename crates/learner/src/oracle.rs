@@ -16,10 +16,11 @@
 use crate::stats::LearningStats;
 use crate::trie::PrefixTrie;
 use prognosis_automata::alphabet::Alphabet;
+use prognosis_automata::interner::{IWord, SymbolId};
 use prognosis_automata::mealy::MealyMachine;
 use prognosis_automata::word::{InputWord, IoTrace, OutputWord};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// Which learning phase the membership queries currently in flight belong
 /// to.  Learners announce the phase through
@@ -106,6 +107,17 @@ pub trait MembershipOracle {
     /// would, so batching never changes learning results.
     fn query_batch(&mut self, inputs: &[InputWord]) -> Vec<OutputWord> {
         inputs.iter().map(|input| self.query(input)).collect()
+    }
+
+    /// Like [`Self::query_batch`], but the inputs arrive as shared handles.
+    /// Oracles that move words across threads (e.g. `prognosis-core`'s
+    /// `ParallelSulOracle`) override this to enqueue the `Arc`s directly —
+    /// no per-query word clone crosses the work queue.  The default
+    /// implementation dereferences and delegates, so the two entry points
+    /// are always answer-identical.
+    fn query_batch_shared(&mut self, inputs: &[std::sync::Arc<InputWord>]) -> Vec<OutputWord> {
+        let words: Vec<InputWord> = inputs.iter().map(|w| (**w).clone()).collect();
+        self.query_batch(&words)
     }
 
     /// Number of membership queries issued so far (for statistics).
@@ -468,6 +480,22 @@ impl<O: MembershipOracle> CacheOracle<O> {
         self.trie.mark_terminal(input);
     }
 
+    /// Id-word form of [`CacheOracle::record_answer`] for the batch path:
+    /// the input is already encoded, so the insert hashes no strings.
+    fn record_answer_ids(&mut self, input_ids: &[SymbolId], output: &OutputWord) {
+        assert_eq!(
+            output.len(),
+            input_ids.len(),
+            "membership oracle must return one output symbol per input symbol"
+        );
+        let created = self
+            .trie
+            .try_insert_ids(input_ids, output)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.fresh_symbols += created as u64;
+        self.trie.mark_terminal_ids(input_ids);
+    }
+
     /// Folds inner async answers back into cache state: resolves every
     /// requester of the answered word, inserts the longest
     /// **non-speculative** requester's prefix into the trie immediately
@@ -557,65 +585,87 @@ impl<O: MembershipOracle> MembershipOracle for CacheOracle<O> {
     }
 
     fn query_batch(&mut self, inputs: &[InputWord]) -> Vec<OutputWord> {
-        // First pass: answer what the trie already knows, collect the rest.
+        // First pass: encode each word once against the trie's interner,
+        // then answer what the trie already knows.  Everything after this
+        // loop — dedup, subsumption, insertion — runs on integer ids; the
+        // strings are only touched again at the forwarding boundary.
         let mut results: Vec<Option<OutputWord>> = Vec::with_capacity(inputs.len());
-        let mut missing: BTreeSet<InputWord> = BTreeSet::new();
+        let mut encoded: Vec<Option<IWord>> = Vec::with_capacity(inputs.len());
+        let mut missing: Vec<usize> = Vec::new();
         let mut missing_occurrences: u64 = 0;
-        for input in inputs {
-            match self.trie.lookup(input) {
+        for (index, input) in inputs.iter().enumerate() {
+            let ids = self.trie.encode_input(input);
+            match self.trie.lookup_ids(ids.as_slice()) {
                 Some(out) => {
                     self.hits += 1;
-                    self.trie.mark_terminal(input);
+                    self.trie.mark_terminal_ids(ids.as_slice());
                     results.push(Some(out));
+                    encoded.push(None);
                 }
                 None => {
                     missing_occurrences += 1;
-                    missing.insert(input.clone());
+                    missing.push(index);
                     results.push(None);
+                    encoded.push(Some(ids));
                 }
             }
         }
-        // Prefix subsumption: in a sorted set, every proper prefix is
+        // Sort the missing words into string order via the interner's rank
+        // table (identical to the old `BTreeSet<InputWord>` iteration order,
+        // so the forwarded stream — observable in the event log — is
+        // unchanged), then drop duplicates by id equality.
+        let ids_of = |i: usize| encoded[i].as_deref().expect("missing word was encoded");
+        missing.sort_by(|&a, &b| self.trie.compare_id_words(ids_of(a), ids_of(b)));
+        missing.dedup_by(|a, b| ids_of(*a) == ids_of(*b));
+        // Prefix subsumption: in sorted order, every proper prefix is
         // immediately followed by one of its extensions, so one forward
         // look suffices to drop it — the longer word answers it for free.
-        let sorted: Vec<InputWord> = missing.into_iter().collect();
-        let forward: Vec<InputWord> = sorted
+        let forward: Vec<usize> = missing
             .iter()
             .enumerate()
-            .filter(|(i, word)| match sorted.get(i + 1) {
-                Some(next) => {
-                    !(next.len() > word.len() && &next.as_slice()[..word.len()] == word.as_slice())
+            .filter(|&(i, &index)| match missing.get(i + 1) {
+                Some(&next) => {
+                    let word = ids_of(index);
+                    let longer = ids_of(next);
+                    !(longer.len() > word.len() && &longer[..word.len()] == word)
                 }
                 None => true,
             })
-            .map(|(_, word)| word.clone())
+            .map(|(_, &index)| index)
             .collect();
         // Every missing occurrence that did not itself reach the inner
         // oracle (duplicates and prefix-subsumed words) is a hit: it was
         // answered on the back of a forwarded word.
         self.misses += forward.len() as u64;
         self.hits += missing_occurrences - forward.len() as u64;
-        let answers = self.inner.query_batch(&forward);
+        let shared: Vec<std::sync::Arc<InputWord>> = forward
+            .iter()
+            .map(|&index| std::sync::Arc::new(inputs[index].clone()))
+            .collect();
+        let answers = self.inner.query_batch_shared(&shared);
         assert_eq!(
             answers.len(),
             forward.len(),
             "inner oracle must answer the whole batch"
         );
-        for (word, out) in forward.iter().zip(&answers) {
-            self.record_answer(word, out);
+        for (&index, out) in forward.iter().zip(&answers) {
+            let ids = encoded[index].take().expect("forwarded word was encoded");
+            self.record_answer_ids(ids.as_slice(), out);
+            results[index] = Some(out.clone());
         }
         // Second pass: everything is cached now.
-        inputs
-            .iter()
-            .zip(results)
-            .map(|(input, cached)| match cached {
+        results
+            .into_iter()
+            .zip(encoded)
+            .map(|(cached, ids)| match cached {
                 Some(out) => out,
                 None => {
+                    let ids = ids.expect("missing word was encoded");
                     let out = self
                         .trie
-                        .lookup(input)
+                        .lookup_ids(ids.as_slice())
                         .expect("batch member cached after forwarding its superword");
-                    self.trie.mark_terminal(input);
+                    self.trie.mark_terminal_ids(ids.as_slice());
                     out
                 }
             })

@@ -11,6 +11,17 @@
 //! seed's flat `HashMap` cache, whose prefix lookups were linear scans over
 //! every cached word.
 //!
+//! Internally the trie is fully *interned*: every node holds a dense
+//! `SymbolId`-indexed child table instead of a `HashMap<Symbol, _>`, so an
+//! insert or lookup on the hot path performs zero string hashing — symbols
+//! are resolved to ids once per query (or arrive pre-encoded as
+//! [`IWord`]s from the batch dedup layer) and to strings only at
+//! serialization boundaries.  Sorted iteration (entries, paths,
+//! divergences) walks children in the interner's lexicographic *rank*
+//! order, which reproduces string order exactly regardless of the order in
+//! which symbols were first interned (e.g. during a warm-start journal
+//! replay).
+//!
 //! The trie is also the unit of *cross-run persistence*: it serializes to a
 //! list of `(input, output, terminal)` maximal-path triples (see
 //! [`PrefixTrie::paths`]) rather than its arena representation, so the
@@ -19,27 +30,63 @@
 //! trie with a version stamp and cache key.
 
 use prognosis_automata::alphabet::Symbol;
+use prognosis_automata::interner::{IWord, Interner, SymbolId};
 use prognosis_automata::word::{InputWord, OutputWord};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+
+/// Sentinel for "no child" / "no output" (the root) in dense tables.
+const NO_ID: u32 = u32::MAX;
 
 /// One trie node: the outputs observed after some input prefix.
 #[derive(Clone, Debug, Default)]
 struct TrieNode {
-    /// Child node per next input symbol.
-    children: HashMap<Symbol, usize>,
-    /// Output symbol the SUL produced on the edge *into* this node
-    /// (`None` only for the root).
-    output: Option<Symbol>,
+    /// Child node per next input symbol, indexed by input `SymbolId`.
+    /// `NO_ID` marks an absent edge; the table may be shorter than the
+    /// interner when trailing ids have no edge here.
+    children: Vec<u32>,
+    /// Output symbol id (into the output interner) the SUL produced on the
+    /// edge *into* this node (`NO_ID` only for the root).
+    output: u32,
     /// Whether a query ended exactly here (used by [`PrefixTrie::entries`]
     /// and the distinct-query count).
     terminal: bool,
+}
+
+impl TrieNode {
+    fn root() -> Self {
+        TrieNode {
+            children: Vec::new(),
+            output: NO_ID,
+            terminal: false,
+        }
+    }
+
+    #[inline]
+    fn child(&self, id: SymbolId) -> Option<usize> {
+        match self.children.get(id.index()) {
+            Some(&c) if c != NO_ID => Some(c as usize),
+            _ => None,
+        }
+    }
+
+    fn set_child(&mut self, id: SymbolId, child: usize) {
+        if self.children.len() <= id.index() {
+            self.children.resize(id.index() + 1, NO_ID);
+        }
+        self.children[id.index()] = child as u32;
+    }
+
+    fn has_children(&self) -> bool {
+        self.children.iter().any(|&c| c != NO_ID)
+    }
 }
 
 /// A prefix-closed cache of membership-query answers.
 #[derive(Clone, Debug)]
 pub struct PrefixTrie {
     nodes: Vec<TrieNode>,
+    inputs: Interner,
+    outputs: Interner,
     terminal_words: usize,
 }
 
@@ -84,7 +131,9 @@ impl PrefixTrie {
     /// An empty trie.
     pub fn new() -> Self {
         PrefixTrie {
-            nodes: vec![TrieNode::default()],
+            nodes: vec![TrieNode::root()],
+            inputs: Interner::new(),
+            outputs: Interner::new(),
             terminal_words: 0,
         }
     }
@@ -99,12 +148,35 @@ impl PrefixTrie {
         self.nodes.len()
     }
 
+    /// The input-symbol interner: encode once, then walk the trie by id.
+    pub fn input_interner(&self) -> &Interner {
+        &self.inputs
+    }
+
+    /// Encodes an input word against this trie's interner, minting ids for
+    /// fresh symbols.  The returned [`IWord`] can be used with the `_ids`
+    /// entry points for string-free lookups and inserts.
+    pub fn encode_input(&mut self, input: &InputWord) -> IWord {
+        self.inputs.encode(input)
+    }
+
+    /// Compares two encoded words by the string order of their symbols —
+    /// identical to comparing the decoded `InputWord`s.  This is the order
+    /// the batch-dedup layer forwards deduplicated queries in.
+    pub fn compare_id_words(&self, a: &[SymbolId], b: &[SymbolId]) -> std::cmp::Ordering {
+        self.inputs.compare_words(a, b)
+    }
+
     /// Length of the longest prefix of `input` whose outputs are all known.
     pub fn known_prefix_len(&self, input: &InputWord) -> usize {
         let mut node = 0;
         for (depth, symbol) in input.iter().enumerate() {
-            match self.nodes[node].children.get(symbol) {
-                Some(&child) => node = child,
+            match self
+                .inputs
+                .lookup(symbol)
+                .and_then(|id| self.nodes[node].child(id))
+            {
+                Some(child) => node = child,
                 None => return depth,
             }
         }
@@ -116,13 +188,20 @@ impl PrefixTrie {
         let mut node = 0;
         let mut out = OutputWord::empty();
         for symbol in input.iter() {
-            node = *self.nodes[node].children.get(symbol)?;
-            out.push(
-                self.nodes[node]
-                    .output
-                    .clone()
-                    .expect("non-root nodes carry an output"),
-            );
+            let id = self.inputs.lookup(symbol)?;
+            node = self.nodes[node].child(id)?;
+            out.push(self.outputs.resolve(self.nodes[node].output).clone());
+        }
+        Some(out)
+    }
+
+    /// Id-word form of [`PrefixTrie::lookup`]: no string hashing per step.
+    pub fn lookup_ids(&self, input: &[SymbolId]) -> Option<OutputWord> {
+        let mut node = 0;
+        let mut out = OutputWord::empty();
+        for &id in input {
+            node = self.nodes[node].child(id)?;
+            out.push(self.outputs.resolve(self.nodes[node].output).clone());
         }
         Some(out)
     }
@@ -135,11 +214,30 @@ impl PrefixTrie {
     pub fn mark_terminal(&mut self, input: &InputWord) -> bool {
         let mut node = 0;
         for symbol in input.iter() {
-            node = *self.nodes[node]
-                .children
-                .get(symbol)
+            node = self
+                .inputs
+                .lookup(symbol)
+                .and_then(|id| self.nodes[node].child(id))
                 .expect("mark_terminal requires a fully cached word");
         }
+        self.mark_terminal_node(node)
+    }
+
+    /// Id-word form of [`PrefixTrie::mark_terminal`].
+    ///
+    /// # Panics
+    /// Panics when `input` is not fully present in the trie.
+    pub fn mark_terminal_ids(&mut self, input: &[SymbolId]) -> bool {
+        let mut node = 0;
+        for &id in input {
+            node = self.nodes[node]
+                .child(id)
+                .expect("mark_terminal requires a fully cached word");
+        }
+        self.mark_terminal_node(node)
+    }
+
+    fn mark_terminal_node(&mut self, node: usize) -> bool {
         if self.nodes[node].terminal {
             false
         } else {
@@ -170,35 +268,113 @@ impl PrefixTrie {
     /// On error the input's consistent prefix may already have been
     /// inserted; callers rebuilding from disk discard the whole trie.
     pub fn try_insert(&mut self, input: &InputWord, output: &OutputWord) -> Result<usize, String> {
+        let ids = self.inputs.encode(input);
+        self.try_insert_ids(ids.as_slice(), output)
+    }
+
+    /// Id-word form of [`PrefixTrie::try_insert`]: the input arrives
+    /// pre-encoded (no string hashing), only output symbols are interned.
+    pub fn try_insert_ids(
+        &mut self,
+        input: &[SymbolId],
+        output: &OutputWord,
+    ) -> Result<usize, String> {
         if input.len() != output.len() {
             return Err("one output symbol per input symbol".to_string());
         }
         let mut node = 0;
         let mut created = 0;
-        for (symbol, out) in input.iter().zip(output.iter()) {
-            match self.nodes[node].children.get(symbol) {
-                Some(&child) => {
+        for (&id, out) in input.iter().zip(output.iter()) {
+            match self.nodes[node].child(id) {
+                Some(child) => {
                     node = child;
-                    if self.nodes[node].output.as_ref() != Some(out) {
+                    if self.outputs.resolve(self.nodes[node].output) != out {
                         return Err("prefix trie: SUL answered a cached prefix differently \
                              (nondeterministic SUL?)"
                             .to_string());
                     }
                 }
                 None => {
+                    let out_id = self.outputs.intern(out);
                     let child = self.nodes.len();
                     self.nodes.push(TrieNode {
-                        children: HashMap::new(),
-                        output: Some(out.clone()),
+                        children: Vec::new(),
+                        output: out_id.raw(),
                         terminal: false,
                     });
-                    self.nodes[node].children.insert(symbol.clone(), child);
+                    self.nodes[node].set_child(id, child);
                     node = child;
                     created += 1;
                 }
             }
         }
         Ok(created)
+    }
+
+    /// Applies one `(input, output, terminal)` path in a single walk:
+    /// classifies it like [`PrefixTrie::coverage`], and when it is
+    /// [`PathCoverage::Fresh`] also inserts the fresh suffix and sets the
+    /// terminal marker before returning.  A contradicting path mutates
+    /// nothing.  This is the journal-replay fast path — one trie walk per
+    /// record instead of a classify pass followed by insert and
+    /// mark-terminal passes.
+    ///
+    /// Errors only on a length mismatch (corrupt record).
+    pub fn apply_path(
+        &mut self,
+        input: &[Symbol],
+        output: &[Symbol],
+        terminal: bool,
+    ) -> Result<PathCoverage, String> {
+        if input.len() != output.len() {
+            return Err("one output symbol per input symbol".to_string());
+        }
+        let mut node = 0;
+        let mut depth = 0;
+        // Walk the cached prefix, checking outputs.  No mutation can have
+        // happened yet when a contradiction is found, so a contradicting
+        // path leaves the trie untouched.
+        while depth < input.len() {
+            match self
+                .inputs
+                .lookup(&input[depth])
+                .and_then(|id| self.nodes[node].child(id))
+            {
+                Some(child) => {
+                    if self.outputs.resolve(self.nodes[child].output) != &output[depth] {
+                        return Ok(PathCoverage::Contradicts);
+                    }
+                    node = child;
+                    depth += 1;
+                }
+                None => break,
+            }
+        }
+        let mut fresh = depth < input.len();
+        // Create the fresh suffix (nothing cached below a missing edge).
+        while depth < input.len() {
+            let id = self.inputs.intern(&input[depth]);
+            let out_id = self.outputs.intern(&output[depth]);
+            let child = self.nodes.len();
+            self.nodes.push(TrieNode {
+                children: Vec::new(),
+                output: out_id.raw(),
+                terminal: false,
+            });
+            self.nodes[node].set_child(id, child);
+            node = child;
+            depth += 1;
+        }
+        if terminal && !self.nodes[node].terminal {
+            self.nodes[node].terminal = true;
+            self.terminal_words += 1;
+            fresh = true;
+        }
+        Ok(if fresh {
+            PathCoverage::Fresh
+        } else {
+            PathCoverage::Covered
+        })
     }
 
     /// All words recorded as full queries, with their answers, in
@@ -224,15 +400,16 @@ impl PrefixTrie {
                 output.iter().cloned().collect(),
             ));
         }
-        // Deterministic iteration order for reproducible entry listings.
-        let mut children: Vec<(&Symbol, &usize)> = self.nodes[node].children.iter().collect();
-        children.sort_by(|a, b| a.0.cmp(b.0));
-        for (symbol, &child) in children {
-            input.push(symbol.clone());
-            output.push(self.nodes[child].output.clone().expect("non-root output"));
-            self.collect(child, input, output, result);
-            input.pop();
-            output.pop();
+        // Rank order = string order: deterministic listings with no per-node
+        // sort allocation.
+        for &id in self.inputs.ids_in_order() {
+            if let Some(child) = self.nodes[node].child(id) {
+                input.push(self.inputs.resolve(id).clone());
+                output.push(self.outputs.resolve(self.nodes[child].output).clone());
+                self.collect(child, input, output, result);
+                input.pop();
+                output.pop();
+            }
         }
     }
 
@@ -245,42 +422,60 @@ impl PrefixTrie {
     /// leads with the most actionable regressions.  `limit` caps the count
     /// (0 = unlimited).
     ///
+    /// Words are materialized only for actual divergences: the frontier
+    /// carries back-pointers into an edge arena instead of cloning a word
+    /// per visited edge.
+    ///
     /// This is the regression-detection mode of the versioned observation
     /// cache: diffing the cache entries of two *versions* of the same
     /// implementation surfaces exactly the queries on which the new version
     /// changed behaviour, without re-learning either model.
     pub fn divergences(&self, other: &PrefixTrie, limit: usize) -> Vec<TrieDivergence> {
+        const ROOT_TRAIL: usize = usize::MAX;
         let mut found = Vec::new();
-        let mut queue: std::collections::VecDeque<(usize, usize, Vec<Symbol>)> =
+        // (parent trail index, symbol of the edge) — reconstructed lazily.
+        let mut trails: Vec<(usize, Symbol)> = Vec::new();
+        let mut queue: std::collections::VecDeque<(usize, usize, usize)> =
             std::collections::VecDeque::new();
-        queue.push_back((0, 0, Vec::new()));
-        while let Some((left, right, word)) = queue.pop_front() {
+        queue.push_back((0, 0, ROOT_TRAIL));
+        while let Some((left, right, trail)) = queue.pop_front() {
             if limit > 0 && found.len() >= limit {
                 break;
             }
-            let mut shared: Vec<&Symbol> = self.nodes[left]
-                .children
-                .keys()
-                .filter(|s| other.nodes[right].children.contains_key(*s))
-                .collect();
-            shared.sort();
-            for symbol in shared {
-                let lc = self.nodes[left].children[symbol];
-                let rc = other.nodes[right].children[symbol];
-                let lo = self.nodes[lc].output.clone().expect("non-root output");
-                let ro = other.nodes[rc].output.clone().expect("non-root output");
-                let mut next = word.clone();
-                next.push(symbol.clone());
+            // Left children in rank (string) order; the two tries intern
+            // independently, so edges are matched by symbol, not id.
+            for &lid in self.inputs.ids_in_order() {
+                let Some(lc) = self.nodes[left].child(lid) else {
+                    continue;
+                };
+                let symbol = self.inputs.resolve(lid);
+                let Some(rc) = other
+                    .inputs
+                    .lookup(symbol)
+                    .and_then(|rid| other.nodes[right].child(rid))
+                else {
+                    continue;
+                };
+                let lo = self.outputs.resolve(self.nodes[lc].output);
+                let ro = other.outputs.resolve(other.nodes[rc].output);
                 if lo != ro {
                     if limit == 0 || found.len() < limit {
+                        let mut word = vec![symbol.clone()];
+                        let mut cursor = trail;
+                        while cursor != ROOT_TRAIL {
+                            word.push(trails[cursor].1.clone());
+                            cursor = trails[cursor].0;
+                        }
+                        word.reverse();
                         found.push(TrieDivergence {
-                            input: next.iter().cloned().collect(),
-                            left_output: lo,
-                            right_output: ro,
+                            input: word.into_iter().collect(),
+                            left_output: lo.clone(),
+                            right_output: ro.clone(),
                         });
                     }
                 } else {
-                    queue.push_back((lc, rc, next));
+                    trails.push((trail, symbol.clone()));
+                    queue.push_back((lc, rc, trails.len() - 1));
                 }
             }
         }
@@ -322,20 +517,20 @@ impl PrefixTrie {
         output: &mut Vec<Symbol>,
         f: &mut F,
     ) {
-        let is_leaf = self.nodes[node].children.is_empty();
+        let is_leaf = !self.nodes[node].has_children();
         // The root is emitted only when marked terminal (an ε query was
         // asked); an empty trie dumps to an empty list.
         if self.nodes[node].terminal || (is_leaf && node != 0) {
             f(input, output, self.nodes[node].terminal);
         }
-        let mut children: Vec<(&Symbol, &usize)> = self.nodes[node].children.iter().collect();
-        children.sort_by(|a, b| a.0.cmp(b.0));
-        for (symbol, &child) in children {
-            input.push(symbol.clone());
-            output.push(self.nodes[child].output.clone().expect("non-root output"));
-            self.visit_paths(child, input, output, f);
-            input.pop();
-            output.pop();
+        for &id in self.inputs.ids_in_order() {
+            if let Some(child) = self.nodes[node].child(id) {
+                input.push(self.inputs.resolve(id).clone());
+                output.push(self.outputs.resolve(self.nodes[child].output).clone());
+                self.visit_paths(child, input, output, f);
+                input.pop();
+                output.pop();
+            }
         }
     }
 
@@ -345,7 +540,7 @@ impl PrefixTrie {
     pub fn path_count(&self) -> usize {
         let mut terminals_or_leaves = 0;
         for (index, node) in self.nodes.iter().enumerate() {
-            if node.terminal || (node.children.is_empty() && index != 0) {
+            if node.terminal || (!node.has_children() && index != 0) {
                 terminals_or_leaves += 1;
             }
         }
@@ -356,8 +551,12 @@ impl PrefixTrie {
     pub fn is_terminal(&self, input: &InputWord) -> bool {
         let mut node = 0;
         for symbol in input.iter() {
-            match self.nodes[node].children.get(symbol) {
-                Some(&child) => node = child,
+            match self
+                .inputs
+                .lookup(symbol)
+                .and_then(|id| self.nodes[node].child(id))
+            {
+                Some(child) => node = child,
                 None => return false,
             }
         }
@@ -374,9 +573,13 @@ impl PrefixTrie {
         debug_assert_eq!(input.len(), output.len());
         let mut node = 0;
         for (symbol, out) in input.iter().zip(output.iter()) {
-            match self.nodes[node].children.get(symbol) {
-                Some(&child) => {
-                    if self.nodes[child].output.as_ref() != Some(out) {
+            match self
+                .inputs
+                .lookup(symbol)
+                .and_then(|id| self.nodes[node].child(id))
+            {
+                Some(child) => {
+                    if self.outputs.resolve(self.nodes[child].output) != out {
                         return PathCoverage::Contradicts;
                     }
                     node = child;
@@ -422,13 +625,27 @@ impl PrefixTrie {
     /// hold a partial merge; callers discard it (the caches disagree, so
     /// one of them must win wholesale).
     pub fn try_merge_from(&mut self, other: &PrefixTrie) -> Result<(), String> {
-        for (input, output, terminal) in other.paths() {
-            self.try_insert(&input, &output)?;
-            if terminal {
-                self.mark_terminal(&input);
+        let mut failure = None;
+        other.for_each_path(|input, output, terminal| {
+            if failure.is_some() {
+                return;
             }
+            match self.apply_path(input, output, terminal) {
+                Ok(PathCoverage::Contradicts) => {
+                    failure = Some(
+                        "prefix trie: SUL answered a cached prefix differently \
+                             (nondeterministic SUL?)"
+                            .to_string(),
+                    );
+                }
+                Ok(_) => {}
+                Err(e) => failure = Some(e),
+            }
+        });
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        Ok(())
     }
 }
 
@@ -511,6 +728,85 @@ mod tests {
     }
 
     #[test]
+    fn id_entry_points_match_string_api() {
+        let mut trie = PrefixTrie::new();
+        let word = w(&["a", "b"]);
+        let ids = trie.encode_input(&word);
+        assert_eq!(trie.lookup_ids(ids.as_slice()), None);
+        assert_eq!(trie.try_insert_ids(ids.as_slice(), &o(&["1", "2"])), Ok(2));
+        assert_eq!(trie.lookup_ids(ids.as_slice()), Some(o(&["1", "2"])));
+        assert_eq!(trie.lookup(&word), Some(o(&["1", "2"])));
+        assert!(trie.mark_terminal_ids(ids.as_slice()));
+        assert!(!trie.mark_terminal(&word));
+        assert!(trie.is_terminal(&word));
+        // Encoding is stable: re-encoding yields the same ids.
+        assert_eq!(trie.encode_input(&word), ids);
+        // Contradiction through the id path reports the same error.
+        let err = trie
+            .try_insert_ids(ids.as_slice(), &o(&["1", "9"]))
+            .unwrap_err();
+        assert!(err.contains("nondeterministic"));
+    }
+
+    #[test]
+    fn compare_id_words_matches_string_order() {
+        let mut trie = PrefixTrie::new();
+        // Intern out of lexicographic order.
+        let wb = trie.encode_input(&w(&["b"]));
+        let wab = trie.encode_input(&w(&["a", "b"]));
+        let wa = trie.encode_input(&w(&["a"]));
+        assert_eq!(
+            trie.compare_id_words(wa.as_slice(), wab.as_slice()),
+            std::cmp::Ordering::Less
+        );
+        assert_eq!(
+            trie.compare_id_words(wab.as_slice(), wb.as_slice()),
+            std::cmp::Ordering::Less
+        );
+        assert_eq!(
+            trie.compare_id_words(wb.as_slice(), wb.as_slice()),
+            std::cmp::Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn apply_path_single_pass_matches_coverage_then_insert() {
+        let mut trie = PrefixTrie::new();
+        assert_eq!(
+            trie.apply_path(w(&["a", "b"]).as_slice(), o(&["1", "2"]).as_slice(), true),
+            Ok(PathCoverage::Fresh)
+        );
+        assert_eq!(trie.terminal_words(), 1);
+        // Covered: nothing changes.
+        assert_eq!(
+            trie.apply_path(w(&["a", "b"]).as_slice(), o(&["1", "2"]).as_slice(), true),
+            Ok(PathCoverage::Covered)
+        );
+        assert_eq!(trie.num_nodes(), 3);
+        // A new terminal marker alone is fresh.
+        assert_eq!(
+            trie.apply_path(w(&["a"]).as_slice(), o(&["1"]).as_slice(), true),
+            Ok(PathCoverage::Fresh)
+        );
+        assert_eq!(trie.terminal_words(), 2);
+        // Contradiction mutates nothing.
+        let before = trie.paths();
+        assert_eq!(
+            trie.apply_path(
+                w(&["a", "b", "c"]).as_slice(),
+                o(&["1", "9", "3"]).as_slice(),
+                true
+            ),
+            Ok(PathCoverage::Contradicts)
+        );
+        assert_eq!(trie.paths(), before);
+        // Length mismatch errors.
+        assert!(trie
+            .apply_path(w(&["a", "b"]).as_slice(), o(&["1"]).as_slice(), false)
+            .is_err());
+    }
+
+    #[test]
     fn paths_round_trip_preserves_lookups_and_terminals() {
         let mut trie = PrefixTrie::new();
         trie.insert(&w(&["a", "b", "c"]), &o(&["1", "2", "3"]));
@@ -532,6 +828,22 @@ mod tests {
         // The non-terminal leaf `a·x` survives even though `entries` (which
         // lists only full queries) does not mention it.
         assert_eq!(rebuilt.lookup(&w(&["a", "x"])), Some(o(&["1", "9"])));
+    }
+
+    #[test]
+    fn sorted_iteration_is_stable_under_intern_order() {
+        // Two tries with the same content but different first-intern
+        // orders must produce identical path listings (string order).
+        let mut forward = PrefixTrie::new();
+        forward.insert(&w(&["a"]), &o(&["1"]));
+        forward.insert(&w(&["b"]), &o(&["2"]));
+        forward.insert(&w(&["c"]), &o(&["3"]));
+        let mut reverse = PrefixTrie::new();
+        reverse.insert(&w(&["c"]), &o(&["3"]));
+        reverse.insert(&w(&["b"]), &o(&["2"]));
+        reverse.insert(&w(&["a"]), &o(&["1"]));
+        assert_eq!(forward.paths(), reverse.paths());
+        assert_eq!(forward.entries(), reverse.entries());
     }
 
     #[test]
@@ -566,6 +878,16 @@ mod tests {
     }
 
     #[test]
+    fn try_merge_from_reports_contradictions() {
+        let mut a = PrefixTrie::new();
+        a.insert(&w(&["a"]), &o(&["1"]));
+        let mut b = PrefixTrie::new();
+        b.insert(&w(&["a"]), &o(&["2"]));
+        let err = a.try_merge_from(&b).unwrap_err();
+        assert!(err.contains("nondeterministic"));
+    }
+
+    #[test]
     fn divergences_report_shortest_conflicting_prefixes_only() {
         // Version A answers a·b → 1·2 and c → 5; version B changed the
         // output after a·b and also everything under c.
@@ -592,6 +914,22 @@ mod tests {
         assert!(a.divergences(&disjoint, 0).is_empty());
         // The limit caps the listing.
         assert_eq!(a.divergences(&b, 1).len(), 1);
+    }
+
+    #[test]
+    fn divergences_match_symbols_across_independent_interners() {
+        // The shared symbol is interned at different ids in the two tries;
+        // matching must go through the strings.
+        let mut a = PrefixTrie::new();
+        a.insert(&w(&["x"]), &o(&["0"]));
+        a.insert(&w(&["s"]), &o(&["1"]));
+        let mut b = PrefixTrie::new();
+        b.insert(&w(&["s"]), &o(&["9"]));
+        let diffs = a.divergences(&b, 0);
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].input, w(&["s"]));
+        assert_eq!(diffs[0].left_output.as_str(), "1");
+        assert_eq!(diffs[0].right_output.as_str(), "9");
     }
 
     #[test]

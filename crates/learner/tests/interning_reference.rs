@@ -1,0 +1,197 @@
+//! The interned prefix trie against the string-path reference: a naive
+//! map keyed by full string prefixes — the semantics every pre-interning
+//! component had — must agree with the dense `SymbolId`-indexed trie on
+//! arbitrary insert/mark/probe sequences: lookups, known-prefix lengths,
+//! terminal accounting, coverage classification and the canonical path
+//! dump.  Rebuilding a trie from its own (shuffled) path dump must also
+//! change nothing observable, proving symbol-id assignment — which depends
+//! on insertion order — never leaks into trie semantics.
+
+use prognosis_automata::word::{InputWord, OutputWord};
+use prognosis_learner::trie::{PathCoverage, PrefixTrie};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+const SYMBOLS: [&str; 5] = ["syn", "ack", "fin", "rst", "δ-data"];
+
+/// Deterministic output symbol for an input prefix, so arbitrary word sets
+/// are mutually consistent (the SUL-determinism precondition).
+fn output_for(prefix: &[usize]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &i in prefix {
+        hash ^= i as u64 + 1;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("out-{}", hash % 8)
+}
+
+fn input_word(word: &[usize]) -> InputWord {
+    word.iter().map(|&i| SYMBOLS[i % SYMBOLS.len()]).collect()
+}
+
+fn output_word(word: &[usize]) -> OutputWord {
+    (1..=word.len()).map(|n| output_for(&word[..n])).collect()
+}
+
+/// The string-path reference: every cached step keyed by its full spelled-
+/// out prefix, exactly the pre-interning semantics (string hashing on
+/// every step, no ids anywhere).
+#[derive(Default)]
+struct StringPathReference {
+    steps: HashMap<Vec<String>, String>,
+    terminals: HashSet<Vec<String>>,
+}
+
+fn spell(word: &[usize]) -> Vec<String> {
+    word.iter()
+        .map(|&i| SYMBOLS[i % SYMBOLS.len()].to_string())
+        .collect()
+}
+
+impl StringPathReference {
+    fn insert(&mut self, word: &[usize]) {
+        for depth in 1..=word.len() {
+            self.steps
+                .insert(spell(&word[..depth]), output_for(&word[..depth]));
+        }
+    }
+
+    fn mark_terminal(&mut self, word: &[usize]) -> bool {
+        self.terminals.insert(spell(word))
+    }
+
+    fn lookup(&self, word: &[usize]) -> Option<Vec<String>> {
+        (1..=word.len())
+            .map(|depth| self.steps.get(&spell(&word[..depth])).cloned())
+            .collect()
+    }
+
+    fn known_prefix_len(&self, word: &[usize]) -> usize {
+        (1..=word.len())
+            .take_while(|&depth| self.steps.contains_key(&spell(&word[..depth])))
+            .count()
+    }
+
+    /// The canonical path set: terminal words plus maximal (leaf) chains,
+    /// each with its output chain and terminal flag — the reference for
+    /// [`PrefixTrie::paths`], compared order-independently.
+    fn paths(&self) -> BTreeSet<(Vec<String>, Vec<String>, bool)> {
+        let mut result = BTreeSet::new();
+        for input in self.steps.keys() {
+            let is_leaf = !self.steps.keys().any(|other| {
+                other.len() == input.len() + 1 && &other[..input.len()] == input.as_slice()
+            });
+            let terminal = self.terminals.contains(input);
+            if terminal || is_leaf {
+                let output = (1..=input.len())
+                    .map(|depth| self.steps[&input[..depth].to_vec()].clone())
+                    .collect();
+                result.insert((input.clone(), output, terminal));
+            }
+        }
+        result
+    }
+}
+
+fn path_set(trie: &PrefixTrie) -> BTreeSet<(Vec<String>, Vec<String>, bool)> {
+    trie.paths()
+        .into_iter()
+        .map(|(input, output, terminal)| {
+            (
+                input.iter().map(|s| s.to_string()).collect(),
+                output.iter().map(|s| s.to_string()).collect(),
+                terminal,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interned_trie_agrees_with_the_string_path_reference(
+        words in prop::collection::vec(prop::collection::vec(0usize..5, 1..7), 1..24),
+        probes in prop::collection::vec(prop::collection::vec(0usize..5, 1..8), 0..12),
+        terminal_mask in any::<u32>(),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut reference = StringPathReference::default();
+        for (index, word) in words.iter().enumerate() {
+            let input = input_word(word);
+            let output = output_word(word);
+            trie.insert(&input, &output);
+            reference.insert(word);
+            if terminal_mask & (1 << (index % 32)) != 0 {
+                prop_assert_eq!(
+                    trie.mark_terminal(&input),
+                    reference.mark_terminal(word),
+                    "terminal-novelty disagreement on word {:?}", word
+                );
+            }
+        }
+
+        prop_assert_eq!(trie.terminal_words(), reference.terminals.len());
+
+        for probe in words.iter().chain(probes.iter()) {
+            let input = input_word(probe);
+            let found = trie.lookup(&input)
+                .map(|out| out.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+            prop_assert_eq!(
+                found, reference.lookup(probe),
+                "lookup disagreement on {:?}", probe
+            );
+            prop_assert_eq!(
+                trie.known_prefix_len(&input),
+                reference.known_prefix_len(probe),
+                "known-prefix disagreement on {:?}", probe
+            );
+            // The id path must answer exactly like the string path.
+            let ids = trie.encode_input(&input);
+            prop_assert_eq!(trie.lookup_ids(ids.as_slice()), trie.lookup(&input));
+        }
+
+        prop_assert_eq!(path_set(&trie), reference.paths(), "path dumps disagree");
+    }
+
+    // Rebuilding from the path dump in a different insertion order mints
+    // different symbol ids — and must change nothing observable.
+    #[test]
+    fn symbol_id_assignment_never_leaks_into_semantics(
+        words in prop::collection::vec(prop::collection::vec(0usize..5, 1..7), 1..16),
+    ) {
+        let mut trie = PrefixTrie::new();
+        for word in &words {
+            trie.insert(&input_word(word), &output_word(word));
+            trie.mark_terminal(&input_word(word));
+        }
+        let mut dump = trie.paths();
+        dump.reverse(); // different insertion order => different id order
+        let rebuilt = PrefixTrie::from_paths(&dump).expect("own dump is consistent");
+
+        prop_assert_eq!(rebuilt.terminal_words(), trie.terminal_words());
+        prop_assert_eq!(rebuilt.num_nodes(), trie.num_nodes());
+        prop_assert_eq!(path_set(&rebuilt), path_set(&trie));
+        for word in &words {
+            let input = input_word(word);
+            prop_assert_eq!(rebuilt.lookup(&input), trie.lookup(&input));
+            prop_assert!(rebuilt.is_terminal(&input));
+        }
+        // Coverage classification is id-free too: every dumped path is
+        // covered by the rebuilt trie, and a diverging output contradicts.
+        for (input, output, terminal) in &dump {
+            let input: Vec<_> = input.iter().cloned().collect();
+            let mut output: Vec<_> = output.iter().cloned().collect();
+            prop_assert_eq!(
+                rebuilt.coverage(&input, &output, *terminal),
+                PathCoverage::Covered
+            );
+            let last = output.len() - 1;
+            output[last] = "out-of-band".into();
+            prop_assert_eq!(
+                rebuilt.coverage(&input, &output, *terminal),
+                PathCoverage::Contradicts
+            );
+        }
+    }
+}
